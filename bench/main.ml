@@ -1,0 +1,263 @@
+(* The benchmark harness: regenerates every evaluation table of the
+   paper (Tables 2-6 and the section 6.5 performance figures), prints the
+   jump-label and specification-refinement ablations called out in
+   DESIGN.md, and then times each pipeline stage with Bechamel — one
+   Test.make per table plus micro-benchmarks of the hot paths.
+
+   Environment knobs: KIT_BENCH_CORPUS (table corpus size, default 320),
+   KIT_BENCH_QUOTA (seconds per bechamel test, default 0.5). *)
+
+open Bechamel
+open Toolkit
+
+module Campaign = Kit_core.Campaign
+module Tables = Kit_core.Tables
+module Oracle = Kit_core.Oracle
+module Known_bugs = Kit_core.Known_bugs
+module Cluster = Kit_gen.Cluster
+module Dataflow = Kit_gen.Dataflow
+module Corpus = Kit_abi.Corpus
+module Syzlang = Kit_abi.Syzlang
+module Config = Kit_kernel.Config
+module Bugs = Kit_kernel.Bugs
+module State = Kit_kernel.State
+module Spec = Kit_spec.Spec
+module Env = Kit_exec.Env
+module Runner = Kit_exec.Runner
+module Collect = Kit_profile.Collect
+module Compare = Kit_trace.Compare
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+  | None -> default
+
+let getenv_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> (
+    match float_of_string_opt v with Some n -> n | None -> default)
+  | None -> default
+
+let corpus_size = getenv_int "KIT_BENCH_CORPUS" 320
+let quota = getenv_float "KIT_BENCH_QUOTA" 0.5
+
+(* --- table regeneration ------------------------------------------------ *)
+
+let print_tables () =
+  Fmt.pr "=============================================================@.";
+  Fmt.pr " KIT evaluation tables (corpus size %d, seed %d)@." corpus_size
+    Campaign.default_options.Campaign.seed;
+  Fmt.pr "=============================================================@.@.";
+  let options = { Campaign.default_options with Campaign.corpus_size } in
+  let prepared = Campaign.prepare options in
+  let _, t4, (df_ia, _, _, _) = Tables.table4 prepared in
+  let found, t2 = Tables.table2 df_ia in
+  Fmt.pr "-- Table 2: new functional interference bugs (paper: 9 found) --@.";
+  Fmt.pr "%s@." t2;
+  Fmt.pr "reproduced %d/9 new bugs@.@." (List.length found);
+  let outcomes, t3 = Tables.table3 () in
+  Fmt.pr "-- Table 3: known namespace bugs (paper: 5/7 reproduced) --@.";
+  Fmt.pr "%s@." t3;
+  Fmt.pr "reproduced %d/7 known bugs@.@." (Known_bugs.detected_count outcomes);
+  Fmt.pr "-- Table 4: test case generation strategies --@.";
+  Fmt.pr
+    "   (paper: DF-IA 1.13M < DF-ST-1 3.32M < DF-ST-2 6.61M < RAND 8.66M << DF 234M;@.";
+  Fmt.pr "    DF strategies 9/9, RAND 5/9)@.";
+  Fmt.pr "%s@." t4;
+  Fmt.pr "-- Table 5: test report filtering (paper: 15353 -> 891 -> 808) --@.";
+  Fmt.pr "%s@.@." (Tables.table5 df_ia);
+  let _, t6 = Tables.table6 df_ia in
+  Fmt.pr "-- Table 6: test report aggregation --@.";
+  Fmt.pr "%s@." t6;
+  Fmt.pr "-- Performance (section 6.5) --@.";
+  Fmt.pr "%s@.@." (Tables.performance df_ia)
+
+(* --- ablations ---------------------------------------------------------- *)
+
+(* CONFIG_JUMP_LABEL hides the flow-label static key from the profiler:
+   data-flow generation misses bugs #2/#4 while RAND still finds them
+   (paper, section 6.1). *)
+let print_jump_label_ablation () =
+  Fmt.pr "-- Ablation: CONFIG_JUMP_LABEL=y (paper, sec. 6.1) --@.";
+  let options =
+    { Campaign.default_options with
+      Campaign.corpus_size;
+      config = Config.v5_13 ~jump_label:true () }
+  in
+  let prepared = Campaign.prepare options in
+  let df = Campaign.execute_prepared prepared in
+  let found_df = Oracle.new_bugs_found df.Campaign.keyed in
+  let missing =
+    List.filter
+      (fun b -> not (List.exists (Bugs.equal b) found_df))
+      Bugs.new_bugs
+  in
+  Fmt.pr "DF-IA with jump labels: %d/9 (missing: %a)@." (List.length found_df)
+    (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
+    missing;
+  let rand =
+    Campaign.execute_prepared
+      ~strategy:(Cluster.Rand (4 * corpus_size))
+      prepared
+  in
+  let found_rand = Oracle.new_bugs_found rand.Campaign.keyed in
+  let flowlabel_found =
+    List.exists (Bugs.equal Bugs.B2_flowlabel_send) found_rand
+    || List.exists (Bugs.equal Bugs.B4_flowlabel_connect) found_rand
+  in
+  Fmt.pr "RAND with jump labels: %d/9; finds a flow-label bug: %b@.@."
+    (List.length found_rand) flowlabel_found
+
+(* Refining the spec (dropping the /proc over-approximation) removes the
+   crypto/slabinfo FP classes, at no cost in bugs found. *)
+let print_spec_ablation () =
+  Fmt.pr "-- Ablation: refined specification (drops Procfs_misc) --@.";
+  let run spec =
+    let options =
+      { Campaign.default_options with Campaign.corpus_size; spec }
+    in
+    Campaign.run options
+  in
+  let describe label c =
+    let found = Oracle.new_bugs_found c.Campaign.keyed in
+    let fps =
+      List.length
+        (List.filter
+           (fun k ->
+             match Oracle.attribute_keyed k with
+             | Oracle.False_positive _ | Oracle.Under_investigation -> true
+             | Oracle.Bug _ -> false)
+           c.Campaign.keyed)
+    in
+    Fmt.pr "%s: %d/9 bugs, %d reports, %d FP/UI reports@." label
+      (List.length found)
+      (List.length c.Campaign.reports)
+      fps
+  in
+  describe "default spec" (run Spec.default);
+  describe "refined spec" (run Spec.refined);
+  Fmt.pr "@."
+
+(* The time namespace is invisible to the standard pipeline but caught
+   by the bounds-based detector (paper, section 7 / DESIGN.md E7+). *)
+let print_bounds_ablation () =
+  Fmt.pr "-- Ablation: time namespace via bounds-based detection (sec. 7) --@.";
+  let env = Env.create (Config.v5_13 ()) in
+  let runner = Runner.create env in
+  let sender = Syzlang.parse "r0 = clock_settime(5)" in
+  let receiver = Syzlang.parse "r0 = clock_gettime()" in
+  let outcome = Runner.execute runner ~sender ~receiver in
+  let violations = Runner.execute_bounds runner ~sender ~receiver in
+  Fmt.pr
+    "standard pipeline: %d masked divergences (missed); bounds mode: %d violations (caught)@.@."
+    (List.length outcome.Runner.masked_diffs)
+    (List.length violations)
+
+(* --- bechamel micro/macro benchmarks ------------------------------------ *)
+
+let bench_corpus = 48
+
+let make_benchmarks () =
+  (* Shared fixtures, built once outside the timed closures. *)
+  let options =
+    { Campaign.default_options with Campaign.corpus_size = bench_corpus }
+  in
+  let prepared = Campaign.prepare options in
+  let config = Config.v5_13 () in
+  let profiler = Collect.create config in
+  let prog = Syzlang.parse "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)" in
+  let sender = Syzlang.parse "r0 = socket(3)" in
+  let env = Env.create config in
+  let kernel = State.boot config in
+  let snap = State.snapshot kernel in
+  let corpus_list = Corpus.generate ~seed:7 ~size:bench_corpus in
+  let profiles = Dataflow.profile_corpus config Spec.default corpus_list in
+  let map = Dataflow.build_map profiles in
+  let runner = Runner.create env in
+  let outcome = Runner.execute runner ~sender ~receiver:prog in
+  [
+    (* one Test.make per paper table *)
+    Test.make ~name:"table2/5/6: campaign (DF-IA)"
+      (Staged.stage (fun () ->
+           ignore (Campaign.execute_prepared prepared : Campaign.t)));
+    Test.make ~name:"table3: known-bug reproduction"
+      (Staged.stage (fun () ->
+           ignore (Known_bugs.reproduce_all () : Known_bugs.outcome list)));
+    Test.make ~name:"table4: clustering DF-IA"
+      (Staged.stage (fun () ->
+           ignore
+             (Cluster.run Cluster.Df_ia ~corpus_size:bench_corpus map
+               : Cluster.result)));
+    Test.make ~name:"table4: clustering DF-ST-2"
+      (Staged.stage (fun () ->
+           ignore
+             (Cluster.run (Cluster.Df_st 2) ~corpus_size:bench_corpus map
+               : Cluster.result)));
+    (* pipeline-stage micro-benchmarks (section 6.5) *)
+    Test.make ~name:"profile: one test program"
+      (Staged.stage (fun () ->
+           ignore
+             (Collect.profile profiler ~role:Collect.Receiver prog
+               : Collect.profile)));
+    Test.make ~name:"execute: one test case (A+B)"
+      (Staged.stage (fun () ->
+           ignore (Runner.execute runner ~sender ~receiver:prog : Runner.outcome)));
+    Test.make ~name:"kernel: snapshot restore"
+      (Staged.stage (fun () -> State.restore kernel snap));
+    Test.make ~name:"trace: AST comparison"
+      (Staged.stage (fun () ->
+           ignore
+             (Compare.diff_trees outcome.Runner.trace_a outcome.Runner.trace_b
+               : Compare.diff list)));
+    Test.make ~name:"corpus: generate 48 programs"
+      (Staged.stage (fun () ->
+           ignore
+             (Corpus.generate ~seed:7 ~size:bench_corpus
+               : Kit_abi.Program.t list)));
+  ]
+
+let run_benchmarks () =
+  Fmt.pr "=============================================================@.";
+  Fmt.pr " Bechamel timings (quota %.2fs per test)@." quota;
+  Fmt.pr "=============================================================@.";
+  let tests = make_benchmarks () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second quota)
+      ~kde:None ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"kit" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let pp_time ppf ns =
+    if Float.is_nan ns then Fmt.string ppf "n/a"
+    else if ns > 1e9 then Fmt.pf ppf "%8.3f s " (ns /. 1e9)
+    else if ns > 1e6 then Fmt.pf ppf "%8.3f ms" (ns /. 1e6)
+    else if ns > 1e3 then Fmt.pf ppf "%8.3f us" (ns /. 1e3)
+    else Fmt.pf ppf "%8.1f ns" ns
+  in
+  List.iter (fun (name, ns) -> Fmt.pr "%-42s %a@." name pp_time ns) rows
+
+let () =
+  print_tables ();
+  print_jump_label_ablation ();
+  print_spec_ablation ();
+  print_bounds_ablation ();
+  run_benchmarks ();
+  Fmt.pr "done.@."

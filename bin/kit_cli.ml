@@ -1,0 +1,255 @@
+(* The kit command-line interface.
+
+     kit campaign    run a full testing campaign and summarise reports
+     kit tables      regenerate the paper's evaluation tables (2, 4, 5, 6)
+     kit known-bugs  reproduce the documented bugs of Table 3
+     kit run         execute one sender/receiver test case and explain it
+     kit corpus      print a generated program corpus
+
+   All commands are deterministic for a given --seed. *)
+
+module Campaign = Kit_core.Campaign
+module Distrib = Kit_core.Distrib
+module Tables = Kit_core.Tables
+module Oracle = Kit_core.Oracle
+module Known_bugs = Kit_core.Known_bugs
+module Cluster = Kit_gen.Cluster
+module Corpus = Kit_abi.Corpus
+module Syzlang = Kit_abi.Syzlang
+module Program = Kit_abi.Program
+module Config = Kit_kernel.Config
+module Bugs = Kit_kernel.Bugs
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let corpus_size_arg =
+  Arg.(
+    value & opt int 320
+    & info [ "corpus-size" ] ~doc:"Number of corpus test programs.")
+
+let strategy_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "df-ia" -> Ok Cluster.Df_ia
+    | "df-st-1" -> Ok (Cluster.Df_st 1)
+    | "df-st-2" -> Ok (Cluster.Df_st 2)
+    | other -> (
+      match int_of_string_opt other with
+      | Some n when n > 0 -> Ok (Cluster.Rand n)
+      | Some _ | None ->
+        Error (`Msg "expected df-ia, df-st-1, df-st-2 or a RAND budget"))
+  in
+  let print ppf s = Fmt.string ppf (Cluster.strategy_name s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Cluster.Df_ia
+    & info [ "strategy" ] ~doc:"Generation strategy: df-ia, df-st-1, df-st-2, or an integer RAND budget.")
+
+let options ~seed ~corpus_size ~strategy =
+  { Campaign.default_options with Campaign.seed; corpus_size; strategy }
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Render the AGG-RS groups.")
+
+let cmd_campaign =
+  let run seed corpus_size strategy verbose =
+    let c = Campaign.run (options ~seed ~corpus_size ~strategy) in
+    let found = Oracle.new_bugs_found c.Campaign.keyed in
+    Fmt.pr "strategy %s: %d clusters, %d reports after filtering@."
+      (Cluster.strategy_name c.Campaign.generation.Cluster.strategy)
+      c.Campaign.generation.Cluster.clusters
+      (List.length c.Campaign.reports);
+    Fmt.pr "%s@." (Tables.table5 c);
+    Fmt.pr "new bugs found (%d/9): %a@." (List.length found)
+      (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
+      found;
+    Fmt.pr "%s@." (Tables.performance c);
+    if verbose then begin
+      Fmt.pr "@.%s@." (Kit_report.Render.groups c.Campaign.agg_rs)
+    end
+  in
+  Cmd.v (Cmd.info "campaign" ~doc:"Run a full testing campaign")
+    Term.(const run $ seed_arg $ corpus_size_arg $ strategy_arg $ verbose_arg)
+
+let cmd_distrib =
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker environments.")
+  in
+  let run seed corpus_size strategy workers =
+    let opts = options ~seed ~corpus_size ~strategy in
+    let single = Campaign.run opts in
+    let d =
+      Distrib.execute opts single.Campaign.corpus single.Campaign.generation
+        ~workers
+    in
+    Fmt.pr "%a@." Distrib.pp d;
+    List.iter
+      (fun (w : Distrib.worker_result) ->
+        Fmt.pr "worker %d: %d test cases, %d executions, %d reports@."
+          w.Distrib.worker w.Distrib.assigned w.Distrib.executions
+          (List.length w.Distrib.reports))
+      d.Distrib.workers;
+    Fmt.pr "single-node check: %d reports (%s)@."
+      (List.length single.Campaign.reports)
+      (if List.length single.Campaign.reports = List.length d.Distrib.reports
+       then "identical" else "MISMATCH")
+  in
+  Cmd.v
+    (Cmd.info "distrib" ~doc:"Run a campaign sharded over worker environments")
+    Term.(const run $ seed_arg $ corpus_size_arg $ strategy_arg $ workers_arg)
+
+let cmd_tables =
+  let run seed corpus_size =
+    let prepared =
+      Campaign.prepare (options ~seed ~corpus_size ~strategy:Cluster.Df_ia)
+    in
+    let _, t4, (df_ia, _, _, _) = Tables.table4 prepared in
+    let _, t2 = Tables.table2 df_ia in
+    Fmt.pr "== Table 2: bugs found ==@.%s@." t2;
+    let _, t3 = Tables.table3 () in
+    Fmt.pr "== Table 3: known bugs ==@.%s@." t3;
+    Fmt.pr "== Table 4: generation strategies ==@.%s@." t4;
+    Fmt.pr "== Table 5: report filtering ==@.%s@.@." (Tables.table5 df_ia);
+    let _, t6 = Tables.table6 df_ia in
+    Fmt.pr "== Table 6: report aggregation ==@.%s@." t6;
+    Fmt.pr "== Performance (sec. 6.5) ==@.%s@." (Tables.performance df_ia)
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
+    Term.(const run $ seed_arg $ corpus_size_arg)
+
+let cmd_known_bugs =
+  let run () =
+    let outcomes, rendered = Tables.table3 () in
+    Fmt.pr "%s@." rendered;
+    Fmt.pr "detected %d/7 documented bugs (paper: 5/7)@."
+      (Known_bugs.detected_count outcomes)
+  in
+  Cmd.v
+    (Cmd.info "known-bugs" ~doc:"Reproduce the documented bugs of Table 3")
+    Term.(const run $ const ())
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse a user-supplied program file, turning parse failures into a
+   clean CLI error instead of an uncaught exception. *)
+let parse_program_file path =
+  try Syzlang.parse (read_file path)
+  with Syzlang.Parse_error msg ->
+    Fmt.epr "kit: cannot parse %s: %s@." path msg;
+    exit 2
+
+let cmd_run =
+  let sender_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "sender" ] ~doc:"Sender program file (syzlang-style).")
+  in
+  let receiver_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "receiver" ] ~doc:"Receiver program file (syzlang-style).")
+  in
+  let version_arg =
+    Arg.(
+      value & opt string "5.13"
+      & info [ "kernel" ] ~doc:"Model kernel release to test.")
+  in
+  let bounds_arg =
+    Arg.(value & flag
+         & info [ "bounds" ]
+             ~doc:"Use the bounds-based detector instead of trace masking.")
+  in
+  let run sender_file receiver_file version bounds =
+    let sender = parse_program_file sender_file in
+    let receiver = parse_program_file receiver_file in
+    let config = Config.make version in
+    let env = Kit_exec.Env.create config in
+    let runner = Kit_exec.Runner.create env in
+    if bounds then begin
+      let violations =
+        Kit_exec.Runner.execute_bounds runner ~sender ~receiver
+      in
+      if violations = [] then Fmt.pr "no bound violations@."
+      else
+        List.iter
+          (fun v -> Fmt.pr "VIOLATION %a@." Kit_trace.Bounds.pp_violation v)
+          violations
+    end
+    else begin
+      let outcome = Kit_exec.Runner.execute runner ~sender ~receiver in
+      if outcome.Kit_exec.Runner.masked_diffs = [] then
+        Fmt.pr "no functional interference detected@."
+      else begin
+        Fmt.pr "functional interference on receiver calls [%a]:@."
+          (Fmt.list ~sep:(Fmt.any ",") Fmt.int)
+          outcome.Kit_exec.Runner.interfered;
+        List.iter
+          (fun d -> Fmt.pr "  %a@." Kit_trace.Compare.pp_diff d)
+          outcome.Kit_exec.Runner.masked_diffs
+      end
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute one sender/receiver test case")
+    Term.(const run $ sender_arg $ receiver_arg $ version_arg $ bounds_arg)
+
+let cmd_profile =
+  let program_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "program" ] ~doc:"Test program file (syzlang-style).")
+  in
+  let run program_file =
+    let prog = parse_program_file program_file in
+    let profiler = Kit_profile.Collect.create (Config.v5_13 ()) in
+    let profile =
+      Kit_profile.Collect.profile profiler ~role:Kit_profile.Collect.Receiver
+        prog
+    in
+    Fmt.pr "%d attributed kernel memory accesses:@."
+      (List.length profile.Kit_profile.Collect.accesses);
+    List.iter
+      (fun (a : Kit_profile.Stackrec.access) ->
+        Fmt.pr "  sys#%d %s addr=0x%x ip=0x%x stack=[%s]@."
+          a.Kit_profile.Stackrec.sys_index
+          (Kit_kernel.Kevent.rw_to_string a.Kit_profile.Stackrec.rw)
+          a.Kit_profile.Stackrec.addr a.Kit_profile.Stackrec.ip
+          (String.concat " < "
+             (List.map Kit_kernel.Kfun.name a.Kit_profile.Stackrec.stack)))
+      profile.Kit_profile.Collect.accesses
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Profile one test program's kernel memory footprint")
+    Term.(const run $ program_arg)
+
+let cmd_corpus =
+  let size_arg =
+    Arg.(value & opt int 16 & info [ "size" ] ~doc:"Corpus size.")
+  in
+  let run seed size =
+    let corpus = Corpus.generate ~seed ~size in
+    List.iteri
+      (fun i prog -> Fmt.pr "# program %d@.%s@." i (Program.to_string prog))
+      corpus
+  in
+  Cmd.v (Cmd.info "corpus" ~doc:"Print a generated program corpus")
+    Term.(const run $ seed_arg $ size_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "kit" ~version:"1.0.0"
+       ~doc:"Functional interference testing for OS-level virtualization")
+    [ cmd_campaign; cmd_distrib; cmd_tables; cmd_known_bugs; cmd_run;
+      cmd_profile; cmd_corpus ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,65 @@
+(* Integer constants of the model ABI (socket domains, flags, sysctl
+   names are plain strings). Centralised so the kernel, the corpus
+   generator and the specification agree on the encoding. *)
+
+(* Socket domains (first argument of [socket]). *)
+let dom_tcp = 1
+let dom_udp = 2
+let dom_packet = 3
+let dom_rds = 4
+let dom_sctp = 5
+let dom_unix = 6
+let dom_alg = 7
+let dom_uevent = 8
+let dom_inet6 = 9
+
+let domains =
+  [ dom_tcp; dom_udp; dom_packet; dom_rds; dom_sctp; dom_unix; dom_alg;
+    dom_uevent; dom_inet6 ]
+
+let domain_name d =
+  if d = dom_tcp then "AF_INET_TCP"
+  else if d = dom_udp then "AF_INET_UDP"
+  else if d = dom_packet then "AF_PACKET"
+  else if d = dom_rds then "AF_RDS"
+  else if d = dom_sctp then "AF_SCTP"
+  else if d = dom_unix then "AF_UNIX"
+  else if d = dom_alg then "AF_ALG"
+  else if d = dom_uevent then "AF_NETLINK_UEVENT"
+  else if d = dom_inet6 then "AF_INET6"
+  else "AF_UNKNOWN"
+
+(* unshare flags, one bit per namespace kind. *)
+let clone_newpid = 0x1
+let clone_newns = 0x2
+let clone_newuts = 0x4
+let clone_newipc = 0x8
+let clone_newnet = 0x10
+let clone_newuser = 0x20
+let clone_newcgroup = 0x40
+let clone_newtime = 0x80
+
+(* flowlabel_request flags. *)
+let fl_excl = 0x1
+
+(* setpriority/getpriority [which]. *)
+let prio_process = 0
+let prio_user = 2
+
+(* Well-known sysctl names. *)
+let sysctl_conntrack_max = "net/nf_conntrack_max"
+let sysctl_somaxconn = "net/somaxconn"
+
+(* Paths understood by [open]/[creat]/[io_uring_read]. *)
+let proc_net_ptype = "/proc/net/ptype"
+let proc_net_sockstat = "/proc/net/sockstat"
+let proc_net_protocols = "/proc/net/protocols"
+let proc_net_ip_vs = "/proc/net/ip_vs"
+let proc_net_conntrack = "/proc/net/nf_conntrack"
+let proc_crypto = "/proc/crypto"
+let proc_slabinfo = "/proc/slabinfo"
+let proc_uptime = "/proc/uptime"
+
+let proc_paths =
+  [ proc_net_ptype; proc_net_sockstat; proc_net_protocols; proc_net_ip_vs;
+    proc_net_conntrack; proc_crypto; proc_slabinfo; proc_uptime ]

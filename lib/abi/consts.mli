@@ -1,0 +1,60 @@
+(** Integer and string constants of the model ABI: socket domains,
+    clone flags, well-known sysctl names and procfs paths. Centralised
+    so the kernel, the corpus generator and the specification agree on
+    the encoding. *)
+
+(** {1 Socket domains} *)
+
+val dom_tcp : int
+val dom_udp : int
+val dom_packet : int
+val dom_rds : int
+val dom_sctp : int
+val dom_unix : int
+val dom_alg : int
+val dom_uevent : int
+val dom_inet6 : int
+
+val domains : int list
+(** Every valid socket domain. *)
+
+val domain_name : int -> string
+(** Human-readable name, e.g. [domain_name dom_packet = "AF_PACKET"]. *)
+
+(** {1 unshare flags} — one bit per namespace kind *)
+
+val clone_newpid : int
+val clone_newns : int
+val clone_newuts : int
+val clone_newipc : int
+val clone_newnet : int
+val clone_newuser : int
+val clone_newcgroup : int
+val clone_newtime : int
+
+(** {1 Miscellaneous flags} *)
+
+val fl_excl : int
+(** [flowlabel_request] flag requesting exclusive ownership. *)
+
+val prio_process : int
+val prio_user : int
+
+(** {1 Well-known sysctls} *)
+
+val sysctl_conntrack_max : string
+val sysctl_somaxconn : string
+
+(** {1 procfs paths understood by the model kernel} *)
+
+val proc_net_ptype : string
+val proc_net_sockstat : string
+val proc_net_protocols : string
+val proc_net_ip_vs : string
+val proc_net_conntrack : string
+val proc_crypto : string
+val proc_slabinfo : string
+val proc_uptime : string
+
+val proc_paths : string list
+(** All renderable procfs paths. *)

@@ -1,0 +1,176 @@
+(* Corpus generation. The paper seeds KIT with a Syzkaller-generated
+   corpus of test programs; here a seeded generator plays that role,
+   combining curated per-subsystem seed templates (the equivalent of a
+   fuzzer having discovered interesting syscall idioms) with random
+   composition and mutation. Fully deterministic for a given seed. *)
+
+let seed_texts =
+  [ (* net: packet sockets / ptype *)
+    "r0 = socket(3)\nr1 = clock_gettime()";
+    "r0 = socket(3)\nr1 = get_cookie(r0)\nr2 = clock_gettime()";
+    (* procfs readers; several interleave timing calls, as fuzzer-made
+       programs do — the raw material of the non-determinism filter *)
+    "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)\nr2 = clock_gettime()";
+    "r0 = open(\"/proc/net/sockstat\")\nr1 = read(r0)\nr2 = clock_gettime()";
+    "r0 = open(\"/proc/net/protocols\")\nr1 = read(r0)\nr2 = clock_gettime()";
+    "r0 = open(\"/proc/net/ip_vs\")\nr1 = read(r0)\nr2 = clock_gettime()";
+    "r0 = open(\"/proc/net/nf_conntrack\")\nr1 = read(r0)\nr2 = clock_gettime()";
+    "r0 = open(\"/proc/crypto\")\nr1 = read(r0)\nr2 = clock_gettime()";
+    "r0 = open(\"/proc/slabinfo\")\nr1 = read(r0)\nr2 = clock_gettime()";
+    "r0 = open(\"/proc/uptime\")\nr1 = read(r0)";
+    "r0 = open(\"/proc/net/sockstat\")\nr1 = fstat(r0)\nr2 = clock_gettime()";
+    "r0 = open(\"/proc/net/ptype\")\nr1 = fstat(r0)\nr2 = clock_gettime()";
+    "r0 = clock_gettime()\nr1 = open(\"/proc/net/ptype\")\nr2 = read(r1)";
+    "r0 = open(\"/proc/uptime\")\nr1 = read(r0)\nr2 = open(\"/proc/net/sockstat\")\nr3 = read(r2)";
+    (* tcp / proto accounting; the pure-UDP allocator comes first so the
+       proto-memory flow's earliest writer does not also perturb the TCP
+       socket counters *)
+    "r0 = socket(2)\nr1 = alloc_protomem(r0, 16)";
+    "r0 = socket(1)\nr1 = clock_gettime()";
+    "r0 = socket(1)\nr1 = alloc_protomem(r0, 32)";
+    "r0 = socket(1)\nr1 = get_cookie(r0)";
+    (* ipv6 flow labels *)
+    "r0 = socket(9)\nr1 = flowlabel_request(r0, 3, 1)";
+    "r0 = socket(9)\nr1 = send(r0, 8, 2)\nr2 = clock_gettime()";
+    "r0 = socket(9)\nr1 = connect(r0, 1000, 2)\nr2 = clock_gettime()";
+    "r0 = socket(9)\nr1 = flowlabel_request(r0, 2, 1)\nr2 = send(r0, 8, 2)";
+    (* rds *)
+    "r0 = socket(4)\nr1 = bind(r0, 1003)\nr2 = clock_gettime()";
+    (* sctp *)
+    "r0 = socket(5)\nr1 = sctp_assoc(r0)\nr2 = clock_gettime()";
+    (* unix + diag *)
+    "r0 = socket(6)\nr1 = clock_gettime()";
+    "r0 = sock_diag(3)\nr1 = clock_gettime()";
+    (* af_alg / crypto *)
+    "r0 = socket(7)\nr1 = af_alg_bind(r0, \"cbc\")";
+    (* uevents *)
+    "r0 = socket(8)\nr1 = uevent_recv(r0)\nr2 = clock_gettime()";
+    "r0 = netdev_create(\"veth0\")";
+    (* ipvs *)
+    "r0 = ipvs_add_service(1080)";
+    (* conntrack sysctl *)
+    "r0 = sysctl_read(\"net/nf_conntrack_max\")\nr1 = clock_gettime()";
+    "r0 = sysctl_write(\"net/nf_conntrack_max\", 9)";
+    "r0 = conntrack_add(1001)";
+    (* somaxconn: a sysctl the spec correctly leaves unprotected; pairs
+       reaching it only diverge on an unprotected call and are removed by
+       the resource filter *)
+    "r0 = sysctl_write(\"net/somaxconn\", 7)\nr1 = socket(3)";
+    "r0 = open(\"/proc/net/sockstat\")\nr1 = read(r0)\nr2 = sysctl_read(\"net/somaxconn\")\nr3 = clock_gettime()";
+    "r0 = sysctl_read(\"net/somaxconn\")\nr1 = open(\"/proc/net/ip_vs\")\nr2 = read(r1)";
+    (* sysv ipc *)
+    "r0 = msgget(101)\nr1 = msgsnd(r0, \"m0\")\nr2 = clock_gettime()";
+    "r0 = msgget(101)\nr1 = msgrcv(r0)\nr2 = clock_gettime()";
+    "r0 = msgget(102)\nr1 = msgctl_stat(r0)\nr2 = clock_gettime()";
+    (* priorities *)
+    "r0 = setpriority(2, 1000, 5)";
+    "r0 = getpriority(2, 1000)\nr1 = clock_gettime()";
+    (* uts (correctly isolated); the somax companions make the earliest
+       hostname flow pair diverge only on an unprotected resource, which
+       the resource filter must remove *)
+    "r0 = sethostname(\"h0\")\nr1 = sysctl_write(\"net/somaxconn\", 9)";
+    "r0 = gethostname()\nr1 = sysctl_read(\"net/somaxconn\")\nr2 = clock_gettime()";
+    "r0 = sethostname(\"h1\")";
+    "r0 = gethostname()\nr1 = clock_gettime()";
+    (* mounts / io_uring *)
+    "r0 = creat(\"/tmp/kit0\")";
+    "r0 = io_uring_read(\"/tmp/kit0\")\nr1 = clock_gettime()";
+    "r0 = open(\"/tmp/kit0\")\nr1 = read(r0)\nr2 = clock_gettime()";
+    (* tokens (runtime-id resource, known-bug G) *)
+    "r0 = token_create()";
+    "r0 = token_stat(7)\nr1 = clock_gettime()";
+    (* misc *)
+    "r0 = clock_gettime()";
+    "r0 = getpid()";
+  ]
+
+let seeds = lazy (List.map Syzlang.parse seed_texts)
+
+let max_program_len = 8
+
+(* Pick a [Value.Ref] to a previous call whose static result type is in
+   [wanted]; prefers the most recent producer. *)
+let resolve_fd_in prefix_types wanted =
+  let n = Array.length prefix_types in
+  let rec scan i =
+    if i < 0 then None
+    else
+      match prefix_types.(i) with
+      | Some ty when wanted = [] || List.exists (Fdtype.equal ty) wanted ->
+        Some i
+      | Some _ | None -> scan (i - 1)
+  in
+  scan (n - 1)
+
+let random_call rng prog =
+  let open Program in
+  let types = result_types (make prog) in
+  let sysno = List.nth Sysno.all (Random.State.int rng (List.length Sysno.all)) in
+  let desc = Descriptor.describe sysno in
+  let resolve_fd wanted = resolve_fd_in types wanted in
+  let args = List.map (Descriptor.random_arg rng ~resolve_fd) desc.Descriptor.args in
+  { sysno; args }
+
+let random_program rng =
+  let len = 1 + Random.State.int rng (max_program_len - 1) in
+  let rec build acc n =
+    if n = 0 then List.rev acc
+    else build (random_call rng (List.rev acc) :: acc) (n - 1)
+  in
+  Program.make (build [] len)
+
+(* Mutate a program: with equal probability append a random call, tweak a
+   random integer argument, or drop the last call. *)
+let mutate rng prog =
+  let calls = Program.calls prog in
+  match Random.State.int rng 3 with
+  | 0 ->
+    if List.length calls >= max_program_len then prog
+    else Program.make (calls @ [ random_call rng calls ])
+  | 1 ->
+    let n = List.length calls in
+    if n = 0 then prog
+    else begin
+      let target = Random.State.int rng n in
+      let tweak_call i (c : Program.call) =
+        if i <> target then c
+        else
+          let tweak_arg = function
+            | Value.Int k -> Value.Int (max 0 (k + Random.State.int rng 5 - 2))
+            | (Value.Str _ | Value.Ref _) as v -> v
+          in
+          { c with Program.args = List.map tweak_arg c.Program.args }
+      in
+      Program.make (List.mapi tweak_call calls)
+    end
+  | _ -> (
+    match List.rev calls with
+    | [] -> prog
+    | _ :: rest when rest <> [] -> Program.make (List.rev rest)
+    | _ :: _ -> prog)
+
+(* Generate a corpus of [size] programs. Roughly: all seeds verbatim,
+   then a mix of mutated seeds, seed pairs and random programs. *)
+let generate ~seed ~size =
+  let rng = Random.State.make [| seed |] in
+  let seed_list = Lazy.force seeds in
+  let n_seeds = List.length seed_list in
+  let pick_seed () = List.nth seed_list (Random.State.int rng n_seeds) in
+  let rec fill acc n =
+    if n = 0 then acc
+    else
+      let prog =
+        match Random.State.int rng 4 with
+        | 0 -> mutate rng (pick_seed ())
+        | 1 ->
+          let a = pick_seed () and b = pick_seed () in
+          let joined = Program.append a b in
+          if Program.length joined > max_program_len then a else joined
+        | 2 -> mutate rng (mutate rng (pick_seed ()))
+        | _ -> random_program rng
+      in
+      fill (prog :: acc) (n - 1)
+  in
+  let extra = max 0 (size - n_seeds) in
+  let base = if size >= n_seeds then seed_list else List.filteri (fun i _ -> i < size) seed_list in
+  List.rev (fill (List.rev base) extra)

@@ -1,0 +1,103 @@
+(* Syscall identifiers of the model kernel's ABI.
+
+   The set mirrors the slice of the Linux interface that the paper's
+   evaluation exercises: namespace management, sockets of the protocols
+   involved in the Table 2/3 bugs, procfs, System V IPC, priorities,
+   hostname, sysctl, uevents and a couple of deliberately-unprotected
+   interfaces that feed the false-positive analysis. *)
+
+type t =
+  | Unshare
+  | Socket
+  | Close
+  | Bind
+  | Connect
+  | Send
+  | Flowlabel_request
+  | Get_cookie
+  | Sctp_assoc
+  | Alloc_protomem
+  | Open
+  | Read
+  | Fstat
+  | Creat
+  | Io_uring_read
+  | Msgget
+  | Msgsnd
+  | Msgrcv
+  | Msgctl_stat
+  | Setpriority
+  | Getpriority
+  | Sethostname
+  | Gethostname
+  | Netdev_create
+  | Uevent_recv
+  | Ipvs_add_service
+  | Sysctl_read
+  | Sysctl_write
+  | Conntrack_add
+  | Sock_diag
+  | Af_alg_bind
+  | Clock_gettime
+  | Clock_settime
+  | Getpid
+  | Token_create
+  | Token_stat
+
+let all =
+  [ Unshare; Socket; Close; Bind; Connect; Send; Flowlabel_request;
+    Get_cookie; Sctp_assoc; Alloc_protomem; Open; Read; Fstat; Creat;
+    Io_uring_read; Msgget; Msgsnd; Msgrcv; Msgctl_stat; Setpriority;
+    Getpriority; Sethostname; Gethostname; Netdev_create; Uevent_recv;
+    Ipvs_add_service; Sysctl_read; Sysctl_write; Conntrack_add; Sock_diag;
+    Af_alg_bind; Clock_gettime; Clock_settime; Getpid; Token_create;
+    Token_stat ]
+
+let to_string = function
+  | Unshare -> "unshare"
+  | Socket -> "socket"
+  | Close -> "close"
+  | Bind -> "bind"
+  | Connect -> "connect"
+  | Send -> "send"
+  | Flowlabel_request -> "flowlabel_request"
+  | Get_cookie -> "get_cookie"
+  | Sctp_assoc -> "sctp_assoc"
+  | Alloc_protomem -> "alloc_protomem"
+  | Open -> "open"
+  | Read -> "read"
+  | Fstat -> "fstat"
+  | Creat -> "creat"
+  | Io_uring_read -> "io_uring_read"
+  | Msgget -> "msgget"
+  | Msgsnd -> "msgsnd"
+  | Msgrcv -> "msgrcv"
+  | Msgctl_stat -> "msgctl_stat"
+  | Setpriority -> "setpriority"
+  | Getpriority -> "getpriority"
+  | Sethostname -> "sethostname"
+  | Gethostname -> "gethostname"
+  | Netdev_create -> "netdev_create"
+  | Uevent_recv -> "uevent_recv"
+  | Ipvs_add_service -> "ipvs_add_service"
+  | Sysctl_read -> "sysctl_read"
+  | Sysctl_write -> "sysctl_write"
+  | Conntrack_add -> "conntrack_add"
+  | Sock_diag -> "sock_diag"
+  | Af_alg_bind -> "af_alg_bind"
+  | Clock_gettime -> "clock_gettime"
+  | Clock_settime -> "clock_settime"
+  | Getpid -> "getpid"
+  | Token_create -> "token_create"
+  | Token_stat -> "token_stat"
+
+let of_string s =
+  let rec find = function
+    | [] -> None
+    | n :: rest -> if String.equal (to_string n) s then Some n else find rest
+  in
+  find all
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+let pp ppf t = Fmt.string ppf (to_string t)

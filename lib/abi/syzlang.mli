@@ -1,0 +1,22 @@
+(** A textual codec for test programs, in the spirit of Syzkaller's
+    program format:
+
+    {v
+r0 = socket(1)
+r1 = open("/proc/net/ptype")
+r2 = read(r1)
+    v}
+
+    Lines starting with [#] are comments; blank lines are ignored; the
+    ["rN = "] prefix is optional. Programs survive a print/parse round
+    trip (property-tested). *)
+
+exception Parse_error of string
+
+val print : Program.t -> string
+
+val parse : string -> Program.t
+(** @raise Parse_error on malformed input or unknown syscall names. *)
+
+val parse_opt : string -> Program.t option
+(** Like {!parse}, returning [None] instead of raising. *)

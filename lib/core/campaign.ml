@@ -1,0 +1,161 @@
+(* The end-to-end KIT pipeline (paper, Figure 3): corpus → profiling →
+   data-flow test case generation and clustering → two-phase execution →
+   divergence detection and filtering → diagnosis (Algorithm 2) → report
+   aggregation. Fully deterministic for a given seed. *)
+
+module Program = Kit_abi.Program
+module Corpus = Kit_abi.Corpus
+module Config = Kit_kernel.Config
+module Spec = Kit_spec.Spec
+module Dataflow = Kit_gen.Dataflow
+module Cluster = Kit_gen.Cluster
+module Testcase = Kit_gen.Testcase
+module Env = Kit_exec.Env
+module Runner = Kit_exec.Runner
+module Filter = Kit_detect.Filter
+module Report = Kit_detect.Report
+module Diagnose = Kit_report.Diagnose
+module Aggregate = Kit_report.Aggregate
+
+type options = {
+  config : Config.t;
+  spec : Spec.t;
+  corpus_size : int;
+  seed : int;
+  strategy : Cluster.strategy;
+  reruns : int;
+  diagnose : bool;
+}
+
+let default_options =
+  {
+    config = Config.v5_13 ();
+    spec = Spec.default;
+    corpus_size = 320;
+    seed = 7;
+    strategy = Cluster.Df_ia;
+    reruns = 3;
+    diagnose = true;
+  }
+
+type timings = {
+  profile_s : float;
+  generate_s : float;
+  execute_s : float;
+  diagnose_s : float;
+}
+
+type t = {
+  options : options;
+  corpus : Program.t array;
+  generation : Cluster.result;
+  df_total : int;                       (* unclustered data-flow count *)
+  funnel : Filter.funnel;
+  reports : Report.t list;
+  keyed : Aggregate.keyed list;         (* diagnosed reports, if enabled *)
+  agg_r : Aggregate.group list;
+  agg_rs : Aggregate.group list;
+  executions : int;
+  timings : timings;
+}
+
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+(* Prepared inputs shared by several strategies (Table 4 runs the same
+   corpus and profiles through each strategy). *)
+type prepared = {
+  p_options : options;
+  p_corpus : Program.t array;
+  p_profiles : Dataflow.profiles;
+  p_map : Kit_profile.Accessmap.t;
+  p_df_total : int;
+  p_profile_s : float;
+}
+
+let prepare options =
+  let corpus = Corpus.generate ~seed:options.seed ~size:options.corpus_size in
+  let (profiles, map), profile_s =
+    timed (fun () ->
+        let profiles =
+          Dataflow.profile_corpus options.config options.spec corpus
+        in
+        (profiles, Dataflow.build_map profiles))
+  in
+  { p_options = options; p_corpus = Array.of_list corpus;
+    p_profiles = profiles; p_map = map;
+    p_df_total = Dataflow.total_flows map; p_profile_s = profile_s }
+
+(* Interference test used both for detection-time classification and for
+   Algorithm 2 re-testing: masked divergence restricted to receiver calls
+   that access protected resources. *)
+let protected_interference spec runner ~sender ~receiver =
+  let interfered = Runner.test_interference runner ~sender ~receiver in
+  Filter.protected_interfered spec receiver interfered
+
+let execute_prepared ?strategy prepared =
+  let options = prepared.p_options in
+  let strategy = Option.value ~default:options.strategy strategy in
+  let generation, generate_s =
+    timed (fun () ->
+        Cluster.run strategy ~seed:options.seed
+          ~corpus_size:(Array.length prepared.p_corpus) prepared.p_map)
+  in
+  let env = Env.create options.config in
+  let runner = Runner.create ~reruns:options.reruns env in
+  let funnel = Filter.funnel_create () in
+  let reports = ref [] in
+  let _, execute_s =
+    timed (fun () ->
+        List.iter
+          (fun (tc : Testcase.t) ->
+            let sender = prepared.p_corpus.(tc.Testcase.sender) in
+            let receiver = prepared.p_corpus.(tc.Testcase.receiver) in
+            let outcome = Runner.execute runner ~sender ~receiver in
+            match
+              Filter.classify options.spec ~testcase:tc ~sender ~receiver
+                outcome funnel
+            with
+            | Filter.Reported r -> reports := r :: !reports
+            | Filter.No_divergence | Filter.Filtered_nondet
+            | Filter.Filtered_resource ->
+              ())
+          generation.Cluster.reps)
+  in
+  let reports = List.rev !reports in
+  let keyed, diagnose_s =
+    if not options.diagnose then ([], 0.0)
+    else
+      timed (fun () ->
+          List.map
+            (fun (r : Report.t) ->
+              let pairs =
+                Diagnose.culprits
+                  ~test:(protected_interference options.spec runner)
+                  ~sender:r.Report.sender ~receiver:r.Report.receiver
+                  ~interfered:r.Report.interfered
+              in
+              Aggregate.key_report r pairs)
+            reports)
+  in
+  let agg_r = Aggregate.agg_r keyed in
+  let agg_rs = Aggregate.agg_rs keyed in
+  {
+    options = { options with strategy };
+    corpus = prepared.p_corpus;
+    generation;
+    df_total = prepared.p_df_total;
+    funnel;
+    reports;
+    keyed;
+    agg_r;
+    agg_rs;
+    executions = runner.Runner.executions;
+    timings =
+      { profile_s = prepared.p_profile_s; generate_s; execute_s; diagnose_s };
+  }
+
+(* Run a complete campaign with [options]. *)
+let run options = execute_prepared (prepare options)

@@ -1,0 +1,48 @@
+(** The end-to-end KIT pipeline (paper, Figure 3): corpus → profiling →
+    data-flow test case generation and clustering → two-phase execution
+    → divergence detection and filtering → diagnosis (Algorithm 2) →
+    report aggregation. Fully deterministic for a given seed. *)
+
+type options = {
+  config : Kit_kernel.Config.t;
+  spec : Kit_spec.Spec.t;
+  corpus_size : int;
+  seed : int;
+  strategy : Kit_gen.Cluster.strategy;
+  reruns : int;                    (** non-determinism re-executions *)
+  diagnose : bool;                 (** run Algorithm 2 + aggregation *)
+}
+
+val default_options : options
+
+type timings = {
+  profile_s : float;
+  generate_s : float;
+  execute_s : float;
+  diagnose_s : float;
+}
+
+type t = {
+  options : options;
+  corpus : Kit_abi.Program.t array;
+  generation : Kit_gen.Cluster.result;
+  df_total : int;                  (** unclustered data-flow count *)
+  funnel : Kit_detect.Filter.funnel;
+  reports : Kit_detect.Report.t list;
+  keyed : Kit_report.Aggregate.keyed list;
+  agg_r : Kit_report.Aggregate.group list;
+  agg_rs : Kit_report.Aggregate.group list;
+  executions : int;
+  timings : timings;
+}
+
+type prepared
+(** Corpus + profiles + access map, shareable across strategies
+    (Table 4 runs the same inputs through each strategy). *)
+
+val prepare : options -> prepared
+
+val execute_prepared : ?strategy:Kit_gen.Cluster.strategy -> prepared -> t
+
+val run : options -> t
+(** [run options] = [execute_prepared (prepare options)]. *)

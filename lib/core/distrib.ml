@@ -1,0 +1,101 @@
+(* Distributed testing (paper, section 5.2): KIT runs in server/client
+   mode, where the server distributes VM snapshots and test cases to
+   clients and collects their results. Modelled here as a deterministic
+   in-process scheduler: test cases are sharded round-robin over N
+   workers, each worker executes its shard in its own environment (its
+   own "VM"), and the server merges the funnels and reports. Sharding
+   never changes the outcome — only the wall-clock parallelism. *)
+
+module Testcase = Kit_gen.Testcase
+module Cluster = Kit_gen.Cluster
+module Env = Kit_exec.Env
+module Runner = Kit_exec.Runner
+module Filter = Kit_detect.Filter
+module Report = Kit_detect.Report
+
+type worker_result = {
+  worker : int;
+  assigned : int;
+  executions : int;
+  funnel : Filter.funnel;
+  reports : Report.t list;
+}
+
+type t = {
+  workers : worker_result list;
+  funnel : Filter.funnel;              (* merged *)
+  reports : Report.t list;             (* merged, in test case order *)
+  total_executions : int;
+}
+
+(* Round-robin sharding, like the paper's RPC work distribution. *)
+let shard ~workers items =
+  let buckets = Array.make (max 1 workers) [] in
+  List.iteri
+    (fun i item ->
+      let w = i mod workers in
+      buckets.(w) <- item :: buckets.(w))
+    items;
+  Array.map List.rev buckets
+
+let merge_funnels funnels =
+  let merged = Filter.funnel_create () in
+  List.iter
+    (fun (f : Filter.funnel) ->
+      merged.Filter.executed <- merged.Filter.executed + f.Filter.executed;
+      merged.Filter.initial <- merged.Filter.initial + f.Filter.initial;
+      merged.Filter.after_nondet <-
+        merged.Filter.after_nondet + f.Filter.after_nondet;
+      merged.Filter.after_resource <-
+        merged.Filter.after_resource + f.Filter.after_resource)
+    funnels;
+  merged
+
+(* Execute one worker's shard in a freshly booted environment. *)
+let run_worker options corpus ~worker testcases =
+  let env = Env.create options.Campaign.config in
+  let runner = Runner.create ~reruns:options.Campaign.reruns env in
+  let funnel = Filter.funnel_create () in
+  let reports = ref [] in
+  List.iter
+    (fun (tc : Testcase.t) ->
+      let sender = corpus.(tc.Testcase.sender) in
+      let receiver = corpus.(tc.Testcase.receiver) in
+      let outcome = Runner.execute runner ~sender ~receiver in
+      match
+        Filter.classify options.Campaign.spec ~testcase:tc ~sender ~receiver
+          outcome funnel
+      with
+      | Filter.Reported r -> reports := r :: !reports
+      | Filter.No_divergence | Filter.Filtered_nondet
+      | Filter.Filtered_resource ->
+        ())
+    testcases;
+  { worker; assigned = List.length testcases;
+    executions = runner.Runner.executions; funnel;
+    reports = List.rev !reports }
+
+(* Distribute the representatives of [generation] over [workers]
+   environments and merge the results. *)
+let execute options corpus (generation : Cluster.result) ~workers =
+  let shards = shard ~workers generation.Cluster.reps in
+  let results =
+    Array.to_list (Array.mapi (fun w shard -> run_worker options corpus ~worker:w shard) shards)
+  in
+  let order (r : Report.t) = r.Report.testcase in
+  let reports =
+    List.concat_map (fun (w : worker_result) -> w.reports) results
+    |> List.sort (fun a b -> Testcase.compare (order a) (order b))
+  in
+  {
+    workers = results;
+    funnel = merge_funnels (List.map (fun (w : worker_result) -> w.funnel) results);
+    reports;
+    total_executions =
+      List.fold_left (fun acc (w : worker_result) -> acc + w.executions) 0 results;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%d workers, %d executions, %d reports@,%a@]"
+    (List.length t.workers) t.total_executions (List.length t.reports)
+    Filter.pp_funnel t.funnel

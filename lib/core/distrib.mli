@@ -1,0 +1,28 @@
+(** Distributed testing (paper, section 5.2): the server/client mode,
+    modelled as a deterministic in-process scheduler. Test cases are
+    sharded round-robin over N workers, each with its own execution
+    environment (its own "VM"); the server merges funnels and reports.
+    Sharding never changes the outcome — only wall-clock parallelism. *)
+
+type worker_result = {
+  worker : int;
+  assigned : int;
+  executions : int;
+  funnel : Kit_detect.Filter.funnel;
+  reports : Kit_detect.Report.t list;
+}
+
+type t = {
+  workers : worker_result list;
+  funnel : Kit_detect.Filter.funnel;       (** merged *)
+  reports : Kit_detect.Report.t list;      (** merged, in test-case order *)
+  total_executions : int;
+}
+
+val shard : workers:int -> 'a list -> 'a list array
+
+val execute :
+  Campaign.options -> Kit_abi.Program.t array -> Kit_gen.Cluster.result ->
+  workers:int -> t
+
+val pp : Format.formatter -> t -> unit

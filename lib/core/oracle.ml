@@ -1,0 +1,100 @@
+(* Ground-truth attribution of diagnosed reports. The paper's authors
+   triage AGG-RS groups by hand (30 person-hours, section 6.4); the
+   reproduction needs an executable oracle to fill Tables 2/4/6, mapping
+   each culprit (sender, receiver) signature pair onto the bug it
+   witnesses, a known false-positive class, or "under investigation". *)
+
+module Bugs = Kit_kernel.Bugs
+module Consts = Kit_abi.Consts
+module Signature = Kit_report.Signature
+module Aggregate = Kit_report.Aggregate
+
+type attribution =
+  | Bug of Bugs.id
+  | False_positive of string     (* FP class label *)
+  | Under_investigation
+
+let attribution_to_string = function
+  | Bug b -> Bugs.to_string b
+  | False_positive cls -> "FP:" ^ cls
+  | Under_investigation -> "UI"
+
+let equal_attribution a b =
+  match a, b with
+  | Bug x, Bug y -> Bugs.equal x y
+  | False_positive x, False_positive y -> String.equal x y
+  | Under_investigation, Under_investigation -> true
+  | Bug _, (False_positive _ | Under_investigation)
+  | False_positive _, (Bug _ | Under_investigation)
+  | Under_investigation, (Bug _ | False_positive _) ->
+    false
+
+let has_detail (s : Signature.t) d = List.exists (String.equal d) s.Signature.details
+let named (s : Signature.t) n = String.equal s.Signature.name n
+
+(* Attribute one diagnosed report by its culprit pair signatures. *)
+let attribute ~(sender : Signature.t) ~(receiver : Signature.t) =
+  let reads path = named receiver "read" && has_detail receiver path in
+  if named receiver "fstat" then False_positive "minor-dev"
+  else if reads Consts.proc_crypto then False_positive "crypto"
+  else if named receiver "af_alg_bind" then False_positive "crypto"
+  else if reads Consts.proc_slabinfo then Under_investigation
+  else if reads Consts.proc_net_ptype then
+    if named sender "socket" && has_detail sender "AF_PACKET" then
+      Bug Bugs.B1_ptype_leak
+    else if named sender "close" && has_detail sender "AF_PACKET" then
+      Bug Bugs.B1_ptype_leak
+    else Under_investigation
+  else if named receiver "send" && named sender "flowlabel_request" then
+    Bug Bugs.B2_flowlabel_send
+  else if named receiver "connect" && named sender "flowlabel_request" then
+    Bug Bugs.B4_flowlabel_connect
+  else if
+    named receiver "bind" && has_detail receiver "AF_RDS"
+    && named sender "bind" && has_detail sender "AF_RDS"
+  then Bug Bugs.B3_rds_bind
+  else if reads Consts.proc_net_sockstat then begin
+    if named sender "alloc_protomem" then Bug Bugs.B8_protomem_sockstat
+    else if
+      (named sender "socket" || named sender "close")
+      && has_detail sender "AF_INET_TCP"
+    then Bug Bugs.B5_sockstat_tcp
+    else Under_investigation
+  end
+  else if reads Consts.proc_net_protocols then
+    if named sender "alloc_protomem" then Bug Bugs.B9_protomem_protocols
+    else Under_investigation
+  else if named receiver "get_cookie" && named sender "get_cookie" then
+    Bug Bugs.B6_cookie
+  else if named receiver "sctp_assoc" && named sender "sctp_assoc" then
+    Bug Bugs.B7_sctp_assoc
+  else if
+    named receiver "getpriority" && has_detail receiver "PRIO_USER"
+    && named sender "setpriority"
+  then Bug Bugs.KA_prio_user
+  else if named receiver "uevent_recv" && named sender "netdev_create" then
+    Bug Bugs.KB_uevent
+  else if reads Consts.proc_net_ip_vs && named sender "ipvs_add_service" then
+    Bug Bugs.KC_ipvs
+  else if
+    named receiver "sysctl_read" && has_detail receiver Consts.sysctl_conntrack_max
+    && named sender "sysctl_write"
+  then Bug Bugs.KD_conntrack_max
+  else if named receiver "io_uring_read" && named sender "creat" then
+    Bug Bugs.KE_iouring_mount
+  else Under_investigation
+
+let attribute_keyed (k : Aggregate.keyed) =
+  attribute ~sender:k.Aggregate.sender_sig ~receiver:k.Aggregate.receiver_sig
+
+(* The set of *new* bugs (Table 2 universe) witnessed by a report list. *)
+let new_bugs_found keyed_reports =
+  let found =
+    List.filter_map
+      (fun k ->
+        match attribute_keyed k with
+        | Bug b when List.exists (Bugs.equal b) Bugs.new_bugs -> Some b
+        | Bug _ | False_positive _ | Under_investigation -> None)
+      keyed_reports
+  in
+  List.sort_uniq Bugs.compare found

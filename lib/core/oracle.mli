@@ -1,0 +1,24 @@
+(** Ground-truth attribution of diagnosed reports.
+
+    The paper's authors triage AGG-RS groups by hand (30 person-hours,
+    section 6.4); the reproduction needs an executable oracle to fill
+    Tables 2/4/6, mapping each culprit (sender, receiver) signature pair
+    onto the bug it witnesses, a known false-positive class, or "under
+    investigation". *)
+
+type attribution =
+  | Bug of Kit_kernel.Bugs.id
+  | False_positive of string     (** FP class label *)
+  | Under_investigation
+
+val attribution_to_string : attribution -> string
+val equal_attribution : attribution -> attribution -> bool
+
+val attribute :
+  sender:Kit_report.Signature.t -> receiver:Kit_report.Signature.t ->
+  attribution
+
+val attribute_keyed : Kit_report.Aggregate.keyed -> attribution
+
+val new_bugs_found : Kit_report.Aggregate.keyed list -> Kit_kernel.Bugs.id list
+(** The set of Table 2 bugs witnessed by a report list, sorted. *)

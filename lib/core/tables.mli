@@ -1,0 +1,53 @@
+(** Regeneration of the paper's evaluation tables (section 6). Each
+    function returns structured rows (consumed by tests) and a rendered
+    table (printed by the bench harness and recorded in
+    EXPERIMENTS.md). *)
+
+type bug_row = {
+  bug : Kit_kernel.Bugs.id;
+  number : int;
+  sender_action : string;
+  receiver_action : string;
+  trace_diff : string;
+  resource : string;
+  paper_status : string;
+}
+
+val table2_rows : bug_row list
+(** The static Table 2 rows (actions, trace diff, resource, status). *)
+
+val table2 : Campaign.t -> Kit_kernel.Bugs.id list * string
+(** Bugs found by the campaign, plus the rendered table. *)
+
+val table3 :
+  ?spec:Kit_spec.Spec.t -> ?reruns:int -> unit ->
+  Known_bugs.outcome list * string
+
+type strategy_row = {
+  strategy : Kit_gen.Cluster.strategy;
+  test_cases : int;
+  bugs_found : Kit_kernel.Bugs.id list;
+  executed : bool;
+}
+
+val table4 :
+  Campaign.prepared ->
+  strategy_row list * string * (Campaign.t * Campaign.t * Campaign.t * Campaign.t)
+(** Runs DF-IA, DF-ST-1, DF-ST-2 and RAND (budget 1.3x DF-ST-2, the
+    paper's proportion) over shared profiles; also returns the four
+    campaign results for reuse by the other tables. *)
+
+val table5 : Campaign.t -> string
+
+type agg_column = {
+  column : string;                 (** "1".."9", "KD", "FP", "UI" *)
+  reports : int;
+  agg_rs_groups : int;
+  agg_r_groups : int;
+}
+
+val table6 : Campaign.t -> agg_column list * string
+
+val performance : Campaign.t -> string
+(** The section 6.5 figures: profiling rate, clusters/flows, execution
+    rate. *)

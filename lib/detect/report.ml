@@ -1,0 +1,25 @@
+(* Candidate functional interference reports: a test case whose receiver
+   trace diverged, the diverging receiver call indices that survived
+   filtering, and the traces for diagnosis. *)
+
+module Program = Kit_abi.Program
+module Compare = Kit_trace.Compare
+module Ast = Kit_trace.Ast
+
+type t = {
+  testcase : Kit_gen.Testcase.t;
+  sender : Program.t;
+  receiver : Program.t;
+  interfered : int list;              (* receiver call indices *)
+  diffs : Compare.diff list;
+  trace_a : Ast.t;
+  trace_b : Ast.t;
+}
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v 2>report %a interfered=[%a]@,%a@]" Kit_gen.Testcase.pp
+    t.testcase
+    (Fmt.list ~sep:(Fmt.any ",") Fmt.int)
+    t.interfered
+    (Fmt.list ~sep:Fmt.cut Compare.pp_diff)
+    t.diffs

@@ -1,0 +1,15 @@
+(** Candidate functional interference reports: a test case whose
+    receiver trace diverged, the diverging receiver call indices that
+    survived filtering, and the traces for diagnosis. *)
+
+type t = {
+  testcase : Kit_gen.Testcase.t;
+  sender : Kit_abi.Program.t;
+  receiver : Kit_abi.Program.t;
+  interfered : int list;              (** receiver call indices *)
+  diffs : Kit_trace.Compare.diff list;
+  trace_a : Kit_trace.Ast.t;
+  trace_b : Kit_trace.Ast.t;
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(* The test execution environment (paper, section 4.2): a booted kernel
+   with two container processes and a machine snapshot taken after
+   container setup. Every execution reloads the snapshot, so runs differ
+   only in what the framework does on purpose — which programs run, and
+   the clock base offset. *)
+
+module State = Kit_kernel.State
+module Clock = Kit_kernel.Clock
+
+type t = {
+  kernel : State.t;
+  snapshot : State.snapshot;
+  sender_pid : int;
+  receiver_pid : int;
+  base0 : int;                    (* reference clock base *)
+}
+
+(* [sender_host] puts the sender in the initial namespaces — the setup
+   known bug E requires (its sender acts from the host). *)
+let create ?(sender_host = false) config =
+  let kernel = State.boot config in
+  let sender_pid = State.spawn_container ~host:sender_host kernel in
+  let receiver_pid = State.spawn_container kernel in
+  let snapshot = State.snapshot kernel in
+  { kernel; snapshot; sender_pid; receiver_pid;
+    base0 = Clock.base kernel.State.clock }
+
+(* Reload the snapshot and select this execution's clock base. *)
+let reset t ~base =
+  State.restore t.kernel t.snapshot;
+  Clock.set_base t.kernel.State.clock base

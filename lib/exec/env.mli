@@ -1,0 +1,20 @@
+(** The test execution environment (paper, section 4.2): a booted kernel
+    with two container processes and a machine snapshot taken after
+    container setup. Every execution reloads the snapshot, so runs
+    differ only in what the framework does on purpose: which programs
+    run, and the clock base offset. *)
+
+type t = {
+  kernel : Kit_kernel.State.t;
+  snapshot : Kit_kernel.State.snapshot;
+  sender_pid : int;
+  receiver_pid : int;
+  base0 : int;                    (** reference clock base *)
+}
+
+val create : ?sender_host:bool -> Kit_kernel.Config.t -> t
+(** [sender_host] puts the sender in the initial namespaces — the setup
+    known bug E requires. *)
+
+val reset : t -> base:int -> unit
+(** Reload the snapshot and select this execution's clock base. *)

@@ -1,0 +1,111 @@
+(* Two-phase test case execution and non-determinism identification
+   (paper, sections 4.2 and 4.3.2).
+
+   Execution A runs the sender program in the sender container and then
+   the receiver program in the receiver container; execution B reloads
+   the snapshot and runs the receiver alone. Both receiver traces are
+   decoded to ASTs. The receiver is additionally re-run several times
+   with different clock base offsets; result nodes that vary get their
+   det flag cleared, and the flags are applied to both traces before
+   comparison. Non-determinism masks are cached per receiver program, as
+   the paper saves them to disk between campaigns. *)
+
+module Program = Kit_abi.Program
+module Interp = Kit_kernel.Interp
+module Ast = Kit_trace.Ast
+module Decode = Kit_trace.Decode
+module Compare = Kit_trace.Compare
+module Nondet = Kit_trace.Nondet
+
+type t = {
+  env : Env.t;
+  reruns : int;
+  rerun_delta : int;
+  mask_cache : (int, Ast.t) Hashtbl.t;   (* receiver program hash -> mask *)
+  mutable executions : int;              (* program executions performed *)
+}
+
+let create ?(reruns = 3) ?(rerun_delta = 7_777) env =
+  { env; reruns; rerun_delta; mask_cache = Hashtbl.create 256; executions = 0 }
+
+let run_receiver t ~base receiver =
+  Env.reset t.env ~base;
+  t.executions <- t.executions + 1;
+  let results = Interp.run t.env.Env.kernel ~pid:t.env.Env.receiver_pid receiver in
+  Decode.decode_trace results
+
+let run_pair t ~base sender receiver =
+  Env.reset t.env ~base;
+  t.executions <- t.executions + 1;
+  let _ : Interp.result list =
+    Interp.run t.env.Env.kernel ~pid:t.env.Env.sender_pid sender
+  in
+  let results = Interp.run t.env.Env.kernel ~pid:t.env.Env.receiver_pid receiver in
+  Decode.decode_trace results
+
+(* The non-determinism mask of [receiver]: its solo trace with det flags
+   cleared wherever re-executions with shifted clock bases disagree. *)
+let nondet_mask t receiver =
+  let key = Program.hash receiver in
+  match Hashtbl.find_opt t.mask_cache key with
+  | Some mask -> mask
+  | None ->
+    let base = t.env.Env.base0 in
+    let reference = run_receiver t ~base receiver in
+    let alternatives =
+      List.init t.reruns (fun k ->
+          run_receiver t ~base:(base + ((k + 1) * t.rerun_delta)) receiver)
+    in
+    let mask = Nondet.mark reference alternatives in
+    Hashtbl.replace t.mask_cache key mask;
+    mask
+
+type outcome = {
+  trace_a : Ast.t;                  (* receiver trace, sender ran first *)
+  trace_b : Ast.t;                  (* receiver trace, solo *)
+  raw_diffs : Compare.diff list;    (* before non-determinism masking *)
+  masked_diffs : Compare.diff list; (* after masking *)
+  interfered : int list;            (* receiver call indices, after masking *)
+}
+
+(* Execute one test case. *)
+let execute t ~sender ~receiver =
+  let base = t.env.Env.base0 in
+  let trace_a = run_pair t ~base sender receiver in
+  let trace_b = run_receiver t ~base receiver in
+  let raw_diffs = Compare.diff_trees trace_a trace_b in
+  if raw_diffs = [] then
+    { trace_a; trace_b; raw_diffs; masked_diffs = []; interfered = [] }
+  else begin
+    let mask = nondet_mask t receiver in
+    let masked_a = Nondet.apply_mask mask trace_a in
+    let masked_b = Nondet.apply_mask mask trace_b in
+    let masked_diffs = Compare.diff_trees masked_a masked_b in
+    let interfered = Compare.interfered_indices masked_a masked_b in
+    { trace_a; trace_b; raw_diffs; masked_diffs; interfered }
+  end
+
+(* Re-test with a modified sender and report the interfered receiver
+   indices — the TestFuncI primitive of Algorithm 2. *)
+let test_interference t ~sender ~receiver =
+  let outcome = execute t ~sender ~receiver in
+  outcome.interfered
+
+(* Bounds-based execution (the paper's section 7 extension for the time
+   namespace): learn per-leaf value bounds from receiver-only runs at
+   different clock bases, then flag the sender-preceded trace's values
+   that fall outside them. Detects interference on resources that are
+   non-deterministic by nature, which the masking pipeline must skip. *)
+let bounds_of t receiver =
+  let base = t.env.Env.base0 in
+  let reference = run_receiver t ~base receiver in
+  let alternatives =
+    List.init t.reruns (fun k ->
+        run_receiver t ~base:(base + ((k + 1) * t.rerun_delta)) receiver)
+  in
+  Kit_trace.Bounds.learn reference alternatives
+
+let execute_bounds t ~sender ~receiver =
+  let bounds = bounds_of t receiver in
+  let trace_a = run_pair t ~base:t.env.Env.base0 sender receiver in
+  Kit_trace.Bounds.check bounds trace_a

@@ -1,0 +1,52 @@
+(** Two-phase test case execution and non-determinism identification
+    (paper, sections 4.2 and 4.3.2).
+
+    Execution A runs the sender in the sender container and then the
+    receiver in the receiver container; execution B reloads the snapshot
+    and runs the receiver alone. The receiver is additionally re-run
+    with shifted clock bases; result nodes that vary get their det flag
+    cleared before comparison. Masks are cached per receiver program, as
+    the paper saves them to disk between campaigns. *)
+
+type t = {
+  env : Env.t;
+  reruns : int;
+  rerun_delta : int;
+  mask_cache : (int, Kit_trace.Ast.t) Hashtbl.t;
+  mutable executions : int;       (** program executions performed *)
+}
+
+val create : ?reruns:int -> ?rerun_delta:int -> Env.t -> t
+
+val run_receiver : t -> base:int -> Kit_abi.Program.t -> Kit_trace.Ast.t
+val run_pair :
+  t -> base:int -> Kit_abi.Program.t -> Kit_abi.Program.t -> Kit_trace.Ast.t
+
+val nondet_mask : t -> Kit_abi.Program.t -> Kit_trace.Ast.t
+(** The non-determinism mask of a receiver program (cached). *)
+
+type outcome = {
+  trace_a : Kit_trace.Ast.t;       (** receiver trace, sender ran first *)
+  trace_b : Kit_trace.Ast.t;       (** receiver trace, solo *)
+  raw_diffs : Kit_trace.Compare.diff list;
+  masked_diffs : Kit_trace.Compare.diff list;
+  interfered : int list;           (** receiver call indices, after masking *)
+}
+
+val execute :
+  t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> outcome
+
+val test_interference :
+  t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> int list
+(** The TestFuncI primitive of Algorithm 2. *)
+
+val bounds_of : t -> Kit_abi.Program.t -> Kit_trace.Bounds.t
+(** Learn a receiver's per-leaf value bounds from receiver-only runs at
+    different clock bases (the paper's section 7 extension). *)
+
+val execute_bounds :
+  t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t ->
+  Kit_trace.Bounds.violation list
+(** Bounds-mode execution: flag values in the sender-preceded trace that
+    fall outside the learned bounds — detects interference on resources
+    that are non-deterministic by nature (e.g. time-namespace clocks). *)

@@ -1,0 +1,139 @@
+(* Test case generation and clustering strategies (paper, sections 4.1.2
+   and 6.3):
+
+   - DF      every (write site, read site) pair on a shared address — the
+             unclustered universe, counted but not executed;
+   - DF-IA   clusters data flows by (write instruction, read instruction);
+   - DF-ST-k additionally by the call-stack context, truncated to the k
+             caller frames above the accessing function;
+   - RAND    random sender/receiver pairs from the corpus, the baseline.
+
+   One representative test case per cluster is executed; representatives
+   are chosen deterministically as the earliest (corpus order) writer and
+   reader entries, so runs are reproducible. *)
+
+module Accessmap = Kit_profile.Accessmap
+
+type strategy =
+  | Df
+  | Df_ia
+  | Df_st of int               (* call-stack context depth *)
+  | Rand of int                (* budget: number of random pairs *)
+
+let strategy_name = function
+  | Df -> "DF"
+  | Df_ia -> "DF-IA"
+  | Df_st k -> Printf.sprintf "DF-ST-%d" k
+  | Rand _ -> "RAND"
+
+type result = {
+  strategy : strategy;
+  generated : int;        (* the Table 4 "test cases" figure *)
+  clusters : int;
+  reps : Testcase.t list; (* executed representatives, in order *)
+}
+
+(* The k stack frames above the instrumentation site. The innermost
+   frame and its immediate caller are already folded into the synthetic
+   instruction address (inlining), so the context starts two frames up. *)
+let context k stack =
+  let rec take n = function
+    | [] -> []
+    | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+  in
+  match stack with
+  | [] | [ _ ] -> []
+  | _innermost :: _caller :: outer -> take k outer
+
+let entry_order (a : Accessmap.entry) (b : Accessmap.entry) =
+  let c = Int.compare a.Accessmap.prog b.Accessmap.prog in
+  if c <> 0 then c else Int.compare a.Accessmap.sys_index b.Accessmap.sys_index
+
+(* Group entries by [key]; each group keeps its earliest entry and size. *)
+let group_entries key entries =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = key e in
+      match Hashtbl.find_opt table k with
+      | None -> Hashtbl.replace table k (e, 1)
+      | Some (best, n) ->
+        let best = if entry_order e best < 0 then e else best in
+        Hashtbl.replace table k (best, n + 1))
+    entries;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+
+let flow_of ~addr (w : Accessmap.entry) (r : Accessmap.entry) =
+  { Testcase.addr; w_ip = w.Accessmap.ip; r_ip = r.Accessmap.ip;
+    w_stack = w.Accessmap.stack; r_stack = r.Accessmap.stack;
+    r_sys_index = r.Accessmap.sys_index }
+
+(* Cluster the data flows of [map] by per-side keys derived from [wkey]
+   and [rkey]; clusters over the same address pair writer groups with
+   reader groups. *)
+let cluster_map map ~wkey ~rkey =
+  let clusters = Hashtbl.create 256 in
+  let generated = ref 0 in
+  Accessmap.iter_overlaps map (fun ~addr ~writers ~readers ->
+      generated := !generated + (List.length writers * List.length readers);
+      let wgroups = group_entries wkey writers in
+      let rgroups = group_entries rkey readers in
+      List.iter
+        (fun (wk, (w, wn)) ->
+          List.iter
+            (fun (rk, (r, rn)) ->
+              let key = (wk, rk) in
+              let tc =
+                { Testcase.sender = w.Accessmap.prog;
+                  receiver = r.Accessmap.prog;
+                  flow = Some (flow_of ~addr w r) }
+              in
+              match Hashtbl.find_opt clusters key with
+              | None -> Hashtbl.replace clusters key (tc, wn * rn)
+              | Some (best, n) ->
+                let best = if Testcase.compare tc best < 0 then tc else best in
+                Hashtbl.replace clusters key (best, n + (wn * rn)))
+            rgroups)
+        wgroups);
+  let reps =
+    Hashtbl.fold (fun _ (tc, _) acc -> tc :: acc) clusters []
+    |> List.sort Testcase.compare
+  in
+  (!generated, Hashtbl.length clusters, reps)
+
+let run_rand ~seed ~budget ~corpus_size =
+  let rng = Random.State.make [| seed; 0x52414E44 |] in
+  let seen = Hashtbl.create budget in
+  let reps = ref [] in
+  let attempts = ref 0 in
+  while Hashtbl.length seen < budget && !attempts < budget * 4 do
+    incr attempts;
+    let s = Random.State.int rng corpus_size in
+    let r = Random.State.int rng corpus_size in
+    if not (Hashtbl.mem seen (s, r)) then begin
+      Hashtbl.replace seen (s, r) ();
+      reps := { Testcase.sender = s; receiver = r; flow = None } :: !reps
+    end
+  done;
+  List.rev !reps
+
+let run strategy ?(seed = 0) ~corpus_size map =
+  match strategy with
+  | Df ->
+    let generated = Dataflow.total_flows map in
+    { strategy; generated; clusters = generated; reps = [] }
+  | Df_ia ->
+    let key (e : Accessmap.entry) = (e.Accessmap.ip, 0) in
+    let _, clusters, reps = cluster_map map ~wkey:key ~rkey:key in
+    { strategy; generated = clusters; clusters; reps }
+  | Df_st k ->
+    let wkey (e : Accessmap.entry) =
+      (e.Accessmap.ip, Hashtbl.hash (context k e.Accessmap.stack))
+    in
+    let rkey = wkey in
+    let _, clusters, reps = cluster_map map ~wkey ~rkey in
+    { strategy; generated = clusters; clusters; reps }
+  | Rand budget ->
+    let reps = run_rand ~seed ~budget ~corpus_size in
+    { strategy; generated = List.length reps; clusters = List.length reps;
+      reps }

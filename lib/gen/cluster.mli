@@ -1,0 +1,38 @@
+(** Test case generation and clustering strategies (paper, sections
+    4.1.2 and 6.3):
+
+    - [Df]: every (write site, read site) pair on a shared address — the
+      unclustered universe, counted but not executed;
+    - [Df_ia]: clusters data flows by (write instruction, read
+      instruction);
+    - [Df_st k]: additionally by the call-stack context, truncated to
+      the [k] frames above the instrumentation site;
+    - [Rand n]: [n] random sender/receiver pairs — the baseline.
+
+    One representative test case per cluster is executed; the
+    representatives are the earliest (corpus order) writer and reader
+    entries, so runs are reproducible. *)
+
+type strategy =
+  | Df
+  | Df_ia
+  | Df_st of int
+  | Rand of int
+
+val strategy_name : strategy -> string
+
+type result = {
+  strategy : strategy;
+  generated : int;        (** the Table 4 "test cases" figure *)
+  clusters : int;
+  reps : Testcase.t list; (** executed representatives, in order *)
+}
+
+val context : int -> int list -> int list
+(** The [k] stack frames above the instrumentation site (the innermost
+    frame and its caller are already folded into the instruction
+    address). *)
+
+val run :
+  strategy -> ?seed:int -> corpus_size:int -> Kit_profile.Accessmap.t ->
+  result

@@ -1,0 +1,68 @@
+(* Corpus profiling and the inter-container data-flow analysis
+   (paper, section 4.1.1): profile every test program from an identical
+   snapshot, fold the kernel memory accesses into the access map, and
+   keep — on the reader side — only accesses performed by system calls
+   that the specification marks as touching namespace-protected
+   resources. *)
+
+module Program = Kit_abi.Program
+module Kevent = Kit_kernel.Kevent
+module Collect = Kit_profile.Collect
+module Stackrec = Kit_profile.Stackrec
+module Accessmap = Kit_profile.Accessmap
+
+type profiles = {
+  programs : Program.t array;
+  accesses : Stackrec.access list array;
+  protected_calls : bool array array;   (* per program, per syscall index *)
+}
+
+(* Profile the whole corpus in the receiver container's environment.
+   (Sender and receiver containers are symmetric in the model, so one
+   profiling run per program provides the access footprint for both
+   roles; the performance benches account for the paper's four runs.) *)
+let profile_corpus config spec corpus =
+  let profiler = Collect.create config in
+  let programs = Array.of_list corpus in
+  let accesses =
+    Array.map
+      (fun prog -> (Collect.profile profiler ~role:Collect.Receiver prog).Collect.accesses)
+      programs
+  in
+  let protected_calls =
+    Array.map
+      (fun prog ->
+        let types = Program.result_types prog in
+        Array.init (Program.length prog) (fun i ->
+            Kit_spec.Spec.call_protected spec prog types i))
+      programs
+  in
+  { programs; accesses; protected_calls }
+
+(* Build the access map. Writer entries are unrestricted; reader entries
+   are kept only when the reading syscall accesses a protected resource —
+   data flows whose reader cannot witness protected state are useless for
+   functional interference testing. *)
+let build_map profiles =
+  let map = Accessmap.create () in
+  Array.iteri
+    (fun prog accs ->
+      let prot = profiles.protected_calls.(prog) in
+      let keep (a : Stackrec.access) =
+        match a.Stackrec.rw with
+        | Kevent.Write -> true
+        | Kevent.Read ->
+          a.Stackrec.sys_index < Array.length prot && prot.(a.Stackrec.sys_index)
+      in
+      Accessmap.add map ~prog (List.filter keep accs))
+    profiles.accesses;
+  map
+
+(* The total number of unclustered data-flow test cases — the DF row of
+   Table 4: one per (write access site, read access site) pair on a
+   shared address. *)
+let total_flows map =
+  let total = ref 0 in
+  Accessmap.iter_overlaps map (fun ~addr:_ ~writers ~readers ->
+      total := !total + (List.length writers * List.length readers));
+  !total

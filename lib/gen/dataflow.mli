@@ -1,0 +1,22 @@
+(** Corpus profiling and the inter-container data-flow analysis (paper,
+    section 4.1.1): profile every test program from an identical
+    snapshot, fold the memory accesses into the access map, and keep —
+    on the reader side — only accesses performed by syscalls that the
+    specification marks as touching namespace-protected resources. *)
+
+type profiles = {
+  programs : Kit_abi.Program.t array;
+  accesses : Kit_profile.Stackrec.access list array;
+  protected_calls : bool array array;  (** per program, per syscall index *)
+}
+
+val profile_corpus :
+  Kit_kernel.Config.t -> Kit_spec.Spec.t -> Kit_abi.Program.t list -> profiles
+
+val build_map : profiles -> Kit_profile.Accessmap.t
+(** Writer entries are unrestricted; reader entries are kept only when
+    the reading syscall accesses a protected resource. *)
+
+val total_flows : Kit_profile.Accessmap.t -> int
+(** The number of unclustered data-flow test cases — the DF row of
+    Table 4: one per (write site, read site) pair on a shared address. *)

@@ -1,0 +1,29 @@
+(* A functional interference test case: a sender and a receiver program
+   (by corpus index), plus — for data-flow-generated cases — the witness
+   inter-container data flow that motivated the pairing. *)
+
+type flow = {
+  addr : int;
+  w_ip : int;
+  r_ip : int;
+  w_stack : int list;        (* innermost first *)
+  r_stack : int list;
+  r_sys_index : int;         (* receiver syscall performing the read *)
+}
+
+type t = {
+  sender : int;              (* corpus index *)
+  receiver : int;
+  flow : flow option;        (* None for randomly generated cases *)
+}
+
+let compare a b =
+  let c = Int.compare a.sender b.sender in
+  if c <> 0 then c else Int.compare a.receiver b.receiver
+
+let pp ppf t =
+  match t.flow with
+  | None -> Fmt.pf ppf "tc(s=%d,r=%d,rand)" t.sender t.receiver
+  | Some f ->
+    Fmt.pf ppf "tc(s=%d,r=%d,addr=%d,wip=%d,rip=%d)" t.sender t.receiver
+      f.addr f.w_ip f.r_ip

@@ -1,0 +1,23 @@
+(** A functional interference test case: a sender and a receiver program
+    (by corpus index), plus — for data-flow-generated cases — the
+    witness inter-container data flow that motivated the pairing. *)
+
+type flow = {
+  addr : int;
+  w_ip : int;
+  r_ip : int;
+  w_stack : int list;        (** innermost first *)
+  r_stack : int list;
+  r_sys_index : int;         (** receiver syscall performing the read *)
+}
+
+type t = {
+  sender : int;              (** corpus index *)
+  receiver : int;
+  flow : flow option;        (** [None] for randomly generated cases *)
+}
+
+val compare : t -> t -> int
+(** Corpus order: by sender index, then receiver index. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(* Kernel build/boot configuration. [jump_label] models CONFIG_JUMP_LABEL:
+   when enabled, the flow-label static key is implemented by code patching
+   and its accesses are invisible to the instrumentation (paper,
+   section 6.1, bug #2 discussion). *)
+
+type t = {
+  version : string;
+  jump_label : bool;
+  bugs : Bugs.set;
+  boot_seed : int;
+}
+
+let make ?(jump_label = false) ?(boot_seed = 42) ?bugs version =
+  let bugs =
+    match bugs with Some b -> b | None -> Bugs.for_version version
+  in
+  { version; jump_label; bugs; boot_seed }
+
+(* The stable release the paper's campaign targets. *)
+let v5_13 ?jump_label ?boot_seed () = make ?jump_label ?boot_seed "5.13"
+
+(* A fully fixed kernel: same code base, every bug patched. *)
+let fixed ?(version = "5.13") ?boot_seed () =
+  make ?boot_seed ~bugs:Bugs.empty version
+
+(* The kernel release containing a given known bug (Table 3 reproduction
+   setup). *)
+let for_known_bug ?boot_seed bug =
+  make ?boot_seed (Bugs.known_bug_version bug)
+
+let has t bug = Bugs.present t.bugs bug

@@ -1,0 +1,26 @@
+(** Kernel build/boot configuration.
+
+    [jump_label] models CONFIG_JUMP_LABEL: when enabled, the flow-label
+    static key is implemented by code patching and its accesses are
+    invisible to the instrumentation (paper, section 6.1). *)
+
+type t = {
+  version : string;
+  jump_label : bool;
+  bugs : Bugs.set;
+  boot_seed : int;
+}
+
+val make : ?jump_label:bool -> ?boot_seed:int -> ?bugs:Bugs.set -> string -> t
+(** [make version] defaults the bug set to {!Bugs.for_version}. *)
+
+val v5_13 : ?jump_label:bool -> ?boot_seed:int -> unit -> t
+(** The stable release the paper's campaign targets. *)
+
+val fixed : ?version:string -> ?boot_seed:int -> unit -> t
+(** The same code base with every bug patched. *)
+
+val for_known_bug : ?boot_seed:int -> Bugs.id -> t
+(** The kernel release containing a given known bug (Table 3 setup). *)
+
+val has : t -> Bugs.id -> bool

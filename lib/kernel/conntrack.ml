@@ -1,0 +1,98 @@
+(* Netfilter connection tracking and the sysctl surface.
+
+   - Known bug D (CVE-2021-38209): nf_conntrack_max is a single global
+     variable; writing the sysctl from any net namespace changes the
+     limit for every container.
+   - Known bug F: /proc/net/nf_conntrack dumps entries of *all*
+     namespaces — but every dump line carries a time-derived expiry and
+     transient timer-driven entries, so the resource is non-deterministic
+     even without interference; functional interference testing cannot
+     flag it (paper, section 6.2).
+   - somaxconn models a sysctl the specification correctly marks
+     unprotected: divergences on it feed the resource filter's removals
+     in Table 5. *)
+
+open Maps
+
+let fn_ct_sysctl_read = Kfun.register "nf_conntrack_sysctl_read"
+let fn_ct_sysctl_write = Kfun.register "nf_conntrack_sysctl_write"
+let fn_ct_add = Kfun.register "nf_conntrack_insert"
+let fn_ct_seq_show = Kfun.register "ct_seq_show"
+let fn_somaxconn_read = Kfun.register "somaxconn_sysctl_read"
+let fn_somaxconn_write = Kfun.register "somaxconn_sysctl_write"
+
+type entry = {
+  netns : int;
+  port : int;
+  created : int;                   (* kernel time at insertion *)
+}
+
+type t = {
+  max_global : int Var.t;
+  max_perns : int Int_map.t Var.t;
+  entries : entry list Var.t;
+  somaxconn : int Var.t;
+  config : Config.t;
+}
+
+let default_max = 65536
+
+let init heap config =
+  {
+    max_global = Var.alloc heap ~name:"nf.conntrack_max" ~width:4 default_max;
+    max_perns = Var.alloc heap ~name:"nf.conntrack_max_perns" ~width:16 Int_map.empty;
+    entries = Var.alloc heap ~name:"nf.conntrack_hash" ~width:64 [];
+    somaxconn = Var.alloc heap ~name:"net.somaxconn" ~width:4 4096;
+    config;
+  }
+
+let max_read ctx t ~netns =
+  Kfun.call ctx fn_ct_sysctl_read (fun () ->
+      if Config.has t.config Bugs.KD_conntrack_max then
+        Var.read ctx t.max_global
+      else
+        let perns = Var.read ctx t.max_perns in
+        match Int_map.find_opt netns perns with
+        | Some v -> v
+        | None -> Var.read ctx t.max_global)
+
+let max_write ctx t ~netns value =
+  Kfun.call ctx fn_ct_sysctl_write (fun () ->
+      if Config.has t.config Bugs.KD_conntrack_max then
+        Var.write ctx t.max_global value
+      else
+        Var.write ctx t.max_perns
+          (Int_map.add netns value (Var.read ctx t.max_perns)))
+
+let somaxconn_read ctx t =
+  Kfun.call ctx fn_somaxconn_read (fun () -> Var.read ctx t.somaxconn)
+
+let somaxconn_write ctx t value =
+  Kfun.call ctx fn_somaxconn_write (fun () -> Var.write ctx t.somaxconn value)
+
+let add ctx t ~netns ~port ~now =
+  Kfun.call ctx fn_ct_add (fun () ->
+      let entry = { netns; port; created = now } in
+      Var.write ctx t.entries (entry :: Var.read ctx t.entries))
+
+(* /proc/net/nf_conntrack for namespace [cur] at kernel time [now]. The
+   timeout column and the transient timer entry make the file content
+   vary across re-executions regardless of any sender. *)
+let seq_show ctx t ~cur ~now =
+  Kfun.call ctx fn_ct_seq_show (fun () ->
+      let show_foreign = Config.has t.config Bugs.KF_conntrack_dump in
+      let visible e = show_foreign || e.netns = cur in
+      let line e =
+        Printf.sprintf "ipv4 tcp dport=%d timeout=%d" e.port
+          (300 - ((now - e.created) / Clock.tick_quantum))
+      in
+      let entries = List.filter visible (Var.read ctx t.entries) in
+      let transient =
+        (* Timer-driven bookkeeping entries come and go with time; [now]
+           itself (not the tick count) decides presence, so any clock
+           base shift perturbs the file's line count. *)
+        if now mod 3 <> 0 then
+          [ Printf.sprintf "ipv4 tcp dport=0 timeout=%d gc" (now mod 97) ]
+        else []
+      in
+      transient @ List.rev_map line entries)

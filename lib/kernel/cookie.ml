@@ -1,0 +1,36 @@
+(* Socket cookies (paper, bug #6). Cookies are assigned lazily from a
+   counter on first request; the buggy kernel draws every namespace's
+   cookies from one global counter, so a container can observe — and
+   perturb — the allocation activity of its neighbours. *)
+
+open Maps
+
+let fn_sock_gen_cookie = Kfun.register "sock_gen_cookie"
+
+type t = {
+  next_cookie : int Var.t;                 (* buggy kernel: global *)
+  next_cookie_perns : int Int_map.t Var.t; (* fixed kernel: per-ns *)
+  config : Config.t;
+}
+
+let init heap config =
+  {
+    next_cookie = Var.alloc heap ~name:"sock.cookie_counter" 1;
+    next_cookie_perns =
+      Var.alloc heap ~name:"sock.cookie_counter_perns" ~width:16 Int_map.empty;
+    config;
+  }
+
+let generate ctx t ~netns =
+  Kfun.call ctx fn_sock_gen_cookie (fun () ->
+      if Config.has t.config Bugs.B6_cookie then begin
+        let c = Var.read ctx t.next_cookie in
+        Var.write ctx t.next_cookie (c + 1);
+        c
+      end
+      else begin
+        let perns = Var.read ctx t.next_cookie_perns in
+        let c = Option.value ~default:1 (Int_map.find_opt netns perns) in
+        Var.write ctx t.next_cookie_perns (Int_map.add netns (c + 1) perns);
+        (netns * 1_000_000) + c
+      end)

@@ -1,0 +1,8 @@
+(** Socket cookies (paper, bug #6): assigned lazily from a counter on
+    first request; global on the buggy kernel, per net namespace on the
+    fixed one. *)
+
+type t
+
+val init : Heap.t -> Config.t -> t
+val generate : Ctx.t -> t -> netns:int -> int

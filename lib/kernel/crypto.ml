@@ -1,0 +1,29 @@
+(* The crypto algorithm registry behind /proc/crypto. Algorithm
+   templates instantiated through AF_ALG are registered *globally* — by
+   design, not as a namespace bug. Divergences observed here are genuine
+   interference on an unprotected resource: the false-positive class the
+   paper drops by discarding the corresponding AGG-R group
+   (section 6.4). *)
+
+let fn_crypto_register = Kfun.register "crypto_register_alg"
+let fn_crypto_seq_show = Kfun.register "crypto_seq_show"
+
+type t = {
+  algs : string list Var.t;
+}
+
+let init heap =
+  { algs = Var.alloc heap ~name:"crypto.alg_list" ~width:32 [ "sha256"; "aes" ] }
+
+let register ctx t name =
+  Kfun.call ctx fn_crypto_register (fun () ->
+      let algs = Var.read ctx t.algs in
+      if List.exists (String.equal name) algs then Error Errno.EEXIST
+      else begin
+        Var.write ctx t.algs (name :: algs);
+        Ok ()
+      end)
+
+let seq_show ctx t =
+  Kfun.call ctx fn_crypto_seq_show (fun () ->
+      List.map (Printf.sprintf "name : %s") (Var.read ctx t.algs))

@@ -1,0 +1,10 @@
+(** The crypto algorithm registry behind /proc/crypto. Registration is
+    global by design (not a namespace bug); divergences observed here
+    are the false-positive class the paper drops by discarding the
+    corresponding AGG-R group (section 6.4). *)
+
+type t
+
+val init : Heap.t -> t
+val register : Ctx.t -> t -> string -> (unit, Errno.t) result
+val seq_show : Ctx.t -> t -> string list

@@ -1,0 +1,29 @@
+(** The tracing context threaded through every kernel operation: the
+    live simulated call stack, the optional profiling sink, and the
+    interrupt-context flag (accesses made in irq context are not
+    reported, mirroring the paper's in_task() filter, section 5.1). *)
+
+type t = {
+  mutable sink : (Kevent.t -> unit) option;
+  mutable stack : int list;            (** function ids, innermost first *)
+  mutable in_irq : bool;
+}
+
+val create : unit -> t
+
+val emit : t -> Kevent.t -> unit
+(** Deliver an event to the sink, unless tracing is off or the context
+    is in interrupt context. *)
+
+val with_sink : t -> (Kevent.t -> unit) -> (unit -> 'a) -> 'a
+(** Run a computation with a profiling sink installed; the previous sink
+    is restored afterwards, exceptions included. *)
+
+val with_irq : t -> (unit -> 'a) -> 'a
+(** Run a computation in interrupt context. *)
+
+val innermost : t -> int
+(** The currently executing kernel function (0 at top level). *)
+
+val caller : t -> int
+(** The immediate caller of {!innermost} (0 when shallower). *)

@@ -1,0 +1,18 @@
+(* Anonymous device minor numbers, allocated from a global counter when
+   pseudo-filesystem files are opened. Not protected by any namespace, so
+   cross-container interference on fstat's st_dev is a *false positive*
+   for KIT — the dominant FP class the paper observed (section 6.4). *)
+
+let fn_dev_alloc = Kfun.register "dev_alloc"
+
+type t = {
+  next_minor : int Var.t;
+}
+
+let init heap = { next_minor = Var.alloc heap ~name:"devid.next_minor" 16 }
+
+let alloc ctx t =
+  Kfun.call ctx fn_dev_alloc (fun () ->
+      let minor = Var.read ctx t.next_minor in
+      Var.write ctx t.next_minor (minor + 1);
+      minor)

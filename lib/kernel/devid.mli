@@ -1,0 +1,10 @@
+(** Anonymous device minor numbers, allocated from a global counter when
+    pseudo-filesystem files are opened. Not protected by any namespace,
+    so cross-container interference on fstat's st_dev is a false
+    positive for KIT — the dominant FP class in the paper
+    (section 6.4). *)
+
+type t
+
+val init : Heap.t -> t
+val alloc : Ctx.t -> t -> int

@@ -1,0 +1,86 @@
+(* IPv6 flow label management (paper, Figure 5 and bugs #2/#4).
+
+   Linux uses a two-stage model: while no *exclusive* flow label exists,
+   any label may be used unregistered; once one exists, the kernel
+   switches to strict management and rejects unregistered labels on data
+   transmission (bug #2's send path) and connection setup (bug #4's
+   connect path).
+
+   The bug: the switch, ipv6_flowlabel_exclusive, is a global static key
+   rather than per net namespace, so one container registering an
+   exclusive label flips every container into strict mode. The static
+   key is implemented by jump-label code patching, so when the kernel is
+   built with CONFIG_JUMP_LABEL the profiler cannot see accesses to it
+   (paper, section 6.1) — modelled by allocating the variable
+   uninstrumented in that configuration. *)
+
+open Maps
+
+let fn_fl_create = Kfun.register "fl_create"
+let fn_fl_sock_lookup_send = Kfun.register "fl6_sock_lookup_send"
+let fn_fl_sock_lookup_connect = Kfun.register "fl6_sock_lookup_connect"
+
+type t = {
+  exclusive : int Var.t;            (* global static-key counter *)
+  exclusive_perns : int Int_map.t Var.t;   (* fixed kernel's per-ns counter *)
+  labels : (int * int) list Var.t;  (* registered (netns, label) pairs *)
+  config : Config.t;
+}
+
+let init heap config =
+  let instrumented = not config.Config.jump_label in
+  {
+    exclusive =
+      Var.alloc heap ~name:"ipv6.flowlabel_exclusive" ~width:4 ~instrumented 0;
+    exclusive_perns =
+      Var.alloc heap ~name:"ipv6.flowlabel_exclusive_perns" ~width:16
+        ~instrumented Int_map.empty;
+    labels = Var.alloc heap ~name:"ipv6.fl_list" ~width:32 [];
+    config;
+  }
+
+let registered ctx t ~netns ~label =
+  List.exists (fun (ns, l) -> ns = netns && l = label) (Var.read ctx t.labels)
+
+(* Register a flow label; exclusive registrations bump the management
+   mode switch. *)
+let create ctx t ~netns ~label ~exclusive =
+  Kfun.call ctx fn_fl_create (fun () ->
+      if registered ctx t ~netns ~label then Error Errno.EEXIST
+      else begin
+        Var.write ctx t.labels ((netns, label) :: Var.read ctx t.labels);
+        if exclusive then begin
+          Var.write ctx t.exclusive (Var.read ctx t.exclusive + 1);
+          let perns = Var.read ctx t.exclusive_perns in
+          let cur = Option.value ~default:0 (Int_map.find_opt netns perns) in
+          Var.write ctx t.exclusive_perns (Int_map.add netns (cur + 1) perns)
+        end;
+        Ok ()
+      end)
+
+(* Is strict management active for [netns]? The buggy kernel consults the
+   global switch; the fixed kernel the per-namespace count. *)
+let strict_mode ctx t ~bug ~netns =
+  if Config.has t.config bug then Var.read ctx t.exclusive > 0
+  else
+    let perns = Var.read ctx t.exclusive_perns in
+    Option.value ~default:0 (Int_map.find_opt netns perns) > 0
+
+(* Validate a label use on the send path (bug #2). Label 0 means the
+   packet carries no flow label and is always admissible. *)
+let check_send ctx t ~netns ~label =
+  Kfun.call ctx fn_fl_sock_lookup_send (fun () ->
+      if label = 0 then Ok ()
+      else if not (strict_mode ctx t ~bug:Bugs.B2_flowlabel_send ~netns) then
+        Ok ()
+      else if registered ctx t ~netns ~label then Ok ()
+      else Error Errno.ENOENT)
+
+(* Validate a label use on the connect path (bug #4). *)
+let check_connect ctx t ~netns ~label =
+  Kfun.call ctx fn_fl_sock_lookup_connect (fun () ->
+      if label = 0 then Ok ()
+      else if not (strict_mode ctx t ~bug:Bugs.B4_flowlabel_connect ~netns) then
+        Ok ()
+      else if registered ctx t ~netns ~label then Ok ()
+      else Error Errno.ENOENT)

@@ -1,0 +1,32 @@
+(* The kernel "heap": a registry of traced shared variables with
+   synthetic addresses and whole-heap snapshot/restore — the model
+   equivalent of a VM snapshot (paper, section 4.2). Each registered cell
+   knows how to capture and restore its own contents; variables hold
+   immutable values, so a snapshot is a list of restore thunks. *)
+
+type cell = {
+  capture : unit -> unit -> unit;   (* capture now, apply later *)
+}
+
+type t = {
+  mutable next_addr : int;
+  mutable cells : cell list;
+}
+
+type snapshot = (unit -> unit) list
+
+let create () = { next_addr = 0x1000; cells = [] }
+
+(* Reserve [width] bytes of synthetic address space and register the
+   cell's capture function. Returns the base address. *)
+let register t ~width capture =
+  let addr = t.next_addr in
+  t.next_addr <- t.next_addr + max 1 width;
+  t.cells <- { capture } :: t.cells;
+  addr
+
+let snapshot t = List.map (fun c -> c.capture ()) t.cells
+
+let restore snap = List.iter (fun thunk -> thunk ()) snap
+
+let cell_count t = List.length t.cells

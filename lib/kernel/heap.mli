@@ -1,0 +1,22 @@
+(** The kernel "heap": a registry of traced shared variables with
+    synthetic addresses and whole-heap snapshot/restore — the model
+    equivalent of a VM snapshot (paper, section 4.2). *)
+
+type t
+
+type snapshot
+
+val create : unit -> t
+
+val register : t -> width:int -> (unit -> unit -> unit) -> int
+(** [register t ~width capture] reserves [width] bytes of synthetic
+    address space for a cell whose [capture] function returns a restore
+    thunk; returns the base address. Used by {!Var.alloc}. *)
+
+val snapshot : t -> snapshot
+(** Capture the current contents of every registered cell. *)
+
+val restore : snapshot -> unit
+(** Write a snapshot's contents back into the cells it captured. *)
+
+val cell_count : t -> int

@@ -1,0 +1,40 @@
+(* The test-program interpreter (the model's Syzkaller executor): runs a
+   program's calls in order for a given process, resolving resource
+   references against earlier return values, and brackets each call with
+   Sys_enter/Sys_exit trace events so profiles can attribute memory
+   accesses to syscall indices. *)
+
+module Program = Kit_abi.Program
+module Value = Kit_abi.Value
+
+type result = {
+  index : int;
+  call : Program.call;
+  ret : Sysret.t;
+}
+
+let resolve_arg results = function
+  | Value.Ref i ->
+    if i >= 0 && i < Array.length results then
+      match results.(i) with
+      | Some r -> Value.Int r.ret.Sysret.ret
+      | None -> Value.Int (-1)
+    else Value.Int (-1)
+  | (Value.Int _ | Value.Str _) as v -> v
+
+(* Run [prog] as process [pid]; returns per-call results in order. *)
+let run k ~pid prog =
+  let calls = Program.calls prog in
+  let n = List.length calls in
+  let results = Array.make (max 1 n) None in
+  List.iteri
+    (fun i call ->
+      let ctx = k.State.ctx in
+      Ctx.emit ctx (Kevent.Sys_enter i);
+      let args = List.map (resolve_arg results) call.Program.args in
+      let ret = Syscalls.exec k ~pid call.Program.sysno args in
+      Ctx.emit ctx (Kevent.Sys_exit i);
+      results.(i) <- Some { index = i; call; ret })
+    calls;
+  Array.to_list (Array.sub results 0 n)
+  |> List.filter_map (fun r -> r)

@@ -1,0 +1,14 @@
+(** The test-program interpreter (the model's Syzkaller executor): runs
+    a program's calls in order for a given process, resolving resource
+    references against earlier return values, and brackets each call
+    with Sys_enter/Sys_exit trace events so profiles can attribute
+    memory accesses to syscall indices. *)
+
+type result = {
+  index : int;
+  call : Kit_abi.Program.call;
+  ret : Sysret.t;
+}
+
+val run : State.t -> pid:int -> Kit_abi.Program.t -> result list
+(** Results are returned in program order, one per call. *)

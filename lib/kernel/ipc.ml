@@ -1,0 +1,85 @@
+(* System V message queues, keyed by IPC namespace — correctly isolated
+   in the releases we model (the historic msgctl PID-leak of v4.17 is
+   discussed in the paper's background but predates its bug table).
+   Serves both as realistic syscall surface and as a negative control. *)
+
+open Maps
+
+let fn_msgget = Kfun.register "ksys_msgget"
+let fn_msgsnd = Kfun.register "do_msgsnd"
+let fn_msgrcv = Kfun.register "do_msgrcv"
+let fn_msgctl = Kfun.register "ksys_msgctl"
+
+type queue = {
+  qid : int;
+  ipcns : int;
+  key : int;
+  messages : string list;           (* oldest first *)
+  owner_pid : int;
+}
+
+type t = {
+  queues : queue Int_map.t Var.t;   (* qid -> queue *)
+  next_qid : int Var.t;
+}
+
+let init heap =
+  {
+    queues = Var.alloc heap ~name:"ipc.msg_queues" ~width:64 Int_map.empty;
+    next_qid = Var.alloc heap ~name:"ipc.next_qid" 1;
+  }
+
+(* Get or create the queue with [key] in [ipcns]. *)
+let msgget ctx t ~ipcns ~key ~pid =
+  Kfun.call ctx fn_msgget (fun () ->
+      let queues = Var.read ctx t.queues in
+      let existing =
+        Int_map.fold
+          (fun _ q acc ->
+            if q.ipcns = ipcns && q.key = key then Some q else acc)
+          queues None
+      in
+      match existing with
+      | Some q -> q.qid
+      | None ->
+        let qid = Var.read ctx t.next_qid in
+        Var.write ctx t.next_qid (qid + 1);
+        let q = { qid; ipcns; key; messages = []; owner_pid = pid } in
+        Var.write ctx t.queues (Int_map.add qid q queues);
+        qid)
+
+let lookup ctx t ~ipcns ~qid =
+  let queues = Var.read ctx t.queues in
+  match Int_map.find_opt qid queues with
+  | Some q when q.ipcns = ipcns -> Some q
+  | Some _ | None -> None
+
+let msgsnd ctx t ~ipcns ~qid text =
+  Kfun.call ctx fn_msgsnd (fun () ->
+      match lookup ctx t ~ipcns ~qid with
+      | None -> Error Errno.EINVAL
+      | Some q ->
+        let q = { q with messages = q.messages @ [ text ] } in
+        Var.write ctx t.queues (Int_map.add qid q (Var.read ctx t.queues));
+        Ok ())
+
+let msgrcv ctx t ~ipcns ~qid =
+  Kfun.call ctx fn_msgrcv (fun () ->
+      match lookup ctx t ~ipcns ~qid with
+      | None -> Error Errno.EINVAL
+      | Some q -> (
+        match q.messages with
+        | [] -> Error Errno.ENOENT
+        | msg :: rest ->
+          let q = { q with messages = rest } in
+          Var.write ctx t.queues (Int_map.add qid q (Var.read ctx t.queues));
+          Ok msg))
+
+let msgctl_stat ctx t ~ipcns ~qid =
+  Kfun.call ctx fn_msgctl (fun () ->
+      match lookup ctx t ~ipcns ~qid with
+      | None -> Error Errno.EINVAL
+      | Some q ->
+        Ok
+          (Printf.sprintf "key=%d qnum=%d lspid=%d" q.key
+             (List.length q.messages) q.owner_pid))

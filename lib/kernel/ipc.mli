@@ -1,0 +1,26 @@
+(** System V message queues, keyed by IPC namespace — correctly
+    isolated in the modelled releases; realistic syscall surface and a
+    negative control. *)
+
+type queue = {
+  qid : int;
+  ipcns : int;
+  key : int;
+  messages : string list;           (** oldest first *)
+  owner_pid : int;
+}
+
+type t
+
+val init : Heap.t -> t
+
+val msgget : Ctx.t -> t -> ipcns:int -> key:int -> pid:int -> int
+(** Get or create the queue with [key] in [ipcns]; returns its qid. *)
+
+val msgsnd : Ctx.t -> t -> ipcns:int -> qid:int -> string ->
+  (unit, Errno.t) result
+
+val msgrcv : Ctx.t -> t -> ipcns:int -> qid:int -> (string, Errno.t) result
+
+val msgctl_stat : Ctx.t -> t -> ipcns:int -> qid:int ->
+  (string, Errno.t) result

@@ -1,0 +1,32 @@
+(* IP Virtual Server state and its procfs dump (known bug C). The buggy
+   /proc/net/ip_vs renderer prints the service table of every net
+   namespace instead of only the reader's. *)
+
+let fn_ipvs_add = Kfun.register "ip_vs_add_service"
+let fn_ipvs_seq_show = Kfun.register "ip_vs_info_seq_show"
+
+type service = {
+  netns : int;
+  port : int;
+}
+
+type t = {
+  services : service list Var.t;
+  config : Config.t;
+}
+
+let init heap config =
+  { services = Var.alloc heap ~name:"ipvs.svc_table" ~width:32 []; config }
+
+let add ctx t ~netns ~port =
+  Kfun.call ctx fn_ipvs_add (fun () ->
+      Var.write ctx t.services ({ netns; port } :: Var.read ctx t.services))
+
+let seq_show ctx t ~cur =
+  Kfun.call ctx fn_ipvs_seq_show (fun () ->
+      let show_foreign = Config.has t.config Bugs.KC_ipvs in
+      let visible s = show_foreign || s.netns = cur in
+      let line s = Printf.sprintf "TCP 0A000001:%04X rr" s.port in
+      "IP Virtual Server version 1.2.1 (size=4096)"
+      :: "Prot LocalAddress:Port Scheduler Flags"
+      :: List.rev_map line (List.filter visible (Var.read ctx t.services)))

@@ -1,0 +1,14 @@
+(** IP Virtual Server state and its procfs dump (known bug C): the
+    buggy /proc/net/ip_vs renderer prints every namespace's service
+    table instead of only the reader's. *)
+
+type service = {
+  netns : int;
+  port : int;
+}
+
+type t
+
+val init : Heap.t -> Config.t -> t
+val add : Ctx.t -> t -> netns:int -> port:int -> unit
+val seq_show : Ctx.t -> t -> cur:int -> string list

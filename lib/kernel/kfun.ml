@@ -1,0 +1,40 @@
+(* Kernel function registry and call-site instrumentation. Every model
+   kernel function is registered once (at module initialisation) and gets
+   a unique function id; [call] brackets its execution with function
+   entry/exit events and maintains the context's simulated call stack,
+   exactly the information the paper's compiler pass emits (section 5.1).
+
+   Functions are assumed to return exactly once; [call] restores the
+   stack even on exceptions, matching the paper's noreturn exclusion. *)
+
+let names : (int, string) Hashtbl.t = Hashtbl.create 64
+let ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let next = ref 1
+
+let register name =
+  match Hashtbl.find_opt ids name with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    incr next;
+    Hashtbl.add ids name id;
+    Hashtbl.add names id name;
+    id
+
+let name id =
+  match Hashtbl.find_opt names id with
+  | Some n -> n
+  | None -> Printf.sprintf "f%d" id
+
+let id_of_name n = Hashtbl.find_opt ids n
+
+let call ctx fn f =
+  Ctx.emit ctx (Kevent.Fn_enter fn);
+  ctx.Ctx.stack <- fn :: ctx.Ctx.stack;
+  let pop () =
+    (match ctx.Ctx.stack with
+    | _ :: rest -> ctx.Ctx.stack <- rest
+    | [] -> ());
+    Ctx.emit ctx (Kevent.Fn_exit fn)
+  in
+  Fun.protect ~finally:pop f

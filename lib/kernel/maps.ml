@@ -1,0 +1,15 @@
+(* Shared map instantiations for the kernel's immutable tables. *)
+
+module Int_map = Map.Make (Int)
+module Str_map = Map.Make (String)
+module Int_set = Set.Make (Int)
+
+module Pair = struct
+  type t = int * int
+
+  let compare (a1, b1) (a2, b2) =
+    let c = Int.compare a1 a2 in
+    if c <> 0 then c else Int.compare b1 b2
+end
+
+module Pair_map = Map.Make (Pair)

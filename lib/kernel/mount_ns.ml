@@ -1,0 +1,61 @@
+(* Mount namespaces and a minimal /tmp filesystem (known bug E,
+   CVE-2020-29373). Each mount namespace has a private /tmp; path
+   resolution must happen in the caller's namespace. The buggy io_uring
+   submission path resolves paths in the *host* (init) mount namespace,
+   letting a container read host files hidden from its own /tmp. *)
+
+open Maps
+
+let fn_path_lookup = Kfun.register "path_lookupat"
+let fn_iouring_lookup = Kfun.register "io_uring_path_lookupat"
+let fn_vfs_create = Kfun.register "vfs_create"
+
+type file = {
+  inode : int;
+  dev_minor : int;
+  content : string;
+  created : int;                       (* kernel time *)
+}
+
+type t = {
+  tmp : file Str_map.t Int_map.t Var.t;  (* mntns -> path -> file *)
+  next_inode : int Var.t;
+  config : Config.t;
+}
+
+let init heap config =
+  {
+    tmp = Var.alloc heap ~name:"mnt.tmp_trees" ~width:64 Int_map.empty;
+    next_inode = Var.alloc heap ~name:"vfs.next_inode" ~instrumented:false 1000;
+    config;
+  }
+
+let tree ctx t ~mntns =
+  Option.value ~default:Str_map.empty (Int_map.find_opt mntns (Var.read ctx t.tmp))
+
+(* Create (or truncate) a /tmp file in [mntns]. *)
+let creat ctx t devid ~mntns ~path ~now =
+  Kfun.call ctx fn_vfs_create (fun () ->
+      let inode = Var.peek t.next_inode in
+      Var.poke t.next_inode (inode + 1);
+      let dev_minor = Devid.alloc ctx devid in
+      let file =
+        { inode; dev_minor; content = Printf.sprintf "data:%s" path;
+          created = now }
+      in
+      let per_ns = Str_map.add path file (tree ctx t ~mntns) in
+      Var.write ctx t.tmp (Int_map.add mntns per_ns (Var.read ctx t.tmp));
+      file)
+
+(* Regular path resolution: always the caller's mount namespace. *)
+let lookup ctx t ~mntns ~path =
+  Kfun.call ctx fn_path_lookup (fun () -> Str_map.find_opt path (tree ctx t ~mntns))
+
+(* io_uring path resolution: the buggy kernel resolves in the host
+   namespace (instance 0). *)
+let lookup_io_uring ctx t ~mntns ~path =
+  Kfun.call ctx fn_iouring_lookup (fun () ->
+      let effective_ns =
+        if Config.has t.config Bugs.KE_iouring_mount then 0 else mntns
+      in
+      Str_map.find_opt path (tree ctx t ~mntns:effective_ns))

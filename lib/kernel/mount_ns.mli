@@ -1,0 +1,24 @@
+(** Mount namespaces and a minimal /tmp filesystem (known bug E,
+    CVE-2020-29373): each mount namespace has a private /tmp; the buggy
+    io_uring submission path resolves paths in the host (init) mount
+    namespace. *)
+
+type file = {
+  inode : int;
+  dev_minor : int;
+  content : string;
+  created : int;                       (** kernel time *)
+}
+
+type t
+
+val init : Heap.t -> Config.t -> t
+
+val creat : Ctx.t -> t -> Devid.t -> mntns:int -> path:string -> now:int -> file
+(** Create (or truncate) a /tmp file in [mntns]. *)
+
+val lookup : Ctx.t -> t -> mntns:int -> path:string -> file option
+(** Regular path resolution: always the caller's mount namespace. *)
+
+val lookup_io_uring : Ctx.t -> t -> mntns:int -> path:string -> file option
+(** io_uring path resolution: the buggy kernel resolves in namespace 0. *)

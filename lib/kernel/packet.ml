@@ -1,0 +1,56 @@
+(* Packet-type handlers (net/core's ptype lists). Creating a packet
+   socket registers a packet_type entry in a *global* kernel list; the
+   /proc/net/ptype renderer must filter entries by net namespace.
+
+   Bug #1 (paper, Figure 4): ptype_seq_show checks the namespace of
+   device-bound handlers but not of socket-bound handlers (dev == NULL),
+   so packet sockets from other namespaces leak into the dump. *)
+
+let fn_ptype_register = Kfun.register "dev_add_pack"
+let fn_ptype_unregister = Kfun.register "dev_remove_pack"
+let fn_ptype_seq_show = Kfun.register "ptype_seq_show"
+
+type entry = {
+  proto : int;                    (* ETH_P_*; 0 models ETH_P_ALL *)
+  dev : int option;               (* bound device id, None for sockets *)
+  netns : int;
+  sock : int;                     (* owning socket id *)
+}
+
+type t = {
+  ptype_all : entry list Var.t;
+  config : Config.t;
+}
+
+let init heap config =
+  { ptype_all = Var.alloc heap ~name:"net.ptype_all" ~width:32 []; config }
+
+(* Register the prot_hook of a freshly created packet socket. *)
+let register_socket ctx t ~netns ~sock ~proto =
+  Kfun.call ctx fn_ptype_register (fun () ->
+      let entry = { proto; dev = None; netns; sock } in
+      Var.write ctx t.ptype_all (entry :: Var.read ctx t.ptype_all))
+
+let unregister_socket ctx t ~sock =
+  Kfun.call ctx fn_ptype_unregister (fun () ->
+      let keep = List.filter (fun e -> e.sock <> sock) (Var.read ctx t.ptype_all) in
+      Var.write ctx t.ptype_all keep)
+
+let entry_line e =
+  let kind = if e.proto = 0 then "ALL " else Printf.sprintf "%04x" e.proto in
+  Printf.sprintf "%s sock=anon dev=%s func=packet_rcv" kind
+    (match e.dev with None -> "-" | Some d -> Printf.sprintf "dev%d" d)
+
+(* Render /proc/net/ptype as seen from net namespace [cur]. *)
+let seq_show ctx t ~cur =
+  Kfun.call ctx fn_ptype_seq_show (fun () ->
+      let buggy = Config.has t.config Bugs.B1_ptype_leak in
+      let visible e =
+        match e.dev with
+        | Some _ -> e.netns = cur
+        | None ->
+          (* The missing namespace check of Figure 4. *)
+          if buggy then true else e.netns = cur
+      in
+      let entries = List.filter visible (Var.read ctx t.ptype_all) in
+      "Type Device      Function" :: List.rev_map entry_line entries)

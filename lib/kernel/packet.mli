@@ -1,0 +1,25 @@
+(** Packet-type handlers (net/core's ptype lists) and the
+    /proc/net/ptype renderer.
+
+    Bug #1 (paper, Figure 4): ptype_seq_show checks the namespace of
+    device-bound handlers but not of socket-bound ones (dev == NULL), so
+    packet sockets from other namespaces leak into the dump. *)
+
+type entry = {
+  proto : int;                    (** ETH_P_*; 0 models ETH_P_ALL *)
+  dev : int option;               (** bound device id, [None] for sockets *)
+  netns : int;
+  sock : int;                     (** owning socket id *)
+}
+
+type t
+
+val init : Heap.t -> Config.t -> t
+
+val register_socket : Ctx.t -> t -> netns:int -> sock:int -> proto:int -> unit
+(** Register the prot_hook of a freshly created packet socket. *)
+
+val unregister_socket : Ctx.t -> t -> sock:int -> unit
+
+val seq_show : Ctx.t -> t -> cur:int -> string list
+(** Render /proc/net/ptype as seen from net namespace [cur]. *)

@@ -1,0 +1,44 @@
+(* Process priorities in PRIO_USER mode (known bug A). setpriority with
+   PRIO_USER should only affect processes of the caller's user namespace;
+   the buggy kernel keys the per-user nice table by uid alone, so a
+   container can set — and read — the priority of uids in other
+   containers. PRIO_PROCESS is correctly isolated and serves as a
+   negative control. *)
+
+open Maps
+
+let fn_set_user_nice = Kfun.register "set_user_nice"
+let fn_get_user_nice = Kfun.register "get_user_nice"
+
+type t = {
+  user_nice : int Pair_map.t Var.t;   (* (userns, uid) -> nice; the buggy
+                                         kernel uses userns = 0 always *)
+  proc_nice : int Int_map.t Var.t;    (* pid -> nice *)
+  config : Config.t;
+}
+
+let init heap config =
+  {
+    user_nice = Var.alloc heap ~name:"sched.user_nice" ~width:32 Pair_map.empty;
+    proc_nice = Var.alloc heap ~name:"sched.proc_nice" ~width:32 Int_map.empty;
+    config;
+  }
+
+let key t ~userns ~uid =
+  if Config.has t.config Bugs.KA_prio_user then (0, uid) else (userns, uid)
+
+let set_user ctx t ~userns ~uid nice =
+  Kfun.call ctx fn_set_user_nice (fun () ->
+      Var.write ctx t.user_nice
+        (Pair_map.add (key t ~userns ~uid) nice (Var.read ctx t.user_nice)))
+
+let get_user ctx t ~userns ~uid =
+  Kfun.call ctx fn_get_user_nice (fun () ->
+      Option.value ~default:0
+        (Pair_map.find_opt (key t ~userns ~uid) (Var.read ctx t.user_nice)))
+
+let set_process ctx t ~pid nice =
+  Var.write ctx t.proc_nice (Int_map.add pid nice (Var.read ctx t.proc_nice))
+
+let get_process ctx t ~pid =
+  Option.value ~default:0 (Int_map.find_opt pid (Var.read ctx t.proc_nice))

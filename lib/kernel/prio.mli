@@ -1,0 +1,14 @@
+(** Process priorities (known bug A): setpriority(PRIO_USER) should
+    only affect the caller's user namespace, but the buggy kernel keys
+    the per-user nice table by uid alone. PRIO_PROCESS is correctly
+    isolated and serves as a negative control. *)
+
+type t
+
+val init : Heap.t -> Config.t -> t
+
+val set_user : Ctx.t -> t -> userns:int -> uid:int -> int -> unit
+val get_user : Ctx.t -> t -> userns:int -> uid:int -> int
+
+val set_process : Ctx.t -> t -> pid:int -> int -> unit
+val get_process : Ctx.t -> t -> pid:int -> int

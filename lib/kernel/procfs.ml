@@ -1,0 +1,86 @@
+(* The procfs surface: path-based rendering of the pseudo files the
+   evaluation exercises. Files under /proc/net are namespace-scoped (and
+   protected); /proc/crypto, /proc/slabinfo and /proc/uptime are global
+   by design. Every renderer pushes its lines through the shared seq_file
+   helpers. procfs files report size 0 and a time-of-read mtime, like
+   real procfs. *)
+
+let fn_proc_open = Kfun.register "proc_reg_open"
+let fn_uptime_show = Kfun.register "uptime_proc_show"
+let fn_slabinfo_show = Kfun.register "slabinfo_show"
+
+(* One seq-show wrapper function per procfs path: the seq_file emission
+   happens in this function's dynamic extent, so the shared seq helpers
+   are reached through per-file call-stack contexts — the structure the
+   DF-ST clustering strategies rely on. *)
+let fn_seq_show_of_path =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun path ->
+      Hashtbl.add table path (Kfun.register ("proc_seq_show:" ^ path)))
+    Kit_abi.Consts.proc_paths;
+  fun path ->
+    match Hashtbl.find_opt table path with
+    | Some fn -> fn
+    | None -> fn_proc_open
+
+type t = {
+  packet : Packet.t;
+  protomem : Protomem.t;
+  ipvs : Ipvs.t;
+  conntrack : Conntrack.t;
+  crypto : Crypto.t;
+  slab : Slab.t;
+  seq : Seqfile.t;
+}
+
+let make ~packet ~protomem ~ipvs ~conntrack ~crypto ~slab ~seq =
+  { packet; protomem; ipvs; conntrack; crypto; slab; seq }
+
+let is_proc_path path =
+  String.length path >= 6 && String.equal (String.sub path 0 6) "/proc/"
+
+(* Allocate the open-file object for a procfs path; the minor device
+   number comes from the global anonymous-device counter. *)
+let open_file ctx t devid ~path =
+  ignore t;
+  Kfun.call ctx fn_proc_open (fun () ->
+      let dev_minor = Devid.alloc ctx devid in
+      let inode = 0x7000 + Hashtbl.hash path land 0xFFF in
+      { Proctab.path; inode; dev_minor })
+
+(* Render [path] for a reader in net namespace [netns] at time [now].
+   Returns [None] for paths that do not exist. *)
+let render ctx t ~netns ~now path =
+  let open Kit_abi.Consts in
+  let lines =
+    if String.equal path proc_net_ptype then
+      Some (Packet.seq_show ctx t.packet ~cur:netns)
+    else if String.equal path proc_net_sockstat then
+      Some (Protomem.sockstat_show ctx t.protomem ~cur:netns)
+    else if String.equal path proc_net_protocols then
+      Some (Protomem.protocols_show ctx t.protomem ~cur:netns)
+    else if String.equal path proc_net_ip_vs then
+      Some (Ipvs.seq_show ctx t.ipvs ~cur:netns)
+    else if String.equal path proc_net_conntrack then
+      Some (Conntrack.seq_show ctx t.conntrack ~cur:netns ~now)
+    else if String.equal path proc_crypto then
+      Some (Crypto.seq_show ctx t.crypto)
+    else if String.equal path proc_slabinfo then
+      Some
+        (Kfun.call ctx fn_slabinfo_show (fun () ->
+             [ "slabinfo - version: 2.1";
+               Printf.sprintf "kmalloc-64  %d  %d" (Slab.count ctx t.slab)
+                 (Slab.count ctx t.slab) ]))
+    else if String.equal path proc_uptime then
+      Some
+        (Kfun.call ctx fn_uptime_show (fun () ->
+             [ Printf.sprintf "%d.%02d %d.%02d" (now / 100) (now mod 100)
+                 (now / 200) (now mod 61) ]))
+    else None
+  in
+  let emit lines =
+    Kfun.call ctx (fn_seq_show_of_path path) (fun () ->
+        Seqfile.render ctx t.seq lines)
+  in
+  Option.map emit lines

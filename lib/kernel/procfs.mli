@@ -1,0 +1,23 @@
+(** The procfs surface: path-based rendering of the pseudo files the
+    evaluation exercises. Files under /proc/net are namespace-scoped;
+    /proc/crypto, /proc/slabinfo and /proc/uptime are global by design.
+    Every renderer pushes its lines through the shared seq_file
+    helpers; procfs files report size 0 and a time-of-read mtime, like
+    real procfs. *)
+
+type t
+
+val make :
+  packet:Packet.t -> protomem:Protomem.t -> ipvs:Ipvs.t ->
+  conntrack:Conntrack.t -> crypto:Crypto.t -> slab:Slab.t -> seq:Seqfile.t ->
+  t
+
+val is_proc_path : string -> bool
+
+val open_file : Ctx.t -> t -> Devid.t -> path:string -> Proctab.file
+(** Allocate the open-file object for a procfs path; the minor device
+    number comes from the global anonymous-device counter. *)
+
+val render : Ctx.t -> t -> netns:int -> now:int -> string -> string option
+(** Render a procfs path for a reader in [netns] at time [now]; [None]
+    for paths that do not exist. *)

@@ -1,0 +1,110 @@
+(* The process table: per-process namespace sets and file descriptor
+   tables. Descriptors point either at sockets (by socket id) or at file
+   objects (procfs entries, /tmp files). *)
+
+open Maps
+
+let fn_proc_lookup = Kfun.register "proc_lookup"
+let fn_proc_update = Kfun.register "proc_update"
+let fn_fd_install = Kfun.register "fd_install"
+let fn_fd_lookup = Kfun.register "fd_lookup"
+let fn_ns_clone = Kfun.register "ns_clone"
+
+type file = {
+  path : string;
+  inode : int;
+  dev_minor : int;
+}
+
+type fd_obj =
+  | Fd_sock of int
+  | Fd_file of file
+
+type proc = {
+  pid : int;
+  uid : int;
+  ns : Namespace.set;
+  fds : fd_obj Int_map.t;
+  next_fd : int;
+}
+
+type t = {
+  procs : proc Int_map.t Var.t;
+  next_pid : int Var.t;
+  next_ns : int Var.t;
+}
+
+let init heap =
+  {
+    procs = Var.alloc heap ~name:"proc.table" ~width:64 Int_map.empty;
+    next_pid = Var.alloc heap ~name:"proc.next_pid" ~instrumented:false 100;
+    next_ns = Var.alloc heap ~name:"proc.next_ns" ~instrumented:false 1;
+  }
+
+let spawn ctx t ~uid ~ns =
+  let pid = Var.peek t.next_pid in
+  Var.poke t.next_pid (pid + 1);
+  let proc = { pid; uid; ns; fds = Int_map.empty; next_fd = 3 } in
+  Var.write ctx t.procs (Int_map.add pid proc (Var.read ctx t.procs));
+  proc
+
+let find ctx t pid =
+  Kfun.call ctx fn_proc_lookup (fun () ->
+      Int_map.find_opt pid (Var.read ctx t.procs))
+
+let find_exn ctx t pid =
+  match find ctx t pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Proctab.find_exn: no pid %d" pid)
+
+let update ctx t proc =
+  Kfun.call ctx fn_proc_update (fun () ->
+      Var.write ctx t.procs (Int_map.add proc.pid proc (Var.read ctx t.procs)))
+
+(* Install an fd object in [pid]'s table; returns the fd number. *)
+let fd_install ctx t ~pid obj =
+  Kfun.call ctx fn_fd_install (fun () ->
+      let proc = find_exn ctx t pid in
+      let fd = proc.next_fd in
+      let proc =
+        { proc with fds = Int_map.add fd obj proc.fds; next_fd = fd + 1 }
+      in
+      update ctx t proc;
+      fd)
+
+let fd_lookup ctx t ~pid fd =
+  Kfun.call ctx fn_fd_lookup (fun () ->
+      match find ctx t pid with
+      | None -> None
+      | Some proc -> Int_map.find_opt fd proc.fds)
+
+let fd_close ctx t ~pid fd =
+  match find ctx t pid with
+  | None -> false
+  | Some proc ->
+    if Int_map.mem fd proc.fds then begin
+      update ctx t { proc with fds = Int_map.remove fd proc.fds };
+      true
+    end
+    else false
+
+(* Allocate fresh namespace instances for the kinds selected by [flags]
+   and move [pid] into them (the unshare syscall). *)
+let unshare ctx t ~pid ~flags =
+  Kfun.call ctx fn_ns_clone (fun () ->
+      match find ctx t pid with
+      | None -> None
+      | Some proc ->
+        let ns =
+          List.fold_left
+            (fun ns kind ->
+              if flags land Namespace.kind_flag kind <> 0 then begin
+                let inst = Var.peek t.next_ns in
+                Var.poke t.next_ns (inst + 1);
+                Namespace.put ns kind inst
+              end
+              else ns)
+            proc.ns Namespace.all_kinds
+        in
+        update ctx t { proc with ns };
+        Some ns)

@@ -1,0 +1,17 @@
+(** Protocol accounting: sockets-in-use and protocol memory counters,
+    surfaced through /proc/net/sockstat and /proc/net/protocols.
+
+    Counters are per (netns, protocol); the bugs are in the display
+    paths, which aggregate across namespaces: bug #5 (sockstat's TCP
+    inuse), bug #8 (sockstat's mem) and bug #9 (protocols' memory
+    column, the same state behind a second interface). *)
+
+type t
+
+val init : Heap.t -> Config.t -> t
+
+val inuse_add : Ctx.t -> t -> netns:int -> delta:int -> unit
+val memory_add : Ctx.t -> t -> netns:int -> pages:int -> unit
+
+val sockstat_show : Ctx.t -> t -> cur:int -> string list
+val protocols_show : Ctx.t -> t -> cur:int -> string list

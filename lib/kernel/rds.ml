@@ -1,0 +1,32 @@
+(* RDS socket binding (paper, bug #3). The RDS bind table ought to be
+   keyed by (net namespace, address) but the namespace support for RDS
+   stopped halfway: the buggy kernel keys bindings by address alone, so a
+   bind in one container makes the same address unavailable in every
+   other container. *)
+
+open Maps
+
+let fn_rds_bind = Kfun.register "rds_bind"
+
+type t = {
+  bound : int Pair_map.t Var.t;   (* (netns, port) -> socket id; the buggy
+                                     kernel uses netns = 0 for every key *)
+  config : Config.t;
+}
+
+let init heap config =
+  { bound = Var.alloc heap ~name:"rds.bind_table" ~width:32 Pair_map.empty;
+    config }
+
+let key t ~netns ~port =
+  if Config.has t.config Bugs.B3_rds_bind then (0, port) else (netns, port)
+
+let bind ctx t ~netns ~port ~sock =
+  Kfun.call ctx fn_rds_bind (fun () ->
+      let k = key t ~netns ~port in
+      let table = Var.read ctx t.bound in
+      match Pair_map.find_opt k table with
+      | Some _ -> Error Errno.EADDRINUSE
+      | None ->
+        Var.write ctx t.bound (Pair_map.add k sock table);
+        Ok ())

@@ -1,0 +1,11 @@
+(** RDS socket binding (paper, bug #3): the bind table should be keyed
+    by (net namespace, address) but the buggy kernel keys by address
+    alone, so a bind in one container blocks the address everywhere. *)
+
+type t
+
+val init : Heap.t -> Config.t -> t
+
+val bind :
+  Ctx.t -> t -> netns:int -> port:int -> sock:int -> (unit, Errno.t) result
+(** [EADDRINUSE] when the (effective) key is already bound. *)

@@ -1,0 +1,36 @@
+(* SCTP association identifiers (paper, bug #7). The association ID
+   space "ought to be" per net namespace (as the kernel developers
+   acknowledged) but is allocated from a global counter, so one
+   container's associations shift the IDs observed by another. *)
+
+open Maps
+
+let fn_sctp_assoc_alloc = Kfun.register "sctp_assoc_set_id"
+
+type t = {
+  next_assoc : int Var.t;                 (* buggy kernel: global space *)
+  next_assoc_perns : int Int_map.t Var.t; (* fixed kernel: per-ns spaces *)
+  config : Config.t;
+}
+
+let init heap config =
+  {
+    next_assoc = Var.alloc heap ~name:"sctp.next_assoc" ~width:4 1;
+    next_assoc_perns =
+      Var.alloc heap ~name:"sctp.next_assoc_perns" ~width:16 Int_map.empty;
+    config;
+  }
+
+let alloc ctx t ~netns =
+  Kfun.call ctx fn_sctp_assoc_alloc (fun () ->
+      if Config.has t.config Bugs.B7_sctp_assoc then begin
+        let id = Var.read ctx t.next_assoc in
+        Var.write ctx t.next_assoc (id + 1);
+        id
+      end
+      else begin
+        let perns = Var.read ctx t.next_assoc_perns in
+        let id = Option.value ~default:1 (Int_map.find_opt netns perns) in
+        Var.write ctx t.next_assoc_perns (Int_map.add netns (id + 1) perns);
+        id
+      end)

@@ -1,0 +1,8 @@
+(** SCTP association identifiers (paper, bug #7): allocated from a
+    global counter on the buggy kernel, per net namespace on the fixed
+    one. *)
+
+type t
+
+val init : Heap.t -> Config.t -> t
+val alloc : Ctx.t -> t -> netns:int -> int

@@ -1,0 +1,40 @@
+(* The seq_file machinery backing procfs reads. All renderers emit lines
+   through the shared [seq_puts]/[seq_read] helpers, which touch a common
+   kernel buffer variable — a realistic source of benign cross-container
+   data flows whose access sites coincide but whose call-stack contexts
+   differ per renderer. This is precisely the structure that makes the
+   DF-ST clustering strategies finer than DF-IA (paper, section 4.1.2). *)
+
+let fn_seq_puts = Kfun.register "seq_puts"
+let fn_seq_buf_extend = Kfun.register "seq_buf_extend"
+let fn_seq_read = Kfun.register "seq_read"
+let fn_seq_copy = Kfun.register "seq_copy_to_user"
+
+type t = {
+  seq_buf : int Var.t;      (* bytes ever written through the seq interface *)
+}
+
+let init heap = { seq_buf = Var.alloc heap ~name:"seq.buf_len" ~width:16 0 }
+
+(* Append a line to the seq buffer (renderer side). The buffer access
+   sits two helpers deep, so only the call-stack context — not the
+   instruction address — distinguishes which renderer (and which syscall)
+   reached it. *)
+let puts ctx t line =
+  Kfun.call ctx fn_seq_puts (fun () ->
+      Kfun.call ctx fn_seq_buf_extend (fun () ->
+          let len = Var.read ctx t.seq_buf in
+          Var.write ctx t.seq_buf (len + String.length line + 1)))
+
+(* Drain the buffer into the reader's address space (read(2) side). *)
+let read_out ctx t lines =
+  Kfun.call ctx fn_seq_read (fun () ->
+      Kfun.call ctx fn_seq_copy (fun () ->
+          ignore (Var.read ctx t.seq_buf);
+          String.concat "\n" lines))
+
+(* Render a procfs file: emit every line through [puts], then hand the
+   contents to the reader. *)
+let render ctx t lines =
+  List.iter (puts ctx t) lines;
+  read_out ctx t lines

@@ -1,0 +1,22 @@
+(** The seq_file machinery backing procfs reads.
+
+    All renderers emit lines through shared helpers that touch a common
+    kernel buffer variable — a realistic source of benign
+    cross-container data flows whose access sites coincide but whose
+    call-stack contexts differ per renderer and per syscall: the
+    structure that makes the DF-ST clustering strategies finer than
+    DF-IA (paper, section 4.1.2). *)
+
+type t
+
+val init : Heap.t -> t
+
+val puts : Ctx.t -> t -> string -> unit
+(** Append a line to the seq buffer (renderer side). *)
+
+val read_out : Ctx.t -> t -> string list -> string
+(** Drain the buffer into the reader's address space (read(2) side). *)
+
+val render : Ctx.t -> t -> string list -> string
+(** Emit every line through {!puts}, then hand the contents to the
+    reader. *)

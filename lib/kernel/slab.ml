@@ -1,0 +1,25 @@
+(* The slab allocator's object counter, touched by [kmalloc] from many
+   subsystems. Legitimately global state (not namespace-protected) that
+   nevertheless flows across containers: the source of the
+   "under investigation" report groups via /proc/slabinfo, and of deep
+   call-stack diversity for the DF-ST-2 clustering strategy (the access
+   always happens in slab_alloc, called from kmalloc, called from a
+   subsystem-specific function). *)
+
+let fn_kmalloc = Kfun.register "kmalloc"
+let fn_slab_alloc = Kfun.register "slab_alloc"
+
+type t = {
+  objs : int Var.t;
+}
+
+let init heap = { objs = Var.alloc heap ~name:"slab.objs" 0 }
+
+(* Allocate [n] objects on behalf of the calling subsystem. *)
+let kmalloc ctx t n =
+  Kfun.call ctx fn_kmalloc (fun () ->
+      Kfun.call ctx fn_slab_alloc (fun () ->
+          let cur = Var.read ctx t.objs in
+          Var.write ctx t.objs (cur + n)))
+
+let count ctx t = Var.read ctx t.objs

@@ -1,0 +1,14 @@
+(** The slab allocator's object counter, touched by [kmalloc] from many
+    subsystems. Legitimately global (not namespace-protected) state that
+    flows across containers: the source of the "under investigation"
+    report groups via /proc/slabinfo, and of deep call-stack diversity
+    for DF-ST-2 clustering. *)
+
+type t
+
+val init : Heap.t -> t
+
+val kmalloc : Ctx.t -> t -> int -> unit
+(** Allocate [n] objects on behalf of the calling subsystem. *)
+
+val count : Ctx.t -> t -> int

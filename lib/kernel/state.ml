@@ -1,0 +1,93 @@
+(* The whole model kernel: configuration, tracing context, heap, and
+   every subsystem. [boot] builds a kernel; [snapshot]/[restore] give the
+   VM-snapshot semantics the test executor relies on (paper, section 4.2):
+   every test case execution starts from a bit-identical machine state. *)
+
+type t = {
+  config : Config.t;
+  heap : Heap.t;
+  ctx : Ctx.t;
+  clock : Clock.t;
+  rng : Krng.t;
+  seq : Seqfile.t;
+  slab : Slab.t;
+  devid : Devid.t;
+  procs : Proctab.t;
+  socks : Socktab.t;
+  packet : Packet.t;
+  flowlabel : Flowlabel.t;
+  rds : Rds.t;
+  sctp : Sctp.t;
+  cookie : Cookie.t;
+  protomem : Protomem.t;
+  conntrack : Conntrack.t;
+  uevent : Uevent.t;
+  ipvs : Ipvs.t;
+  crypto : Crypto.t;
+  prio : Prio.t;
+  uts : Uts.t;
+  ipc : Ipc.t;
+  mnt : Mount_ns.t;
+  tokens : Tokentab.t;
+  timens : Timens.t;
+  procfs : Procfs.t;
+}
+
+type snapshot = Heap.snapshot
+
+let boot config =
+  let heap = Heap.create () in
+  let ctx = Ctx.create () in
+  let clock = Clock.init heap in
+  let rng = Krng.init heap in
+  Krng.reseed rng ~seed:config.Config.boot_seed ~salt:(Clock.base clock);
+  let seq = Seqfile.init heap in
+  let slab = Slab.init heap in
+  let devid = Devid.init heap in
+  let procs = Proctab.init heap in
+  let socks = Socktab.init heap in
+  Socktab.randomize_base socks rng;
+  let packet = Packet.init heap config in
+  let flowlabel = Flowlabel.init heap config in
+  let rds = Rds.init heap config in
+  let sctp = Sctp.init heap config in
+  let cookie = Cookie.init heap config in
+  let protomem = Protomem.init heap config in
+  let conntrack = Conntrack.init heap config in
+  let uevent = Uevent.init heap config in
+  let ipvs = Ipvs.init heap config in
+  let crypto = Crypto.init heap in
+  let prio = Prio.init heap config in
+  let uts = Uts.init heap in
+  let ipc = Ipc.init heap in
+  let mnt = Mount_ns.init heap config in
+  let tokens = Tokentab.init heap config in
+  Tokentab.randomize_base tokens rng;
+  let timens = Timens.init heap config in
+  let procfs =
+    Procfs.make ~packet ~protomem ~ipvs ~conntrack ~crypto ~slab ~seq
+  in
+  { config; heap; ctx; clock; rng; seq; slab; devid; procs; socks; packet;
+    flowlabel; rds; sctp; cookie; protomem; conntrack; uevent; ipvs; crypto;
+    prio; uts; ipc; mnt; tokens; timens; procfs }
+
+let snapshot t = Heap.snapshot t.heap
+let restore _t snap = Heap.restore snap
+
+(* Spawn a container: a process placed in fresh instances of every
+   namespace kind (or the initial namespaces when [host] — the setup
+   known bug E needs for its sender). *)
+let spawn_container ?(host = false) ?(uid = 1000) t =
+  let proc = Proctab.spawn t.ctx t.procs ~uid ~ns:Namespace.initial in
+  if host then proc.Proctab.pid
+  else begin
+    let all_flags =
+      List.fold_left
+        (fun acc kind -> acc lor Namespace.kind_flag kind)
+        0 Namespace.all_kinds
+    in
+    ignore (Proctab.unshare t.ctx t.procs ~pid:proc.Proctab.pid ~flags:all_flags);
+    proc.Proctab.pid
+  end
+
+let now t = Clock.now t.clock

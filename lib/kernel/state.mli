@@ -1,0 +1,49 @@
+(** The whole model kernel: configuration, tracing context, heap and
+    every subsystem. {!boot} builds a kernel; {!snapshot}/{!restore}
+    give the VM-snapshot semantics the executor relies on (paper,
+    section 4.2): every test case execution starts from a bit-identical
+    machine state. *)
+
+type t = {
+  config : Config.t;
+  heap : Heap.t;
+  ctx : Ctx.t;
+  clock : Clock.t;
+  rng : Krng.t;
+  seq : Seqfile.t;
+  slab : Slab.t;
+  devid : Devid.t;
+  procs : Proctab.t;
+  socks : Socktab.t;
+  packet : Packet.t;
+  flowlabel : Flowlabel.t;
+  rds : Rds.t;
+  sctp : Sctp.t;
+  cookie : Cookie.t;
+  protomem : Protomem.t;
+  conntrack : Conntrack.t;
+  uevent : Uevent.t;
+  ipvs : Ipvs.t;
+  crypto : Crypto.t;
+  prio : Prio.t;
+  uts : Uts.t;
+  ipc : Ipc.t;
+  mnt : Mount_ns.t;
+  tokens : Tokentab.t;
+  timens : Timens.t;
+  procfs : Procfs.t;
+}
+
+type snapshot
+
+val boot : Config.t -> t
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val spawn_container : ?host:bool -> ?uid:int -> t -> int
+(** Spawn a container: a process in fresh instances of every namespace
+    kind, or in the initial namespaces when [host] (the setup known
+    bug E needs for its sender). Returns the pid. *)
+
+val now : t -> int

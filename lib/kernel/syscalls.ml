@@ -1,0 +1,609 @@
+(* The system call layer: argument validation and dispatch into the
+   subsystems, bracketed by per-syscall kernel functions so profiles see
+   realistic call stacks. Arguments arrive with resource references
+   already resolved by the interpreter (only Int/Str remain). *)
+
+module Sysno = Kit_abi.Sysno
+module Value = Kit_abi.Value
+module Consts = Kit_abi.Consts
+
+let fn_syscall_entry = Kfun.register "do_syscall_64"
+let fn_sockfd_lookup = Kfun.register "sockfd_lookup"
+let fn_fdget = Kfun.register "fdget"
+
+let fn_of_sysno =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.add table s (Kfun.register ("sys_" ^ Sysno.to_string s)))
+    Sysno.all;
+  fun s ->
+    match Hashtbl.find_opt table s with
+    | Some fn -> fn
+    | None -> fn_syscall_entry
+
+let int_arg args i =
+  match List.nth_opt args i with
+  | Some (Value.Int n) -> Some n
+  | Some (Value.Str _ | Value.Ref _) | None -> None
+
+let str_arg args i =
+  match List.nth_opt args i with
+  | Some (Value.Str s) -> Some s
+  | Some (Value.Int _ | Value.Ref _) | None -> None
+
+let ( let* ) o f = match o with Some v -> f v | None -> Sysret.error Errno.EINVAL
+
+(* Look up the socket behind [fd] for [pid]. *)
+let sock_of_fd k ~pid fd =
+  let ctx = k.State.ctx in
+  Kfun.call ctx fn_sockfd_lookup (fun () ->
+      match Proctab.fd_lookup ctx k.State.procs ~pid fd with
+      | Some (Proctab.Fd_sock sid) -> Socktab.find ctx k.State.socks sid
+      | Some (Proctab.Fd_file _) | None -> None)
+
+let file_of_fd k ~pid fd =
+  let ctx = k.State.ctx in
+  Kfun.call ctx fn_fdget (fun () ->
+      match Proctab.fd_lookup ctx k.State.procs ~pid fd with
+      | Some (Proctab.Fd_file f) -> Some f
+      | Some (Proctab.Fd_sock _) | None -> None)
+
+let of_result = function
+  | Ok () -> Sysret.ok 0
+  | Error e -> Sysret.error e
+
+(* --- individual syscalls --------------------------------------------- *)
+
+let sys_unshare k ~pid args =
+  let* flags = int_arg args 0 in
+  match Proctab.unshare k.State.ctx k.State.procs ~pid ~flags with
+  | Some _ -> Sysret.ok 0
+  | None -> Sysret.error Errno.EINVAL
+
+let sys_socket k ~pid args =
+  let ctx = k.State.ctx in
+  let* dom = int_arg args 0 in
+  if not (List.mem dom Consts.domains) then Sysret.error Errno.EINVAL
+  else begin
+    let proc = Proctab.find_exn ctx k.State.procs pid in
+    let netns = proc.Proctab.ns.Namespace.net in
+    let userns = proc.Proctab.ns.Namespace.user in
+    Slab.kmalloc ctx k.State.slab 1;
+    let sock = Socktab.create ctx k.State.socks ~dom ~netns ~userns ~owner:pid in
+    if dom = Consts.dom_packet then
+      Packet.register_socket ctx k.State.packet ~netns ~sock:sock.Socktab.id
+        ~proto:0;
+    if dom = Consts.dom_tcp then
+      Protomem.inuse_add ctx k.State.protomem ~netns ~delta:1;
+    if dom = Consts.dom_uevent then Uevent.open_queue ctx k.State.uevent ~netns;
+    let fd = Proctab.fd_install ctx k.State.procs ~pid (Proctab.Fd_sock sock.Socktab.id) in
+    Sysret.ok fd
+  end
+
+let sys_close k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  match Proctab.fd_lookup ctx k.State.procs ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some (Proctab.Fd_file _) ->
+    ignore (Proctab.fd_close ctx k.State.procs ~pid fd);
+    Sysret.ok 0
+  | Some (Proctab.Fd_sock sid) ->
+    (match Socktab.find ctx k.State.socks sid with
+    | None -> ()
+    | Some sock ->
+      if sock.Socktab.dom = Consts.dom_packet then
+        Packet.unregister_socket ctx k.State.packet ~sock:sid;
+      if sock.Socktab.dom = Consts.dom_tcp then
+        Protomem.inuse_add ctx k.State.protomem ~netns:sock.Socktab.netns
+          ~delta:(-1);
+      Socktab.remove ctx k.State.socks sid);
+    ignore (Proctab.fd_close ctx k.State.procs ~pid fd);
+    Sysret.ok 0
+
+let sys_bind k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  let* port = int_arg args 1 in
+  match sock_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some sock ->
+    if sock.Socktab.dom = Consts.dom_rds then
+      match
+        Rds.bind ctx k.State.rds ~netns:sock.Socktab.netns ~port
+          ~sock:sock.Socktab.id
+      with
+      | Error e -> Sysret.error e
+      | Ok () ->
+        Socktab.update ctx k.State.socks { sock with Socktab.bound = Some port };
+        Sysret.ok 0
+    else begin
+      Socktab.update ctx k.State.socks { sock with Socktab.bound = Some port };
+      Sysret.ok 0
+    end
+
+let sys_connect k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  let* _port = int_arg args 1 in
+  let label = Option.value ~default:0 (int_arg args 2) in
+  match sock_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some sock ->
+    if sock.Socktab.dom = Consts.dom_inet6 then
+      match
+        Flowlabel.check_connect ctx k.State.flowlabel
+          ~netns:sock.Socktab.netns ~label
+      with
+      | Error e -> Sysret.error e
+      | Ok () -> Sysret.ok 0
+    else Sysret.ok 0
+
+let sys_send k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  let* nbytes = int_arg args 1 in
+  let label = Option.value ~default:0 (int_arg args 2) in
+  match sock_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some sock ->
+    if sock.Socktab.dom = Consts.dom_inet6 then
+      match
+        Flowlabel.check_send ctx k.State.flowlabel ~netns:sock.Socktab.netns
+          ~label
+      with
+      | Error e -> Sysret.error e
+      | Ok () -> Sysret.ok nbytes
+    else Sysret.ok nbytes
+
+let sys_flowlabel_request k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  let* label = int_arg args 1 in
+  let* flags = int_arg args 2 in
+  match sock_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some sock ->
+    if sock.Socktab.dom <> Consts.dom_inet6 then Sysret.error Errno.EOPNOTSUPP
+    else
+      of_result
+        (Flowlabel.create ctx k.State.flowlabel ~netns:sock.Socktab.netns
+           ~label
+           ~exclusive:(flags land Consts.fl_excl <> 0))
+
+let sys_get_cookie k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  match sock_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some sock -> (
+    match sock.Socktab.cookie with
+    | Some c -> Sysret.ok c
+    | None ->
+      let c = Cookie.generate ctx k.State.cookie ~netns:sock.Socktab.netns in
+      Socktab.update ctx k.State.socks { sock with Socktab.cookie = Some c };
+      Sysret.ok c)
+
+let sys_sctp_assoc k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  match sock_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some sock ->
+    if sock.Socktab.dom <> Consts.dom_sctp then Sysret.error Errno.EOPNOTSUPP
+    else (
+      match sock.Socktab.assoc with
+      | Some a -> Sysret.ok a
+      | None ->
+        let a = Sctp.alloc ctx k.State.sctp ~netns:sock.Socktab.netns in
+        Socktab.update ctx k.State.socks { sock with Socktab.assoc = Some a };
+        Sysret.ok a)
+
+let sys_alloc_protomem k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  let* nbytes = int_arg args 1 in
+  match sock_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some sock ->
+    let inet =
+      List.mem sock.Socktab.dom
+        [ Consts.dom_tcp; Consts.dom_udp; Consts.dom_sctp; Consts.dom_inet6 ]
+    in
+    if not inet then Sysret.error Errno.EOPNOTSUPP
+    else begin
+      Slab.kmalloc ctx k.State.slab 1;
+      Protomem.memory_add ctx k.State.protomem ~netns:sock.Socktab.netns
+        ~pages:(max 1 (nbytes / 16));
+      Sysret.ok 0
+    end
+
+let sys_open k ~pid args =
+  let ctx = k.State.ctx in
+  let* path = str_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  if Procfs.is_proc_path path then begin
+    (* Only paths procfs can render exist. *)
+    let netns = proc.Proctab.ns.Namespace.net in
+    match Procfs.render ctx k.State.procfs ~netns ~now:(State.now k) path with
+    | None -> Sysret.error Errno.ENOENT
+    | Some _probe ->
+      Slab.kmalloc ctx k.State.slab 1;
+      let file = Procfs.open_file ctx k.State.procfs k.State.devid ~path in
+      let fd = Proctab.fd_install ctx k.State.procs ~pid (Proctab.Fd_file file) in
+      Sysret.ok fd
+  end
+  else
+    match Mount_ns.lookup ctx k.State.mnt ~mntns:proc.Proctab.ns.Namespace.mount ~path with
+    | None -> Sysret.error Errno.ENOENT
+    | Some f ->
+      let file =
+        { Proctab.path; inode = f.Mount_ns.inode;
+          dev_minor = f.Mount_ns.dev_minor }
+      in
+      let fd = Proctab.fd_install ctx k.State.procs ~pid (Proctab.Fd_file file) in
+      Sysret.ok fd
+
+let sys_read k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  match file_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some file ->
+    let proc = Proctab.find_exn ctx k.State.procs pid in
+    if Procfs.is_proc_path file.Proctab.path then
+      match
+        Procfs.render ctx k.State.procfs ~netns:proc.Proctab.ns.Namespace.net
+          ~now:(State.now k) file.Proctab.path
+      with
+      | None -> Sysret.error Errno.ENOENT
+      | Some content ->
+        Sysret.ok (String.length content) ~out:(Sysret.P_str content)
+    else (
+      match
+        Mount_ns.lookup ctx k.State.mnt
+          ~mntns:proc.Proctab.ns.Namespace.mount ~path:file.Proctab.path
+      with
+      | None -> Sysret.error Errno.ENOENT
+      | Some f ->
+        Sysret.ok (String.length f.Mount_ns.content)
+          ~out:(Sysret.P_str f.Mount_ns.content))
+
+let sys_fstat k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  match Proctab.fd_lookup ctx k.State.procs ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some (Proctab.Fd_sock _) ->
+    Sysret.ok 0
+      ~out:
+        (Sysret.P_stat
+           { Sysret.inode = 0; dev_minor = 0; size = 0; mtime = State.now k })
+  | Some (Proctab.Fd_file file) ->
+    if Procfs.is_proc_path file.Proctab.path then
+      (* procfs: size 0, mtime = time of stat, globally allocated minor. *)
+      Sysret.ok 0
+        ~out:
+          (Sysret.P_stat
+             { Sysret.inode = file.Proctab.inode;
+               dev_minor = file.Proctab.dev_minor; size = 0;
+               mtime = State.now k })
+    else
+      let proc = Proctab.find_exn ctx k.State.procs pid in
+      (match
+         Mount_ns.lookup ctx k.State.mnt
+           ~mntns:proc.Proctab.ns.Namespace.mount ~path:file.Proctab.path
+       with
+      | None -> Sysret.error Errno.ENOENT
+      | Some f ->
+        Sysret.ok 0
+          ~out:
+            (Sysret.P_stat
+               { Sysret.inode = f.Mount_ns.inode;
+                 dev_minor = f.Mount_ns.dev_minor;
+                 size = String.length f.Mount_ns.content;
+                 mtime = f.Mount_ns.created }))
+
+let sys_creat k ~pid args =
+  let ctx = k.State.ctx in
+  let* path = str_arg args 0 in
+  if Procfs.is_proc_path path then Sysret.error Errno.EACCES
+  else begin
+    let proc = Proctab.find_exn ctx k.State.procs pid in
+    let f =
+      Mount_ns.creat ctx k.State.mnt k.State.devid
+        ~mntns:proc.Proctab.ns.Namespace.mount ~path ~now:(State.now k)
+    in
+    let file =
+      { Proctab.path; inode = f.Mount_ns.inode; dev_minor = f.Mount_ns.dev_minor }
+    in
+    let fd = Proctab.fd_install ctx k.State.procs ~pid (Proctab.Fd_file file) in
+    Sysret.ok fd
+  end
+
+let sys_io_uring_read k ~pid args =
+  let ctx = k.State.ctx in
+  let* path = str_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  match
+    Mount_ns.lookup_io_uring ctx k.State.mnt
+      ~mntns:proc.Proctab.ns.Namespace.mount ~path
+  with
+  | None -> Sysret.error Errno.ENOENT
+  | Some f ->
+    Sysret.ok (String.length f.Mount_ns.content)
+      ~out:(Sysret.P_str f.Mount_ns.content)
+
+let sys_msgget k ~pid args =
+  let ctx = k.State.ctx in
+  let* key = int_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  Slab.kmalloc ctx k.State.slab 1;
+  let qid =
+    Ipc.msgget ctx k.State.ipc ~ipcns:proc.Proctab.ns.Namespace.ipc ~key ~pid
+  in
+  Sysret.ok qid
+
+let with_ipcns k ~pid f =
+  let proc = Proctab.find_exn k.State.ctx k.State.procs pid in
+  f proc.Proctab.ns.Namespace.ipc
+
+let sys_msgsnd k ~pid args =
+  let* qid = int_arg args 0 in
+  let* text = str_arg args 1 in
+  with_ipcns k ~pid (fun ipcns ->
+      of_result (Ipc.msgsnd k.State.ctx k.State.ipc ~ipcns ~qid text))
+
+let sys_msgrcv k ~pid args =
+  let* qid = int_arg args 0 in
+  with_ipcns k ~pid (fun ipcns ->
+      match Ipc.msgrcv k.State.ctx k.State.ipc ~ipcns ~qid with
+      | Error e -> Sysret.error e
+      | Ok msg -> Sysret.ok (String.length msg) ~out:(Sysret.P_str msg))
+
+let sys_msgctl_stat k ~pid args =
+  let* qid = int_arg args 0 in
+  with_ipcns k ~pid (fun ipcns ->
+      match Ipc.msgctl_stat k.State.ctx k.State.ipc ~ipcns ~qid with
+      | Error e -> Sysret.error e
+      | Ok info -> Sysret.ok 0 ~out:(Sysret.P_str info))
+
+let sys_setpriority k ~pid args =
+  let ctx = k.State.ctx in
+  let* which = int_arg args 0 in
+  let* who = int_arg args 1 in
+  let* nice = int_arg args 2 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  if which = Consts.prio_user then begin
+    Prio.set_user ctx k.State.prio ~userns:proc.Proctab.ns.Namespace.user
+      ~uid:who nice;
+    Sysret.ok 0
+  end
+  else if which = Consts.prio_process then begin
+    Prio.set_process ctx k.State.prio ~pid nice;
+    Sysret.ok 0
+  end
+  else Sysret.error Errno.EINVAL
+
+let sys_getpriority k ~pid args =
+  let ctx = k.State.ctx in
+  let* which = int_arg args 0 in
+  let* who = int_arg args 1 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  if which = Consts.prio_user then
+    Sysret.ok
+      (20
+      - Prio.get_user ctx k.State.prio ~userns:proc.Proctab.ns.Namespace.user
+          ~uid:who)
+  else if which = Consts.prio_process then
+    Sysret.ok (20 - Prio.get_process ctx k.State.prio ~pid)
+  else Sysret.error Errno.EINVAL
+
+let sys_sethostname k ~pid args =
+  let ctx = k.State.ctx in
+  let* name = str_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  Uts.set ctx k.State.uts ~utsns:proc.Proctab.ns.Namespace.uts name;
+  Sysret.ok 0
+
+let sys_gethostname k ~pid _args =
+  let ctx = k.State.ctx in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  let name = Uts.get ctx k.State.uts ~utsns:proc.Proctab.ns.Namespace.uts in
+  Sysret.ok (String.length name) ~out:(Sysret.P_str name)
+
+let sys_netdev_create k ~pid args =
+  let ctx = k.State.ctx in
+  let* name = str_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  Slab.kmalloc ctx k.State.slab 2;
+  of_result
+    (Uevent.netdev_create ctx k.State.uevent
+       ~netns:proc.Proctab.ns.Namespace.net ~name)
+
+let sys_uevent_recv k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  match sock_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some sock ->
+    if sock.Socktab.dom <> Consts.dom_uevent then Sysret.error Errno.EOPNOTSUPP
+    else
+      let events = Uevent.recv ctx k.State.uevent ~netns:sock.Socktab.netns in
+      Sysret.ok (List.length events) ~out:(Sysret.P_lines events)
+
+let sys_ipvs_add_service k ~pid args =
+  let ctx = k.State.ctx in
+  let* port = int_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  Slab.kmalloc ctx k.State.slab 1;
+  Ipvs.add ctx k.State.ipvs ~netns:proc.Proctab.ns.Namespace.net ~port;
+  Sysret.ok 0
+
+let sys_sysctl_read k ~pid args =
+  let ctx = k.State.ctx in
+  let* name = str_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  if String.equal name Consts.sysctl_conntrack_max then
+    let v =
+      Conntrack.max_read ctx k.State.conntrack
+        ~netns:proc.Proctab.ns.Namespace.net
+    in
+    Sysret.ok v ~out:(Sysret.P_str (string_of_int v))
+  else if String.equal name Consts.sysctl_somaxconn then
+    let v = Conntrack.somaxconn_read ctx k.State.conntrack in
+    Sysret.ok v ~out:(Sysret.P_str (string_of_int v))
+  else Sysret.error Errno.ENOENT
+
+let sys_sysctl_write k ~pid args =
+  let ctx = k.State.ctx in
+  let* name = str_arg args 0 in
+  let* value = int_arg args 1 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  if String.equal name Consts.sysctl_conntrack_max then begin
+    Conntrack.max_write ctx k.State.conntrack
+      ~netns:proc.Proctab.ns.Namespace.net value;
+    Sysret.ok 0
+  end
+  else if String.equal name Consts.sysctl_somaxconn then begin
+    Conntrack.somaxconn_write ctx k.State.conntrack value;
+    Sysret.ok 0
+  end
+  else Sysret.error Errno.ENOENT
+
+let sys_conntrack_add k ~pid args =
+  let ctx = k.State.ctx in
+  let* port = int_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  Slab.kmalloc ctx k.State.slab 1;
+  Conntrack.add ctx k.State.conntrack ~netns:proc.Proctab.ns.Namespace.net
+    ~port ~now:(State.now k);
+  Sysret.ok 0
+
+let sys_sock_diag k ~pid args =
+  let ctx = k.State.ctx in
+  let* id = int_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  match Socktab.find ctx k.State.socks id with
+  | None -> Sysret.error Errno.ENOENT
+  | Some sock ->
+    let foreign_visible = Config.has k.State.config Bugs.KG_sockdiag_foreign in
+    if sock.Socktab.netns = proc.Proctab.ns.Namespace.net || foreign_visible
+    then
+      Sysret.ok 0
+        ~out:
+          (Sysret.P_str
+             (Printf.sprintf "sock dom=%s bound=%s"
+                (Consts.domain_name sock.Socktab.dom)
+                (match sock.Socktab.bound with
+                | None -> "-"
+                | Some p -> string_of_int p)))
+    else Sysret.error Errno.ENOENT
+
+let sys_af_alg_bind k ~pid args =
+  let ctx = k.State.ctx in
+  let* fd = int_arg args 0 in
+  let* name = str_arg args 1 in
+  match sock_of_fd k ~pid fd with
+  | None -> Sysret.error Errno.EBADF
+  | Some sock ->
+    if sock.Socktab.dom <> Consts.dom_alg then Sysret.error Errno.EOPNOTSUPP
+    else begin
+      Socktab.update ctx k.State.socks { sock with Socktab.alg = Some name };
+      of_result (Crypto.register ctx k.State.crypto name)
+    end
+
+(* CLOCK_BOOTTIME semantics: kernel time plus the caller's time-namespace
+   offset. *)
+let sys_clock_gettime k ~pid _args =
+  let ctx = k.State.ctx in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  let offset =
+    Timens.get ctx k.State.timens ~timens:proc.Proctab.ns.Namespace.time
+  in
+  Sysret.ok (State.now k + offset)
+
+(* Set the caller's time-namespace boot offset (in mega-ticks, so the
+   shift dwarfs ordinary clock jitter). *)
+let sys_clock_settime k ~pid args =
+  let ctx = k.State.ctx in
+  let* mega = int_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  Timens.set ctx k.State.timens ~timens:proc.Proctab.ns.Namespace.time
+    (mega * 1_000_000);
+  Sysret.ok 0
+
+let sys_getpid _k ~pid _args = Sysret.ok pid
+
+let sys_token_create k ~pid args =
+  let ctx = k.State.ctx in
+  ignore args;
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  let id =
+    Tokentab.create ctx k.State.tokens ~netns:proc.Proctab.ns.Namespace.net
+      ~owner:pid
+  in
+  Sysret.ok id
+
+let sys_token_stat k ~pid args =
+  let ctx = k.State.ctx in
+  let* id = int_arg args 0 in
+  let proc = Proctab.find_exn ctx k.State.procs pid in
+  match
+    Tokentab.stat ctx k.State.tokens ~netns:proc.Proctab.ns.Namespace.net id
+  with
+  | Error e -> Sysret.error e
+  | Ok info -> Sysret.ok 0 ~out:(Sysret.P_str info)
+
+(* --- dispatch --------------------------------------------------------- *)
+
+let dispatch k ~pid sysno args =
+  match sysno with
+  | Sysno.Unshare -> sys_unshare k ~pid args
+  | Sysno.Socket -> sys_socket k ~pid args
+  | Sysno.Close -> sys_close k ~pid args
+  | Sysno.Bind -> sys_bind k ~pid args
+  | Sysno.Connect -> sys_connect k ~pid args
+  | Sysno.Send -> sys_send k ~pid args
+  | Sysno.Flowlabel_request -> sys_flowlabel_request k ~pid args
+  | Sysno.Get_cookie -> sys_get_cookie k ~pid args
+  | Sysno.Sctp_assoc -> sys_sctp_assoc k ~pid args
+  | Sysno.Alloc_protomem -> sys_alloc_protomem k ~pid args
+  | Sysno.Open -> sys_open k ~pid args
+  | Sysno.Read -> sys_read k ~pid args
+  | Sysno.Fstat -> sys_fstat k ~pid args
+  | Sysno.Creat -> sys_creat k ~pid args
+  | Sysno.Io_uring_read -> sys_io_uring_read k ~pid args
+  | Sysno.Msgget -> sys_msgget k ~pid args
+  | Sysno.Msgsnd -> sys_msgsnd k ~pid args
+  | Sysno.Msgrcv -> sys_msgrcv k ~pid args
+  | Sysno.Msgctl_stat -> sys_msgctl_stat k ~pid args
+  | Sysno.Setpriority -> sys_setpriority k ~pid args
+  | Sysno.Getpriority -> sys_getpriority k ~pid args
+  | Sysno.Sethostname -> sys_sethostname k ~pid args
+  | Sysno.Gethostname -> sys_gethostname k ~pid args
+  | Sysno.Netdev_create -> sys_netdev_create k ~pid args
+  | Sysno.Uevent_recv -> sys_uevent_recv k ~pid args
+  | Sysno.Ipvs_add_service -> sys_ipvs_add_service k ~pid args
+  | Sysno.Sysctl_read -> sys_sysctl_read k ~pid args
+  | Sysno.Sysctl_write -> sys_sysctl_write k ~pid args
+  | Sysno.Conntrack_add -> sys_conntrack_add k ~pid args
+  | Sysno.Sock_diag -> sys_sock_diag k ~pid args
+  | Sysno.Af_alg_bind -> sys_af_alg_bind k ~pid args
+  | Sysno.Clock_gettime -> sys_clock_gettime k ~pid args
+  | Sysno.Clock_settime -> sys_clock_settime k ~pid args
+  | Sysno.Getpid -> sys_getpid k ~pid args
+  | Sysno.Token_create -> sys_token_create k ~pid args
+  | Sysno.Token_stat -> sys_token_stat k ~pid args
+
+(* Execute one system call for [pid]: enter the syscall path, dispatch,
+   advance the clock by one quantum. *)
+let exec k ~pid sysno args =
+  let ctx = k.State.ctx in
+  let ret =
+    Kfun.call ctx fn_syscall_entry (fun () ->
+        Kfun.call ctx (fn_of_sysno sysno) (fun () -> dispatch k ~pid sysno args))
+  in
+  Clock.tick ctx k.State.clock;
+  ret

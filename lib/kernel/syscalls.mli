@@ -1,0 +1,10 @@
+(** The system call layer: argument validation and dispatch into the
+    subsystems, bracketed by per-syscall kernel functions so profiles
+    see realistic call stacks. *)
+
+val exec :
+  State.t -> pid:int -> Kit_abi.Sysno.t -> Kit_abi.Value.t list -> Sysret.t
+(** Execute one system call for [pid]. Arguments must have resource
+    references already resolved (only [Int]/[Str] remain); [Ref]
+    arguments are rejected with [EINVAL]. Advances the clock by one
+    quantum. *)

@@ -1,0 +1,41 @@
+(* Time namespaces: a per-namespace boot-time offset applied to clock
+   readings (CLOCK_BOOTTIME semantics). This is the subsystem the paper
+   explicitly cannot test with plain functional interference testing
+   (section 7): the protected resource — the clock — is non-deterministic,
+   so trace divergence on it is always masked. The bounds-based detector
+   (Kit_trace.Bounds) implements the paper's proposed solution.
+
+   Extension bug XT: the buggy kernel keeps a single global offset, so
+   setting the clock in one container shifts every container's time. *)
+
+open Maps
+
+let fn_timens_set = Kfun.register "timens_set_offset"
+let fn_timens_get = Kfun.register "timens_get_offset"
+
+type t = {
+  offset_global : int Var.t;            (* buggy kernel *)
+  offsets : int Int_map.t Var.t;        (* fixed kernel: per time ns *)
+  config : Config.t;
+}
+
+let init heap config =
+  {
+    offset_global = Var.alloc heap ~name:"timens.offset_global" ~width:8 0;
+    offsets = Var.alloc heap ~name:"timens.offsets" ~width:16 Int_map.empty;
+    config;
+  }
+
+let set ctx t ~timens offset =
+  Kfun.call ctx fn_timens_set (fun () ->
+      if Config.has t.config Bugs.XT_timens_offset then
+        Var.write ctx t.offset_global offset
+      else
+        Var.write ctx t.offsets (Int_map.add timens offset (Var.read ctx t.offsets)))
+
+let get ctx t ~timens =
+  Kfun.call ctx fn_timens_get (fun () ->
+      if Config.has t.config Bugs.XT_timens_offset then
+        Var.read ctx t.offset_global
+      else
+        Option.value ~default:0 (Int_map.find_opt timens (Var.read ctx t.offsets)))

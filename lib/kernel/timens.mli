@@ -1,0 +1,14 @@
+(** Time namespaces: a per-namespace boot-time offset applied to clock
+    readings. The subsystem the paper cannot test with plain functional
+    interference testing (section 7) — the protected resource is
+    non-deterministic — and the target of the bounds-based detector
+    extension.
+
+    Extension bug XT: the buggy kernel keeps one global offset, so
+    setting the clock in one container shifts every container's time. *)
+
+type t
+
+val init : Heap.t -> Config.t -> t
+val set : Ctx.t -> t -> timens:int -> int -> unit
+val get : Ctx.t -> t -> timens:int -> int

@@ -1,0 +1,54 @@
+(* Abstract "token" objects with per-boot randomised global ids — a
+   distilled model of kernel resources (like the unix sockets of known
+   bug G) whose id a receiver would need to learn at runtime to observe
+   interference. Because the ids are salted per boot, corpus programs can
+   never name a sender's token with a constant argument, so functional
+   interference testing cannot catch the cross-namespace visibility the
+   [stat] path would otherwise expose. *)
+
+open Maps
+
+let fn_token_create = Kfun.register "token_create"
+let fn_token_stat = Kfun.register "token_stat"
+
+type token = {
+  id : int;
+  netns : int;
+  owner : int;
+}
+
+type t = {
+  tokens : token Int_map.t Var.t;
+  next_id : int Var.t;
+  config : Config.t;
+}
+
+let init heap config =
+  {
+    tokens = Var.alloc heap ~name:"token.table" ~width:32 Int_map.empty;
+    next_id = Var.alloc heap ~name:"token.next_id" 0;
+    config;
+  }
+
+let randomize_base t rng =
+  Var.poke t.next_id (0x40000 + (Krng.next rng land 0xFFFF))
+
+let create ctx t ~netns ~owner =
+  Kfun.call ctx fn_token_create (fun () ->
+      let id = Var.read ctx t.next_id in
+      Var.write ctx t.next_id (id + 1);
+      let token = { id; netns; owner } in
+      Var.write ctx t.tokens (Int_map.add id token (Var.read ctx t.tokens));
+      id)
+
+(* Like the buggy sock_diag of known bug G: visibility is not restricted
+   to the caller's namespace. *)
+let stat ctx t ~netns id =
+  Kfun.call ctx fn_token_stat (fun () ->
+      match Int_map.find_opt id (Var.read ctx t.tokens) with
+      | None -> Error Errno.ENOENT
+      | Some token ->
+        let foreign_visible = Config.has t.config Bugs.KG_sockdiag_foreign in
+        if token.netns = netns || foreign_visible then
+          Ok (Printf.sprintf "token id=%d owner=%d" token.id token.owner)
+        else Error Errno.ENOENT)

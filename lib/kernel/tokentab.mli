@@ -1,0 +1,12 @@
+(** Abstract "token" objects with per-boot randomised global ids — a
+    distilled model of resources (like the unix sockets of known bug G)
+    whose id a receiver would have to learn at runtime to observe
+    interference, making the visibility bug undetectable by functional
+    interference testing. *)
+
+type t
+
+val init : Heap.t -> Config.t -> t
+val randomize_base : t -> Krng.t -> unit
+val create : Ctx.t -> t -> netns:int -> owner:int -> int
+val stat : Ctx.t -> t -> netns:int -> int -> (string, Errno.t) result

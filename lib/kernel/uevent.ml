@@ -1,0 +1,73 @@
+(* Kobject uevents over netlink (known bug B). Creating a network device
+   emits "add queue" uevents; the buggy kernel broadcasts them to the
+   uevent socket queues of *every* net namespace instead of only the
+   device's own. *)
+
+open Maps
+
+let fn_uevent_emit = Kfun.register "kobject_uevent_env"
+let fn_uevent_recv = Kfun.register "netlink_recvmsg"
+let fn_netdev_register = Kfun.register "register_netdevice"
+
+type t = {
+  queues : string list Int_map.t Var.t;  (* netns -> pending uevents, oldest first *)
+  broadcast : string list Var.t;         (* the buggy kernel's global queue *)
+  netdevs : (int * string) list Var.t;   (* (netns, name) *)
+  config : Config.t;
+}
+
+let init heap config =
+  {
+    queues = Var.alloc heap ~name:"uevent.queues" ~width:32 Int_map.empty;
+    broadcast = Var.alloc heap ~name:"uevent.broadcast" ~width:32 [];
+    netdevs = Var.alloc heap ~name:"net.dev_base" ~width:32 [];
+    config;
+  }
+
+let enqueue ctx t ~netns msg =
+  let queues = Var.read ctx t.queues in
+  let cur = Option.value ~default:[] (Int_map.find_opt netns queues) in
+  Var.write ctx t.queues (Int_map.add netns (cur @ [ msg ]) queues)
+
+(* The buggy kernel sends queue uevents without namespace filtering:
+   modelled as a global broadcast queue that every namespace's receive
+   path drains in addition to its own. *)
+let emit ctx t ~netns msg =
+  Kfun.call ctx fn_uevent_emit (fun () ->
+      if Config.has t.config Bugs.KB_uevent then
+        Var.write ctx t.broadcast (Var.read ctx t.broadcast @ [ msg ])
+      else enqueue ctx t ~netns msg)
+
+(* Register a network device and emit its rx/tx queue uevents. *)
+let netdev_create ctx t ~netns ~name =
+  Kfun.call ctx fn_netdev_register (fun () ->
+      let devs = Var.read ctx t.netdevs in
+      if List.exists (fun (ns, n) -> ns = netns && String.equal n name) devs
+      then Error Errno.EEXIST
+      else begin
+        Var.write ctx t.netdevs ((netns, name) :: devs);
+        emit ctx t ~netns (Printf.sprintf "add@/devices/virtual/net/%s/queues/rx-0" name);
+        emit ctx t ~netns (Printf.sprintf "add@/devices/virtual/net/%s/queues/tx-0" name);
+        Ok ()
+      end)
+
+(* Drain the pending uevents visible to [netns]: its own queue, plus —
+   on the buggy kernel — everything in the global broadcast queue. *)
+let recv ctx t ~netns =
+  Kfun.call ctx fn_uevent_recv (fun () ->
+      let queues = Var.read ctx t.queues in
+      let own = Option.value ~default:[] (Int_map.find_opt netns queues) in
+      Var.write ctx t.queues (Int_map.add netns [] queues);
+      if Config.has t.config Bugs.KB_uevent then begin
+        let foreign = Var.read ctx t.broadcast in
+        Var.write ctx t.broadcast [];
+        foreign @ own
+      end
+      else own)
+
+(* A receiver must have a queue for broadcasts to land in even if it has
+   not received yet; opening a uevent socket materialises the queue. *)
+let open_queue ctx t ~netns =
+  let queues = Var.read ctx t.queues in
+  if not (Int_map.mem netns queues) then
+    Var.write ctx t.queues (Int_map.add netns [] queues)

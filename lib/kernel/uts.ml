@@ -1,0 +1,24 @@
+(* UTS namespace: per-namespace hostname. Correctly isolated — a
+   negative control demonstrating that properly namespaced resources
+   produce no interference reports. *)
+
+open Maps
+
+let fn_sethostname = Kfun.register "sys_sethostname"
+let fn_gethostname = Kfun.register "sys_gethostname"
+
+type t = {
+  hostnames : string Int_map.t Var.t;   (* utsns -> hostname *)
+}
+
+let init heap =
+  { hostnames = Var.alloc heap ~name:"uts.hostname" ~width:32 Int_map.empty }
+
+let set ctx t ~utsns name =
+  Kfun.call ctx fn_sethostname (fun () ->
+      Var.write ctx t.hostnames (Int_map.add utsns name (Var.read ctx t.hostnames)))
+
+let get ctx t ~utsns =
+  Kfun.call ctx fn_gethostname (fun () ->
+      Option.value ~default:"(none)"
+        (Int_map.find_opt utsns (Var.read ctx t.hostnames)))

@@ -1,0 +1,9 @@
+(** UTS namespace: per-namespace hostnames. Correctly isolated — a
+    negative control showing that properly namespaced resources produce
+    no interference reports. *)
+
+type t
+
+val init : Heap.t -> t
+val set : Ctx.t -> t -> utsns:int -> string -> unit
+val get : Ctx.t -> t -> utsns:int -> string

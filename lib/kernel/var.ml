@@ -1,0 +1,54 @@
+(* Traced kernel shared variables. Reads and writes go through the
+   tracing context and emit memory-access events carrying the variable's
+   synthetic address, the access width and a synthetic instruction
+   address. Variables can be allocated uninstrumented to model code the
+   compiler pass cannot see: jump-label code patching (paper bug #2),
+   or subsystems excluded from instrumentation (scheduler, mm). *)
+
+type 'a t = {
+  addr : int;
+  width : int;
+  name : string;
+  instrumented : bool;
+  mutable v : 'a;
+}
+
+let alloc heap ~name ?(width = 8) ?(instrumented = true) init =
+  let cell = ref None in
+  let addr =
+    Heap.register heap ~width (fun () ->
+        match !cell with
+        | None -> fun () -> ()
+        | Some var ->
+          let saved = var.v in
+          fun () -> var.v <- saved)
+  in
+  let var = { addr; width; name; instrumented; v = init } in
+  cell := Some var;
+  var
+
+let addr t = t.addr
+let name t = t.name
+let width t = t.width
+let instrumented t = t.instrumented
+
+let trace ctx t rw =
+  if t.instrumented then
+    let fn = Ctx.innermost ctx in
+    let caller = Ctx.caller ctx in
+    let ip = Kevent.ip_of ~fn ~caller ~addr:t.addr ~rw in
+    Ctx.emit ctx (Kevent.Mem { addr = t.addr; width = t.width; rw; ip })
+
+let read ctx t =
+  trace ctx t Kevent.Read;
+  t.v
+
+let write ctx t v =
+  trace ctx t Kevent.Write;
+  t.v <- v
+
+(* Untraced accessors, for boot-time initialisation, the test harness and
+   the execution environment (e.g. setting the per-execution clock base,
+   which models the host side of the VM, not kernel code). *)
+let peek t = t.v
+let poke t v = t.v <- v

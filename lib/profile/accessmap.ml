@@ -1,0 +1,58 @@
+(* The multi-dimensional kernel memory access map (paper, section 5.1):
+   keyed by address with the write/read flag, instruction address and
+   call-stack hash preserved per entry, mapping to the test programs that
+   performed the access. Pairing writers with readers of the same address
+   yields the candidate inter-container data flows. *)
+
+module Kevent = Kit_kernel.Kevent
+module Int_map = Kit_kernel.Maps.Int_map
+
+type entry = {
+  prog : int;                    (* corpus index *)
+  sys_index : int;               (* syscall index inside the program *)
+  ip : int;
+  stack : int list;
+  stack_hash : int;
+}
+
+type t = {
+  mutable writers : entry list Int_map.t;   (* addr -> entries *)
+  mutable readers : entry list Int_map.t;
+}
+
+let create () = { writers = Int_map.empty; readers = Int_map.empty }
+
+let add_entry map addr entry =
+  Int_map.update addr
+    (function None -> Some [ entry ] | Some es -> Some (entry :: es))
+    map
+
+(* Fold the accesses of program [prog] into the map. *)
+let add t ~prog (accesses : Stackrec.access list) =
+  List.iter
+    (fun (a : Stackrec.access) ->
+      let entry =
+        { prog; sys_index = a.Stackrec.sys_index; ip = a.Stackrec.ip;
+          stack = a.Stackrec.stack; stack_hash = a.Stackrec.stack_hash }
+      in
+      match a.Stackrec.rw with
+      | Kevent.Write -> t.writers <- add_entry t.writers a.Stackrec.addr entry
+      | Kevent.Read -> t.readers <- add_entry t.readers a.Stackrec.addr entry)
+    accesses
+
+(* Iterate over addresses accessed by both a writer and a reader. *)
+let iter_overlaps t f =
+  Int_map.iter
+    (fun addr writers ->
+      match Int_map.find_opt addr t.readers with
+      | None -> ()
+      | Some readers -> f ~addr ~writers ~readers)
+    t.writers
+
+let writer_addresses t = List.map fst (Int_map.bindings t.writers)
+let reader_addresses t = List.map fst (Int_map.bindings t.readers)
+
+let stats t =
+  let count m = Int_map.fold (fun _ es acc -> acc + List.length es) m 0 in
+  (Int_map.cardinal t.writers, count t.writers, Int_map.cardinal t.readers,
+   count t.readers)

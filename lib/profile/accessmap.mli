@@ -1,0 +1,32 @@
+(** The multi-dimensional kernel memory access map (paper, section 5.1):
+    keyed by address, preserving per entry the write/read flag,
+    instruction address and call-stack hash, mapping to the test
+    programs that performed the access. Pairing writers with readers of
+    the same address yields candidate inter-container data flows. *)
+
+type entry = {
+  prog : int;                    (** corpus index *)
+  sys_index : int;               (** syscall index inside the program *)
+  ip : int;
+  stack : int list;
+  stack_hash : int;
+}
+
+type t
+
+val create : unit -> t
+
+val add : t -> prog:int -> Stackrec.access list -> unit
+(** Fold a program's accesses into the map. *)
+
+val iter_overlaps :
+  t ->
+  (addr:int -> writers:entry list -> readers:entry list -> unit) ->
+  unit
+(** Visit every address accessed by both a writer and a reader. *)
+
+val writer_addresses : t -> int list
+val reader_addresses : t -> int list
+
+val stats : t -> int * int * int * int
+(** (write addresses, write entries, read addresses, read entries). *)

@@ -1,0 +1,57 @@
+(* Simulated call stack reconstruction (paper, section 5.1): the raw
+   execution trace interleaves function entry/exit, syscall boundary and
+   memory access events in chronological order; this pass replays it,
+   pushing and popping a simulated stack, and attributes to every memory
+   access the call stack and syscall index in effect when it happened. *)
+
+module Kevent = Kit_kernel.Kevent
+
+type access = {
+  addr : int;
+  width : int;
+  rw : Kevent.rw;
+  ip : int;
+  stack : int list;        (* function ids, innermost first *)
+  stack_hash : int;
+  sys_index : int;         (* index of the syscall within the program *)
+}
+
+let hash_stack stack = Hashtbl.hash stack
+
+(* Replay [events] (chronological order) into attributed accesses. *)
+let replay events =
+  let stack = ref [] in
+  let sys_index = ref (-1) in
+  let accesses = ref [] in
+  let step = function
+    | Kevent.Fn_enter fn -> stack := fn :: !stack
+    | Kevent.Fn_exit _ -> (
+      match !stack with
+      | _ :: rest -> stack := rest
+      | [] -> ())
+    | Kevent.Sys_enter i -> sys_index := i
+    | Kevent.Sys_exit _ -> ()
+    | Kevent.Mem m ->
+      accesses :=
+        { addr = m.Kevent.addr; width = m.Kevent.width; rw = m.Kevent.rw;
+          ip = m.Kevent.ip; stack = !stack; stack_hash = hash_stack !stack;
+          sys_index = max 0 !sys_index }
+        :: !accesses
+  in
+  List.iter step events;
+  List.rev !accesses
+
+(* Deduplicate accesses by (addr, rw, ip, stack); the first occurrence's
+   syscall index is kept. Bounds profile size without losing any access
+   site the clustering strategies distinguish. *)
+let dedup accesses =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun a ->
+      let key = (a.addr, a.rw, a.ip, a.stack_hash) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    accesses

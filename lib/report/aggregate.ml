@@ -1,0 +1,83 @@
+(* Test report aggregation (paper, section 4.4): reports are grouped by
+   the interfered receiver call signature (AGG-R), and within each AGG-R
+   group by the culprit sender call signature (AGG-RS). Reports caused by
+   the same functional interference land in the same group, so users
+   examine one report per AGG-RS group. *)
+
+type keyed = {
+  report : Kit_detect.Report.t;
+  pairs : Diagnose.pair list;
+  sender_sig : Signature.t;
+  receiver_sig : Signature.t;
+}
+
+(* Key a diagnosed report by the signatures of its primary culprit pair.
+   Reports whose diagnosis found no pair (flaky interference) fall back
+   to the first interfered receiver call with an unknown sender. *)
+let key_report (report : Kit_detect.Report.t) pairs =
+  let sender_sig, receiver_sig =
+    match pairs with
+    | { Diagnose.sender_index; receiver_index } :: _ ->
+      ( Signature.of_call report.Kit_detect.Report.sender sender_index,
+        Signature.of_call report.Kit_detect.Report.receiver receiver_index )
+    | [] ->
+      let r_idx =
+        match report.Kit_detect.Report.interfered with i :: _ -> i | [] -> 0
+      in
+      ( { Signature.name = "?"; details = [] },
+        Signature.of_call report.Kit_detect.Report.receiver r_idx )
+  in
+  { report; pairs; sender_sig; receiver_sig }
+
+type group = {
+  receiver_sig : Signature.t;
+  sender_sig : Signature.t option;    (* None for AGG-R groups *)
+  members : keyed list;
+}
+
+let group_by key items =
+  let table = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun item ->
+      let k = key item in
+      match Hashtbl.find_opt table k with
+      | None ->
+        Hashtbl.replace table k [ item ];
+        order := k :: !order
+      | Some members -> Hashtbl.replace table k (item :: members))
+    items;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find table k))) !order
+
+(* AGG-R: group reports by interfered receiver call signature. *)
+let agg_r (keyed_reports : keyed list) =
+  group_by (fun (k : keyed) -> Signature.to_string k.receiver_sig) keyed_reports
+  |> List.map (fun (_, members) ->
+         match members with
+         | (m : keyed) :: _ ->
+           { receiver_sig = m.receiver_sig; sender_sig = None; members }
+         | [] -> assert false)
+
+(* AGG-RS: within each AGG-R group, subdivide by culprit sender call. *)
+let agg_rs keyed_reports =
+  List.concat_map
+    (fun rgroup ->
+      group_by (fun (k : keyed) -> Signature.to_string k.sender_sig)
+        rgroup.members
+      |> List.map (fun (_, members) ->
+             match members with
+             | (m : keyed) :: _ ->
+               { receiver_sig = m.receiver_sig;
+                 sender_sig = Some m.sender_sig; members }
+             | [] -> assert false))
+    (agg_r keyed_reports)
+
+let pp_group ppf g =
+  let sender =
+    match g.sender_sig with
+    | None -> "*"
+    | Some s -> Signature.to_string s
+  in
+  Fmt.pf ppf "%s -> %s (%d reports)" sender
+    (Signature.to_string g.receiver_sig)
+    (List.length g.members)

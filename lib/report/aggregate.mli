@@ -1,0 +1,28 @@
+(** Test report aggregation (paper, section 4.4): reports are grouped by
+    the interfered receiver call signature (AGG-R), and within each
+    AGG-R group by the culprit sender call signature (AGG-RS). Reports
+    caused by the same functional interference land in the same group,
+    so users examine one report per AGG-RS group. *)
+
+type keyed = {
+  report : Kit_detect.Report.t;
+  pairs : Diagnose.pair list;
+  sender_sig : Signature.t;
+  receiver_sig : Signature.t;
+}
+
+val key_report : Kit_detect.Report.t -> Diagnose.pair list -> keyed
+(** Key a diagnosed report by its primary culprit pair; reports whose
+    diagnosis found no pair fall back to the first interfered receiver
+    call with an unknown (["?"]) sender. *)
+
+type group = {
+  receiver_sig : Signature.t;
+  sender_sig : Signature.t option;    (** [None] for AGG-R groups *)
+  members : keyed list;
+}
+
+val agg_r : keyed list -> group list
+val agg_rs : keyed list -> group list
+
+val pp_group : Format.formatter -> group -> unit

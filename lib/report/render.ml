@@ -1,0 +1,64 @@
+(* Human-readable rendering of reports and aggregation groups — what a
+   KIT user reads while triaging a campaign. *)
+
+module Program = Kit_abi.Program
+module Report = Kit_detect.Report
+module Compare = Kit_trace.Compare
+
+let indent prefix text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.length (String.trim l) > 0)
+  |> List.map (fun l -> prefix ^ l)
+  |> String.concat "\n"
+
+(* One report, with programs, interfered calls and divergences. *)
+let report (r : Report.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "=== functional interference report ===\n";
+  Buffer.add_string buf "sender program:\n";
+  Buffer.add_string buf (indent "  | " (Program.to_string r.Report.sender));
+  Buffer.add_string buf "\nreceiver program:\n";
+  Buffer.add_string buf (indent "  | " (Program.to_string r.Report.receiver));
+  Buffer.add_string buf
+    (Printf.sprintf "\ninterfered receiver calls: [%s]\n"
+       (String.concat "; " (List.map string_of_int r.Report.interfered)));
+  Buffer.add_string buf "divergences (with vs without the sender):\n";
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s\n" (Fmt.str "%a" Compare.pp_diff d)))
+    r.Report.diffs;
+  Buffer.contents buf
+
+(* A diagnosed report: the culprit pair first, then the detail. *)
+let keyed (k : Aggregate.keyed) =
+  let header =
+    Printf.sprintf "culprit: %s -> %s\n"
+      (Signature.to_string k.Aggregate.sender_sig)
+      (Signature.to_string k.Aggregate.receiver_sig)
+  in
+  header ^ report k.Aggregate.report
+
+(* An aggregation group: its key and one representative member (the
+   whole point of aggregation is that one member suffices). *)
+let group (g : Aggregate.group) =
+  let kind = match g.Aggregate.sender_sig with None -> "AGG-R" | Some _ -> "AGG-RS" in
+  let key =
+    match g.Aggregate.sender_sig with
+    | None -> Signature.to_string g.Aggregate.receiver_sig
+    | Some s ->
+      Printf.sprintf "%s -> %s" (Signature.to_string s)
+        (Signature.to_string g.Aggregate.receiver_sig)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s group %s (%d reports)\n" kind key
+       (List.length g.Aggregate.members));
+  (match g.Aggregate.members with
+  | m :: _ ->
+    Buffer.add_string buf (indent "  " (keyed m));
+    Buffer.add_char buf '\n'
+  | [] -> ());
+  Buffer.contents buf
+
+let groups gs = String.concat "\n" (List.map group gs)

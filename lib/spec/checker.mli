@@ -1,0 +1,22 @@
+(** Callback checker functions (paper, section 4.3.1, first encoding
+    format): predicates selecting system calls that access
+    namespace-protected resources by inspecting the call signature. *)
+
+type t = {
+  id : string;
+  matches : Kit_abi.Program.call -> bool;
+}
+
+val make : string -> (Kit_abi.Program.call -> bool) -> t
+
+(** {1 The checkers of the default specification} *)
+
+val hostname : t
+val prio_user : t
+val conntrack_sysctl : t
+val mount_paths : t
+val netdev : t
+val ipvs : t
+val conntrack_entries : t
+
+val defaults : t list

@@ -1,0 +1,33 @@
+(* Seed-call dependency selection (paper, section 5.3): when the user
+   highlights a seed system call (e.g. open("/proc/net/*", ...)), KIT
+   automatically selects every call with an explicit data dependency on
+   it, sparing the user from enumerating the dependent calls by hand. *)
+
+module Program = Kit_abi.Program
+module Value = Kit_abi.Value
+
+(* Indices of the calls matching [seed], plus every call transitively
+   consuming one of their results through a resource reference. Resource
+   references point backwards, so a single forward pass computes the
+   closure. *)
+let dependent_indices prog ~seed =
+  let n = Program.length prog in
+  let dependent = Array.make (max 1 n) false in
+  List.iteri
+    (fun i (call : Program.call) ->
+      let via_ref =
+        List.exists
+          (function
+            | Value.Ref j -> j >= 0 && j < n && dependent.(j)
+            | Value.Int _ | Value.Str _ -> false)
+          call.Program.args
+      in
+      if seed call || via_ref then dependent.(i) <- true)
+    (Program.calls prog);
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (if dependent.(i) then i :: acc else acc)
+  in
+  collect (n - 1) []
+
+let is_dependent prog ~seed i =
+  List.exists (Int.equal i) (dependent_indices prog ~seed)

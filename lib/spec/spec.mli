@@ -1,0 +1,44 @@
+(** The partial specification of namespace-protected resources (paper,
+    section 4.3.1), in two encoding formats: file-descriptor type rules
+    (a call is selected when it uses or returns a protected fd type) and
+    callback checker functions.
+
+    The specification is intentionally partial and incrementally
+    refined: {!default} over-approximates /proc files outside /proc/net
+    as protected, which is exactly what lets the minor-device-number and
+    /proc/crypto false positives through — as the paper observes in
+    section 6.4. {!refined} is the spec after that triage. *)
+
+type t = {
+  protected_fd_types : Kit_abi.Fdtype.t list;
+  checkers : Checker.t list;
+  seed_selectors : (Kit_abi.Program.call -> bool) list;
+    (** user-highlighted seed calls; every call with an explicit data
+        dependency on one is selected (paper, section 5.3) *)
+}
+
+val make :
+  ?seed_selectors:(Kit_abi.Program.call -> bool) list ->
+  protected_fd_types:Kit_abi.Fdtype.t list ->
+  checkers:Checker.t list -> unit -> t
+
+val default : t
+val refined : t
+
+val fd_type_protected : t -> Kit_abi.Fdtype.t -> bool
+
+val call_protected :
+  t -> Kit_abi.Program.t -> Kit_abi.Fdtype.t option array -> int -> bool
+(** Does call [i] access a namespace-protected resource? True when it
+    returns or consumes a protected fd type, or a checker selects it.
+    The array is [Program.result_types] of the program. *)
+
+val protected_indices : t -> Kit_abi.Program.t -> int list
+
+val with_seed_selector : t -> (Kit_abi.Program.call -> bool) -> t
+(** Highlight seed calls: every call with an explicit data dependency on
+    a call matching the selector becomes selected, in addition to the
+    existing rules. *)
+
+val rule_counts : t -> int * int
+(** (fd-type rules, checker functions). *)

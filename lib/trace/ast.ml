@@ -1,0 +1,47 @@
+(* Abstract syntax trees of system call traces (paper, section 4.3.2).
+   Comparing ASTs instead of trace text lets the analysis ignore
+   individual non-deterministic result fields (a timestamp inside an
+   otherwise deterministic stat buffer) without discarding whole calls.
+   Each node carries a [det] flag, true by default; the non-determinism
+   pass clears it on nodes whose value or child count varies across
+   re-executions. *)
+
+type t = {
+  label : string;
+  value : string;
+  det : bool;
+  children : t list;
+}
+
+let leaf ?(det = true) label value = { label; value; det; children = [] }
+let node ?(det = true) label children = { label; value = ""; det; children }
+
+let with_det t det = { t with det }
+
+let rec pp ppf t =
+  let flag = if t.det then "" else " [nondet]" in
+  if t.children = [] then Fmt.pf ppf "@[<h>%s=%s%s@]" t.label t.value flag
+  else
+    Fmt.pf ppf "@[<v 2>%s%s%a@]" t.label flag
+      (Fmt.list ~sep:(Fmt.any "") (fun ppf c -> Fmt.pf ppf "@,%a" pp c))
+      t.children
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Shallow agreement: same label, value and child count — what
+   Algorithm 1 checks at each node. *)
+let shallow_equal a b =
+  String.equal a.label b.label
+  && String.equal a.value b.value
+  && List.length a.children = List.length b.children
+
+let rec equal a b =
+  shallow_equal a b && Bool.equal a.det b.det
+  && List.equal equal a.children b.children
+
+(* Number of nodes, for report statistics. *)
+let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 t.children
+
+let rec count_nondet t =
+  let self = if t.det then 0 else 1 in
+  List.fold_left (fun acc c -> acc + count_nondet c) self t.children

@@ -1,0 +1,32 @@
+(** Abstract syntax trees of system call traces (paper, section 4.3.2).
+
+    Comparing ASTs instead of trace text lets the analysis ignore
+    individual non-deterministic result fields (a timestamp inside an
+    otherwise deterministic stat buffer) without discarding whole calls.
+    Each node carries a [det] flag, true by default; the non-determinism
+    pass clears it on nodes whose value or child count varies across
+    re-executions. *)
+
+type t = {
+  label : string;
+  value : string;        (** leaf payload; [""] on interior nodes *)
+  det : bool;
+  children : t list;
+}
+
+val leaf : ?det:bool -> string -> string -> t
+val node : ?det:bool -> string -> t list -> t
+val with_det : t -> bool -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val shallow_equal : t -> t -> bool
+(** Same label, value and child count — what Algorithm 1 checks at each
+    node. *)
+
+val equal : t -> t -> bool
+(** Deep structural equality, det flags included. *)
+
+val size : t -> int
+val count_nondet : t -> int

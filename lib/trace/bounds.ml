@@ -1,0 +1,102 @@
+(* Bounds-based non-determinism handling — the extension the paper
+   proposes for testing the time namespace (section 7): instead of
+   discarding non-deterministic results wholesale, learn the valid value
+   bounds caused by benign non-determinism through dynamic profiling, and
+   flag interference as a bound violation. A similar idea is formalised
+   for timing side channels in prior work [Chen et al., CCS'17].
+
+   Numeric leaves get an interval learned across the profiling runs,
+   widened by a slack proportional to the observed spread (and at least
+   [min_slack], covering jitter the profiling runs happened not to
+   exhibit). Non-numeric varying leaves and shape variations degrade to
+   the classic skip-the-subtree behaviour. *)
+
+type t = {
+  label : string;
+  children : t list;
+  kind : kind;
+}
+
+and kind =
+  | Exact of string          (* deterministic leaf: must match *)
+  | Interval of int * int    (* numeric leaf: must fall within *)
+  | Unchecked                (* varying non-numeric leaf, or varying shape *)
+  | Interior
+
+let min_slack = 64
+let spread_factor = 3
+
+let is_interior ast = ast.Ast.children <> []
+
+(* Learn a bounds tree from the reference run and alternative runs of
+   the same (receiver-only) program. *)
+let rec learn reference alternatives =
+  let same_shape alt =
+    List.length alt.Ast.children = List.length reference.Ast.children
+  in
+  if not (List.for_all same_shape alternatives) then
+    { label = reference.Ast.label; children = []; kind = Unchecked }
+  else if is_interior reference then
+    let children =
+      List.mapi
+        (fun i child ->
+          learn child (List.map (fun alt -> List.nth alt.Ast.children i) alternatives))
+        reference.Ast.children
+    in
+    { label = reference.Ast.label; children; kind = Interior }
+  else
+    let values = reference.Ast.value :: List.map (fun a -> a.Ast.value) alternatives in
+    if List.for_all (String.equal reference.Ast.value) values then
+      { label = reference.Ast.label; children = []; kind = Exact reference.Ast.value }
+    else
+      match List.map int_of_string_opt values with
+      | ints when List.for_all Option.is_some ints ->
+        let ints = List.filter_map Fun.id ints in
+        let lo = List.fold_left min max_int ints in
+        let hi = List.fold_left max min_int ints in
+        let slack = max min_slack (spread_factor * (hi - lo)) in
+        { label = reference.Ast.label; children = [];
+          kind = Interval (lo - slack, hi + slack) }
+      | _ ->
+        { label = reference.Ast.label; children = []; kind = Unchecked }
+
+type violation = {
+  path : string list;
+  expected : kind;
+  actual : string;
+}
+
+let pp_violation ppf v =
+  let expected =
+    match v.expected with
+    | Exact s -> Printf.sprintf "= %s" s
+    | Interval (lo, hi) -> Printf.sprintf "in [%d, %d]" lo hi
+    | Unchecked | Interior -> "?"
+  in
+  Fmt.pf ppf "%s: %s, got %s" (String.concat "/" v.path) expected v.actual
+
+(* Check a trace against learned bounds. *)
+let check bounds ast =
+  let rec walk path bounds ast acc =
+    let path = ast.Ast.label :: path in
+    let here () = List.rev path in
+    match bounds.kind with
+    | Unchecked -> acc
+    | Exact v ->
+      if String.equal v ast.Ast.value then acc
+      else { path = here (); expected = bounds.kind; actual = ast.Ast.value } :: acc
+    | Interval (lo, hi) -> (
+      match int_of_string_opt ast.Ast.value with
+      | Some n when n >= lo && n <= hi -> acc
+      | Some _ | None ->
+        { path = here (); expected = bounds.kind; actual = ast.Ast.value } :: acc)
+    | Interior ->
+      if List.length ast.Ast.children <> List.length bounds.children then
+        { path = here (); expected = bounds.kind;
+          actual = Printf.sprintf "%d children" (List.length ast.Ast.children) }
+        :: acc
+      else
+        List.fold_left2 (fun acc b c -> walk path b c acc) acc bounds.children
+          ast.Ast.children
+  in
+  List.rev (walk [] bounds ast [])

@@ -1,0 +1,60 @@
+(* Algorithm 1 of the paper: recursive comparison of two system call
+   trace ASTs. Traversal halts at any node whose det flag is false on
+   either side; a difference is reported when two deterministic nodes
+   disagree on value or child count, otherwise children are compared
+   pairwise. *)
+
+type diff = {
+  path : string list;          (* labels from the root to the node *)
+  left : Ast.t;
+  right : Ast.t;
+}
+
+let pp_diff ppf d =
+  Fmt.pf ppf "%s: %s=%S vs %S (%d vs %d children)"
+    (String.concat "/" d.path)
+    d.left.Ast.label d.left.Ast.value d.right.Ast.value
+    (List.length d.left.Ast.children)
+    (List.length d.right.Ast.children)
+
+(* SyscallTraceCmp(Ta, Tb) — returns the differing node pairs. *)
+let diff_trees ta tb =
+  let rec cmp path ta tb acc =
+    if not (ta.Ast.det && tb.Ast.det) then acc
+    else
+      let la = List.length ta.Ast.children
+      and lb = List.length tb.Ast.children in
+      if (not (String.equal ta.Ast.value tb.Ast.value)) || la <> lb then
+        { path = List.rev (ta.Ast.label :: path); left = ta; right = tb }
+        :: acc
+      else
+        List.fold_left2
+          (fun acc ca cb -> cmp (ta.Ast.label :: path) ca cb acc)
+          acc ta.Ast.children tb.Ast.children
+  in
+  List.rev (cmp [] ta tb [])
+
+let equal_modulo_nondet ta tb = diff_trees ta tb = []
+
+(* The receiver syscall indices whose subtrees differ. Trace roots have
+   one "callN:..." child per syscall; a diff at the root itself (call
+   count mismatch) maps to index 0. *)
+let call_index_of_label label =
+  if String.length label > 4 && String.equal (String.sub label 0 4) "call" then
+    let rest = String.sub label 4 (String.length label - 4) in
+    match String.index_opt rest ':' with
+    | Some i -> int_of_string_opt (String.sub rest 0 i)
+    | None -> int_of_string_opt rest
+  else None
+
+let interfered_indices ta tb =
+  let diffs = diff_trees ta tb in
+  let index_of d =
+    match d.path with
+    | _root :: call_label :: _ -> call_index_of_label call_label
+    | [ root_label ] -> (
+      match call_index_of_label root_label with Some i -> Some i | None -> Some 0)
+    | [] -> Some 0
+  in
+  let indices = List.filter_map index_of diffs in
+  List.sort_uniq Int.compare indices

@@ -1,0 +1,24 @@
+(** Algorithm 1 of the paper: recursive comparison of two syscall-trace
+    ASTs. Traversal halts at any node whose det flag is false on either
+    side; a difference is reported when two deterministic nodes disagree
+    on value or child count, otherwise children are compared pairwise. *)
+
+type diff = {
+  path : string list;          (** labels from the root to the node *)
+  left : Ast.t;
+  right : Ast.t;
+}
+
+val pp_diff : Format.formatter -> diff -> unit
+
+val diff_trees : Ast.t -> Ast.t -> diff list
+(** SyscallTraceCmp — the differing node pairs, in traversal order. *)
+
+val equal_modulo_nondet : Ast.t -> Ast.t -> bool
+
+val call_index_of_label : string -> int option
+(** ["call12:read"] -> [Some 12]. *)
+
+val interfered_indices : Ast.t -> Ast.t -> int list
+(** The receiver syscall indices whose subtrees differ, sorted and
+    deduplicated. *)

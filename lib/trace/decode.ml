@@ -1,0 +1,57 @@
+(* Decode raw syscall results into trace ASTs — the role strace's output
+   decoding plays in the paper's implementation (section 5.2). The
+   decoding is deliberately fine-grained: multi-line outputs become one
+   child per line, stat buffers one child per field, so divergence is
+   localised to the smallest result component. *)
+
+module Program = Kit_abi.Program
+module Value = Kit_abi.Value
+module Sysno = Kit_abi.Sysno
+module Sysret = Kit_kernel.Sysret
+module Errno = Kit_kernel.Errno
+module Interp = Kit_kernel.Interp
+
+let decode_payload = function
+  | Sysret.P_none -> []
+  | Sysret.P_str s ->
+    let lines = String.split_on_char '\n' s in
+    (match lines with
+    | [] | [ _ ] -> [ Ast.leaf "out" s ]
+    | _ :: _ ->
+      [ Ast.node "out"
+          (List.mapi (fun i l -> Ast.leaf (Printf.sprintf "line%d" i) l) lines)
+      ])
+  | Sysret.P_lines ls ->
+    [ Ast.node "out"
+        (List.mapi (fun i l -> Ast.leaf (Printf.sprintf "line%d" i) l) ls) ]
+  | Sysret.P_stat st ->
+    [ Ast.node "stat"
+        [ Ast.leaf "ino" (string_of_int st.Sysret.inode);
+          Ast.leaf "dev_minor" (string_of_int st.Sysret.dev_minor);
+          Ast.leaf "size" (string_of_int st.Sysret.size);
+          Ast.leaf "mtime" (string_of_int st.Sysret.mtime) ] ]
+
+let decode_args args =
+  List.mapi
+    (fun i a -> Ast.leaf (Printf.sprintf "arg%d" i) (Value.to_string a))
+    args
+
+(* One call result as an AST node. File descriptor return values are
+   per-process and stable, so [ret] is deterministic by construction;
+   the payload carries the interesting data. *)
+let decode_result (r : Interp.result) =
+  let call = r.Interp.call in
+  let ret = r.Interp.ret in
+  let base =
+    [ Ast.leaf "ret" (string_of_int ret.Sysret.ret);
+      Ast.leaf "errno"
+        (match ret.Sysret.err with
+        | None -> "0"
+        | Some e -> Errno.to_string e) ]
+  in
+  Ast.node
+    (Printf.sprintf "call%d:%s" r.Interp.index (Sysno.to_string call.Program.sysno))
+    (decode_args call.Program.args @ base @ decode_payload ret.Sysret.out)
+
+(* A whole receiver execution as a single trace tree. *)
+let decode_trace results = Ast.node "trace" (List.map decode_result results)

@@ -1,0 +1,50 @@
+(* Non-deterministic result identification (paper, section 4.3.2): the
+   receiver program is re-run several times with different starting
+   times; nodes whose value or child count varies across runs get their
+   det flag cleared, and the flags are then applied to the traces under
+   comparison so Algorithm 1 skips them. *)
+
+(* Build a det-flag mask from a reference run and alternative runs of the
+   same program. When child counts disagree the node itself becomes
+   non-deterministic and descent stops — exactly mirroring where
+   Algorithm 1 would halt. *)
+let rec mark reference alternatives =
+  let disagrees alt =
+    (not (String.equal alt.Ast.value reference.Ast.value))
+    || List.length alt.Ast.children <> List.length reference.Ast.children
+  in
+  if List.exists disagrees alternatives then Ast.with_det reference false
+  else
+    let children =
+      List.mapi
+        (fun i child ->
+          let alt_children =
+            List.map (fun alt -> List.nth alt.Ast.children i) alternatives
+          in
+          mark child alt_children)
+        reference.Ast.children
+    in
+    { reference with Ast.children }
+
+(* Apply a mask's det flags to [tree] positionally. Children beyond the
+   mask's shape keep their own flags: a deterministic extra line added by
+   a sender must stay visible to the comparison. *)
+let rec apply_mask mask tree =
+  let det = tree.Ast.det && mask.Ast.det in
+  if not det then Ast.with_det tree false
+  else
+    let children =
+      List.mapi
+        (fun i child ->
+          match List.nth_opt mask.Ast.children i with
+          | Some mchild -> apply_mask mchild child
+          | None -> child)
+        tree.Ast.children
+    in
+    { tree with Ast.det; children }
+
+(* Summary statistics used by the evaluation tables. *)
+let nondet_fraction tree =
+  let total = Ast.size tree in
+  if total = 0 then 0.0
+  else float_of_int (Ast.count_nondet tree) /. float_of_int total

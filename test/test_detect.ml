@@ -1,0 +1,126 @@
+(* Tests for detection: the report filtering funnel and its verdicts. *)
+
+module K = Kit_kernel
+module Env = Kit_exec.Env
+module Runner = Kit_exec.Runner
+module Filter = Kit_detect.Filter
+module Report = Kit_detect.Report
+module Spec = Kit_spec.Spec
+module Testcase = Kit_gen.Testcase
+module Syzlang = Kit_abi.Syzlang
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let p = Syzlang.parse
+let tc = { Testcase.sender = 0; receiver = 0; flow = None }
+
+let classify ?(config = K.Config.v5_13 ()) ?(spec = Spec.default) sender_text
+    receiver_text funnel =
+  let env = Env.create config in
+  let runner = Runner.create env in
+  let sender = p sender_text in
+  let receiver = p receiver_text in
+  let outcome = Runner.execute runner ~sender ~receiver in
+  Filter.classify spec ~testcase:tc ~sender ~receiver outcome funnel
+
+let test_verdict_reported () =
+  let funnel = Filter.funnel_create () in
+  match
+    classify "r0 = socket(3)" "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)"
+      funnel
+  with
+  | Filter.Reported r ->
+    check (Alcotest.list Alcotest.int) "interfered" [ 1 ] r.Report.interfered
+  | _ -> Alcotest.fail "expected a report"
+
+let test_verdict_no_divergence () =
+  let funnel = Filter.funnel_create () in
+  match classify "r0 = getpid()" "r0 = getpid()" funnel with
+  | Filter.No_divergence -> check_int "not initial" 0 funnel.Filter.initial
+  | _ -> Alcotest.fail "expected no divergence"
+
+let test_verdict_nondet_filtered () =
+  let funnel = Filter.funnel_create () in
+  match classify "r0 = getpid()" "r0 = clock_gettime()" funnel with
+  | Filter.Filtered_nondet ->
+    check_int "counted as initial" 1 funnel.Filter.initial;
+    check_int "removed by non-det stage" 0 funnel.Filter.after_nondet
+  | _ -> Alcotest.fail "expected non-det filtering"
+
+let test_verdict_resource_filtered () =
+  (* somaxconn is global by design and unprotected: a deterministic
+     divergence on it alone must be removed by the resource filter. *)
+  let funnel = Filter.funnel_create () in
+  match
+    classify "r0 = sysctl_write(\"net/somaxconn\", 7)"
+      "r0 = sysctl_read(\"net/somaxconn\")" funnel
+  with
+  | Filter.Filtered_resource ->
+    check_int "survived non-det" 1 funnel.Filter.after_nondet;
+    check_int "removed by resource stage" 0 funnel.Filter.after_resource
+  | _ -> Alcotest.fail "expected resource filtering"
+
+let test_report_restricted_to_protected () =
+  (* When a protected and an unprotected call both diverge, the report
+     keeps only the protected one. *)
+  let funnel = Filter.funnel_create () in
+  match
+    classify
+      "r0 = sysctl_write(\"net/somaxconn\", 7)\nr1 = socket(1)"
+      "r0 = sysctl_read(\"net/somaxconn\")\nr1 = open(\"/proc/net/sockstat\")\nr2 = read(r1)"
+      funnel
+  with
+  | Filter.Reported r ->
+    check (Alcotest.list Alcotest.int) "only the sockstat read" [ 2 ]
+      r.Report.interfered
+  | _ -> Alcotest.fail "expected a report"
+
+let test_funnel_accumulates () =
+  let funnel = Filter.funnel_create () in
+  let _ = classify "r0 = getpid()" "r0 = getpid()" funnel in
+  let _ = classify "r0 = getpid()" "r0 = clock_gettime()" funnel in
+  let _ =
+    classify "r0 = socket(3)" "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)"
+      funnel
+  in
+  check_int "executed" 3 funnel.Filter.executed;
+  check_int "initial" 2 funnel.Filter.initial;
+  check_int "after nondet" 1 funnel.Filter.after_nondet;
+  check_int "after resource" 1 funnel.Filter.after_resource
+
+let test_funnel_monotone () =
+  let f = Filter.funnel_create () in
+  f.Filter.executed <- 10;
+  f.Filter.initial <- 5;
+  f.Filter.after_nondet <- 3;
+  f.Filter.after_resource <- 2;
+  check_bool "funnel narrows" true
+    (f.Filter.executed >= f.Filter.initial
+    && f.Filter.initial >= f.Filter.after_nondet
+    && f.Filter.after_nondet >= f.Filter.after_resource)
+
+let test_protected_interfered_helper () =
+  let receiver =
+    p "r0 = clock_gettime()\nr1 = open(\"/proc/net/ptype\")\nr2 = read(r1)"
+  in
+  check (Alcotest.list Alcotest.int) "filters unprotected indices" [ 1; 2 ]
+    (Filter.protected_interfered Spec.default receiver [ 0; 1; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "filter: genuine interference reported" `Quick
+      test_verdict_reported;
+    Alcotest.test_case "filter: no divergence" `Quick test_verdict_no_divergence;
+    Alcotest.test_case "filter: non-determinism filtered" `Quick
+      test_verdict_nondet_filtered;
+    Alcotest.test_case "filter: unprotected resource filtered" `Quick
+      test_verdict_resource_filtered;
+    Alcotest.test_case "filter: report restricted to protected calls" `Quick
+      test_report_restricted_to_protected;
+    Alcotest.test_case "filter: funnel accumulates" `Quick test_funnel_accumulates;
+    Alcotest.test_case "filter: funnel monotone" `Quick test_funnel_monotone;
+    Alcotest.test_case "filter: protected_interfered helper" `Quick
+      test_protected_interfered_helper;
+  ]

@@ -1,0 +1,184 @@
+(* Tests for the execution engine: the snapshot environment, two-phase
+   execution, non-determinism masking and the mask cache. *)
+
+module K = Kit_kernel
+module Env = Kit_exec.Env
+module Runner = Kit_exec.Runner
+module Syzlang = Kit_abi.Syzlang
+module Ast = Kit_trace.Ast
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let p = Syzlang.parse
+
+let test_env_reset_restores_state () =
+  let env = Env.create (K.Config.v5_13 ()) in
+  Env.reset env ~base:env.Env.base0;
+  let _ =
+    K.Interp.run env.Env.kernel ~pid:env.Env.sender_pid (p "r0 = socket(3)")
+  in
+  Env.reset env ~base:env.Env.base0;
+  let results =
+    K.Interp.run env.Env.kernel ~pid:env.Env.receiver_pid
+      (p "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)")
+  in
+  match List.rev results with
+  | last :: _ ->
+    (match last.K.Interp.ret.K.Sysret.out with
+    | K.Sysret.P_str content ->
+      check Alcotest.string "rolled back" "Type Device      Function" content
+    | _ -> Alcotest.fail "expected content")
+  | [] -> Alcotest.fail "no results"
+
+let test_env_base_applied () =
+  let env = Env.create (K.Config.v5_13 ()) in
+  Env.reset env ~base:555_000;
+  check_int "clock base" 555_000 (K.State.now env.Env.kernel)
+
+let test_interference_detected () =
+  let env = Env.create (K.Config.v5_13 ()) in
+  let runner = Runner.create env in
+  let outcome =
+    Runner.execute runner ~sender:(p "r0 = socket(3)")
+      ~receiver:(p "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)")
+  in
+  check_bool "raw divergence" true (outcome.Runner.raw_diffs <> []);
+  check_bool "masked divergence" true (outcome.Runner.masked_diffs <> []);
+  check (Alcotest.list Alcotest.int) "interfered call" [ 1 ]
+    outcome.Runner.interfered
+
+let test_no_interference_on_fixed_kernel () =
+  let env = Env.create (K.Config.fixed ()) in
+  let runner = Runner.create env in
+  let outcome =
+    Runner.execute runner ~sender:(p "r0 = socket(3)")
+      ~receiver:(p "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)")
+  in
+  check_bool "no divergence at all" true (outcome.Runner.raw_diffs = [])
+
+let test_timing_masked () =
+  (* clock_gettime diverges raw (the sender consumed time) but must be
+     masked as non-deterministic. *)
+  let env = Env.create (K.Config.v5_13 ()) in
+  let runner = Runner.create env in
+  let outcome =
+    Runner.execute runner ~sender:(p "r0 = getpid()")
+      ~receiver:(p "r0 = clock_gettime()")
+  in
+  check_bool "raw divergence from timing" true (outcome.Runner.raw_diffs <> []);
+  check_bool "masked away" true (outcome.Runner.masked_diffs = [])
+
+let test_timing_and_leak_coexist () =
+  (* Genuine interference survives even when the receiver also reads the
+     clock. *)
+  let env = Env.create (K.Config.v5_13 ()) in
+  let runner = Runner.create env in
+  let outcome =
+    Runner.execute runner ~sender:(p "r0 = socket(3)")
+      ~receiver:
+        (p "r0 = clock_gettime()\nr1 = open(\"/proc/net/ptype\")\nr2 = read(r1)")
+  in
+  check (Alcotest.list Alcotest.int) "only the read is interfered" [ 2 ]
+    outcome.Runner.interfered
+
+let test_mask_cached_per_receiver () =
+  let env = Env.create (K.Config.v5_13 ()) in
+  let runner = Runner.create ~reruns:3 env in
+  let receiver = p "r0 = clock_gettime()" in
+  let sender = p "r0 = getpid()" in
+  let _ = Runner.execute runner ~sender ~receiver in
+  let execs_after_first = runner.Runner.executions in
+  let _ = Runner.execute runner ~sender ~receiver in
+  let execs_after_second = runner.Runner.executions in
+  (* Second execution reuses the cached mask: exactly two runs (A and B),
+     no re-profiling of non-determinism. *)
+  check_int "mask cache hit" (execs_after_first + 2) execs_after_second
+
+let test_no_divergence_skips_masking () =
+  let env = Env.create (K.Config.v5_13 ()) in
+  let runner = Runner.create ~reruns:3 env in
+  let _ =
+    Runner.execute runner ~sender:(p "r0 = getpid()")
+      ~receiver:(p "r0 = getpid()")
+  in
+  check_int "only A and B executed" 2 runner.Runner.executions
+
+let test_nondet_mask_structure () =
+  let env = Env.create (K.Config.v5_13 ()) in
+  let runner = Runner.create env in
+  let mask =
+    Runner.nondet_mask runner
+      (p "r0 = clock_gettime()\nr1 = getpid()")
+  in
+  check_bool "some nodes nondet" true (Ast.count_nondet mask > 0);
+  match mask.Ast.children with
+  | [ clock_call; getpid_call ] ->
+    check_bool "clock marked" true (Ast.count_nondet clock_call > 0);
+    check_int "getpid fully det" 0 (Ast.count_nondet getpid_call)
+  | _ -> Alcotest.fail "shape"
+
+let test_test_interference_primitive () =
+  let env = Env.create (K.Config.v5_13 ()) in
+  let runner = Runner.create env in
+  let interfered =
+    Runner.test_interference runner ~sender:(p "r0 = socket(3)")
+      ~receiver:(p "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)")
+  in
+  check (Alcotest.list Alcotest.int) "indices" [ 1 ] interfered;
+  let none =
+    Runner.test_interference runner ~sender:(p "r0 = getpid()")
+      ~receiver:(p "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)")
+  in
+  check (Alcotest.list Alcotest.int) "benign sender" [] none
+
+let test_sender_host_env () =
+  let env =
+    Env.create ~sender_host:true (K.Config.for_known_bug K.Bugs.KE_iouring_mount)
+  in
+  let runner = Runner.create env in
+  let outcome =
+    Runner.execute runner ~sender:(p "r0 = creat(\"/tmp/kit0\")")
+      ~receiver:(p "r0 = io_uring_read(\"/tmp/kit0\")")
+  in
+  check_bool "host escape observed" true (outcome.Runner.masked_diffs <> [])
+
+let test_outcome_deterministic () =
+  let make () =
+    let env = Env.create (K.Config.v5_13 ()) in
+    let runner = Runner.create env in
+    Runner.execute runner ~sender:(p "r0 = socket(3)")
+      ~receiver:(p "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)")
+  in
+  let a = make () in
+  let b = make () in
+  check_bool "identical traces across environments" true
+    (Ast.equal a.Runner.trace_a b.Runner.trace_a
+    && Ast.equal a.Runner.trace_b b.Runner.trace_b)
+
+let suite =
+  [
+    Alcotest.test_case "env: reset restores state" `Quick
+      test_env_reset_restores_state;
+    Alcotest.test_case "env: clock base applied" `Quick test_env_base_applied;
+    Alcotest.test_case "runner: interference detected" `Quick
+      test_interference_detected;
+    Alcotest.test_case "runner: silent on fixed kernel" `Quick
+      test_no_interference_on_fixed_kernel;
+    Alcotest.test_case "runner: timing divergence masked" `Quick
+      test_timing_masked;
+    Alcotest.test_case "runner: leak survives next to timing" `Quick
+      test_timing_and_leak_coexist;
+    Alcotest.test_case "runner: mask cached per receiver" `Quick
+      test_mask_cached_per_receiver;
+    Alcotest.test_case "runner: no divergence skips masking" `Quick
+      test_no_divergence_skips_masking;
+    Alcotest.test_case "runner: mask structure" `Quick test_nondet_mask_structure;
+    Alcotest.test_case "runner: TestFuncI primitive" `Quick
+      test_test_interference_primitive;
+    Alcotest.test_case "runner: host sender environment (bug E)" `Quick
+      test_sender_host_env;
+    Alcotest.test_case "runner: outcome deterministic" `Quick
+      test_outcome_deterministic;
+  ]

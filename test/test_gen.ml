@@ -1,0 +1,216 @@
+(* Tests for test case generation: data-flow analysis and the DF /
+   DF-IA / DF-ST / RAND clustering strategies. *)
+
+module K = Kit_kernel
+module Dataflow = Kit_gen.Dataflow
+module Cluster = Kit_gen.Cluster
+module Testcase = Kit_gen.Testcase
+module Spec = Kit_spec.Spec
+module Corpus = Kit_abi.Corpus
+module Syzlang = Kit_abi.Syzlang
+
+let check = Alcotest.check
+let check_int = check Alcotest.int
+let check_bool = check Alcotest.bool
+
+let config = K.Config.v5_13 ()
+
+(* A small deterministic fixture shared across tests. *)
+let fixture =
+  lazy
+    (let corpus = Corpus.generate ~seed:7 ~size:64 in
+     let profiles = Dataflow.profile_corpus config Spec.default corpus in
+     let map = Dataflow.build_map profiles in
+     (corpus, profiles, map))
+
+let run_strategy strategy =
+  let corpus, _, map = Lazy.force fixture in
+  Cluster.run strategy ~seed:7 ~corpus_size:(List.length corpus) map
+
+(* --- dataflow ------------------------------------------------------------- *)
+
+let test_profiles_cover_corpus () =
+  let corpus, profiles, _ = Lazy.force fixture in
+  check_int "one profile per program" (List.length corpus)
+    (Array.length profiles.Dataflow.accesses)
+
+let test_protected_flags_shape () =
+  let _, profiles, _ = Lazy.force fixture in
+  Array.iteri
+    (fun i prog ->
+      check_int
+        (Printf.sprintf "flags for program %d" i)
+        (Kit_abi.Program.length prog)
+        (Array.length profiles.Dataflow.protected_calls.(i)))
+    profiles.Dataflow.programs
+
+let test_total_flows_positive () =
+  let _, _, map = Lazy.force fixture in
+  check_bool "flows exist" true (Dataflow.total_flows map > 0)
+
+let test_reader_filter_drops_unprotected () =
+  (* A corpus of only unprotected readers produces no qualifying flows. *)
+  let corpus =
+    [ Syzlang.parse "r0 = clock_gettime()"; Syzlang.parse "r0 = getpid()" ]
+  in
+  let profiles = Dataflow.profile_corpus config Spec.default corpus in
+  let map = Dataflow.build_map profiles in
+  check_int "no flows" 0 (Dataflow.total_flows map)
+
+let test_known_flow_pairs_exist () =
+  (* The ptype flow (bug #1) must pair the packet-socket program with the
+     ptype reader. *)
+  let corpus =
+    [ Syzlang.parse "r0 = socket(3)";
+      Syzlang.parse "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)" ]
+  in
+  let profiles = Dataflow.profile_corpus config Spec.default corpus in
+  let map = Dataflow.build_map profiles in
+  let result = Cluster.run Cluster.Df_ia ~corpus_size:2 map in
+  check_bool "pair (0 -> 1) generated" true
+    (List.exists
+       (fun (tc : Testcase.t) -> tc.Testcase.sender = 0 && tc.Testcase.receiver = 1)
+       result.Cluster.reps)
+
+(* --- clustering strategies -------------------------------------------------- *)
+
+let test_strategy_ordering () =
+  let df = run_strategy Cluster.Df in
+  let ia = run_strategy Cluster.Df_ia in
+  let st1 = run_strategy (Cluster.Df_st 1) in
+  let st2 = run_strategy (Cluster.Df_st 2) in
+  check_bool "IA <= ST-1" true (ia.Cluster.clusters <= st1.Cluster.clusters);
+  check_bool "ST-1 <= ST-2" true (st1.Cluster.clusters <= st2.Cluster.clusters);
+  check_bool "ST-2 << DF" true (st2.Cluster.clusters < df.Cluster.generated);
+  check_bool "strictly finer at ST-1" true
+    (ia.Cluster.clusters < st1.Cluster.clusters);
+  check_bool "strictly finer at ST-2" true
+    (st1.Cluster.clusters < st2.Cluster.clusters)
+
+let test_cluster_reps_match_count () =
+  let ia = run_strategy Cluster.Df_ia in
+  check_int "one representative per cluster" ia.Cluster.clusters
+    (List.length ia.Cluster.reps)
+
+let test_cluster_reps_sorted_deterministic () =
+  let a = run_strategy Cluster.Df_ia in
+  let b = run_strategy Cluster.Df_ia in
+  check_bool "deterministic" true
+    (List.equal (fun x y -> Testcase.compare x y = 0) a.Cluster.reps
+       b.Cluster.reps)
+
+let test_cluster_flows_attached () =
+  let ia = run_strategy Cluster.Df_ia in
+  check_bool "every DF rep carries its witness flow" true
+    (List.for_all
+       (fun (tc : Testcase.t) -> Option.is_some tc.Testcase.flow)
+       ia.Cluster.reps)
+
+let test_df_has_no_reps () =
+  let df = run_strategy Cluster.Df in
+  check_int "DF is counted, not executed" 0 (List.length df.Cluster.reps)
+
+(* DF-ST-k refines DF-IA: every ST cluster's flows map into one IA
+   cluster key. Verified via representatives: distinct ST reps that share
+   (w_ip, r_ip) collapse into the same IA cluster. *)
+let test_st_refines_ia () =
+  let ia = run_strategy Cluster.Df_ia in
+  let st1 = run_strategy (Cluster.Df_st 1) in
+  let ia_keys =
+    List.filter_map
+      (fun (tc : Testcase.t) ->
+        Option.map
+          (fun f -> (f.Testcase.w_ip, f.Testcase.r_ip))
+          tc.Testcase.flow)
+      ia.Cluster.reps
+    |> List.sort_uniq Stdlib.compare
+  in
+  let st_keys =
+    List.filter_map
+      (fun (tc : Testcase.t) ->
+        Option.map
+          (fun f -> (f.Testcase.w_ip, f.Testcase.r_ip))
+          tc.Testcase.flow)
+      st1.Cluster.reps
+    |> List.sort_uniq Stdlib.compare
+  in
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "ST-1 covers exactly the IA instruction pairs" ia_keys st_keys
+
+let test_rand_budget_respected () =
+  let rand = run_strategy (Cluster.Rand 50) in
+  check_int "budget" 50 (List.length rand.Cluster.reps);
+  check_bool "no duplicate pairs" true
+    (let sorted = List.sort Testcase.compare rand.Cluster.reps in
+     let rec no_dup = function
+       | a :: (b :: _ as rest) -> Testcase.compare a b <> 0 && no_dup rest
+       | [ _ ] | [] -> true
+     in
+     no_dup sorted)
+
+let test_rand_deterministic_per_seed () =
+  let corpus, _, map = Lazy.force fixture in
+  let n = List.length corpus in
+  let a = Cluster.run (Cluster.Rand 40) ~seed:3 ~corpus_size:n map in
+  let b = Cluster.run (Cluster.Rand 40) ~seed:3 ~corpus_size:n map in
+  let c = Cluster.run (Cluster.Rand 40) ~seed:4 ~corpus_size:n map in
+  let eq x y =
+    List.equal (fun p q -> Testcase.compare p q = 0) x.Cluster.reps y.Cluster.reps
+  in
+  check_bool "same seed same pairs" true (eq a b);
+  check_bool "different seed different pairs" false (eq a c)
+
+let test_rand_in_range () =
+  let corpus, _, _ = Lazy.force fixture in
+  let n = List.length corpus in
+  let rand = run_strategy (Cluster.Rand 80) in
+  check_bool "indices within corpus" true
+    (List.for_all
+       (fun (tc : Testcase.t) ->
+         tc.Testcase.sender >= 0 && tc.Testcase.sender < n
+         && tc.Testcase.receiver >= 0 && tc.Testcase.receiver < n)
+       rand.Cluster.reps)
+
+let test_context_truncation () =
+  check (Alcotest.list Alcotest.int) "drops site frames, takes k" [ 3; 4 ]
+    (Cluster.context 2 [ 1; 2; 3; 4; 5 ]);
+  check (Alcotest.list Alcotest.int) "short stack" [] (Cluster.context 2 [ 1 ]);
+  check (Alcotest.list Alcotest.int) "empty stack" [] (Cluster.context 3 [])
+
+let test_strategy_names () =
+  check Alcotest.string "df" "DF" (Cluster.strategy_name Cluster.Df);
+  check Alcotest.string "ia" "DF-IA" (Cluster.strategy_name Cluster.Df_ia);
+  check Alcotest.string "st" "DF-ST-2" (Cluster.strategy_name (Cluster.Df_st 2));
+  check Alcotest.string "rand" "RAND" (Cluster.strategy_name (Cluster.Rand 5))
+
+let suite =
+  [
+    Alcotest.test_case "dataflow: profiles cover corpus" `Quick
+      test_profiles_cover_corpus;
+    Alcotest.test_case "dataflow: protected flags shape" `Quick
+      test_protected_flags_shape;
+    Alcotest.test_case "dataflow: flows exist" `Quick test_total_flows_positive;
+    Alcotest.test_case "dataflow: unprotected readers dropped" `Quick
+      test_reader_filter_drops_unprotected;
+    Alcotest.test_case "dataflow: ptype flow pairs programs" `Quick
+      test_known_flow_pairs_exist;
+    Alcotest.test_case "cluster: strategy count ordering" `Quick
+      test_strategy_ordering;
+    Alcotest.test_case "cluster: one rep per cluster" `Quick
+      test_cluster_reps_match_count;
+    Alcotest.test_case "cluster: deterministic reps" `Quick
+      test_cluster_reps_sorted_deterministic;
+    Alcotest.test_case "cluster: reps carry witness flows" `Quick
+      test_cluster_flows_attached;
+    Alcotest.test_case "cluster: DF counted not executed" `Quick
+      test_df_has_no_reps;
+    Alcotest.test_case "cluster: DF-ST refines DF-IA" `Quick test_st_refines_ia;
+    Alcotest.test_case "rand: budget respected, no duplicates" `Quick
+      test_rand_budget_respected;
+    Alcotest.test_case "rand: deterministic per seed" `Quick
+      test_rand_deterministic_per_seed;
+    Alcotest.test_case "rand: indices in range" `Quick test_rand_in_range;
+    Alcotest.test_case "cluster: stack context truncation" `Quick
+      test_context_truncation;
+    Alcotest.test_case "cluster: strategy names" `Quick test_strategy_names;
+  ]

@@ -1,0 +1,19 @@
+(* Test runner aggregating all library suites. *)
+
+let () =
+  Alcotest.run "kit"
+    [
+      ("abi", Test_abi.suite);
+      ("kernel", Test_kernel.suite);
+      ("trace", Test_trace.suite);
+      ("profile", Test_profile.suite);
+      ("spec", Test_spec.suite);
+      ("gen", Test_gen.suite);
+      ("exec", Test_exec.suite);
+      ("detect", Test_detect.suite);
+      ("report", Test_report.suite);
+      ("core", Test_core.suite);
+      ("ext", Test_ext.suite);
+      ("edge", Test_edge.suite);
+      ("props", Test_props.suite);
+    ]

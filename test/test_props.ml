@@ -1,0 +1,111 @@
+(* Whole-pipeline properties, checked with qcheck over randomly
+   generated programs: execution determinism from snapshots, silence of
+   the fixed kernel on every curated reproducer, and self-consistency of
+   the bounds learner. *)
+
+module K = Kit_kernel
+module Program = Kit_abi.Program
+module Syzlang = Kit_abi.Syzlang
+module Corpus = Kit_abi.Corpus
+module Env = Kit_exec.Env
+module Runner = Kit_exec.Runner
+module Ast = Kit_trace.Ast
+module Bounds = Kit_trace.Bounds
+module Known_bugs = Kit_core.Known_bugs
+
+(* Random programs drawn from the corpus generator, so they are
+   well-formed in the same way campaign inputs are. *)
+let gen_program =
+  QCheck.Gen.(
+    map
+      (fun (seed, idx) ->
+        let corpus = Corpus.generate ~seed ~size:8 in
+        List.nth corpus (idx mod List.length corpus))
+      (pair small_nat small_nat))
+
+let arbitrary_program = QCheck.make ~print:Syzlang.print gen_program
+
+let arbitrary_pair = QCheck.pair arbitrary_program arbitrary_program
+
+(* Shared environments: properties run hundreds of cases, so reuse the
+   booted kernels (every execution reloads the snapshot anyway). *)
+let buggy_runner = lazy (Runner.create (Env.create (K.Config.v5_13 ())))
+let fixed_runner = lazy (Runner.create (Env.create (K.Config.fixed ())))
+
+let prop_execution_deterministic =
+  QCheck.Test.make ~name:"execute is deterministic per test case" ~count:60
+    arbitrary_pair (fun (sender, receiver) ->
+      let runner = Lazy.force buggy_runner in
+      let a = Runner.execute runner ~sender ~receiver in
+      let b = Runner.execute runner ~sender ~receiver in
+      Ast.equal a.Runner.trace_a b.Runner.trace_a
+      && Ast.equal a.Runner.trace_b b.Runner.trace_b
+      && a.Runner.interfered = b.Runner.interfered)
+
+let prop_interfered_subset_of_receiver =
+  QCheck.Test.make ~name:"interfered indices are valid receiver calls"
+    ~count:60 arbitrary_pair (fun (sender, receiver) ->
+      let runner = Lazy.force buggy_runner in
+      let outcome = Runner.execute runner ~sender ~receiver in
+      List.for_all
+        (fun i -> i >= 0 && i < max 1 (Program.length receiver))
+        outcome.Runner.interfered)
+
+let prop_self_interference_masked_or_real =
+  (* Running the receiver as its own sender can only diverge through the
+     genuinely shared kernel state; on the fully fixed kernel the only
+     surviving divergences are the by-design global resources, so the
+     masked interference must never name a call the spec protects as
+     namespaced-only (hostname). *)
+  QCheck.Test.make ~name:"fixed kernel never interferes on hostnames"
+    ~count:60 arbitrary_pair (fun (sender, receiver) ->
+      let runner = Lazy.force fixed_runner in
+      let outcome = Runner.execute runner ~sender ~receiver in
+      List.for_all
+        (fun i ->
+          match Program.nth receiver i with
+          | Some { Program.sysno = Kit_abi.Sysno.Gethostname; _ } -> false
+          | Some _ | None -> true)
+        outcome.Runner.interfered)
+
+let prop_bounds_cover_learning_inputs =
+  (* Bounds learned from a set of runs never flag those same runs. *)
+  QCheck.Test.make ~name:"bounds cover their learning inputs" ~count:100
+    (QCheck.pair QCheck.small_nat QCheck.small_nat) (fun (seed, idx) ->
+      let corpus = Corpus.generate ~seed ~size:6 in
+      let receiver = List.nth corpus (idx mod List.length corpus) in
+      let runner = Lazy.force buggy_runner in
+      let base = runner.Runner.env.Env.base0 in
+      let reference = Runner.run_receiver runner ~base receiver in
+      let alt = Runner.run_receiver runner ~base:(base + 7_777) receiver in
+      let bounds = Bounds.learn reference [ alt ] in
+      Bounds.check bounds reference = [] && Bounds.check bounds alt = [])
+
+let test_fixed_kernel_silences_reproducers () =
+  (* Every curated Table 3 reproducer is silent on the fixed kernel. *)
+  List.iter
+    (fun (case : Known_bugs.case) ->
+      let env =
+        Env.create ~sender_host:case.Known_bugs.sender_host (K.Config.fixed ())
+      in
+      let runner = Runner.create env in
+      let outcome =
+        Runner.execute runner
+          ~sender:(Syzlang.parse case.Known_bugs.sender)
+          ~receiver:(Syzlang.parse case.Known_bugs.receiver)
+      in
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "case %s silent when fixed" case.Known_bugs.label)
+        0
+        (List.length outcome.Runner.masked_diffs))
+    Known_bugs.cases
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_execution_deterministic;
+    QCheck_alcotest.to_alcotest prop_interfered_subset_of_receiver;
+    QCheck_alcotest.to_alcotest prop_self_interference_masked_or_real;
+    QCheck_alcotest.to_alcotest prop_bounds_cover_learning_inputs;
+    Alcotest.test_case "fixed kernel silences every reproducer" `Quick
+      test_fixed_kernel_silences_reproducers;
+  ]
