@@ -24,6 +24,8 @@ module State = Kit_kernel.State
 module Spec = Kit_spec.Spec
 module Env = Kit_exec.Env
 module Runner = Kit_exec.Runner
+module Supervisor = Kit_exec.Supervisor
+module Fault = Kit_kernel.Fault
 module Collect = Kit_profile.Collect
 module Compare = Kit_trace.Compare
 
@@ -153,6 +155,52 @@ let print_bounds_ablation () =
     (List.length outcome.Runner.masked_diffs)
     (List.length violations)
 
+(* Supervised execution must cost almost nothing when no faults are
+   armed: the acceptance bar is within 10% of the raw runner's
+   executions/sec with an empty schedule. Also demonstrates recovery
+   cost under a seeded transient-fault schedule. *)
+let print_supervision_overhead () =
+  Fmt.pr "-- Supervision overhead (acceptance: <10%% with empty schedule) --@.";
+  let config = Config.v5_13 () in
+  let sender = Syzlang.parse "r0 = socket(3)" in
+  let receiver = Syzlang.parse "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)" in
+  let iters = getenv_int "KIT_BENCH_SUP_ITERS" 2000 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int iters /. dt
+  in
+  let raw =
+    let runner = Runner.create (Env.create config) in
+    time (fun () ->
+        for _ = 1 to iters do
+          ignore (Runner.execute runner ~sender ~receiver : Runner.outcome)
+        done)
+  in
+  let supervised =
+    let sup = Supervisor.create config in
+    time (fun () ->
+        for _ = 1 to iters do
+          ignore (Supervisor.execute sup ~sender ~receiver : Runner.status)
+        done)
+  in
+  let overhead = (raw -. supervised) /. raw *. 100.0 in
+  Fmt.pr "raw runner:  %10.0f executions/s@." raw;
+  Fmt.pr "supervised:  %10.0f executions/s (overhead %.1f%%)@." supervised
+    overhead;
+  let faulted =
+    let fault =
+      Fault.of_schedule (Fault.schedule_of_seed ~seed:7 ~intensity:8)
+    in
+    let sup = Supervisor.create ~fault config in
+    time (fun () ->
+        for _ = 1 to iters do
+          ignore (Supervisor.execute sup ~sender ~receiver : Runner.status)
+        done)
+  in
+  Fmt.pr "with 8 seeded transient faults: %10.0f executions/s@.@." faulted
+
 (* --- bechamel micro/macro benchmarks ------------------------------------ *)
 
 let bench_corpus = 48
@@ -202,6 +250,10 @@ let make_benchmarks () =
     Test.make ~name:"execute: one test case (A+B)"
       (Staged.stage (fun () ->
            ignore (Runner.execute runner ~sender ~receiver:prog : Runner.outcome)));
+    (let sup = Supervisor.create config in
+     Test.make ~name:"execute: supervised, inert fault plane"
+       (Staged.stage (fun () ->
+            ignore (Supervisor.execute sup ~sender ~receiver:prog : Runner.status))));
     Test.make ~name:"kernel: snapshot restore"
       (Staged.stage (fun () -> State.restore kernel snap));
     Test.make ~name:"trace: AST comparison"
@@ -259,5 +311,6 @@ let () =
   print_jump_label_ablation ();
   print_spec_ablation ();
   print_bounds_ablation ();
+  print_supervision_overhead ();
   run_benchmarks ();
   Fmt.pr "done.@."

@@ -1,12 +1,20 @@
 (* The kit command-line interface.
 
      kit campaign    run a full testing campaign and summarise reports
+     kit distrib     run a campaign sharded over worker environments
      kit tables      regenerate the paper's evaluation tables (2, 4, 5, 6)
      kit known-bugs  reproduce the documented bugs of Table 3
      kit run         execute one sender/receiver test case and explain it
      kit corpus      print a generated program corpus
 
-   All commands are deterministic for a given --seed. *)
+   All commands are deterministic for a given --seed, including the
+   injected fault schedules.
+
+   Exit codes (for CI gating):
+     0  clean run, no interference reports
+     1  interference reports found
+     2  quarantined crashers (test cases that kept killing the kernel)
+     3  internal error *)
 
 module Campaign = Kit_core.Campaign
 module Distrib = Kit_core.Distrib
@@ -18,9 +26,27 @@ module Corpus = Kit_abi.Corpus
 module Syzlang = Kit_abi.Syzlang
 module Program = Kit_abi.Program
 module Config = Kit_kernel.Config
+module Fault = Kit_kernel.Fault
 module Bugs = Kit_kernel.Bugs
+module Supervisor = Kit_exec.Supervisor
 
 open Cmdliner
+
+let exit_clean = 0
+let exit_reports = 1
+let exit_quarantined = 2
+let exit_internal = 3
+
+(* Run a command body, mapping uncaught exceptions to exit code 3. *)
+let guarded f =
+  try f ()
+  with
+  | Supervisor.Gave_up msg ->
+    Fmt.epr "kit: gave up: %s@." msg;
+    exit_internal
+  | e ->
+    Fmt.epr "kit: internal error: %s@." (Printexc.to_string e);
+    exit_internal
 
 let seed_arg =
   Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed.")
@@ -48,84 +74,249 @@ let strategy_arg =
     & opt (conv (parse, print)) Cluster.Df_ia
     & info [ "strategy" ] ~doc:"Generation strategy: df-ia, df-st-1, df-st-2, or an integer RAND budget.")
 
-let options ~seed ~corpus_size ~strategy =
-  { Campaign.default_options with Campaign.seed; corpus_size; strategy }
+(* -- supervision / fault-injection options ------------------------------- *)
+
+let faults_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Fault.parse_schedule s) in
+  let print ppf s = Fmt.string ppf (Fault.schedule_to_string s) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) []
+    & info [ "faults" ]
+        ~doc:
+          "Fault schedule: comma-separated $(b,panic:SYSNO[:K]), \
+           $(b,hang:SYSNO[:K]), $(b,boot[:K]), $(b,snap[:K]) where K is an \
+           occurrence count (default 1) or $(b,perm).")
+
+let fault_intensity_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-intensity" ]
+        ~doc:
+          "Arm N additional transient faults drawn deterministically from \
+           --seed (demo of the supervised runtime).")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int Campaign.default_options.Campaign.fuel
+    & info [ "fuel" ]
+        ~doc:"Per-execution step budget; an execution exceeding it is hung.")
+
+let max_retries_arg =
+  Arg.(
+    value
+    & opt int Campaign.default_options.Campaign.max_retries
+    & info [ "max-retries" ]
+        ~doc:"Supervisor retries per test case before quarantining it.")
+
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:"Checkpoint the execute phase to $(docv) as the campaign runs.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "checkpoint-every" ]
+        ~doc:"Cluster representatives between checkpoints.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:"Resume from the --checkpoint file if it exists.")
+
+let options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
+    ~max_retries =
+  let faults = faults @ Fault.schedule_of_seed ~seed ~intensity:fault_intensity in
+  { Campaign.default_options with
+    Campaign.seed; corpus_size; strategy; faults; fuel; max_retries }
 
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Render the AGG-RS groups.")
 
+(* Exit code of a finished campaign: quarantined crashers dominate. *)
+let campaign_exit (c : Campaign.t) =
+  if c.Campaign.quarantined <> [] then exit_quarantined
+  else if c.Campaign.reports <> [] then exit_reports
+  else exit_clean
+
+let print_robustness (c : Campaign.t) =
+  if c.Campaign.options.Campaign.faults <> [] then begin
+    Fmt.pr "fault schedule: %s@."
+      (Fault.schedule_to_string c.Campaign.options.Campaign.faults);
+    Fmt.pr "faults fired: %a@." Fault.pp_counters c.Campaign.fault_counters;
+    Fmt.pr "supervisor: %a@." Supervisor.pp_stats c.Campaign.sup_stats
+  end;
+  if c.Campaign.quarantined <> [] then begin
+    Fmt.pr "%d quarantined crasher(s):@."
+      (List.length c.Campaign.quarantined);
+    List.iter
+      (fun crash -> Fmt.pr "%a@." Supervisor.pp_crash crash)
+      c.Campaign.quarantined
+  end
+
+(* Run the execute phase chunk by chunk when checkpointing is on, saving
+   the checkpoint file after every chunk. *)
+let run_campaign opts ~checkpoint_file ~checkpoint_every ~resume =
+  let prepared = Campaign.prepare opts in
+  match checkpoint_file with
+  | None -> Campaign.execute_prepared prepared
+  | Some path ->
+    let start =
+      if resume && Sys.file_exists path then
+        match Campaign.load_checkpoint path with
+        | Ok ck ->
+          let done_, total = Campaign.checkpoint_progress ck in
+          Fmt.pr "resuming from %s: %d/%d representatives done@." path done_
+            total;
+          Some ck
+        | Error e ->
+          Fmt.epr "kit: cannot resume: %s (starting over)@." e;
+          None
+      else None
+    in
+    let rec go resume =
+      match
+        Campaign.execute_partial ?resume ~budget:(max 1 checkpoint_every)
+          prepared
+      with
+      | `Done t ->
+        if Sys.file_exists path then Sys.remove path;
+        t
+      | `Paused ck ->
+        Campaign.save_checkpoint path ck;
+        go (Some ck)
+    in
+    go start
+
 let cmd_campaign =
-  let run seed corpus_size strategy verbose =
-    let c = Campaign.run (options ~seed ~corpus_size ~strategy) in
-    let found = Oracle.new_bugs_found c.Campaign.keyed in
-    Fmt.pr "strategy %s: %d clusters, %d reports after filtering@."
-      (Cluster.strategy_name c.Campaign.generation.Cluster.strategy)
-      c.Campaign.generation.Cluster.clusters
-      (List.length c.Campaign.reports);
-    Fmt.pr "%s@." (Tables.table5 c);
-    Fmt.pr "new bugs found (%d/9): %a@." (List.length found)
-      (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
-      found;
-    Fmt.pr "%s@." (Tables.performance c);
-    if verbose then begin
-      Fmt.pr "@.%s@." (Kit_report.Render.groups c.Campaign.agg_rs)
-    end
+  let run seed corpus_size strategy verbose faults fault_intensity fuel
+      max_retries checkpoint_file checkpoint_every resume =
+    guarded (fun () ->
+        let opts =
+          options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
+            ~max_retries
+        in
+        let c = run_campaign opts ~checkpoint_file ~checkpoint_every ~resume in
+        let found = Oracle.new_bugs_found c.Campaign.keyed in
+        Fmt.pr "strategy %s: %d clusters, %d reports after filtering@."
+          (Cluster.strategy_name c.Campaign.generation.Cluster.strategy)
+          c.Campaign.generation.Cluster.clusters
+          (List.length c.Campaign.reports);
+        Fmt.pr "%s@." (Tables.table5 c);
+        Fmt.pr "new bugs found (%d/9): %a@." (List.length found)
+          (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
+          found;
+        Fmt.pr "%s@." (Tables.performance c);
+        print_robustness c;
+        if verbose then Fmt.pr "@.%s@." (Kit_report.Render.groups c.Campaign.agg_rs);
+        campaign_exit c)
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run a full testing campaign")
-    Term.(const run $ seed_arg $ corpus_size_arg $ strategy_arg $ verbose_arg)
+    Term.(
+      const run $ seed_arg $ corpus_size_arg $ strategy_arg $ verbose_arg
+      $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
 
 let cmd_distrib =
   let workers_arg =
     Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker environments.")
   in
-  let run seed corpus_size strategy workers =
-    let opts = options ~seed ~corpus_size ~strategy in
-    let single = Campaign.run opts in
-    let d =
-      Distrib.execute opts single.Campaign.corpus single.Campaign.generation
-        ~workers
+  let kill_arg =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ w; n ] -> (
+        match (int_of_string_opt w, int_of_string_opt n) with
+        | Some w, Some n when w >= 0 && n >= 0 ->
+          Ok { Distrib.dead_worker = w; after = n }
+        | _ -> Error (`Msg "expected WORKER:AFTER (non-negative integers)"))
+      | _ -> Error (`Msg "expected WORKER:AFTER")
     in
-    Fmt.pr "%a@." Distrib.pp d;
-    List.iter
-      (fun (w : Distrib.worker_result) ->
-        Fmt.pr "worker %d: %d test cases, %d executions, %d reports@."
-          w.Distrib.worker w.Distrib.assigned w.Distrib.executions
-          (List.length w.Distrib.reports))
-      d.Distrib.workers;
-    Fmt.pr "single-node check: %d reports (%s)@."
-      (List.length single.Campaign.reports)
-      (if List.length single.Campaign.reports = List.length d.Distrib.reports
-       then "identical" else "MISMATCH")
+    let print ppf f =
+      Fmt.pf ppf "%d:%d" f.Distrib.dead_worker f.Distrib.after
+    in
+    Arg.(
+      value
+      & opt_all (conv (parse, print)) []
+      & info [ "kill" ] ~docv:"WORKER:AFTER"
+          ~doc:
+            "Kill worker $(b,WORKER) after it completes $(b,AFTER) test \
+             cases; its remaining queue is resharded over the survivors. \
+             Repeatable.")
+  in
+  let run seed corpus_size strategy workers faults fault_intensity fuel
+      max_retries kills =
+    guarded (fun () ->
+        let opts =
+          options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
+            ~max_retries
+        in
+        let single = Campaign.run opts in
+        let d =
+          Distrib.execute ~failures:kills opts single.Campaign.corpus
+            single.Campaign.generation ~workers
+        in
+        Fmt.pr "%a@." Distrib.pp d;
+        List.iter
+          (fun (w : Distrib.worker_result) ->
+            Fmt.pr "worker %d%s: %d/%d test cases, %d executions, %d reports@."
+              w.Distrib.worker
+              (if w.Distrib.died then " (died)" else "")
+              w.Distrib.completed w.Distrib.assigned w.Distrib.executions
+              (List.length w.Distrib.reports))
+          d.Distrib.workers;
+        let identical =
+          List.length single.Campaign.reports = List.length d.Distrib.reports
+        in
+        Fmt.pr "single-node check: %d reports (%s)@."
+          (List.length single.Campaign.reports)
+          (if identical then "identical" else "MISMATCH");
+        if not identical then exit_internal
+        else if d.Distrib.quarantined <> [] then exit_quarantined
+        else if d.Distrib.reports <> [] then exit_reports
+        else exit_clean)
   in
   Cmd.v
     (Cmd.info "distrib" ~doc:"Run a campaign sharded over worker environments")
-    Term.(const run $ seed_arg $ corpus_size_arg $ strategy_arg $ workers_arg)
+    Term.(
+      const run $ seed_arg $ corpus_size_arg $ strategy_arg $ workers_arg
+      $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
+      $ kill_arg)
 
 let cmd_tables =
   let run seed corpus_size =
-    let prepared =
-      Campaign.prepare (options ~seed ~corpus_size ~strategy:Cluster.Df_ia)
-    in
-    let _, t4, (df_ia, _, _, _) = Tables.table4 prepared in
-    let _, t2 = Tables.table2 df_ia in
-    Fmt.pr "== Table 2: bugs found ==@.%s@." t2;
-    let _, t3 = Tables.table3 () in
-    Fmt.pr "== Table 3: known bugs ==@.%s@." t3;
-    Fmt.pr "== Table 4: generation strategies ==@.%s@." t4;
-    Fmt.pr "== Table 5: report filtering ==@.%s@.@." (Tables.table5 df_ia);
-    let _, t6 = Tables.table6 df_ia in
-    Fmt.pr "== Table 6: report aggregation ==@.%s@." t6;
-    Fmt.pr "== Performance (sec. 6.5) ==@.%s@." (Tables.performance df_ia)
+    guarded (fun () ->
+        let prepared =
+          Campaign.prepare
+            { Campaign.default_options with Campaign.seed; corpus_size }
+        in
+        let _, t4, (df_ia, _, _, _) = Tables.table4 prepared in
+        let _, t2 = Tables.table2 df_ia in
+        Fmt.pr "== Table 2: bugs found ==@.%s@." t2;
+        let _, t3 = Tables.table3 () in
+        Fmt.pr "== Table 3: known bugs ==@.%s@." t3;
+        Fmt.pr "== Table 4: generation strategies ==@.%s@." t4;
+        Fmt.pr "== Table 5: report filtering ==@.%s@.@." (Tables.table5 df_ia);
+        let _, t6 = Tables.table6 df_ia in
+        Fmt.pr "== Table 6: report aggregation ==@.%s@." t6;
+        Fmt.pr "== Performance (sec. 6.5) ==@.%s@." (Tables.performance df_ia);
+        exit_clean)
   in
   Cmd.v (Cmd.info "tables" ~doc:"Regenerate the paper's evaluation tables")
     Term.(const run $ seed_arg $ corpus_size_arg)
 
 let cmd_known_bugs =
   let run () =
-    let outcomes, rendered = Tables.table3 () in
-    Fmt.pr "%s@." rendered;
-    Fmt.pr "detected %d/7 documented bugs (paper: 5/7)@."
-      (Known_bugs.detected_count outcomes)
+    guarded (fun () ->
+        let outcomes, rendered = Tables.table3 () in
+        Fmt.pr "%s@." rendered;
+        Fmt.pr "detected %d/7 documented bugs (paper: 5/7)@."
+          (Known_bugs.detected_count outcomes);
+        exit_clean)
   in
   Cmd.v
     (Cmd.info "known-bugs" ~doc:"Reproduce the documented bugs of Table 3")
@@ -140,10 +331,10 @@ let read_file path =
 (* Parse a user-supplied program file, turning parse failures into a
    clean CLI error instead of an uncaught exception. *)
 let parse_program_file path =
-  try Syzlang.parse (read_file path)
+  try Ok (Syzlang.parse (read_file path))
   with Syzlang.Parse_error msg ->
     Fmt.epr "kit: cannot parse %s: %s@." path msg;
-    exit 2
+    Error exit_internal
 
 let cmd_run =
   let sender_arg =
@@ -168,38 +359,69 @@ let cmd_run =
          & info [ "bounds" ]
              ~doc:"Use the bounds-based detector instead of trace masking.")
   in
-  let run sender_file receiver_file version bounds =
-    let sender = parse_program_file sender_file in
-    let receiver = parse_program_file receiver_file in
-    let config = Config.make version in
-    let env = Kit_exec.Env.create config in
-    let runner = Kit_exec.Runner.create env in
-    if bounds then begin
-      let violations =
-        Kit_exec.Runner.execute_bounds runner ~sender ~receiver
-      in
-      if violations = [] then Fmt.pr "no bound violations@."
-      else
-        List.iter
-          (fun v -> Fmt.pr "VIOLATION %a@." Kit_trace.Bounds.pp_violation v)
-          violations
-    end
-    else begin
-      let outcome = Kit_exec.Runner.execute runner ~sender ~receiver in
-      if outcome.Kit_exec.Runner.masked_diffs = [] then
-        Fmt.pr "no functional interference detected@."
-      else begin
-        Fmt.pr "functional interference on receiver calls [%a]:@."
-          (Fmt.list ~sep:(Fmt.any ",") Fmt.int)
-          outcome.Kit_exec.Runner.interfered;
-        List.iter
-          (fun d -> Fmt.pr "  %a@." Kit_trace.Compare.pp_diff d)
-          outcome.Kit_exec.Runner.masked_diffs
-      end
-    end
+  let run sender_file receiver_file version bounds faults fault_intensity fuel
+      max_retries seed =
+    guarded (fun () ->
+        match (parse_program_file sender_file, parse_program_file receiver_file)
+        with
+        | Error code, _ | _, Error code -> code
+        | Ok sender, Ok receiver ->
+          let config = Config.make version in
+          let faults =
+            faults @ Fault.schedule_of_seed ~seed ~intensity:fault_intensity
+          in
+          let cfg =
+            { Supervisor.default_config with Supervisor.fuel; max_retries }
+          in
+          let sup =
+            Supervisor.create ~cfg ~fault:(Fault.of_schedule faults) config
+          in
+          if bounds then begin
+            let violations =
+              Kit_exec.Runner.execute_bounds sup.Supervisor.runner ~sender
+                ~receiver
+            in
+            if violations = [] then begin
+              Fmt.pr "no bound violations@.";
+              exit_clean
+            end
+            else begin
+              List.iter
+                (fun v ->
+                  Fmt.pr "VIOLATION %a@." Kit_trace.Bounds.pp_violation v)
+                violations;
+              exit_reports
+            end
+          end
+          else begin
+            match Supervisor.execute sup ~sender ~receiver with
+            | Kit_exec.Runner.Crashed info ->
+              Fmt.pr "test case QUARANTINED: %a@." Fault.pp_panic_info info;
+              exit_quarantined
+            | Kit_exec.Runner.Hung ->
+              Fmt.pr "test case QUARANTINED: hung every attempt@.";
+              exit_quarantined
+            | Kit_exec.Runner.Completed outcome ->
+              if outcome.Kit_exec.Runner.masked_diffs = [] then begin
+                Fmt.pr "no functional interference detected@.";
+                exit_clean
+              end
+              else begin
+                Fmt.pr "functional interference on receiver calls [%a]:@."
+                  (Fmt.list ~sep:(Fmt.any ",") Fmt.int)
+                  outcome.Kit_exec.Runner.interfered;
+                List.iter
+                  (fun d -> Fmt.pr "  %a@." Kit_trace.Compare.pp_diff d)
+                  outcome.Kit_exec.Runner.masked_diffs;
+                exit_reports
+              end
+          end)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute one sender/receiver test case")
-    Term.(const run $ sender_arg $ receiver_arg $ version_arg $ bounds_arg)
+    Term.(
+      const run $ sender_arg $ receiver_arg $ version_arg $ bounds_arg
+      $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
+      $ seed_arg)
 
 let cmd_profile =
   let program_arg =
@@ -209,23 +431,27 @@ let cmd_profile =
       & info [ "program" ] ~doc:"Test program file (syzlang-style).")
   in
   let run program_file =
-    let prog = parse_program_file program_file in
-    let profiler = Kit_profile.Collect.create (Config.v5_13 ()) in
-    let profile =
-      Kit_profile.Collect.profile profiler ~role:Kit_profile.Collect.Receiver
-        prog
-    in
-    Fmt.pr "%d attributed kernel memory accesses:@."
-      (List.length profile.Kit_profile.Collect.accesses);
-    List.iter
-      (fun (a : Kit_profile.Stackrec.access) ->
-        Fmt.pr "  sys#%d %s addr=0x%x ip=0x%x stack=[%s]@."
-          a.Kit_profile.Stackrec.sys_index
-          (Kit_kernel.Kevent.rw_to_string a.Kit_profile.Stackrec.rw)
-          a.Kit_profile.Stackrec.addr a.Kit_profile.Stackrec.ip
-          (String.concat " < "
-             (List.map Kit_kernel.Kfun.name a.Kit_profile.Stackrec.stack)))
-      profile.Kit_profile.Collect.accesses
+    guarded (fun () ->
+        match parse_program_file program_file with
+        | Error code -> code
+        | Ok prog ->
+          let profiler = Kit_profile.Collect.create (Config.v5_13 ()) in
+          let profile =
+            Kit_profile.Collect.profile profiler
+              ~role:Kit_profile.Collect.Receiver prog
+          in
+          Fmt.pr "%d attributed kernel memory accesses:@."
+            (List.length profile.Kit_profile.Collect.accesses);
+          List.iter
+            (fun (a : Kit_profile.Stackrec.access) ->
+              Fmt.pr "  sys#%d %s addr=0x%x ip=0x%x stack=[%s]@."
+                a.Kit_profile.Stackrec.sys_index
+                (Kit_kernel.Kevent.rw_to_string a.Kit_profile.Stackrec.rw)
+                a.Kit_profile.Stackrec.addr a.Kit_profile.Stackrec.ip
+                (String.concat " < "
+                   (List.map Kit_kernel.Kfun.name a.Kit_profile.Stackrec.stack)))
+            profile.Kit_profile.Collect.accesses;
+          exit_clean)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -237,10 +463,12 @@ let cmd_corpus =
     Arg.(value & opt int 16 & info [ "size" ] ~doc:"Corpus size.")
   in
   let run seed size =
-    let corpus = Corpus.generate ~seed ~size in
-    List.iteri
-      (fun i prog -> Fmt.pr "# program %d@.%s@." i (Program.to_string prog))
-      corpus
+    guarded (fun () ->
+        let corpus = Corpus.generate ~seed ~size in
+        List.iteri
+          (fun i prog -> Fmt.pr "# program %d@.%s@." i (Program.to_string prog))
+          corpus;
+        exit_clean)
   in
   Cmd.v (Cmd.info "corpus" ~doc:"Print a generated program corpus")
     Term.(const run $ seed_arg $ size_arg)
@@ -252,4 +480,4 @@ let main =
     [ cmd_campaign; cmd_distrib; cmd_tables; cmd_known_bugs; cmd_run;
       cmd_profile; cmd_corpus ]
 
-let () = exit (Cmd.eval main)
+let () = exit (Cmd.eval' main)

@@ -1,17 +1,25 @@
 (* The end-to-end KIT pipeline (paper, Figure 3): corpus → profiling →
    data-flow test case generation and clustering → two-phase execution →
    divergence detection and filtering → diagnosis (Algorithm 2) → report
-   aggregation. Fully deterministic for a given seed. *)
+   aggregation. Fully deterministic for a given seed.
+
+   Execution runs under the supervised runtime (Exec.Supervisor): test
+   cases that panic or hang the kernel are retried with backoff and
+   quarantined as crash reports once the retry budget is spent, and the
+   execute phase checkpoints so an interrupted campaign resumes without
+   re-executing completed clusters. *)
 
 module Program = Kit_abi.Program
 module Corpus = Kit_abi.Corpus
 module Config = Kit_kernel.Config
+module Fault = Kit_kernel.Fault
 module Spec = Kit_spec.Spec
 module Dataflow = Kit_gen.Dataflow
 module Cluster = Kit_gen.Cluster
 module Testcase = Kit_gen.Testcase
 module Env = Kit_exec.Env
 module Runner = Kit_exec.Runner
+module Supervisor = Kit_exec.Supervisor
 module Filter = Kit_detect.Filter
 module Report = Kit_detect.Report
 module Diagnose = Kit_report.Diagnose
@@ -25,6 +33,9 @@ type options = {
   strategy : Cluster.strategy;
   reruns : int;
   diagnose : bool;
+  faults : Fault.schedule;              (* injected fault schedule *)
+  fuel : int;                           (* per-execution step budget *)
+  max_retries : int;                    (* supervisor retry budget *)
 }
 
 let default_options =
@@ -36,6 +47,9 @@ let default_options =
     strategy = Cluster.Df_ia;
     reruns = 3;
     diagnose = true;
+    faults = [];
+    fuel = Supervisor.default_config.Supervisor.fuel;
+    max_retries = Supervisor.default_config.Supervisor.max_retries;
   }
 
 type timings = {
@@ -52,17 +66,22 @@ type t = {
   df_total : int;                       (* unclustered data-flow count *)
   funnel : Filter.funnel;
   reports : Report.t list;
+  quarantined : Supervisor.crash list;  (* crash reports, oldest first *)
   keyed : Aggregate.keyed list;         (* diagnosed reports, if enabled *)
   agg_r : Aggregate.group list;
   agg_rs : Aggregate.group list;
   executions : int;
+  sup_stats : Supervisor.stats;
+  fault_counters : Fault.counters;
   timings : timings;
 }
 
+(* Wall-clock timing: campaign phases include supervisor backoff and
+   (in a real deployment) I/O waits, which CPU time would hide. *)
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let v = f () in
-  (v, Sys.time () -. t0)
+  (v, Unix.gettimeofday () -. t0)
 
 (* Prepared inputs shared by several strategies (Table 4 runs the same
    corpus and profiles through each strategy). *)
@@ -90,72 +109,234 @@ let prepare options =
 
 (* Interference test used both for detection-time classification and for
    Algorithm 2 re-testing: masked divergence restricted to receiver calls
-   that access protected resources. *)
-let protected_interference spec runner ~sender ~receiver =
-  let interfered = Runner.test_interference runner ~sender ~receiver in
+   that access protected resources. The supervised variant survives
+   modified senders that crash the kernel. *)
+let protected_interference spec sup ~sender ~receiver =
+  let interfered = Supervisor.test_interference sup ~sender ~receiver in
   Filter.protected_interfered spec receiver interfered
 
-let execute_prepared ?strategy prepared =
-  let options = prepared.p_options in
-  let strategy = Option.value ~default:options.strategy strategy in
-  let generation, generate_s =
+(* -- checkpoints --------------------------------------------------------- *)
+
+(* Everything the execute phase has accumulated, plus the options
+   fingerprint a resume must match. Reports are kept newest-first while
+   executing and only reversed when the phase completes. *)
+type checkpoint = {
+  ck_seed : int;
+  ck_corpus_size : int;
+  ck_strategy : Cluster.strategy;
+  ck_done : int;                        (* cluster reps completed *)
+  ck_total : int;                       (* cluster reps overall *)
+  ck_funnel : Filter.funnel;
+  ck_rev_reports : Report.t list;       (* newest first *)
+  ck_quarantined : Supervisor.crash list; (* oldest first *)
+  ck_executions : int;
+  ck_generate_s : float;
+  ck_execute_s : float;
+}
+
+let copy_funnel (f : Filter.funnel) =
+  { Filter.executed = f.Filter.executed; initial = f.Filter.initial;
+    after_nondet = f.Filter.after_nondet;
+    after_resource = f.Filter.after_resource }
+
+let checkpoint_progress ck = (ck.ck_done, ck.ck_total)
+
+let checkpoint_magic = "KITCKPT1"
+
+let save_checkpoint path ck =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc checkpoint_magic;
+      Marshal.to_channel oc ck [])
+
+let load_checkpoint path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        match really_input_string ic (String.length checkpoint_magic) with
+        | exception End_of_file -> Error (path ^ ": not a checkpoint file")
+        | magic when not (String.equal magic checkpoint_magic) ->
+          Error (path ^ ": not a checkpoint file")
+        | _ -> (
+          match (Marshal.from_channel ic : checkpoint) with
+          | ck -> Ok ck
+          | exception _ -> Error (path ^ ": truncated or corrupt checkpoint")))
+
+(* -- supervised execution ------------------------------------------------ *)
+
+let make_supervisor options =
+  let cfg =
+    { Supervisor.default_config with
+      Supervisor.fuel = options.fuel;
+      max_retries = options.max_retries }
+  in
+  Supervisor.create ~cfg ~reruns:options.reruns
+    ~fault:(Fault.of_schedule options.faults)
+    options.config
+
+(* Execute one cluster representative under supervision; quarantined
+   crashers are recorded by the supervisor and produce no report. *)
+let run_testcase options corpus sup funnel reports (tc : Testcase.t) =
+  let sender = corpus.(tc.Testcase.sender) in
+  let receiver = corpus.(tc.Testcase.receiver) in
+  match Supervisor.execute sup ~sender ~receiver with
+  | Runner.Crashed _ | Runner.Hung -> ()
+  | Runner.Completed outcome -> (
+    match
+      Filter.classify options.spec ~testcase:tc ~sender ~receiver outcome
+        funnel
+    with
+    | Filter.Reported r -> reports := r :: !reports
+    | Filter.No_divergence | Filter.Filtered_nondet | Filter.Filtered_resource
+      ->
+      ())
+
+(* Run the execute phase for up to [budget] representatives, starting
+   from [resume] (or from scratch). Returns either the completed phase
+   or a checkpoint to continue from. Each call boots its own supervised
+   environment, like a campaign process restarted after an interrupt. *)
+type phase_result =
+  | Phase_done of {
+      generation : Cluster.result;
+      funnel : Filter.funnel;
+      reports : Report.t list;
+      quarantined : Supervisor.crash list;
+      prior_executions : int;           (* from resumed checkpoints *)
+      sup : Supervisor.t;
+      generate_s : float;
+      execute_s : float;
+    }
+  | Phase_paused of checkpoint
+
+let validate_resume options strategy total (ck : checkpoint) =
+  if ck.ck_seed <> options.seed then
+    invalid_arg "Campaign.resume: checkpoint was taken with a different seed";
+  if ck.ck_corpus_size <> options.corpus_size then
+    invalid_arg
+      "Campaign.resume: checkpoint was taken with a different corpus size";
+  if ck.ck_strategy <> strategy then
+    invalid_arg
+      "Campaign.resume: checkpoint was taken with a different strategy";
+  if ck.ck_total <> total then
+    invalid_arg "Campaign.resume: checkpoint cluster count mismatch"
+
+let execute_phase ?resume ~budget ~strategy prepared =
+  let options = { prepared.p_options with strategy } in
+  let generation, generate_s_now =
     timed (fun () ->
         Cluster.run strategy ~seed:options.seed
           ~corpus_size:(Array.length prepared.p_corpus) prepared.p_map)
   in
-  let env = Env.create options.config in
-  let runner = Runner.create ~reruns:options.reruns env in
-  let funnel = Filter.funnel_create () in
-  let reports = ref [] in
-  let _, execute_s =
+  let reps = generation.Cluster.reps in
+  let total = List.length reps in
+  let done_, funnel, rev_reports, quarantined0, executions0, generate_s,
+      execute_s0 =
+    match resume with
+    | None -> (0, Filter.funnel_create (), [], [], 0, generate_s_now, 0.0)
+    | Some ck ->
+      validate_resume options strategy total ck;
+      ( ck.ck_done, copy_funnel ck.ck_funnel, ck.ck_rev_reports,
+        ck.ck_quarantined, ck.ck_executions, ck.ck_generate_s,
+        ck.ck_execute_s )
+  in
+  let sup = make_supervisor options in
+  let reports = ref rev_reports in
+  let todo = List.filteri (fun i _ -> i >= done_) reps in
+  let chunk = List.filteri (fun i _ -> i < budget) todo in
+  let executed_now = List.length chunk in
+  let _, execute_s_now =
     timed (fun () ->
         List.iter
-          (fun (tc : Testcase.t) ->
-            let sender = prepared.p_corpus.(tc.Testcase.sender) in
-            let receiver = prepared.p_corpus.(tc.Testcase.receiver) in
-            let outcome = Runner.execute runner ~sender ~receiver in
-            match
-              Filter.classify options.spec ~testcase:tc ~sender ~receiver
-                outcome funnel
-            with
-            | Filter.Reported r -> reports := r :: !reports
-            | Filter.No_divergence | Filter.Filtered_nondet
-            | Filter.Filtered_resource ->
-              ())
-          generation.Cluster.reps)
+          (run_testcase options prepared.p_corpus sup funnel reports)
+          chunk)
   in
-  let reports = List.rev !reports in
-  let keyed, diagnose_s =
-    if not options.diagnose then ([], 0.0)
-    else
-      timed (fun () ->
-          List.map
-            (fun (r : Report.t) ->
-              let pairs =
-                Diagnose.culprits
-                  ~test:(protected_interference options.spec runner)
-                  ~sender:r.Report.sender ~receiver:r.Report.receiver
-                  ~interfered:r.Report.interfered
-              in
-              Aggregate.key_report r pairs)
-            reports)
+  let execute_s = execute_s0 +. execute_s_now in
+  let quarantined = quarantined0 @ Supervisor.quarantined sup in
+  let executions = executions0 + Supervisor.executions sup in
+  if done_ + executed_now < total then
+    Phase_paused
+      {
+        ck_seed = options.seed;
+        ck_corpus_size = options.corpus_size;
+        ck_strategy = strategy;
+        ck_done = done_ + executed_now;
+        ck_total = total;
+        ck_funnel = copy_funnel funnel;
+        ck_rev_reports = !reports;
+        ck_quarantined = quarantined;
+        ck_executions = executions;
+        ck_generate_s = generate_s;
+        ck_execute_s = execute_s;
+      }
+  else
+    Phase_done
+      { generation; funnel; reports = List.rev !reports; quarantined;
+        prior_executions = executions0; sup; generate_s; execute_s }
+
+let finish prepared options phase =
+  match phase with
+  | Phase_paused _ -> assert false
+  | Phase_done
+      { generation; funnel; reports; quarantined; prior_executions; sup;
+        generate_s; execute_s } ->
+    let keyed, diagnose_s =
+      if not options.diagnose then ([], 0.0)
+      else
+        timed (fun () ->
+            List.map
+              (fun (r : Report.t) ->
+                let pairs =
+                  Diagnose.culprits
+                    ~test:(protected_interference options.spec sup)
+                    ~sender:r.Report.sender ~receiver:r.Report.receiver
+                    ~interfered:r.Report.interfered
+                in
+                Aggregate.key_report r pairs)
+              reports)
+    in
+    let agg_r = Aggregate.agg_r keyed in
+    let agg_rs = Aggregate.agg_rs keyed in
+    {
+      options;
+      corpus = prepared.p_corpus;
+      generation;
+      df_total = prepared.p_df_total;
+      funnel;
+      reports;
+      quarantined;
+      keyed;
+      agg_r;
+      agg_rs;
+      (* diagnosis re-executed through [sup], so read the counter last *)
+      executions = prior_executions + Supervisor.executions sup;
+      sup_stats = sup.Supervisor.stats;
+      fault_counters = Fault.counters sup.Supervisor.fault;
+      timings =
+        { profile_s = prepared.p_profile_s; generate_s; execute_s; diagnose_s };
+    }
+
+let execute_partial ?strategy ?resume ~budget prepared =
+  let options = prepared.p_options in
+  let strategy =
+    match (strategy, resume) with
+    | Some s, _ -> s
+    | None, Some ck -> ck.ck_strategy
+    | None, None -> options.strategy
   in
-  let agg_r = Aggregate.agg_r keyed in
-  let agg_rs = Aggregate.agg_rs keyed in
-  {
-    options = { options with strategy };
-    corpus = prepared.p_corpus;
-    generation;
-    df_total = prepared.p_df_total;
-    funnel;
-    reports;
-    keyed;
-    agg_r;
-    agg_rs;
-    executions = runner.Runner.executions;
-    timings =
-      { profile_s = prepared.p_profile_s; generate_s; execute_s; diagnose_s };
-  }
+  match execute_phase ?resume ~budget ~strategy prepared with
+  | Phase_paused ck -> `Paused ck
+  | Phase_done _ as phase ->
+    `Done (finish prepared { options with strategy } phase)
+
+let execute_prepared ?strategy ?resume prepared =
+  match execute_partial ?strategy ?resume ~budget:max_int prepared with
+  | `Done t -> t
+  | `Paused _ -> assert false (* budget covers every representative *)
 
 (* Run a complete campaign with [options]. *)
 let run options = execute_prepared (prepare options)

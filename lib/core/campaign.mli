@@ -1,7 +1,12 @@
 (** The end-to-end KIT pipeline (paper, Figure 3): corpus → profiling →
     data-flow test case generation and clustering → two-phase execution
     → divergence detection and filtering → diagnosis (Algorithm 2) →
-    report aggregation. Fully deterministic for a given seed. *)
+    report aggregation. Fully deterministic for a given seed.
+
+    Execution runs under the supervised runtime: crashes and hangs are
+    retried and quarantined rather than killing the campaign, and the
+    execute phase checkpoints so interrupted campaigns resume without
+    re-execution. *)
 
 type options = {
   config : Kit_kernel.Config.t;
@@ -11,6 +16,9 @@ type options = {
   strategy : Kit_gen.Cluster.strategy;
   reruns : int;                    (** non-determinism re-executions *)
   diagnose : bool;                 (** run Algorithm 2 + aggregation *)
+  faults : Kit_kernel.Fault.schedule;  (** injected fault schedule *)
+  fuel : int;                      (** per-execution step budget *)
+  max_retries : int;               (** supervisor retry budget per case *)
 }
 
 val default_options : options
@@ -29,10 +37,14 @@ type t = {
   df_total : int;                  (** unclustered data-flow count *)
   funnel : Kit_detect.Filter.funnel;
   reports : Kit_detect.Report.t list;
+  quarantined : Kit_exec.Supervisor.crash list;
+  (** test cases that kept killing the kernel, as crash reports *)
   keyed : Kit_report.Aggregate.keyed list;
   agg_r : Kit_report.Aggregate.group list;
   agg_rs : Kit_report.Aggregate.group list;
   executions : int;
+  sup_stats : Kit_exec.Supervisor.stats;
+  fault_counters : Kit_kernel.Fault.counters;
   timings : timings;
 }
 
@@ -42,7 +54,36 @@ type prepared
 
 val prepare : options -> prepared
 
-val execute_prepared : ?strategy:Kit_gen.Cluster.strategy -> prepared -> t
+(** {2 Checkpointing}
+
+    The execute phase — the long-running part of a campaign — can pause
+    after any number of cluster representatives and resume later, even
+    in a fresh process: the checkpoint value carries the funnel, the
+    accumulated reports and quarantine, and an options fingerprint that
+    resume validates. Chunked execution is outcome-equivalent to a
+    straight-through run (property-tested). *)
+
+type checkpoint
+
+val checkpoint_progress : checkpoint -> int * int
+(** [(completed, total)] cluster representatives. *)
+
+val save_checkpoint : string -> checkpoint -> unit
+(** Write a checkpoint file (binary, versioned magic header). *)
+
+val load_checkpoint : string -> (checkpoint, string) result
+
+val execute_partial :
+  ?strategy:Kit_gen.Cluster.strategy -> ?resume:checkpoint -> budget:int ->
+  prepared -> [ `Done of t | `Paused of checkpoint ]
+(** Execute up to [budget] more cluster representatives, starting from
+    [resume] if given (its strategy is used unless [strategy] overrides;
+    seed, corpus size and cluster count must match, or the call raises
+    [Invalid_argument]). Each call boots a fresh supervised environment,
+    like a campaign process restarted after an interrupt. *)
+
+val execute_prepared :
+  ?strategy:Kit_gen.Cluster.strategy -> ?resume:checkpoint -> prepared -> t
 
 val run : options -> t
 (** [run options] = [execute_prepared (prepare options)]. *)

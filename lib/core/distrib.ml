@@ -2,30 +2,50 @@
    mode, where the server distributes VM snapshots and test cases to
    clients and collects their results. Modelled here as a deterministic
    in-process scheduler: test cases are sharded round-robin over N
-   workers, each worker executes its shard in its own environment (its
-   own "VM"), and the server merges the funnels and reports. Sharding
-   never changes the outcome — only the wall-clock parallelism. *)
+   workers, each worker executes its shard in its own supervised
+   environment (its own "VM"), and the server merges the funnels and
+   reports. Sharding never changes the outcome — only the wall-clock
+   parallelism.
+
+   Workers can die: a failure plan kills a worker after it has completed
+   a given number of test cases, and the server reshards the dead
+   worker's remaining queue round-robin across the survivors — the
+   recovery the paper's server mode performs when a client VM stops
+   responding. Resharding never changes the merged outcome either
+   (property-tested). *)
 
 module Testcase = Kit_gen.Testcase
 module Cluster = Kit_gen.Cluster
+module Fault = Kit_kernel.Fault
 module Env = Kit_exec.Env
 module Runner = Kit_exec.Runner
+module Supervisor = Kit_exec.Supervisor
 module Filter = Kit_detect.Filter
 module Report = Kit_detect.Report
 
 type worker_result = {
   worker : int;
-  assigned : int;
+  assigned : int;                      (* originally sharded cases *)
+  completed : int;                     (* executed before dying (if it died) *)
+  died : bool;
   executions : int;
   funnel : Filter.funnel;
   reports : Report.t list;
+  quarantined : Supervisor.crash list;
+}
+
+type failure = {
+  dead_worker : int;
+  after : int;                         (* cases completed before death *)
 }
 
 type t = {
   workers : worker_result list;
   funnel : Filter.funnel;              (* merged *)
   reports : Report.t list;             (* merged, in test case order *)
+  quarantined : Supervisor.crash list; (* merged *)
   total_executions : int;
+  resharded : int;                     (* cases inherited from dead workers *)
 }
 
 (* Round-robin sharding, like the paper's RPC work distribution. *)
@@ -51,36 +71,111 @@ let merge_funnels funnels =
     funnels;
   merged
 
-(* Execute one worker's shard in a freshly booted environment. *)
-let run_worker options corpus ~worker testcases =
-  let env = Env.create options.Campaign.config in
-  let runner = Runner.create ~reruns:options.Campaign.reruns env in
+let make_supervisor options =
+  let cfg =
+    { Supervisor.default_config with
+      Supervisor.fuel = options.Campaign.fuel;
+      max_retries = options.Campaign.max_retries }
+  in
+  Supervisor.create ~cfg ~reruns:options.Campaign.reruns
+    ~fault:(Fault.of_schedule options.Campaign.faults)
+    options.Campaign.config
+
+let run_case options corpus sup funnel reports (tc : Testcase.t) =
+  let sender = corpus.(tc.Testcase.sender) in
+  let receiver = corpus.(tc.Testcase.receiver) in
+  match Supervisor.execute sup ~sender ~receiver with
+  | Runner.Crashed _ | Runner.Hung -> ()
+  | Runner.Completed outcome -> (
+    match
+      Filter.classify options.Campaign.spec ~testcase:tc ~sender ~receiver
+        outcome funnel
+    with
+    | Filter.Reported r -> reports := r :: !reports
+    | Filter.No_divergence | Filter.Filtered_nondet | Filter.Filtered_resource
+      ->
+      ())
+
+(* Execute one worker's shard in a freshly booted supervised
+   environment. [dies_after] kills the worker once it has completed that
+   many cases; the unfinished remainder is returned for resharding. *)
+let run_worker options corpus ~worker ?dies_after testcases =
+  let sup = make_supervisor options in
   let funnel = Filter.funnel_create () in
   let reports = ref [] in
-  List.iter
-    (fun (tc : Testcase.t) ->
-      let sender = corpus.(tc.Testcase.sender) in
-      let receiver = corpus.(tc.Testcase.receiver) in
-      let outcome = Runner.execute runner ~sender ~receiver in
-      match
-        Filter.classify options.Campaign.spec ~testcase:tc ~sender ~receiver
-          outcome funnel
-      with
-      | Filter.Reported r -> reports := r :: !reports
-      | Filter.No_divergence | Filter.Filtered_nondet
-      | Filter.Filtered_resource ->
-        ())
-    testcases;
-  { worker; assigned = List.length testcases;
-    executions = runner.Runner.executions; funnel;
-    reports = List.rev !reports }
+  let budget =
+    match dies_after with Some n -> max 0 n | None -> List.length testcases
+  in
+  let mine = List.filteri (fun i _ -> i < budget) testcases in
+  let leftover = List.filteri (fun i _ -> i >= budget) testcases in
+  List.iter (run_case options corpus sup funnel reports) mine;
+  ( { worker; assigned = List.length testcases;
+      completed = List.length mine; died = dies_after <> None;
+      executions = Supervisor.executions sup; funnel;
+      reports = List.rev !reports;
+      quarantined = Supervisor.quarantined sup },
+    leftover )
+
+let copy_funnel_into (w : worker_result) =
+  { Filter.executed = w.funnel.Filter.executed;
+    initial = w.funnel.Filter.initial;
+    after_nondet = w.funnel.Filter.after_nondet;
+    after_resource = w.funnel.Filter.after_resource }
+
+(* A survivor picks up cases inherited from a dead worker, in a second
+   supervised environment round (its original VM keeps running; the
+   extra queue arrives over RPC afterwards). *)
+let run_extra options corpus (w : worker_result) extra =
+  if extra = [] then w
+  else begin
+    let sup = make_supervisor options in
+    let funnel = copy_funnel_into w in
+    let reports = ref (List.rev w.reports) in
+    List.iter (run_case options corpus sup funnel reports) extra;
+    { w with
+      assigned = w.assigned + List.length extra;
+      completed = w.completed + List.length extra;
+      executions = w.executions + Supervisor.executions sup;
+      funnel;
+      reports = List.rev !reports;
+      quarantined = w.quarantined @ Supervisor.quarantined sup }
+  end
 
 (* Distribute the representatives of [generation] over [workers]
-   environments and merge the results. *)
-let execute options corpus (generation : Cluster.result) ~workers =
+   environments and merge the results. [failures] kills workers
+   mid-shard; their remaining queues are resharded over the survivors. *)
+let execute ?(failures = []) options corpus (generation : Cluster.result)
+    ~workers =
   let shards = shard ~workers generation.Cluster.reps in
+  let plan w =
+    List.find_opt (fun f -> f.dead_worker = w) failures
+    |> Option.map (fun f -> max 0 f.after)
+  in
+  let first_round =
+    Array.to_list
+      (Array.mapi
+         (fun w shard -> run_worker options corpus ~worker:w ?dies_after:(plan w) shard)
+         shards)
+  in
+  let orphans = List.concat_map snd first_round in
+  let results = List.map fst first_round in
+  let survivors = List.filter (fun (w : worker_result) -> not w.died) results in
+  if orphans <> [] && survivors = [] then
+    failwith "Distrib.execute: every worker died; nothing can absorb the queue";
   let results =
-    Array.to_list (Array.mapi (fun w shard -> run_worker options corpus ~worker:w shard) shards)
+    if orphans = [] then results
+    else begin
+      (* Reshard the orphaned queue round-robin over the survivors. *)
+      let extra = shard ~workers:(List.length survivors) orphans in
+      let _, results =
+        List.fold_left
+          (fun (i, acc) (w : worker_result) ->
+            if w.died then (i, w :: acc)
+            else (i + 1, run_extra options corpus w extra.(i) :: acc))
+          (0, []) results
+      in
+      List.rev results
+    end
   in
   let order (r : Report.t) = r.Report.testcase in
   let reports =
@@ -91,11 +186,14 @@ let execute options corpus (generation : Cluster.result) ~workers =
     workers = results;
     funnel = merge_funnels (List.map (fun (w : worker_result) -> w.funnel) results);
     reports;
+    quarantined =
+      List.concat_map (fun (w : worker_result) -> w.quarantined) results;
     total_executions =
       List.fold_left (fun acc (w : worker_result) -> acc + w.executions) 0 results;
+    resharded = List.length orphans;
   }
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>%d workers, %d executions, %d reports@,%a@]"
+  Fmt.pf ppf "@[<v>%d workers, %d executions, %d reports, %d quarantined, %d resharded@,%a@]"
     (List.length t.workers) t.total_executions (List.length t.reports)
-    Filter.pp_funnel t.funnel
+    (List.length t.quarantined) t.resharded Filter.pp_funnel t.funnel

@@ -1,28 +1,45 @@
 (** Distributed testing (paper, section 5.2): the server/client mode,
     modelled as a deterministic in-process scheduler. Test cases are
-    sharded round-robin over N workers, each with its own execution
-    environment (its own "VM"); the server merges funnels and reports.
-    Sharding never changes the outcome — only wall-clock parallelism. *)
+    sharded round-robin over N workers, each with its own supervised
+    execution environment (its own "VM"); the server merges funnels,
+    reports and quarantines. Sharding never changes the outcome — only
+    wall-clock parallelism — and neither does killing a worker
+    mid-campaign: the dead worker's remaining queue is resharded over
+    the survivors (property-tested). *)
 
 type worker_result = {
   worker : int;
-  assigned : int;
+  assigned : int;                  (** cases given (incl. inherited) *)
+  completed : int;                 (** cases actually executed *)
+  died : bool;
   executions : int;
   funnel : Kit_detect.Filter.funnel;
   reports : Kit_detect.Report.t list;
+  quarantined : Kit_exec.Supervisor.crash list;
+}
+
+(** A worker-death plan: [dead_worker] dies after completing [after]
+    cases of its shard. *)
+type failure = {
+  dead_worker : int;
+  after : int;
 }
 
 type t = {
   workers : worker_result list;
   funnel : Kit_detect.Filter.funnel;       (** merged *)
   reports : Kit_detect.Report.t list;      (** merged, in test-case order *)
+  quarantined : Kit_exec.Supervisor.crash list;  (** merged *)
   total_executions : int;
+  resharded : int;                 (** cases inherited from dead workers *)
 }
 
 val shard : workers:int -> 'a list -> 'a list array
 
 val execute :
+  ?failures:failure list ->
   Campaign.options -> Kit_abi.Program.t array -> Kit_gen.Cluster.result ->
   workers:int -> t
+(** @raise Failure if every worker dies with work still queued. *)
 
 val pp : Format.formatter -> t -> unit

@@ -2,10 +2,14 @@
    with two container processes and a machine snapshot taken after
    container setup. Every execution reloads the snapshot, so runs differ
    only in what the framework does on purpose — which programs run, and
-   the clock base offset. *)
+   the clock base offset. The environment also carries the fault plane:
+   boot, snapshot restore and every syscall consult it, which is how the
+   supervised runtime injects crashes, hangs and infrastructure
+   failures. *)
 
 module State = Kit_kernel.State
 module Clock = Kit_kernel.Clock
+module Fault = Kit_kernel.Fault
 
 type t = {
   kernel : State.t;
@@ -16,16 +20,21 @@ type t = {
 }
 
 (* [sender_host] puts the sender in the initial namespaces — the setup
-   known bug E requires (its sender acts from the host). *)
-let create ?(sender_host = false) config =
-  let kernel = State.boot config in
+   known bug E requires (its sender acts from the host). [fault] is the
+   fault plane the booted kernel consults; boot itself may fail. *)
+let create ?(sender_host = false) ?fault config =
+  let kernel = State.boot ?fault config in
   let sender_pid = State.spawn_container ~host:sender_host kernel in
   let receiver_pid = State.spawn_container kernel in
   let snapshot = State.snapshot kernel in
   { kernel; snapshot; sender_pid; receiver_pid;
     base0 = Clock.base kernel.State.clock }
 
-(* Reload the snapshot and select this execution's clock base. *)
+let fault t = t.kernel.State.fault
+
+(* Reload the snapshot, refill the fuel tank and select this execution's
+   clock base. *)
 let reset t ~base =
   State.restore t.kernel t.snapshot;
+  Fault.begin_execution t.kernel.State.fault;
   Clock.set_base t.kernel.State.clock base

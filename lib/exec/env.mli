@@ -2,7 +2,8 @@
     with two container processes and a machine snapshot taken after
     container setup. Every execution reloads the snapshot, so runs
     differ only in what the framework does on purpose: which programs
-    run, and the clock base offset. *)
+    run, and the clock base offset. The environment carries the fault
+    plane consulted at boot, restore and every syscall. *)
 
 type t = {
   kernel : Kit_kernel.State.t;
@@ -12,9 +13,16 @@ type t = {
   base0 : int;                    (** reference clock base *)
 }
 
-val create : ?sender_host:bool -> Kit_kernel.Config.t -> t
+val create :
+  ?sender_host:bool -> ?fault:Kit_kernel.Fault.t -> Kit_kernel.Config.t -> t
 (** [sender_host] puts the sender in the initial namespaces — the setup
-    known bug E requires. *)
+    known bug E requires. [fault] (default inert) is the fault plane.
+    @raise Kit_kernel.Fault.Boot_failed if a boot failure is armed. *)
+
+val fault : t -> Kit_kernel.Fault.t
+(** The kernel's fault plane. *)
 
 val reset : t -> base:int -> unit
-(** Reload the snapshot and select this execution's clock base. *)
+(** Reload the snapshot, refill the execution fuel tank and select this
+    execution's clock base.
+    @raise Kit_kernel.Fault.Snapshot_corrupt if corruption is armed. *)

@@ -8,10 +8,13 @@
    with different clock base offsets; result nodes that vary get their
    det flag cleared, and the flags are applied to both traces before
    comparison. Non-determinism masks are cached per receiver program, as
-   the paper saves them to disk between campaigns. *)
+   the paper saves them to disk between campaigns; the cache is
+   size-capped with FIFO eviction so month-long campaigns cannot grow
+   memory without bound. *)
 
 module Program = Kit_abi.Program
 module Interp = Kit_kernel.Interp
+module Fault = Kit_kernel.Fault
 module Ast = Kit_trace.Ast
 module Decode = Kit_trace.Decode
 module Compare = Kit_trace.Compare
@@ -22,11 +25,18 @@ type t = {
   reruns : int;
   rerun_delta : int;
   mask_cache : (int, Ast.t) Hashtbl.t;   (* receiver program hash -> mask *)
+  mask_order : int Queue.t;              (* insertion order, for eviction *)
+  mask_cache_cap : int;
+  mutable mask_hits : int;
+  mutable mask_misses : int;
   mutable executions : int;              (* program executions performed *)
 }
 
-let create ?(reruns = 3) ?(rerun_delta = 7_777) env =
-  { env; reruns; rerun_delta; mask_cache = Hashtbl.create 256; executions = 0 }
+let create ?(reruns = 3) ?(rerun_delta = 7_777) ?(mask_cache_cap = 4096) env =
+  { env; reruns; rerun_delta;
+    mask_cache = Hashtbl.create 256; mask_order = Queue.create ();
+    mask_cache_cap = max 1 mask_cache_cap;
+    mask_hits = 0; mask_misses = 0; executions = 0 }
 
 let run_receiver t ~base receiver =
   Env.reset t.env ~base;
@@ -43,13 +53,27 @@ let run_pair t ~base sender receiver =
   let results = Interp.run t.env.Env.kernel ~pid:t.env.Env.receiver_pid receiver in
   Decode.decode_trace results
 
+(* Insert a mask, evicting the oldest entry when the cache is full. *)
+let cache_mask t key mask =
+  if not (Hashtbl.mem t.mask_cache key) then begin
+    if Queue.length t.mask_order >= t.mask_cache_cap then begin
+      let oldest = Queue.pop t.mask_order in
+      Hashtbl.remove t.mask_cache oldest
+    end;
+    Queue.push key t.mask_order
+  end;
+  Hashtbl.replace t.mask_cache key mask
+
 (* The non-determinism mask of [receiver]: its solo trace with det flags
    cleared wherever re-executions with shifted clock bases disagree. *)
 let nondet_mask t receiver =
   let key = Program.hash receiver in
   match Hashtbl.find_opt t.mask_cache key with
-  | Some mask -> mask
+  | Some mask ->
+    t.mask_hits <- t.mask_hits + 1;
+    mask
   | None ->
+    t.mask_misses <- t.mask_misses + 1;
     let base = t.env.Env.base0 in
     let reference = run_receiver t ~base receiver in
     let alternatives =
@@ -57,8 +81,11 @@ let nondet_mask t receiver =
           run_receiver t ~base:(base + ((k + 1) * t.rerun_delta)) receiver)
     in
     let mask = Nondet.mark reference alternatives in
-    Hashtbl.replace t.mask_cache key mask;
+    cache_mask t key mask;
     mask
+
+let mask_cache_stats t =
+  (t.mask_hits, t.mask_misses, Hashtbl.length t.mask_cache)
 
 type outcome = {
   trace_a : Ast.t;                  (* receiver trace, sender ran first *)
@@ -84,6 +111,20 @@ let execute t ~sender ~receiver =
     let interfered = Compare.interfered_indices masked_a masked_b in
     { trace_a; trace_b; raw_diffs; masked_diffs; interfered }
   end
+
+(* Failure-aware execution: a crashed or hung kernel no longer takes the
+   whole campaign down; the caller (normally Exec.Supervisor) decides
+   whether to retry, reboot, or quarantine. *)
+type status =
+  | Completed of outcome
+  | Crashed of Fault.panic_info
+  | Hung
+
+let try_execute t ~sender ~receiver =
+  match execute t ~sender ~receiver with
+  | outcome -> Completed outcome
+  | exception Fault.Kernel_panic info -> Crashed info
+  | exception Fault.Fuel_exhausted -> Hung
 
 (* Re-test with a modified sender and report the interfered receiver
    indices — the TestFuncI primitive of Algorithm 2. *)

@@ -5,18 +5,25 @@
     receiver in the receiver container; execution B reloads the snapshot
     and runs the receiver alone. The receiver is additionally re-run
     with shifted clock bases; result nodes that vary get their det flag
-    cleared before comparison. Masks are cached per receiver program, as
-    the paper saves them to disk between campaigns. *)
+    cleared before comparison. Masks are cached per receiver program (as
+    the paper saves them to disk between campaigns) in a size-capped
+    FIFO cache. *)
 
 type t = {
   env : Env.t;
   reruns : int;
   rerun_delta : int;
   mask_cache : (int, Kit_trace.Ast.t) Hashtbl.t;
+  mask_order : int Queue.t;       (** insertion order, for eviction *)
+  mask_cache_cap : int;
+  mutable mask_hits : int;
+  mutable mask_misses : int;
   mutable executions : int;       (** program executions performed *)
 }
 
-val create : ?reruns:int -> ?rerun_delta:int -> Env.t -> t
+val create : ?reruns:int -> ?rerun_delta:int -> ?mask_cache_cap:int -> Env.t -> t
+(** [mask_cache_cap] (default 4096) bounds the non-determinism mask
+    cache; the oldest entry is evicted when full. *)
 
 val run_receiver : t -> base:int -> Kit_abi.Program.t -> Kit_trace.Ast.t
 val run_pair :
@@ -24,6 +31,9 @@ val run_pair :
 
 val nondet_mask : t -> Kit_abi.Program.t -> Kit_trace.Ast.t
 (** The non-determinism mask of a receiver program (cached). *)
+
+val mask_cache_stats : t -> int * int * int
+(** [(hits, misses, live_entries)] of the mask cache. *)
 
 type outcome = {
   trace_a : Kit_trace.Ast.t;       (** receiver trace, sender ran first *)
@@ -35,6 +45,24 @@ type outcome = {
 
 val execute :
   t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> outcome
+(** Raw execution: assumes the kernel survives. Under an armed fault
+    plane this can raise [Fault.Kernel_panic] / [Fault.Fuel_exhausted];
+    use {!try_execute} (or [Supervisor.execute]) when faults matter. *)
+
+(** Failure-aware execution result: executors die in the real system
+    (kernel panics, runaway programs killed by the fuel deadline), so an
+    execution has three honest outcomes, not one. *)
+type status =
+  | Completed of outcome
+  | Crashed of Kit_kernel.Fault.panic_info
+  | Hung
+
+val try_execute :
+  t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> status
+(** Like {!execute} but catches kernel panics and fuel exhaustion.
+    Infrastructure faults ([Fault.Snapshot_corrupt], [Fault.Boot_failed])
+    still escape: recovering from those needs a VM reboot, which is the
+    supervisor's job. *)
 
 val test_interference :
   t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> int list

@@ -1,0 +1,172 @@
+(* The supervised execution runtime: fuel deadlines, VM restart, bounded
+   retries with deterministic exponential backoff, and a quarantine list
+   for repeat crashers. See supervisor.mli for the contract.
+
+   Recovery model, mirroring the paper's server/client deployment:
+
+   - a kernel panic or hang poisons only the current execution; the next
+     attempt reloads the snapshot, so a plain retry suffices;
+   - a corrupted snapshot restore or a boot failure poisons the VM
+     itself; recovery is a full reboot (State.boot + fresh snapshot),
+     which is deterministic, so a rebooted VM is indistinguishable from
+     the original;
+   - a test case still failing after [max_retries] retries is moved to
+     the quarantine as a first-class crash report and never re-executed.
+
+   Backoff is deterministic and virtual: the delay each retry *would*
+   sleep is computed and accumulated in [stats.backoff_ms], keeping
+   supervised runs bit-reproducible and fast. *)
+
+module Program = Kit_abi.Program
+module Config = Kit_kernel.Config
+module Fault = Kit_kernel.Fault
+
+type config = {
+  fuel : int;
+  max_retries : int;
+  max_reboots : int;
+  backoff_base_ms : float;
+}
+
+let default_config =
+  { fuel = 100_000; max_retries = 8; max_reboots = 8; backoff_base_ms = 5.0 }
+
+type crash_reason =
+  | Panicked of Fault.panic_info
+  | Hung_forever
+
+type crash = {
+  c_sender : Program.t;
+  c_receiver : Program.t;
+  c_reason : crash_reason;
+  c_attempts : int;
+}
+
+type stats = {
+  mutable attempts : int;
+  mutable retries : int;
+  mutable reboots : int;
+  mutable boot_failures : int;
+  mutable corruptions : int;
+  mutable backoff_ms : float;
+}
+
+type t = {
+  cfg : config;
+  kconfig : Config.t;
+  fault : Fault.t;
+  reruns : int;
+  mutable runner : Runner.t;
+  mutable prior_executions : int;
+  stats : stats;
+  mutable quarantine : crash list;
+}
+
+exception Gave_up of string
+
+let backoff stats cfg ~attempt =
+  stats.backoff_ms <-
+    stats.backoff_ms +. (cfg.backoff_base_ms *. (2.0 ** float_of_int attempt))
+
+(* Boot an environment, retrying transient boot failures with backoff. *)
+let boot_env ~cfg ~fault ~stats kconfig =
+  let rec go attempt =
+    match Env.create ~fault kconfig with
+    | env -> env
+    | exception Fault.Boot_failed ->
+      stats.boot_failures <- stats.boot_failures + 1;
+      if attempt >= cfg.max_reboots then
+        raise (Gave_up "VM boot kept failing; fault plane arms a permanent boot failure")
+      else begin
+        backoff stats cfg ~attempt;
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+let fresh_stats () =
+  { attempts = 0; retries = 0; reboots = 0; boot_failures = 0;
+    corruptions = 0; backoff_ms = 0.0 }
+
+let create ?(cfg = default_config) ?(reruns = 3) ?fault kconfig =
+  let fault = match fault with Some f -> f | None -> Fault.none () in
+  Fault.set_fuel_limit fault (if cfg.fuel > 0 then Some cfg.fuel else None);
+  let stats = fresh_stats () in
+  let env = boot_env ~cfg ~fault ~stats kconfig in
+  { cfg; kconfig; fault; reruns;
+    runner = Runner.create ~reruns env;
+    prior_executions = 0; stats; quarantine = [] }
+
+let executions t = t.prior_executions + t.runner.Runner.executions
+
+let quarantined t = List.rev t.quarantine
+
+(* Full VM reboot after an infrastructure fault: retire the poisoned
+   runner and boot a fresh environment. Booting is deterministic, so the
+   replacement is indistinguishable from the original machine. *)
+let reboot t =
+  t.prior_executions <- t.prior_executions + t.runner.Runner.executions;
+  t.stats.reboots <- t.stats.reboots + 1;
+  let env = boot_env ~cfg:t.cfg ~fault:t.fault ~stats:t.stats t.kconfig in
+  t.runner <- Runner.create ~reruns:t.reruns env
+
+(* One supervised attempt loop shared by execute and test_interference:
+   [retries] counts kernel deaths (panic/hang), [reboots] counts
+   infrastructure faults; each budget is bounded separately. *)
+let rec attempt t ~sender ~receiver ~retries ~reboots =
+  t.stats.attempts <- t.stats.attempts + 1;
+  match Runner.try_execute t.runner ~sender ~receiver with
+  | Runner.Completed _ as s -> (s, retries)
+  | (Runner.Crashed _ | Runner.Hung) as s ->
+    if retries >= t.cfg.max_retries then (s, retries)
+    else begin
+      t.stats.retries <- t.stats.retries + 1;
+      backoff t.stats t.cfg ~attempt:retries;
+      attempt t ~sender ~receiver ~retries:(retries + 1) ~reboots
+    end
+  | exception Fault.Snapshot_corrupt ->
+    t.stats.corruptions <- t.stats.corruptions + 1;
+    if reboots >= t.cfg.max_reboots then
+      raise (Gave_up "snapshot restore kept failing; fault plane arms permanent corruption")
+    else begin
+      backoff t.stats t.cfg ~attempt:reboots;
+      reboot t;
+      attempt t ~sender ~receiver ~retries ~reboots:(reboots + 1)
+    end
+
+let execute t ~sender ~receiver =
+  let status, retries = attempt t ~sender ~receiver ~retries:0 ~reboots:0 in
+  (match status with
+  | Runner.Completed _ -> ()
+  | Runner.Crashed info ->
+    t.quarantine <-
+      { c_sender = sender; c_receiver = receiver;
+        c_reason = Panicked info; c_attempts = retries + 1 }
+      :: t.quarantine
+  | Runner.Hung ->
+    t.quarantine <-
+      { c_sender = sender; c_receiver = receiver;
+        c_reason = Hung_forever; c_attempts = retries + 1 }
+      :: t.quarantine);
+  status
+
+let test_interference t ~sender ~receiver =
+  let status, _ = attempt t ~sender ~receiver ~retries:0 ~reboots:0 in
+  match status with
+  | Runner.Completed outcome -> outcome.Runner.interfered
+  | Runner.Crashed _ | Runner.Hung -> []
+
+let pp_crash_reason ppf = function
+  | Panicked info -> Fault.pp_panic_info ppf info
+  | Hung_forever -> Fmt.string ppf "hung (fuel deadline exceeded every attempt)"
+
+let pp_crash ppf c =
+  Fmt.pf ppf "@[<v>QUARANTINED after %d attempts: %a@,sender   %s@,receiver %s@]"
+    c.c_attempts pp_crash_reason c.c_reason
+    (Program.to_string c.c_sender)
+    (Program.to_string c.c_receiver)
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "%d attempts, %d retries, %d reboots (%d boot failures, %d corruptions), %.1f ms backoff"
+    s.attempts s.retries s.reboots s.boot_failures s.corruptions s.backoff_ms

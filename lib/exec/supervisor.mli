@@ -1,0 +1,101 @@
+(** The supervised execution runtime.
+
+    Real KIT campaigns run for weeks against executors that panic, hang
+    and fail to boot; the server/client mode (paper, section 5.2) exists
+    precisely so campaigns survive dying workers. The supervisor wraps
+    {!Runner} with that robustness: a per-execution fuel deadline,
+    VM restart-from-snapshot (and full reboot after infrastructure
+    faults), bounded retries with deterministic exponential backoff, and
+    a quarantine list for test cases that kill the kernel repeatedly —
+    quarantined cases are first-class crash reports, never silent drops.
+
+    Invariant (property-tested): under any transient fault schedule a
+    supervised campaign produces byte-identical reports and funnel to
+    the fault-free run, as long as the retry budget covers the largest
+    transient occurrence count. *)
+
+type config = {
+  fuel : int;
+  (** per-execution step budget; every syscall costs one unit, a hung
+      execution is one that exhausts the budget. [<= 0] disables the
+      deadline. *)
+  max_retries : int;
+  (** re-execution attempts per test case after the first try *)
+  max_reboots : int;
+  (** VM reboot attempts per test case after infrastructure faults
+      (boot failures, snapshot corruption) before giving up *)
+  backoff_base_ms : float;
+  (** base of the deterministic exponential backoff: retry [n] waits
+      [backoff_base_ms * 2^n] virtual milliseconds (recorded, not
+      slept — the model's time is virtual) *)
+}
+
+val default_config : config
+(** fuel 100_000, 8 retries, 8 reboots, 5 ms backoff base. *)
+
+(** Why a quarantined test case kept killing the kernel. *)
+type crash_reason =
+  | Panicked of Kit_kernel.Fault.panic_info
+  | Hung_forever
+
+(** A first-class crash report: the test case, why it died, and how many
+    times the supervisor tried. *)
+type crash = {
+  c_sender : Kit_abi.Program.t;
+  c_receiver : Kit_abi.Program.t;
+  c_reason : crash_reason;
+  c_attempts : int;
+}
+
+type stats = {
+  mutable attempts : int;       (** execution attempts, including retries *)
+  mutable retries : int;
+  mutable reboots : int;        (** VM reboots after infrastructure faults *)
+  mutable boot_failures : int;  (** failed boot attempts *)
+  mutable corruptions : int;    (** corrupted snapshot restores *)
+  mutable backoff_ms : float;   (** total simulated backoff delay *)
+}
+
+type t = {
+  cfg : config;
+  kconfig : Kit_kernel.Config.t;
+  fault : Kit_kernel.Fault.t;
+  reruns : int;
+  mutable runner : Runner.t;    (** replaced on VM reboot *)
+  mutable prior_executions : int;  (** executions by runners since retired *)
+  stats : stats;
+  mutable quarantine : crash list; (** oldest first *)
+}
+
+exception Gave_up of string
+(** The supervisor exhausted its reboot budget on a permanent
+    infrastructure fault — the campaign cannot make progress. *)
+
+val create :
+  ?cfg:config -> ?reruns:int -> ?fault:Kit_kernel.Fault.t ->
+  Kit_kernel.Config.t -> t
+(** Boot a supervised environment (retrying transient boot failures).
+    @raise Gave_up if the VM never comes up. *)
+
+val execute :
+  t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> Runner.status
+(** Execute one test case under supervision. [Completed] after at most
+    [max_retries] retries; [Crashed]/[Hung] means the case exceeded the
+    retry budget and was quarantined (recorded in [quarantine]).
+    @raise Gave_up on permanent infrastructure faults. *)
+
+val test_interference :
+  t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> int list
+(** Supervised TestFuncI (Algorithm 2 re-testing): like
+    [Runner.test_interference] but crash/hang-safe. A modified sender
+    that permanently kills the kernel yields [[]] — the diagnosis loop
+    treats it as non-interfering rather than dying with the VM. *)
+
+val executions : t -> int
+(** Program executions across all runner incarnations. *)
+
+val quarantined : t -> crash list
+(** Quarantined crash reports, oldest first. *)
+
+val pp_crash : Format.formatter -> crash -> unit
+val pp_stats : Format.formatter -> stats -> unit

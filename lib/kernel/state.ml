@@ -5,6 +5,7 @@
 
 type t = {
   config : Config.t;
+  fault : Fault.t;
   heap : Heap.t;
   ctx : Ctx.t;
   clock : Clock.t;
@@ -35,7 +36,9 @@ type t = {
 
 type snapshot = Heap.snapshot
 
-let boot config =
+let boot ?fault config =
+  let fault = match fault with Some f -> f | None -> Fault.none () in
+  Fault.on_boot fault;
   let heap = Heap.create () in
   let ctx = Ctx.create () in
   let clock = Clock.init heap in
@@ -67,12 +70,15 @@ let boot config =
   let procfs =
     Procfs.make ~packet ~protomem ~ipvs ~conntrack ~crypto ~slab ~seq
   in
-  { config; heap; ctx; clock; rng; seq; slab; devid; procs; socks; packet;
-    flowlabel; rds; sctp; cookie; protomem; conntrack; uevent; ipvs; crypto;
-    prio; uts; ipc; mnt; tokens; timens; procfs }
+  { config; fault; heap; ctx; clock; rng; seq; slab; devid; procs; socks;
+    packet; flowlabel; rds; sctp; cookie; protomem; conntrack; uevent; ipvs;
+    crypto; prio; uts; ipc; mnt; tokens; timens; procfs }
 
 let snapshot t = Heap.snapshot t.heap
-let restore _t snap = Heap.restore snap
+
+let restore t snap =
+  Fault.on_restore t.fault;
+  Heap.restore snap
 
 (* Spawn a container: a process placed in fresh instances of every
    namespace kind (or the initial namespaces when [host] — the setup

@@ -6,6 +6,7 @@
 
 type t = {
   config : Config.t;
+  fault : Fault.t;                (** the fault-injection plane *)
   heap : Heap.t;
   ctx : Ctx.t;
   clock : Clock.t;
@@ -36,10 +37,15 @@ type t = {
 
 type snapshot
 
-val boot : Config.t -> t
+val boot : ?fault:Fault.t -> Config.t -> t
+(** Boot a kernel; [fault] (default {!Fault.none}) is the fault plane
+    consulted at boot, restore and every syscall.
+    @raise Fault.Boot_failed if a boot failure is armed. *)
 
 val snapshot : t -> snapshot
+
 val restore : t -> snapshot -> unit
+(** @raise Fault.Snapshot_corrupt if snapshot corruption is armed. *)
 
 val spawn_container : ?host:bool -> ?uid:int -> t -> int
 (** Spawn a container: a process in fresh instances of every namespace

@@ -597,9 +597,11 @@ let dispatch k ~pid sysno args =
   | Sysno.Token_create -> sys_token_create k ~pid args
   | Sysno.Token_stat -> sys_token_stat k ~pid args
 
-(* Execute one system call for [pid]: enter the syscall path, dispatch,
-   advance the clock by one quantum. *)
+(* Execute one system call for [pid]: consult the fault plane (fuel and
+   armed panics/hangs), enter the syscall path, dispatch, advance the
+   clock by one quantum. *)
 let exec k ~pid sysno args =
+  Fault.on_syscall k.State.fault sysno;
   let ctx = k.State.ctx in
   let ret =
     Kfun.call ctx fn_syscall_entry (fun () ->

@@ -7,4 +7,5 @@ val exec :
 (** Execute one system call for [pid]. Arguments must have resource
     references already resolved (only [Int]/[Str] remain); [Ref]
     arguments are rejected with [EINVAL]. Advances the clock by one
-    quantum. *)
+    quantum. Consults the kernel's fault plane first, so it may raise
+    [Fault.Kernel_panic] or [Fault.Fuel_exhausted]. *)

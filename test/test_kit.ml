@@ -14,6 +14,7 @@ let () =
       ("report", Test_report.suite);
       ("core", Test_core.suite);
       ("ext", Test_ext.suite);
+      ("fault", Test_fault.suite);
       ("edge", Test_edge.suite);
       ("props", Test_props.suite);
     ]
