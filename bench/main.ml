@@ -28,6 +28,7 @@ module Supervisor = Kit_exec.Supervisor
 module Fault = Kit_kernel.Fault
 module Collect = Kit_profile.Collect
 module Compare = Kit_trace.Compare
+module Obs = Kit_obs.Obs
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -201,6 +202,44 @@ let print_supervision_overhead () =
   in
   Fmt.pr "with 8 seeded transient faults: %10.0f executions/s@.@." faulted
 
+(* Observability must be pay-for-what-you-use: a disabled (nop) bundle
+   leaves the supervised path within noise of no instrumentation at
+   all, and full recording — metrics + spans + the global per-sysno
+   dispatch counters — stays cheap enough for month-long campaigns.
+   Acceptance: nop-bundle overhead within noise (<10%). *)
+let print_observability_overhead () =
+  Fmt.pr "-- Observability overhead (off vs metrics-only vs full) --@.";
+  let config = Config.v5_13 () in
+  let sender = Syzlang.parse "r0 = socket(3)" in
+  let receiver = Syzlang.parse "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)" in
+  let iters = getenv_int "KIT_BENCH_OBS_ITERS" 2000 in
+  let time obs =
+    let sup = match obs with
+      | None -> Supervisor.create config
+      | Some obs -> Supervisor.create ~obs config
+    in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Supervisor.execute sup ~sender ~receiver : Runner.status)
+    done;
+    float_of_int iters /. (Unix.gettimeofday () -. t0)
+  in
+  let off = time (Some Obs.nop) in
+  let metrics_only =
+    time (Some (Obs.create ~tracer:Kit_obs.Tracer.nop ()))
+  in
+  Kit_obs.Metrics.set_enabled Kit_obs.Metrics.default true;
+  let full = time (Some (Obs.create ())) in
+  Kit_obs.Metrics.set_enabled Kit_obs.Metrics.default false;
+  Kit_obs.Metrics.reset Kit_obs.Metrics.default;
+  let pct base v = (base -. v) /. base *. 100.0 in
+  Fmt.pr "nop bundle:    %10.0f executions/s@." off;
+  Fmt.pr "metrics only:  %10.0f executions/s (overhead %.1f%%)@." metrics_only
+    (pct off metrics_only);
+  Fmt.pr
+    "full (metrics + spans + syscall counters): %10.0f executions/s (overhead %.1f%%)@.@."
+    full (pct off full)
+
 (* --- bechamel micro/macro benchmarks ------------------------------------ *)
 
 let bench_corpus = 48
@@ -312,5 +351,6 @@ let () =
   print_spec_ablation ();
   print_bounds_ablation ();
   print_supervision_overhead ();
+  print_observability_overhead ();
   run_benchmarks ();
   Fmt.pr "done.@."

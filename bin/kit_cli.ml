@@ -6,9 +6,12 @@
      kit known-bugs  reproduce the documented bugs of Table 3
      kit run         execute one sender/receiver test case and explain it
      kit corpus      print a generated program corpus
+     kit stats       summarise a telemetry JSONL file
 
    All commands are deterministic for a given --seed, including the
-   injected fault schedules.
+   injected fault schedules. campaign, distrib and run accept
+   --metrics FILE / --trace FILE to export campaign telemetry
+   (observability plane, lib/obs); kit stats renders such a file.
 
    Exit codes (for CI gating):
      0  clean run, no interference reports
@@ -29,6 +32,12 @@ module Config = Kit_kernel.Config
 module Fault = Kit_kernel.Fault
 module Bugs = Kit_kernel.Bugs
 module Supervisor = Kit_exec.Supervisor
+module Obs = Kit_obs.Obs
+module Metrics = Kit_obs.Metrics
+module Tracer = Kit_obs.Tracer
+module Export = Kit_obs.Export
+module Render = Kit_obs.Render
+module Jsonl = Kit_obs.Jsonl
 
 open Cmdliner
 
@@ -129,11 +138,67 @@ let resume_arg =
     & info [ "resume" ]
         ~doc:"Resume from the --checkpoint file if it exists.")
 
+(* -- observability options ----------------------------------------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Export telemetry (metrics + trace events) to $(docv) as JSONL; \
+           render it with $(b,kit stats).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Export trace events (phase and execution spans) to $(docv) as \
+              JSONL.")
+
+(* Observability is off unless requested: --metrics/--trace build a
+   recording bundle and enable the global default registry, so the
+   kernel's per-sysno dispatch counters are collected too. *)
+let obs_of_flags ~metrics_file ~trace_file =
+  match (metrics_file, trace_file) with
+  | None, None -> None
+  | _ ->
+    Metrics.set_enabled Metrics.default true;
+    Some (Obs.create ())
+
+(* CLI exports carry wall-clock timings (volatile metrics, per-event
+   timestamps): the deterministic subset is what the test suite golden-
+   tests; a user reading `kit stats` wants real durations. *)
+let export_obs obs ~meta ~metrics_file ~trace_file =
+  match obs with
+  | None -> ()
+  | Some (obs : Obs.t) ->
+    let events = Tracer.events obs.Obs.tracer in
+    let dropped = Tracer.dropped obs.Obs.tracer in
+    (match metrics_file with
+    | None -> ()
+    | Some path ->
+      let snap =
+        Metrics.merge
+          [ Obs.snapshot ~volatile:true obs;
+            Metrics.snapshot ~volatile:true Metrics.default ]
+      in
+      Export.write_file path
+        (Export.lines ~wall:true ~meta ~events ~dropped snap);
+      Fmt.pr "telemetry: %s@." path);
+    (match trace_file with
+    | None -> ()
+    | Some path ->
+      Export.write_file path
+        (Export.lines ~wall:true ~meta ~events ~dropped []);
+      Fmt.pr "trace: %s@." path)
+
 let options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
-    ~max_retries =
+    ~max_retries ~obs =
   let faults = faults @ Fault.schedule_of_seed ~seed ~intensity:fault_intensity in
   { Campaign.default_options with
-    Campaign.seed; corpus_size; strategy; faults; fuel; max_retries }
+    Campaign.seed; corpus_size; strategy; faults; fuel; max_retries; obs }
 
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Render the AGG-RS groups.")
@@ -195,13 +260,20 @@ let run_campaign opts ~checkpoint_file ~checkpoint_every ~resume =
 
 let cmd_campaign =
   let run seed corpus_size strategy verbose faults fault_intensity fuel
-      max_retries checkpoint_file checkpoint_every resume =
+      max_retries checkpoint_file checkpoint_every resume metrics_file
+      trace_file =
     guarded (fun () ->
+        let obs = obs_of_flags ~metrics_file ~trace_file in
         let opts =
           options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
-            ~max_retries
+            ~max_retries ~obs
         in
         let c = run_campaign opts ~checkpoint_file ~checkpoint_every ~resume in
+        export_obs obs ~metrics_file ~trace_file
+          ~meta:
+            [ ("cmd", Jsonl.Str "campaign"); ("seed", Jsonl.Int seed);
+              ("corpus_size", Jsonl.Int corpus_size);
+              ("strategy", Jsonl.Str (Cluster.strategy_name strategy)) ];
         let found = Oracle.new_bugs_found c.Campaign.keyed in
         Fmt.pr "strategy %s: %d clusters, %d reports after filtering@."
           (Cluster.strategy_name c.Campaign.generation.Cluster.strategy)
@@ -220,7 +292,8 @@ let cmd_campaign =
     Term.(
       const run $ seed_arg $ corpus_size_arg $ strategy_arg $ verbose_arg
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg)
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ metrics_arg
+      $ trace_arg)
 
 let cmd_distrib =
   let workers_arg =
@@ -249,17 +322,39 @@ let cmd_distrib =
              Repeatable.")
   in
   let run seed corpus_size strategy workers faults fault_intensity fuel
-      max_retries kills =
+      max_retries kills metrics_file trace_file =
     guarded (fun () ->
+        let obs = obs_of_flags ~metrics_file ~trace_file in
         let opts =
           options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
-            ~max_retries
+            ~max_retries ~obs
         in
         let single = Campaign.run opts in
         let d =
           Distrib.execute ~failures:kills opts single.Campaign.corpus
             single.Campaign.generation ~workers
         in
+        (* The metrics export is the merged per-worker registries (what
+           the paper's server would aggregate from its clients); trace
+           events come from the single-node reference campaign. *)
+        (match (obs, metrics_file) with
+        | Some (obs : Obs.t), Some path ->
+          let snap =
+            Metrics.merge
+              [ d.Distrib.metrics;
+                Metrics.snapshot ~volatile:true Metrics.default ]
+          in
+          Export.write_file path
+            (Export.lines ~wall:true
+               ~meta:
+                 [ ("cmd", Jsonl.Str "distrib"); ("seed", Jsonl.Int seed);
+                   ("workers", Jsonl.Int workers) ]
+               ~events:(Tracer.events obs.Obs.tracer)
+               ~dropped:(Tracer.dropped obs.Obs.tracer) snap);
+          Fmt.pr "telemetry: %s@." path
+        | _ -> ());
+        export_obs obs ~metrics_file:None ~trace_file
+          ~meta:[ ("cmd", Jsonl.Str "distrib"); ("seed", Jsonl.Int seed) ];
         Fmt.pr "%a@." Distrib.pp d;
         List.iter
           (fun (w : Distrib.worker_result) ->
@@ -285,7 +380,7 @@ let cmd_distrib =
     Term.(
       const run $ seed_arg $ corpus_size_arg $ strategy_arg $ workers_arg
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
-      $ kill_arg)
+      $ kill_arg $ metrics_arg $ trace_arg)
 
 let cmd_tables =
   let run seed corpus_size =
@@ -360,7 +455,7 @@ let cmd_run =
              ~doc:"Use the bounds-based detector instead of trace masking.")
   in
   let run sender_file receiver_file version bounds faults fault_intensity fuel
-      max_retries seed =
+      max_retries seed metrics_file trace_file =
     guarded (fun () ->
         match (parse_program_file sender_file, parse_program_file receiver_file)
         with
@@ -373,9 +468,18 @@ let cmd_run =
           let cfg =
             { Supervisor.default_config with Supervisor.fuel; max_retries }
           in
+          let obs = obs_of_flags ~metrics_file ~trace_file in
           let sup =
-            Supervisor.create ~cfg ~fault:(Fault.of_schedule faults) config
+            Supervisor.create ~cfg ~fault:(Fault.of_schedule faults)
+              ?obs config
           in
+          let finish code =
+            export_obs obs ~metrics_file ~trace_file
+              ~meta:[ ("cmd", Jsonl.Str "run"); ("seed", Jsonl.Int seed) ];
+            code
+          in
+          finish
+          @@
           if bounds then begin
             let violations =
               Kit_exec.Runner.execute_bounds sup.Supervisor.runner ~sender
@@ -421,7 +525,7 @@ let cmd_run =
     Term.(
       const run $ sender_arg $ receiver_arg $ version_arg $ bounds_arg
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
-      $ seed_arg)
+      $ seed_arg $ metrics_arg $ trace_arg)
 
 let cmd_profile =
   let program_arg =
@@ -473,11 +577,34 @@ let cmd_corpus =
   Cmd.v (Cmd.info "corpus" ~doc:"Print a generated program corpus")
     Term.(const run $ seed_arg $ size_arg)
 
+let cmd_stats =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Telemetry JSONL file written by $(b,--metrics) or \
+                $(b,--trace).")
+  in
+  let run file =
+    guarded (fun () ->
+        match Export.read_file file with
+        | Error e ->
+          Fmt.epr "kit: %s@." e;
+          exit_internal
+        | Ok parsed ->
+          Fmt.pr "%s@." (Render.stats parsed);
+          exit_clean)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Summarise a telemetry JSONL file")
+    Term.(const run $ file_arg)
+
 let main =
   Cmd.group
     (Cmd.info "kit" ~version:"1.0.0"
        ~doc:"Functional interference testing for OS-level virtualization")
     [ cmd_campaign; cmd_distrib; cmd_tables; cmd_known_bugs; cmd_run;
-      cmd_profile; cmd_corpus ]
+      cmd_profile; cmd_corpus; cmd_stats ]
 
 let () = exit (Cmd.eval' main)

@@ -24,6 +24,9 @@ module Filter = Kit_detect.Filter
 module Report = Kit_detect.Report
 module Diagnose = Kit_report.Diagnose
 module Aggregate = Kit_report.Aggregate
+module Obs = Kit_obs.Obs
+module Metrics = Kit_obs.Metrics
+module Tracer = Kit_obs.Tracer
 
 type options = {
   config : Config.t;
@@ -36,6 +39,8 @@ type options = {
   faults : Fault.schedule;              (* injected fault schedule *)
   fuel : int;                           (* per-execution step budget *)
   max_retries : int;                    (* supervisor retry budget *)
+  obs : Obs.t option;                   (* observability bundle; None =
+                                           private bundle per campaign *)
 }
 
 let default_options =
@@ -50,6 +55,7 @@ let default_options =
     faults = [];
     fuel = Supervisor.default_config.Supervisor.fuel;
     max_retries = Supervisor.default_config.Supervisor.max_retries;
+    obs = None;
   }
 
 type timings = {
@@ -74,6 +80,7 @@ type t = {
   sup_stats : Supervisor.stats;
   fault_counters : Fault.counters;
   timings : timings;
+  obs : Obs.t;
 }
 
 (* Wall-clock timing: campaign phases include supervisor backoff and
@@ -83,6 +90,18 @@ let timed f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
+(* Wall-clock phase timings live in the registry as volatile gauges
+   (excluded from deterministic snapshots) and are always-on: they are
+   campaign accounting, so the [timings] record — now a thin read over
+   these gauges — stays populated even through a disabled bundle. *)
+let time_gauge obs name =
+  Metrics.gauge ~volatile:true ~always:true obs.Obs.metrics ("time." ^ name)
+
+(* Deterministic campaign accounting (funnel stages, cluster sizes,
+   report counts) mirrors into always-on "campaign.*" counters. *)
+let c_counter obs name =
+  Metrics.counter ~always:true obs.Obs.metrics ("campaign." ^ name)
+
 (* Prepared inputs shared by several strategies (Table 4 runs the same
    corpus and profiles through each strategy). *)
 type prepared = {
@@ -91,21 +110,24 @@ type prepared = {
   p_profiles : Dataflow.profiles;
   p_map : Kit_profile.Accessmap.t;
   p_df_total : int;
-  p_profile_s : float;
+  p_obs : Obs.t;                        (* resolved bundle *)
 }
 
-let prepare options =
+let prepare (options : options) =
+  let obs = match options.obs with Some o -> o | None -> Obs.create () in
   let corpus = Corpus.generate ~seed:options.seed ~size:options.corpus_size in
   let (profiles, map), profile_s =
-    timed (fun () ->
-        let profiles =
-          Dataflow.profile_corpus options.config options.spec corpus
-        in
-        (profiles, Dataflow.build_map profiles))
+    Tracer.with_span obs.Obs.tracer "phase.profile" (fun () ->
+        timed (fun () ->
+            let profiles =
+              Dataflow.profile_corpus options.config options.spec corpus
+            in
+            (profiles, Dataflow.build_map profiles)))
   in
+  Metrics.set_gauge (time_gauge obs "profile_s") profile_s;
   { p_options = options; p_corpus = Array.of_list corpus;
     p_profiles = profiles; p_map = map;
-    p_df_total = Dataflow.total_flows map; p_profile_s = profile_s }
+    p_df_total = Dataflow.total_flows map; p_obs = obs }
 
 (* Interference test used both for detection-time classification and for
    Algorithm 2 re-testing: masked divergence restricted to receiver calls
@@ -169,7 +191,7 @@ let load_checkpoint path =
 
 (* -- supervised execution ------------------------------------------------ *)
 
-let make_supervisor options =
+let make_supervisor ~obs options =
   let cfg =
     { Supervisor.default_config with
       Supervisor.fuel = options.fuel;
@@ -177,7 +199,7 @@ let make_supervisor options =
   in
   Supervisor.create ~cfg ~reruns:options.reruns
     ~fault:(Fault.of_schedule options.faults)
-    options.config
+    ~obs options.config
 
 (* Execute one cluster representative under supervision; quarantined
    crashers are recorded by the supervisor and produce no report. *)
@@ -227,11 +249,15 @@ let validate_resume options strategy total (ck : checkpoint) =
 
 let execute_phase ?resume ~budget ~strategy prepared =
   let options = { prepared.p_options with strategy } in
+  let obs = prepared.p_obs in
   let generation, generate_s_now =
-    timed (fun () ->
-        Cluster.run strategy ~seed:options.seed
-          ~corpus_size:(Array.length prepared.p_corpus) prepared.p_map)
+    Tracer.with_span obs.Obs.tracer "phase.generate" (fun () ->
+        timed (fun () ->
+            Cluster.run strategy ~seed:options.seed
+              ~corpus_size:(Array.length prepared.p_corpus) prepared.p_map))
   in
+  Metrics.set_counter (c_counter obs "generated") generation.Cluster.generated;
+  Metrics.set_counter (c_counter obs "clusters") generation.Cluster.clusters;
   let reps = generation.Cluster.reps in
   let total = List.length reps in
   let done_, funnel, rev_reports, quarantined0, executions0, generate_s,
@@ -244,18 +270,32 @@ let execute_phase ?resume ~budget ~strategy prepared =
         ck.ck_quarantined, ck.ck_executions, ck.ck_generate_s,
         ck.ck_execute_s )
   in
-  let sup = make_supervisor options in
+  Metrics.set_gauge (time_gauge obs "generate_s") generate_s;
+  let sup = make_supervisor ~obs options in
   let reports = ref rev_reports in
   let todo = List.filteri (fun i _ -> i >= done_) reps in
   let chunk = List.filteri (fun i _ -> i < budget) todo in
   let executed_now = List.length chunk in
   let _, execute_s_now =
-    timed (fun () ->
-        List.iter
-          (run_testcase options prepared.p_corpus sup funnel reports)
-          chunk)
+    Tracer.with_span obs.Obs.tracer "phase.execute"
+      ~attrs:[ ("chunk", string_of_int executed_now) ]
+      (fun () ->
+        timed (fun () ->
+            List.iter
+              (run_testcase options prepared.p_corpus sup funnel reports)
+              chunk))
   in
   let execute_s = execute_s0 +. execute_s_now in
+  (* Per-chunk accounting: representative counts are deterministic,
+     chunk wall-times are volatile. *)
+  Metrics.observe
+    (Metrics.histogram ~always:true obs.Obs.metrics "campaign.chunk_reps")
+    (float_of_int executed_now);
+  Metrics.observe
+    (Metrics.histogram ~volatile:true ~always:true obs.Obs.metrics
+       "campaign.chunk_s")
+    execute_s_now;
+  Metrics.set_gauge (time_gauge obs "execute_s") execute_s;
   let quarantined = quarantined0 @ Supervisor.quarantined sup in
   let executions = executions0 + Supervisor.executions sup in
   if done_ + executed_now < total then
@@ -284,23 +324,41 @@ let finish prepared options phase =
   | Phase_done
       { generation; funnel; reports; quarantined; prior_executions; sup;
         generate_s; execute_s } ->
+    let obs = prepared.p_obs in
     let keyed, diagnose_s =
       if not options.diagnose then ([], 0.0)
       else
-        timed (fun () ->
-            List.map
-              (fun (r : Report.t) ->
-                let pairs =
-                  Diagnose.culprits
-                    ~test:(protected_interference options.spec sup)
-                    ~sender:r.Report.sender ~receiver:r.Report.receiver
-                    ~interfered:r.Report.interfered
-                in
-                Aggregate.key_report r pairs)
-              reports)
+        Tracer.with_span obs.Obs.tracer "phase.diagnose" (fun () ->
+            timed (fun () ->
+                List.map
+                  (fun (r : Report.t) ->
+                    let pairs =
+                      Diagnose.culprits
+                        ~test:(protected_interference options.spec sup)
+                        ~sender:r.Report.sender ~receiver:r.Report.receiver
+                        ~interfered:r.Report.interfered
+                    in
+                    Aggregate.key_report r pairs)
+                  reports))
     in
+    Metrics.set_gauge (time_gauge obs "generate_s") generate_s;
+    Metrics.set_gauge (time_gauge obs "execute_s") execute_s;
+    Metrics.set_gauge (time_gauge obs "diagnose_s") diagnose_s;
     let agg_r = Aggregate.agg_r keyed in
     let agg_rs = Aggregate.agg_rs keyed in
+    (* diagnosis re-executed through [sup], so read the counter last *)
+    let executions = prior_executions + Supervisor.executions sup in
+    Metrics.set_counter (c_counter obs "executions") executions;
+    Metrics.set_counter (c_counter obs "funnel_executed")
+      funnel.Filter.executed;
+    Metrics.set_counter (c_counter obs "funnel_initial") funnel.Filter.initial;
+    Metrics.set_counter (c_counter obs "funnel_after_nondet")
+      funnel.Filter.after_nondet;
+    Metrics.set_counter (c_counter obs "funnel_after_resource")
+      funnel.Filter.after_resource;
+    Metrics.set_counter (c_counter obs "reports") (List.length reports);
+    Metrics.set_counter (c_counter obs "quarantined")
+      (List.length quarantined);
     {
       options;
       corpus = prepared.p_corpus;
@@ -312,12 +370,16 @@ let finish prepared options phase =
       keyed;
       agg_r;
       agg_rs;
-      (* diagnosis re-executed through [sup], so read the counter last *)
-      executions = prior_executions + Supervisor.executions sup;
+      executions;
       sup_stats = sup.Supervisor.stats;
       fault_counters = Fault.counters sup.Supervisor.fault;
+      (* thin reads: the gauges are the source of truth for wall times *)
       timings =
-        { profile_s = prepared.p_profile_s; generate_s; execute_s; diagnose_s };
+        { profile_s = Metrics.gauge_value (time_gauge obs "profile_s");
+          generate_s = Metrics.gauge_value (time_gauge obs "generate_s");
+          execute_s = Metrics.gauge_value (time_gauge obs "execute_s");
+          diagnose_s = Metrics.gauge_value (time_gauge obs "diagnose_s") };
+      obs;
     }
 
 let execute_partial ?strategy ?resume ~budget prepared =

@@ -19,10 +19,17 @@ type options = {
   faults : Kit_kernel.Fault.schedule;  (** injected fault schedule *)
   fuel : int;                      (** per-execution step budget *)
   max_retries : int;               (** supervisor retry budget per case *)
+  obs : Kit_obs.Obs.t option;
+  (** observability bundle shared with the supervisor and runners;
+      [None] (the default) gives each campaign a fresh private bundle,
+      so phase timings are recorded either way. Observability never
+      changes campaign outcomes (property-tested). *)
 }
 
 val default_options : options
 
+(** Phase wall-clock timings. Thin reads over the bundle's volatile
+    ["time.*"] gauges — the registry is the source of truth. *)
 type timings = {
   profile_s : float;
   generate_s : float;
@@ -46,6 +53,10 @@ type t = {
   sup_stats : Kit_exec.Supervisor.stats;
   fault_counters : Kit_kernel.Fault.counters;
   timings : timings;
+  obs : Kit_obs.Obs.t;
+  (** the resolved bundle: ["campaign.*"] funnel/cluster counters,
+      ["phase.*"] spans, ["sup.*"] supervision counters and ["exec.*"]
+      execution counters, ready for {!Kit_obs.Obs.export_lines} *)
 }
 
 type prepared

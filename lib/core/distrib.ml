@@ -22,6 +22,8 @@ module Runner = Kit_exec.Runner
 module Supervisor = Kit_exec.Supervisor
 module Filter = Kit_detect.Filter
 module Report = Kit_detect.Report
+module Obs = Kit_obs.Obs
+module Metrics = Kit_obs.Metrics
 
 type worker_result = {
   worker : int;
@@ -32,6 +34,8 @@ type worker_result = {
   funnel : Filter.funnel;
   reports : Report.t list;
   quarantined : Supervisor.crash list;
+  metrics : Metrics.snapshot;          (* this worker's registry, at death
+                                          or completion *)
 }
 
 type failure = {
@@ -46,6 +50,7 @@ type t = {
   quarantined : Supervisor.crash list; (* merged *)
   total_executions : int;
   resharded : int;                     (* cases inherited from dead workers *)
+  metrics : Metrics.snapshot;          (* per-worker registries, merged *)
 }
 
 (* Round-robin sharding, like the paper's RPC work distribution. *)
@@ -71,7 +76,7 @@ let merge_funnels funnels =
     funnels;
   merged
 
-let make_supervisor options =
+let make_supervisor ~obs options =
   let cfg =
     { Supervisor.default_config with
       Supervisor.fuel = options.Campaign.fuel;
@@ -79,7 +84,7 @@ let make_supervisor options =
   in
   Supervisor.create ~cfg ~reruns:options.Campaign.reruns
     ~fault:(Fault.of_schedule options.Campaign.faults)
-    options.Campaign.config
+    ~obs options.Campaign.config
 
 let run_case options corpus sup funnel reports (tc : Testcase.t) =
   let sender = corpus.(tc.Testcase.sender) in
@@ -100,7 +105,10 @@ let run_case options corpus sup funnel reports (tc : Testcase.t) =
    environment. [dies_after] kills the worker once it has completed that
    many cases; the unfinished remainder is returned for resharding. *)
 let run_worker options corpus ~worker ?dies_after testcases =
-  let sup = make_supervisor options in
+  (* Each worker gets a fresh bundle — its own registry, as each client
+     VM would report its own telemetry; the server merges snapshots. *)
+  let obs = Obs.create () in
+  let sup = make_supervisor ~obs options in
   let funnel = Filter.funnel_create () in
   let reports = ref [] in
   let budget =
@@ -113,7 +121,8 @@ let run_worker options corpus ~worker ?dies_after testcases =
       completed = List.length mine; died = dies_after <> None;
       executions = Supervisor.executions sup; funnel;
       reports = List.rev !reports;
-      quarantined = Supervisor.quarantined sup },
+      quarantined = Supervisor.quarantined sup;
+      metrics = Obs.snapshot obs },
     leftover )
 
 let copy_funnel_into (w : worker_result) =
@@ -128,7 +137,8 @@ let copy_funnel_into (w : worker_result) =
 let run_extra options corpus (w : worker_result) extra =
   if extra = [] then w
   else begin
-    let sup = make_supervisor options in
+    let obs = Obs.create () in
+    let sup = make_supervisor ~obs options in
     let funnel = copy_funnel_into w in
     let reports = ref (List.rev w.reports) in
     List.iter (run_case options corpus sup funnel reports) extra;
@@ -138,7 +148,8 @@ let run_extra options corpus (w : worker_result) extra =
       executions = w.executions + Supervisor.executions sup;
       funnel;
       reports = List.rev !reports;
-      quarantined = w.quarantined @ Supervisor.quarantined sup }
+      quarantined = w.quarantined @ Supervisor.quarantined sup;
+      metrics = Metrics.merge [ w.metrics; Obs.snapshot obs ] }
   end
 
 (* Distribute the representatives of [generation] over [workers]
@@ -191,6 +202,8 @@ let execute ?(failures = []) options corpus (generation : Cluster.result)
     total_executions =
       List.fold_left (fun acc (w : worker_result) -> acc + w.executions) 0 results;
     resharded = List.length orphans;
+    metrics =
+      Metrics.merge (List.map (fun (w : worker_result) -> w.metrics) results);
   }
 
 let pp ppf t =

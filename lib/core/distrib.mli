@@ -16,6 +16,8 @@ type worker_result = {
   funnel : Kit_detect.Filter.funnel;
   reports : Kit_detect.Report.t list;
   quarantined : Kit_exec.Supervisor.crash list;
+  metrics : Kit_obs.Metrics.snapshot;
+  (** the worker's own registry (each client VM reports its telemetry) *)
 }
 
 (** A worker-death plan: [dead_worker] dies after completing [after]
@@ -32,6 +34,8 @@ type t = {
   quarantined : Kit_exec.Supervisor.crash list;  (** merged *)
   total_executions : int;
   resharded : int;                 (** cases inherited from dead workers *)
+  metrics : Kit_obs.Metrics.snapshot;
+  (** per-worker registries merged with {!Kit_obs.Metrics.merge} *)
 }
 
 val shard : workers:int -> 'a list -> 'a list array

@@ -10,7 +10,16 @@
    comparison. Non-determinism masks are cached per receiver program, as
    the paper saves them to disk between campaigns; the cache is
    size-capped with FIFO eviction so month-long campaigns cannot grow
-   memory without bound. *)
+   memory without bound.
+
+   Execution and mask-cache counters live in the observability plane's
+   metrics registry ("exec.executions", "exec.mask_hits",
+   "exec.mask_misses") as always-on counters: they are campaign
+   accounting, so they keep counting even through a disabled bundle.
+   Registry counters are monotone and may be shared across runner
+   incarnations (the supervisor reboots runners into the same bundle),
+   so each runner captures the counter values at creation and reports
+   per-instance deltas. *)
 
 module Program = Kit_abi.Program
 module Interp = Kit_kernel.Interp
@@ -19,34 +28,51 @@ module Ast = Kit_trace.Ast
 module Decode = Kit_trace.Decode
 module Compare = Kit_trace.Compare
 module Nondet = Kit_trace.Nondet
+module Obs = Kit_obs.Obs
+module Metrics = Kit_obs.Metrics
 
 type t = {
   env : Env.t;
+  obs : Obs.t;
   reruns : int;
   rerun_delta : int;
   mask_cache : (int, Ast.t) Hashtbl.t;   (* receiver program hash -> mask *)
   mask_order : int Queue.t;              (* insertion order, for eviction *)
   mask_cache_cap : int;
-  mutable mask_hits : int;
-  mutable mask_misses : int;
-  mutable executions : int;              (* program executions performed *)
+  c_execs : Metrics.counter;             (* single source of truth... *)
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  execs0 : int;                          (* ...read as deltas from here *)
+  hits0 : int;
+  misses0 : int;
 }
 
-let create ?(reruns = 3) ?(rerun_delta = 7_777) ?(mask_cache_cap = 4096) env =
-  { env; reruns; rerun_delta;
+let create ?(reruns = 3) ?(rerun_delta = 7_777) ?(mask_cache_cap = 4096)
+    ?(obs = Obs.nop) env =
+  let c_execs = Metrics.counter ~always:true obs.Obs.metrics "exec.executions" in
+  let c_hits = Metrics.counter ~always:true obs.Obs.metrics "exec.mask_hits" in
+  let c_misses =
+    Metrics.counter ~always:true obs.Obs.metrics "exec.mask_misses"
+  in
+  { env; obs; reruns; rerun_delta;
     mask_cache = Hashtbl.create 256; mask_order = Queue.create ();
     mask_cache_cap = max 1 mask_cache_cap;
-    mask_hits = 0; mask_misses = 0; executions = 0 }
+    c_execs; c_hits; c_misses;
+    execs0 = Metrics.counter_value c_execs;
+    hits0 = Metrics.counter_value c_hits;
+    misses0 = Metrics.counter_value c_misses }
+
+let executions t = Metrics.counter_value t.c_execs - t.execs0
 
 let run_receiver t ~base receiver =
   Env.reset t.env ~base;
-  t.executions <- t.executions + 1;
+  Metrics.inc t.c_execs;
   let results = Interp.run t.env.Env.kernel ~pid:t.env.Env.receiver_pid receiver in
   Decode.decode_trace results
 
 let run_pair t ~base sender receiver =
   Env.reset t.env ~base;
-  t.executions <- t.executions + 1;
+  Metrics.inc t.c_execs;
   let _ : Interp.result list =
     Interp.run t.env.Env.kernel ~pid:t.env.Env.sender_pid sender
   in
@@ -70,10 +96,10 @@ let nondet_mask t receiver =
   let key = Program.hash receiver in
   match Hashtbl.find_opt t.mask_cache key with
   | Some mask ->
-    t.mask_hits <- t.mask_hits + 1;
+    Metrics.inc t.c_hits;
     mask
   | None ->
-    t.mask_misses <- t.mask_misses + 1;
+    Metrics.inc t.c_misses;
     let base = t.env.Env.base0 in
     let reference = run_receiver t ~base receiver in
     let alternatives =
@@ -84,8 +110,11 @@ let nondet_mask t receiver =
     cache_mask t key mask;
     mask
 
+(* Thin reads over the registry counters — per-instance deltas. *)
 let mask_cache_stats t =
-  (t.mask_hits, t.mask_misses, Hashtbl.length t.mask_cache)
+  ( Metrics.counter_value t.c_hits - t.hits0,
+    Metrics.counter_value t.c_misses - t.misses0,
+    Hashtbl.length t.mask_cache )
 
 type outcome = {
   trace_a : Ast.t;                  (* receiver trace, sender ran first *)

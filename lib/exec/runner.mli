@@ -7,23 +7,39 @@
     with shifted clock bases; result nodes that vary get their det flag
     cleared before comparison. Masks are cached per receiver program (as
     the paper saves them to disk between campaigns) in a size-capped
-    FIFO cache. *)
+    FIFO cache.
+
+    Execution and mask-cache counters live in the observability plane
+    ([Kit_obs]) as always-on registry counters — the single source of
+    truth; {!executions} and {!mask_cache_stats} are thin per-instance
+    reads over them. *)
 
 type t = {
   env : Env.t;
+  obs : Kit_obs.Obs.t;
   reruns : int;
   rerun_delta : int;
   mask_cache : (int, Kit_trace.Ast.t) Hashtbl.t;
   mask_order : int Queue.t;       (** insertion order, for eviction *)
   mask_cache_cap : int;
-  mutable mask_hits : int;
-  mutable mask_misses : int;
-  mutable executions : int;       (** program executions performed *)
+  c_execs : Kit_obs.Metrics.counter;  (** "exec.executions" *)
+  c_hits : Kit_obs.Metrics.counter;   (** "exec.mask_hits" *)
+  c_misses : Kit_obs.Metrics.counter; (** "exec.mask_misses" *)
+  execs0 : int;                   (** counter values at creation: the *)
+  hits0 : int;                    (** registry is shared across runner *)
+  misses0 : int;                  (** incarnations, reads are deltas *)
 }
 
-val create : ?reruns:int -> ?rerun_delta:int -> ?mask_cache_cap:int -> Env.t -> t
+val create :
+  ?reruns:int -> ?rerun_delta:int -> ?mask_cache_cap:int ->
+  ?obs:Kit_obs.Obs.t -> Env.t -> t
 (** [mask_cache_cap] (default 4096) bounds the non-determinism mask
-    cache; the oldest entry is evicted when full. *)
+    cache; the oldest entry is evicted when full. [obs] (default
+    {!Kit_obs.Obs.nop}) receives the runner's counters; the accounting
+    counters above record even through a disabled bundle. *)
+
+val executions : t -> int
+(** Program executions performed by this runner instance. *)
 
 val run_receiver : t -> base:int -> Kit_abi.Program.t -> Kit_trace.Ast.t
 val run_pair :

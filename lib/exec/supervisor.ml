@@ -20,6 +20,11 @@
 module Program = Kit_abi.Program
 module Config = Kit_kernel.Config
 module Fault = Kit_kernel.Fault
+module Clock = Kit_kernel.Clock
+module State = Kit_kernel.State
+module Obs = Kit_obs.Obs
+module Metrics = Kit_obs.Metrics
+module Tracer = Kit_obs.Tracer
 
 type config = {
   fuel : int;
@@ -56,6 +61,7 @@ type t = {
   kconfig : Config.t;
   fault : Fault.t;
   reruns : int;
+  obs : Obs.t;
   mutable runner : Runner.t;
   mutable prior_executions : int;
   stats : stats;
@@ -64,21 +70,29 @@ type t = {
 
 exception Gave_up of string
 
-let backoff stats cfg ~attempt =
-  stats.backoff_ms <-
-    stats.backoff_ms +. (cfg.backoff_base_ms *. (2.0 ** float_of_int attempt))
+(* The stats record stays the structural source (tests and pp read it);
+   each mutation is mirrored into the bundle's registry so exports see
+   the same numbers without a separate collection pass. *)
+let m_counter obs name = Metrics.counter obs.Obs.metrics ("sup." ^ name)
+let m_gauge obs name = Metrics.gauge obs.Obs.metrics ("sup." ^ name)
+
+let backoff ~obs stats cfg ~attempt =
+  let delay = cfg.backoff_base_ms *. (2.0 ** float_of_int attempt) in
+  stats.backoff_ms <- stats.backoff_ms +. delay;
+  Metrics.add_gauge (m_gauge obs "backoff_ms") delay
 
 (* Boot an environment, retrying transient boot failures with backoff. *)
-let boot_env ~cfg ~fault ~stats kconfig =
+let boot_env ~cfg ~fault ~obs ~stats kconfig =
   let rec go attempt =
     match Env.create ~fault kconfig with
     | env -> env
     | exception Fault.Boot_failed ->
       stats.boot_failures <- stats.boot_failures + 1;
+      Metrics.inc (m_counter obs "boot_failures");
       if attempt >= cfg.max_reboots then
         raise (Gave_up "VM boot kept failing; fault plane arms a permanent boot failure")
       else begin
-        backoff stats cfg ~attempt;
+        backoff ~obs stats cfg ~attempt;
         go (attempt + 1)
       end
   in
@@ -88,62 +102,86 @@ let fresh_stats () =
   { attempts = 0; retries = 0; reboots = 0; boot_failures = 0;
     corruptions = 0; backoff_ms = 0.0 }
 
-let create ?(cfg = default_config) ?(reruns = 3) ?fault kconfig =
+let create ?(cfg = default_config) ?(reruns = 3) ?fault ?(obs = Obs.nop)
+    kconfig =
   let fault = match fault with Some f -> f | None -> Fault.none () in
   Fault.set_fuel_limit fault (if cfg.fuel > 0 then Some cfg.fuel else None);
   let stats = fresh_stats () in
-  let env = boot_env ~cfg ~fault ~stats kconfig in
-  { cfg; kconfig; fault; reruns;
-    runner = Runner.create ~reruns env;
+  let env = boot_env ~cfg ~fault ~obs ~stats kconfig in
+  { cfg; kconfig; fault; reruns; obs;
+    runner = Runner.create ~reruns ~obs env;
     prior_executions = 0; stats; quarantine = [] }
 
-let executions t = t.prior_executions + t.runner.Runner.executions
+let executions t = t.prior_executions + Runner.executions t.runner
 
 let quarantined t = List.rev t.quarantine
+
+(* Deterministic timestamp for trace events: the current runner's
+   virtual kernel clock. *)
+let vnow t = Clock.now t.runner.Runner.env.Env.kernel.State.clock
 
 (* Full VM reboot after an infrastructure fault: retire the poisoned
    runner and boot a fresh environment. Booting is deterministic, so the
    replacement is indistinguishable from the original machine. *)
 let reboot t =
-  t.prior_executions <- t.prior_executions + t.runner.Runner.executions;
+  t.prior_executions <- t.prior_executions + Runner.executions t.runner;
   t.stats.reboots <- t.stats.reboots + 1;
-  let env = boot_env ~cfg:t.cfg ~fault:t.fault ~stats:t.stats t.kconfig in
-  t.runner <- Runner.create ~reruns:t.reruns env
+  Metrics.inc (m_counter t.obs "reboots");
+  Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.reboot";
+  let env = boot_env ~cfg:t.cfg ~fault:t.fault ~obs:t.obs ~stats:t.stats t.kconfig in
+  t.runner <- Runner.create ~reruns:t.reruns ~obs:t.obs env
 
 (* One supervised attempt loop shared by execute and test_interference:
    [retries] counts kernel deaths (panic/hang), [reboots] counts
    infrastructure faults; each budget is bounded separately. *)
 let rec attempt t ~sender ~receiver ~retries ~reboots =
   t.stats.attempts <- t.stats.attempts + 1;
+  Metrics.inc (m_counter t.obs "attempts");
   match Runner.try_execute t.runner ~sender ~receiver with
   | Runner.Completed _ as s -> (s, retries)
   | (Runner.Crashed _ | Runner.Hung) as s ->
     if retries >= t.cfg.max_retries then (s, retries)
     else begin
       t.stats.retries <- t.stats.retries + 1;
-      backoff t.stats t.cfg ~attempt:retries;
+      Metrics.inc (m_counter t.obs "retries");
+      Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.retry"
+        ~attrs:[ ("attempt", string_of_int (retries + 1)) ];
+      backoff ~obs:t.obs t.stats t.cfg ~attempt:retries;
       attempt t ~sender ~receiver ~retries:(retries + 1) ~reboots
     end
   | exception Fault.Snapshot_corrupt ->
     t.stats.corruptions <- t.stats.corruptions + 1;
+    Metrics.inc (m_counter t.obs "corruptions");
     if reboots >= t.cfg.max_reboots then
       raise (Gave_up "snapshot restore kept failing; fault plane arms permanent corruption")
     else begin
-      backoff t.stats t.cfg ~attempt:reboots;
+      backoff ~obs:t.obs t.stats t.cfg ~attempt:reboots;
       reboot t;
       attempt t ~sender ~receiver ~retries ~reboots:(reboots + 1)
     end
 
+(* Per-execution span around the whole attempt loop (retries included),
+   timestamped with the virtual clock so traces stay deterministic. *)
+let supervised t name ~sender ~receiver =
+  Tracer.with_span t.obs.Obs.tracer ~time:(vnow t) name (fun () ->
+      attempt t ~sender ~receiver ~retries:0 ~reboots:0)
+
 let execute t ~sender ~receiver =
-  let status, retries = attempt t ~sender ~receiver ~retries:0 ~reboots:0 in
+  let status, retries = supervised t "sup.execute" ~sender ~receiver in
   (match status with
   | Runner.Completed _ -> ()
   | Runner.Crashed info ->
+    Metrics.inc (m_counter t.obs "quarantined");
+    Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.quarantine"
+      ~attrs:[ ("reason", "panic") ];
     t.quarantine <-
       { c_sender = sender; c_receiver = receiver;
         c_reason = Panicked info; c_attempts = retries + 1 }
       :: t.quarantine
   | Runner.Hung ->
+    Metrics.inc (m_counter t.obs "quarantined");
+    Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.quarantine"
+      ~attrs:[ ("reason", "hang") ];
     t.quarantine <-
       { c_sender = sender; c_receiver = receiver;
         c_reason = Hung_forever; c_attempts = retries + 1 }
@@ -151,7 +189,7 @@ let execute t ~sender ~receiver =
   status
 
 let test_interference t ~sender ~receiver =
-  let status, _ = attempt t ~sender ~receiver ~retries:0 ~reboots:0 in
+  let status, _ = supervised t "sup.retest" ~sender ~receiver in
   match status with
   | Runner.Completed outcome -> outcome.Runner.interfered
   | Runner.Crashed _ | Runner.Hung -> []

@@ -61,6 +61,7 @@ type t = {
   kconfig : Kit_kernel.Config.t;
   fault : Kit_kernel.Fault.t;
   reruns : int;
+  obs : Kit_obs.Obs.t;          (** observability bundle (shared with runners) *)
   mutable runner : Runner.t;    (** replaced on VM reboot *)
   mutable prior_executions : int;  (** executions by runners since retired *)
   stats : stats;
@@ -73,8 +74,12 @@ exception Gave_up of string
 
 val create :
   ?cfg:config -> ?reruns:int -> ?fault:Kit_kernel.Fault.t ->
-  Kit_kernel.Config.t -> t
+  ?obs:Kit_obs.Obs.t -> Kit_kernel.Config.t -> t
 (** Boot a supervised environment (retrying transient boot failures).
+    [obs] (default {!Kit_obs.Obs.nop}) receives ["sup.*"] counters
+    mirroring {!stats}, per-execution ["sup.execute"] spans and
+    retry/reboot/quarantine instants timestamped with the virtual
+    kernel clock.
     @raise Gave_up if the VM never comes up. *)
 
 val execute :

@@ -1,0 +1,15 @@
+(** Shared map instantiations for the kernel's immutable tables. *)
+
+module Int_map : Map.S with type key = int
+module Str_map : Map.S with type key = string
+module Int_set : Set.S with type elt = int
+
+(** Pairs of ints with lexicographic order, for keys like
+    (namespace id, resource id). *)
+module Pair : sig
+  type t = int * int
+
+  val compare : t -> t -> int
+end
+
+module Pair_map : Map.S with type key = Pair.t

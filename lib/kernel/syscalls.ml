@@ -6,8 +6,21 @@
 module Sysno = Kit_abi.Sysno
 module Value = Kit_abi.Value
 module Consts = Kit_abi.Consts
+module Metrics = Kit_obs.Metrics
 
 let fn_syscall_entry = Kfun.register "do_syscall_64"
+
+(* Per-sysno dispatch counters in the global default registry. Interned
+   once at load; the hot path pays one enabled-flag check (the default
+   registry starts disabled) plus an O(1) table lookup when counting. *)
+let dispatch_counter =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      Hashtbl.add table s
+        (Metrics.counter Metrics.default ("syscall." ^ Sysno.to_string s)))
+    Sysno.all;
+  fun s -> Hashtbl.find table s
 let fn_sockfd_lookup = Kfun.register "sockfd_lookup"
 let fn_fdget = Kfun.register "fdget"
 
@@ -601,6 +614,7 @@ let dispatch k ~pid sysno args =
    armed panics/hangs), enter the syscall path, dispatch, advance the
    clock by one quantum. *)
 let exec k ~pid sysno args =
+  if Metrics.enabled Metrics.default then Metrics.inc (dispatch_counter sysno);
   Fault.on_syscall k.State.fault sysno;
   let ctx = k.State.ctx in
   let ret =

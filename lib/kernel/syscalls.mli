@@ -1,6 +1,11 @@
 (** The system call layer: argument validation and dispatch into the
     subsystems, bracketed by per-syscall kernel functions so profiles
-    see realistic call stacks. *)
+    see realistic call stacks.
+
+    When the global default metrics registry is enabled
+    ([Kit_obs.Metrics.set_enabled Kit_obs.Metrics.default true]), every
+    dispatch increments a per-sysno ["syscall.<name>"] counter; with the
+    registry disabled (the default) the hot path pays one bool check. *)
 
 val exec :
   State.t -> pid:int -> Kit_abi.Sysno.t -> Kit_abi.Value.t list -> Sysret.t

@@ -1,0 +1,8 @@
+(** Human-readable rendering of a telemetry export ([kit stats]):
+    aligned tables for counters, gauges and histograms, plus a span
+    summary built by pairing begin/end events. *)
+
+val stats : Export.parsed -> string
+
+val snapshot_table : Metrics.snapshot -> string
+(** {!stats} over a bare metrics snapshot (no meta, no events). *)

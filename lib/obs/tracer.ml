@@ -1,0 +1,97 @@
+(* The span tracer: nested begin/end phase spans and instant events in a
+   ring buffer capped at a configurable size.
+
+   Every event carries two timestamps: a deterministic one ([time],
+   defaulting to the event sequence number, or the model kernel's
+   virtual clock when the caller passes one) and a wall-clock one
+   ([wall]). Deterministic exports use only the former, so a trace for a
+   fixed seed is byte-stable across runs; wall times serve human
+   timings. When the ring is full the oldest events are dropped and
+   counted — a month-long campaign cannot grow the trace without
+   bound. *)
+
+type kind = Begin | End | Instant
+
+type event = {
+  seq : int;                        (* monotone event number *)
+  time : int;                       (* deterministic timestamp *)
+  kind : kind;
+  name : string;
+  attrs : (string * string) list;
+  wall : float;                     (* Unix.gettimeofday at record time *)
+}
+
+type span = { sp_live : bool; sp_name : string; sp_attrs : (string * string) list }
+
+type t = {
+  mutable on : bool;
+  cap : int;
+  mutable buf : event option array;
+  mutable next : int;               (* events ever recorded; seq source *)
+}
+
+let create ?(cap = 4096) ?(enabled = true) () =
+  { on = enabled; cap = max 1 cap; buf = Array.make (max 1 cap) None; next = 0 }
+
+(* A shared inert tracer (and dead span): recording through it is a
+   single bool check, no allocation. *)
+let nop = create ~cap:1 ~enabled:false ()
+let dead_span = { sp_live = false; sp_name = ""; sp_attrs = [] }
+
+let enabled t = t.on
+let set_enabled t b = t.on <- b
+
+let record t kind ?time ~attrs name =
+  let time = match time with Some v -> v | None -> t.next in
+  let e =
+    { seq = t.next; time; kind; name; attrs; wall = Unix.gettimeofday () }
+  in
+  t.buf.(t.next mod t.cap) <- Some e;
+  t.next <- t.next + 1
+
+let instant t ?(attrs = []) ?time name =
+  if t.on then record t Instant ?time ~attrs name
+
+let span t ?(attrs = []) ?time name =
+  if not t.on then dead_span
+  else begin
+    record t Begin ?time ~attrs name;
+    { sp_live = true; sp_name = name; sp_attrs = attrs }
+  end
+
+let finish t ?time sp =
+  if sp.sp_live && t.on then record t End ?time ~attrs:sp.sp_attrs sp.sp_name
+
+let with_span t ?attrs ?time name f =
+  let sp = span t ?attrs ?time name in
+  Fun.protect ~finally:(fun () -> finish t ?time sp) f
+
+let recorded t = t.next
+let dropped t = max 0 (t.next - t.cap)
+
+let events t =
+  let first = dropped t in
+  List.init (t.next - first) (fun i ->
+      match t.buf.((first + i) mod t.cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 t.cap None;
+  t.next <- 0
+
+let kind_to_string = function
+  | Begin -> "begin"
+  | End -> "end"
+  | Instant -> "instant"
+
+let kind_of_string = function
+  | "begin" -> Some Begin
+  | "end" -> Some End
+  | "instant" -> Some Instant
+  | _ -> None
+
+let pp_event ppf e =
+  Fmt.pf ppf "#%d t=%d %s %s%a" e.seq e.time (kind_to_string e.kind) e.name
+    (Fmt.list ~sep:Fmt.nop (fun ppf (k, v) -> Fmt.pf ppf " %s=%s" k v))
+    e.attrs

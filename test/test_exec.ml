@@ -89,9 +89,9 @@ let test_mask_cached_per_receiver () =
   let receiver = p "r0 = clock_gettime()" in
   let sender = p "r0 = getpid()" in
   let _ = Runner.execute runner ~sender ~receiver in
-  let execs_after_first = runner.Runner.executions in
+  let execs_after_first = (Runner.executions runner) in
   let _ = Runner.execute runner ~sender ~receiver in
-  let execs_after_second = runner.Runner.executions in
+  let execs_after_second = (Runner.executions runner) in
   (* Second execution reuses the cached mask: exactly two runs (A and B),
      no re-profiling of non-determinism. *)
   check_int "mask cache hit" (execs_after_first + 2) execs_after_second
@@ -103,7 +103,7 @@ let test_no_divergence_skips_masking () =
     Runner.execute runner ~sender:(p "r0 = getpid()")
       ~receiver:(p "r0 = getpid()")
   in
-  check_int "only A and B executed" 2 runner.Runner.executions
+  check_int "only A and B executed" 2 (Runner.executions runner)
 
 let test_nondet_mask_structure () =
   let env = Env.create (K.Config.v5_13 ()) in

@@ -12,6 +12,7 @@ let () =
       ("exec", Test_exec.suite);
       ("detect", Test_detect.suite);
       ("report", Test_report.suite);
+      ("obs", Test_obs.suite);
       ("core", Test_core.suite);
       ("ext", Test_ext.suite);
       ("fault", Test_fault.suite);
