@@ -5,7 +5,11 @@
    Test.make per table plus micro-benchmarks of the hot paths.
 
    Environment knobs: KIT_BENCH_CORPUS (table corpus size, default 320),
-   KIT_BENCH_QUOTA (seconds per bechamel test, default 0.5). *)
+   KIT_BENCH_QUOTA (seconds per bechamel test, default 0.5),
+   KIT_BENCH_EXEC_CORPUS (hot-path section corpus, default 320),
+   KIT_BENCH_ONLY_EXEC (run only the hot-path section — the CI smoke
+   entry point), KIT_BENCH_JSON=PATH (write the hot-path timings and
+   speedup ratios as a single JSON object to PATH). *)
 
 open Bechamel
 open Toolkit
@@ -29,6 +33,9 @@ module Fault = Kit_kernel.Fault
 module Collect = Kit_profile.Collect
 module Compare = Kit_trace.Compare
 module Obs = Kit_obs.Obs
+module Metrics = Kit_obs.Metrics
+module Jsonl = Kit_obs.Jsonl
+module Distrib = Kit_core.Distrib
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -240,6 +247,128 @@ let print_observability_overhead () =
     "full (metrics + spans + syscall counters): %10.0f executions/s (overhead %.1f%%)@.@."
     full (pct off full)
 
+(* --- execution hot path -------------------------------------------------
+   The three stacked optimisations of the execution loop, each measured
+   against its off switch on the same workload:
+     1. incremental snapshot restore — fraction of heap cells replayed
+        vs what full restores would have replayed (acceptance: <20%);
+     2. baseline-trace memoization — program executions with the cache
+        on vs off (execution B collapses to one per distinct receiver);
+     3. multicore Distrib — wall-clock at --domains N vs sequential on
+        an identical worker pool.
+   Results accumulate into a JSON object written to $KIT_BENCH_JSON. *)
+
+let bench_json : (string * Jsonl.t) list ref = ref []
+
+let record key v = bench_json := (key, v) :: !bench_json
+
+let write_bench_json () =
+  match Sys.getenv_opt "KIT_BENCH_JSON" with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Jsonl.to_string (Jsonl.Obj (List.rev !bench_json)));
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "bench json: %s@." path
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let counter_of snap name =
+  match List.assoc_opt name snap with
+  | Some (Metrics.Counter_v n) -> n
+  | Some (Metrics.Gauge_v _ | Metrics.Hist_v _) | None -> 0
+
+let print_exec_hotpath () =
+  Fmt.pr "-- Execution hot path: restore / baseline cache / domains --@.";
+  let corpus_size = getenv_int "KIT_BENCH_EXEC_CORPUS" 320 in
+  let options = { Campaign.default_options with Campaign.corpus_size } in
+  record "exec_corpus" (Jsonl.Int corpus_size);
+  (* 1. incremental restore: the heap counters live on the global default
+     registry, so enable it around one campaign and read them back. *)
+  Metrics.reset Metrics.default;
+  Metrics.set_enabled Metrics.default true;
+  let c_on, on_s = timed (fun () -> Campaign.run options) in
+  Metrics.set_enabled Metrics.default false;
+  let snap = Metrics.snapshot Metrics.default in
+  Metrics.reset Metrics.default;
+  let restored = counter_of snap "heap.cells_restored" in
+  let total = counter_of snap "heap.cells_total" in
+  let frac = if total = 0 then 1.0 else float_of_int restored /. float_of_int total in
+  Fmt.pr
+    "incremental restore:  %d of %d cells replayed (%.1f%% of full; acceptance <20%%)@."
+    restored total (100.0 *. frac);
+  record "restore_cells_replayed" (Jsonl.Int restored);
+  record "restore_cells_total" (Jsonl.Int total);
+  record "restore_replay_fraction" (Jsonl.Float frac);
+  (* 2. baseline-trace memoization: same campaign, cache off. *)
+  let c_off, off_s =
+    timed (fun () ->
+        Campaign.run { options with Campaign.baseline_cache = false })
+  in
+  let ratio =
+    if c_on.Campaign.executions = 0 then 1.0
+    else
+      float_of_int c_off.Campaign.executions
+      /. float_of_int c_on.Campaign.executions
+  in
+  Fmt.pr
+    "baseline cache:       %d executions vs %d without (%.2fx fewer), %.3fs vs %.3fs@."
+    c_on.Campaign.executions c_off.Campaign.executions ratio on_s off_s;
+  Fmt.pr "                      reports identical: %b@."
+    (List.length c_on.Campaign.reports = List.length c_off.Campaign.reports);
+  record "baseline_executions_on" (Jsonl.Int c_on.Campaign.executions);
+  record "baseline_executions_off" (Jsonl.Int c_off.Campaign.executions);
+  record "baseline_execution_ratio" (Jsonl.Float ratio);
+  record "campaign_s_cache_on" (Jsonl.Float on_s);
+  record "campaign_s_cache_off" (Jsonl.Float off_s);
+  (* 3. multicore Distrib: the same worker pool, sequential vs on a
+     domain pool. Workers and their shards are identical, so this is a
+     pure wall-clock comparison. DF-IA clustering leaves only a few
+     hundred representatives — far too little work for parallelism to
+     matter — so this stage uses a RAND generation, the big flat queue a
+     real server-mode campaign distributes. *)
+  let cores = Domain.recommended_domain_count () in
+  let workers = getenv_int "KIT_BENCH_EXEC_WORKERS" 4 in
+  let domains = getenv_int "KIT_BENCH_EXEC_DOMAINS" (min 4 cores) in
+  let rand_budget = getenv_int "KIT_BENCH_EXEC_CASES" (16 * corpus_size) in
+  let rand =
+    Campaign.execute_prepared
+      ~strategy:(Cluster.Rand rand_budget)
+      (Campaign.prepare options)
+  in
+  let corpus = rand.Campaign.corpus and generation = rand.Campaign.generation in
+  let run ~domains =
+    Distrib.execute ~domains options corpus generation ~workers
+  in
+  (* Warm one round so allocator/code paths are hot for both sides. *)
+  ignore (run ~domains:1 : Distrib.t);
+  let d1, d1_s = timed (fun () -> run ~domains:1) in
+  let dn, dn_s = timed (fun () -> run ~domains) in
+  let speedup = if dn_s > 0.0 then d1_s /. dn_s else 1.0 in
+  Fmt.pr
+    "multicore distrib:    %d workers, %d cases: %.3fs sequential, %.3fs on %d domains (%.2fx)@."
+    workers rand_budget d1_s dn_s domains speedup;
+  if cores <= 1 then
+    Fmt.pr
+      "                      single-core host (%d recommended domains): a \
+       wall-clock win needs real cores; this run checks overhead and \
+       determinism only@."
+      cores;
+  Fmt.pr "                      reports identical: %b@."
+    (List.length d1.Distrib.reports = List.length dn.Distrib.reports);
+  record "cores" (Jsonl.Int cores);
+  record "distrib_workers" (Jsonl.Int workers);
+  record "distrib_domains" (Jsonl.Int domains);
+  record "distrib_cases" (Jsonl.Int rand_budget);
+  record "distrib_s_domains1" (Jsonl.Float d1_s);
+  record "distrib_s_domainsN" (Jsonl.Float dn_s);
+  record "distrib_speedup" (Jsonl.Float speedup);
+  Fmt.pr "@."
+
 (* --- bechamel micro/macro benchmarks ------------------------------------ *)
 
 let bench_corpus = 48
@@ -295,6 +424,8 @@ let make_benchmarks () =
             ignore (Supervisor.execute sup ~sender ~receiver:prog : Runner.status))));
     Test.make ~name:"kernel: snapshot restore"
       (Staged.stage (fun () -> State.restore kernel snap));
+    Test.make ~name:"kernel: snapshot restore (full)"
+      (Staged.stage (fun () -> State.restore ~full:true kernel snap));
     Test.make ~name:"trace: AST comparison"
       (Staged.stage (fun () ->
            ignore
@@ -346,11 +477,20 @@ let run_benchmarks () =
   List.iter (fun (name, ns) -> Fmt.pr "%-42s %a@." name pp_time ns) rows
 
 let () =
-  print_tables ();
-  print_jump_label_ablation ();
-  print_spec_ablation ();
-  print_bounds_ablation ();
-  print_supervision_overhead ();
-  print_observability_overhead ();
-  run_benchmarks ();
-  Fmt.pr "done.@."
+  if Sys.getenv_opt "KIT_BENCH_ONLY_EXEC" <> None then begin
+    print_exec_hotpath ();
+    write_bench_json ();
+    Fmt.pr "done.@."
+  end
+  else begin
+    print_tables ();
+    print_jump_label_ablation ();
+    print_spec_ablation ();
+    print_bounds_ablation ();
+    print_supervision_overhead ();
+    print_observability_overhead ();
+    print_exec_hotpath ();
+    run_benchmarks ();
+    write_bench_json ();
+    Fmt.pr "done.@."
+  end

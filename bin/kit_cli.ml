@@ -119,6 +119,24 @@ let max_retries_arg =
     & info [ "max-retries" ]
         ~doc:"Supervisor retries per test case before quarantining it.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Run the execute phase on N OCaml domains (true multicore). \
+           Reports, funnel and quarantine are identical for any value; \
+           only wall-clock time changes.")
+
+let no_baseline_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-baseline-cache" ]
+        ~doc:
+          "Disable the per-receiver baseline-trace cache (every test case \
+           re-executes the receiver solo). Never changes results; useful \
+           for benchmarking the memoization win.")
+
 let checkpoint_arg =
   Arg.(
     value
@@ -195,10 +213,11 @@ let export_obs obs ~meta ~metrics_file ~trace_file =
       Fmt.pr "trace: %s@." path)
 
 let options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
-    ~max_retries ~obs =
+    ~max_retries ~domains ~baseline_cache ~obs =
   let faults = faults @ Fault.schedule_of_seed ~seed ~intensity:fault_intensity in
   { Campaign.default_options with
-    Campaign.seed; corpus_size; strategy; faults; fuel; max_retries; obs }
+    Campaign.seed; corpus_size; strategy; faults; fuel; max_retries;
+    domains = max 1 domains; baseline_cache; obs }
 
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Render the AGG-RS groups.")
@@ -260,13 +279,13 @@ let run_campaign opts ~checkpoint_file ~checkpoint_every ~resume =
 
 let cmd_campaign =
   let run seed corpus_size strategy verbose faults fault_intensity fuel
-      max_retries checkpoint_file checkpoint_every resume metrics_file
-      trace_file =
+      max_retries domains no_baseline_cache checkpoint_file checkpoint_every
+      resume metrics_file trace_file =
     guarded (fun () ->
         let obs = obs_of_flags ~metrics_file ~trace_file in
         let opts =
           options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
-            ~max_retries ~obs
+            ~max_retries ~domains ~baseline_cache:(not no_baseline_cache) ~obs
         in
         let c = run_campaign opts ~checkpoint_file ~checkpoint_every ~resume in
         export_obs obs ~metrics_file ~trace_file
@@ -292,8 +311,8 @@ let cmd_campaign =
     Term.(
       const run $ seed_arg $ corpus_size_arg $ strategy_arg $ verbose_arg
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
-      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ metrics_arg
-      $ trace_arg)
+      $ domains_arg $ no_baseline_cache_arg $ checkpoint_arg
+      $ checkpoint_every_arg $ resume_arg $ metrics_arg $ trace_arg)
 
 let cmd_distrib =
   let workers_arg =
@@ -322,17 +341,20 @@ let cmd_distrib =
              Repeatable.")
   in
   let run seed corpus_size strategy workers faults fault_intensity fuel
-      max_retries kills metrics_file trace_file =
+      max_retries domains no_baseline_cache kills metrics_file trace_file =
     guarded (fun () ->
         let obs = obs_of_flags ~metrics_file ~trace_file in
+        (* The single-node reference campaign stays at domains=1; the
+           --domains flag parallelises the worker pool itself. *)
         let opts =
           options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
-            ~max_retries ~obs
+            ~max_retries ~domains:1 ~baseline_cache:(not no_baseline_cache)
+            ~obs
         in
         let single = Campaign.run opts in
         let d =
-          Distrib.execute ~failures:kills opts single.Campaign.corpus
-            single.Campaign.generation ~workers
+          Distrib.execute ~failures:kills ~domains:(max 1 domains) opts
+            single.Campaign.corpus single.Campaign.generation ~workers
         in
         (* The metrics export is the merged per-worker registries (what
            the paper's server would aggregate from its clients); trace
@@ -380,7 +402,8 @@ let cmd_distrib =
     Term.(
       const run $ seed_arg $ corpus_size_arg $ strategy_arg $ workers_arg
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
-      $ kill_arg $ metrics_arg $ trace_arg)
+      $ domains_arg $ no_baseline_cache_arg $ kill_arg $ metrics_arg
+      $ trace_arg)
 
 let cmd_tables =
   let run seed corpus_size =

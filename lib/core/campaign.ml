@@ -39,6 +39,8 @@ type options = {
   faults : Fault.schedule;              (* injected fault schedule *)
   fuel : int;                           (* per-execution step budget *)
   max_retries : int;                    (* supervisor retry budget *)
+  baseline_cache : bool;                (* memoize receiver-solo traces *)
+  domains : int;                        (* execute-phase parallelism *)
   obs : Obs.t option;                   (* observability bundle; None =
                                            private bundle per campaign *)
 }
@@ -55,6 +57,8 @@ let default_options =
     faults = [];
     fuel = Supervisor.default_config.Supervisor.fuel;
     max_retries = Supervisor.default_config.Supervisor.max_retries;
+    baseline_cache = true;
+    domains = 1;
     obs = None;
   }
 
@@ -198,6 +202,7 @@ let make_supervisor ~obs options =
       max_retries = options.max_retries }
   in
   Supervisor.create ~cfg ~reruns:options.reruns
+    ~baseline_cache:options.baseline_cache
     ~fault:(Fault.of_schedule options.faults)
     ~obs options.config
 
@@ -217,6 +222,88 @@ let run_testcase options corpus sup funnel reports (tc : Testcase.t) =
     | Filter.No_divergence | Filter.Filtered_nondet | Filter.Filtered_resource
       ->
       ())
+
+(* Parallel chunk execution on OCaml domains. The chunk's representatives
+   are dealt round-robin over [domains] slices tagged with their global
+   chunk index; each domain boots its own isolated supervised environment
+   and observability registry (classification is order-free: the funnel
+   only accumulates counters) and reports per-case results. The merge
+   sorts by global index, so reports, funnel and quarantine come out
+   structurally identical to the sequential schedule — only wall-clock
+   changes. Per-domain registries are folded into the campaign bundle
+   with [Metrics.absorb]. *)
+let run_chunk_on_domains ~domains ~obs options corpus funnel reports chunk =
+  let slices = Array.make domains [] in
+  List.iteri
+    (fun i tc -> slices.(i mod domains) <- (i, tc) :: slices.(i mod domains))
+    chunk;
+  let worker slice () =
+    let wobs = Obs.create () in
+    let sup = make_supervisor ~obs:wobs options in
+    let wfunnel = Filter.funnel_create () in
+    let out =
+      List.map
+        (fun (i, tc) ->
+          let q0 = Supervisor.quarantine_count sup in
+          let one = ref [] in
+          run_testcase options corpus sup wfunnel one tc;
+          let crashes =
+            if Supervisor.quarantine_count sup > q0 then
+              List.filteri (fun k _ -> k >= q0) (Supervisor.quarantined sup)
+            else []
+          in
+          (i, !one, crashes))
+        slice
+    in
+    (out, wfunnel, Supervisor.executions sup, Obs.snapshot wobs)
+  in
+  let handles =
+    Array.map
+      (fun slice ->
+        let slice = List.rev slice in
+        if slice = [] then None else Some (Domain.spawn (worker slice)))
+      slices
+  in
+  (* Join every domain before propagating any failure, so a crashed
+     domain cannot leak its siblings. *)
+  let joined =
+    Array.map
+      (Option.map (fun h ->
+           match Domain.join h with v -> Ok v | exception e -> Error e))
+      handles
+  in
+  Array.iter
+    (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+    joined;
+  let results =
+    Array.to_list joined
+    |> List.filter_map (function
+         | Some (Ok r) -> Some r
+         | Some (Error _) | None -> None)
+  in
+  let per_case =
+    List.concat_map (fun (out, _, _, _) -> out) results
+    |> List.sort (fun (i, _, _) (j, _, _) -> compare i j)
+  in
+  let quarantined_now = ref [] in
+  List.iter
+    (fun (_, rs, crashes) ->
+      reports := rs @ !reports;
+      quarantined_now := List.rev_append crashes !quarantined_now)
+    per_case;
+  List.iter
+    (fun (_, wfunnel, _, snap) ->
+      funnel.Filter.executed <-
+        funnel.Filter.executed + wfunnel.Filter.executed;
+      funnel.Filter.initial <- funnel.Filter.initial + wfunnel.Filter.initial;
+      funnel.Filter.after_nondet <-
+        funnel.Filter.after_nondet + wfunnel.Filter.after_nondet;
+      funnel.Filter.after_resource <-
+        funnel.Filter.after_resource + wfunnel.Filter.after_resource;
+      Metrics.absorb obs.Obs.metrics snap)
+    results;
+  ( List.rev !quarantined_now,
+    List.fold_left (fun acc (_, _, execs, _) -> acc + execs) 0 results )
 
 (* Run the execute phase for up to [budget] representatives, starting
    from [resume] (or from scratch). Returns either the completed phase
@@ -271,19 +358,36 @@ let execute_phase ?resume ~budget ~strategy prepared =
         ck.ck_execute_s )
   in
   Metrics.set_gauge (time_gauge obs "generate_s") generate_s;
-  let sup = make_supervisor ~obs options in
   let reports = ref rev_reports in
+  (* At least one representative per chunk: a non-positive budget would
+     pause without progress and turn resume-until-done loops into
+     livelocks. *)
+  let budget = max 1 budget in
   let todo = List.filteri (fun i _ -> i >= done_) reps in
   let chunk = List.filteri (fun i _ -> i < budget) todo in
   let executed_now = List.length chunk in
-  let _, execute_s_now =
+  let domains = max 1 options.domains in
+  let (quarantined_now, executions_now, chunk_sup), execute_s_now =
     Tracer.with_span obs.Obs.tracer "phase.execute"
-      ~attrs:[ ("chunk", string_of_int executed_now) ]
+      ~attrs:
+        [ ("chunk", string_of_int executed_now);
+          ("domains", string_of_int domains) ]
       (fun () ->
         timed (fun () ->
-            List.iter
-              (run_testcase options prepared.p_corpus sup funnel reports)
-              chunk))
+            if domains = 1 then begin
+              let sup = make_supervisor ~obs options in
+              List.iter
+                (run_testcase options prepared.p_corpus sup funnel reports)
+                chunk;
+              ( Supervisor.quarantined sup, Supervisor.executions sup,
+                Some sup )
+            end
+            else
+              let q, execs =
+                run_chunk_on_domains ~domains ~obs options prepared.p_corpus
+                  funnel reports chunk
+              in
+              (q, execs, None)))
   in
   let execute_s = execute_s0 +. execute_s_now in
   (* Per-chunk accounting: representative counts are deterministic,
@@ -296,8 +400,8 @@ let execute_phase ?resume ~budget ~strategy prepared =
        "campaign.chunk_s")
     execute_s_now;
   Metrics.set_gauge (time_gauge obs "execute_s") execute_s;
-  let quarantined = quarantined0 @ Supervisor.quarantined sup in
-  let executions = executions0 + Supervisor.executions sup in
+  let quarantined = quarantined0 @ quarantined_now in
+  let executions = executions0 + executions_now in
   if done_ + executed_now < total then
     Phase_paused
       {
@@ -314,9 +418,17 @@ let execute_phase ?resume ~budget ~strategy prepared =
         ck_execute_s = execute_s;
       }
   else
+    (* In parallel mode the chunk supervisors died with their domains;
+       diagnosis gets a fresh sequential environment, and the chunk's
+       executions ride along via [prior_executions]. *)
+    let sup, prior_executions =
+      match chunk_sup with
+      | Some sup -> (sup, executions0)
+      | None -> (make_supervisor ~obs options, executions)
+    in
     Phase_done
       { generation; funnel; reports = List.rev !reports; quarantined;
-        prior_executions = executions0; sup; generate_s; execute_s }
+        prior_executions; sup; generate_s; execute_s }
 
 let finish prepared options phase =
   match phase with

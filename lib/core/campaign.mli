@@ -19,6 +19,20 @@ type options = {
   faults : Kit_kernel.Fault.schedule;  (** injected fault schedule *)
   fuel : int;                      (** per-execution step budget *)
   max_retries : int;               (** supervisor retry budget per case *)
+  baseline_cache : bool;
+  (** memoize receiver-solo baseline traces per receiver program
+      (default [true]); never changes reports, funnel or quarantine
+      (property-tested), only the execution count *)
+  domains : int;
+  (** execute-phase parallelism (default 1 = sequential). Each chunk is
+      dealt round-robin over this many OCaml domains, one isolated
+      supervised environment per domain, and merged back in
+      representative order: reports, funnel and quarantine are
+      structurally identical to the sequential schedule
+      (property-tested). With [domains > 1], {!t.sup_stats} and
+      {!t.fault_counters} describe only the diagnosis environment — the
+      per-domain supervision counters live in the bundle's metrics,
+      folded in with {!Kit_obs.Metrics.absorb}. *)
   obs : Kit_obs.Obs.t option;
   (** observability bundle shared with the supervisor and runners;
       [None] (the default) gives each campaign a fresh private bundle,

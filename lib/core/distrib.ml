@@ -12,7 +12,17 @@
    worker's remaining queue round-robin across the survivors — the
    recovery the paper's server mode performs when a client VM stops
    responding. Resharding never changes the merged outcome either
-   (property-tested). *)
+   (property-tested).
+
+   With [~domains:N] the worker pool actually runs in parallel: worker
+   [w] is pinned to OCaml domain [w mod domains], every worker keeps its
+   own environment and observability bundle (nothing is shared but the
+   results array, written at disjoint slots before the joins), and the
+   merge iterates in worker order, so the output is structurally
+   identical to the sequential schedule. A crashed worker task kills its
+   whole domain; [Domain.join] surfaces the exception, the unfinished
+   workers of that domain are recorded as dead, and their shards flow
+   into the same resharding path as planned failures. *)
 
 module Testcase = Kit_gen.Testcase
 module Cluster = Kit_gen.Cluster
@@ -83,6 +93,7 @@ let make_supervisor ~obs options =
       max_retries = options.Campaign.max_retries }
   in
   Supervisor.create ~cfg ~reruns:options.Campaign.reruns
+    ~baseline_cache:options.Campaign.baseline_cache
     ~fault:(Fault.of_schedule options.Campaign.faults)
     ~obs options.Campaign.config
 
@@ -152,24 +163,87 @@ let run_extra options corpus (w : worker_result) extra =
       metrics = Metrics.merge [ w.metrics; Obs.snapshot obs ] }
   end
 
+exception Worker_crashed of int
+
+(* A worker whose task never completed (its domain crashed or failed to
+   join): everything it was assigned is orphaned, nothing was executed. *)
+let dead_result ~worker ~assigned =
+  { worker; assigned; completed = 0; died = true; executions = 0;
+    funnel = Filter.funnel_create (); reports = []; quarantined = [];
+    metrics = [] }
+
+(* Run every worker task, sequentially ([domains = 1]) or pinned over a
+   domain pool. [slots.(w)] is written by exactly one domain, before any
+   join, so the post-join reads are race-free. A slot left [None] means
+   the worker's domain crashed before reaching it. *)
+let run_pool ~domains ~task n =
+  let slots = Array.make n None in
+  if domains = 1 then
+    for w = 0 to n - 1 do
+      match task w with
+      | r -> slots.(w) <- Some r
+      | exception Worker_crashed _ -> ()
+    done
+  else begin
+    let body d () =
+      let w = ref d in
+      while !w < n do
+        slots.(!w) <- Some (task !w);
+        w := !w + domains
+      done
+    in
+    let handles = List.init (min domains n) (fun d -> Domain.spawn (body d)) in
+    (* Join everything before re-raising, so no domain outlives the call;
+       a simulated worker crash is the expected join failure, anything
+       else is a real bug and propagates. *)
+    let joined =
+      List.map (fun h -> match Domain.join h with
+          | () -> Ok ()
+          | exception e -> Error e)
+        handles
+    in
+    List.iter
+      (function
+        | Ok () | Error (Worker_crashed _) -> ()
+        | Error e -> raise e)
+      joined
+  end;
+  slots
+
 (* Distribute the representatives of [generation] over [workers]
    environments and merge the results. [failures] kills workers
-   mid-shard; their remaining queues are resharded over the survivors. *)
-let execute ?(failures = []) options corpus (generation : Cluster.result)
-    ~workers =
+   mid-shard; their remaining queues are resharded over the survivors.
+   [crashes] kills worker tasks outright (taking their domain with them);
+   both feed the same resharding path. *)
+let execute ?(failures = []) ?(domains = 1) ?(crashes = []) options corpus
+    (generation : Cluster.result) ~workers =
   let shards = shard ~workers generation.Cluster.reps in
+  let n = Array.length shards in
   let plan w =
     List.find_opt (fun f -> f.dead_worker = w) failures
     |> Option.map (fun f -> max 0 f.after)
   in
-  let first_round =
-    Array.to_list
-      (Array.mapi
-         (fun w shard -> run_worker options corpus ~worker:w ?dies_after:(plan w) shard)
-         shards)
+  let task w =
+    if List.mem w crashes then raise (Worker_crashed w);
+    run_worker options corpus ~worker:w ?dies_after:(plan w) shards.(w)
   in
-  let orphans = List.concat_map snd first_round in
-  let results = List.map fst first_round in
+  let slots = run_pool ~domains:(max 1 domains) ~task n in
+  (* Walk slots in worker order: results and the orphan queue come out
+     deterministic no matter how the domains interleaved. *)
+  let results, orphans_rev =
+    let results = ref [] and orphans_rev = ref [] in
+    for w = 0 to n - 1 do
+      match slots.(w) with
+      | Some (r, leftover) ->
+        results := r :: !results;
+        orphans_rev := List.rev_append leftover !orphans_rev
+      | None ->
+        results := dead_result ~worker:w ~assigned:(List.length shards.(w)) :: !results;
+        orphans_rev := List.rev_append shards.(w) !orphans_rev
+    done;
+    (List.rev !results, !orphans_rev)
+  in
+  let orphans = List.rev orphans_rev in
   let survivors = List.filter (fun (w : worker_result) -> not w.died) results in
   if orphans <> [] && survivors = [] then
     failwith "Distrib.execute: every worker died; nothing can absorb the queue";

@@ -5,7 +5,12 @@
     reports and quarantines. Sharding never changes the outcome — only
     wall-clock parallelism — and neither does killing a worker
     mid-campaign: the dead worker's remaining queue is resharded over
-    the survivors (property-tested). *)
+    the survivors (property-tested).
+
+    With [~domains:N] the pool runs on [N] OCaml domains — worker [w] on
+    domain [w mod N] — and the merge walks workers in order, so the
+    result is structurally identical for every domain count, worker
+    deaths included (property-tested). *)
 
 type worker_result = {
   worker : int;
@@ -41,9 +46,15 @@ type t = {
 val shard : workers:int -> 'a list -> 'a list array
 
 val execute :
-  ?failures:failure list ->
+  ?failures:failure list -> ?domains:int -> ?crashes:int list ->
   Campaign.options -> Kit_abi.Program.t array -> Kit_gen.Cluster.result ->
   workers:int -> t
-(** @raise Failure if every worker dies with work still queued. *)
+(** [domains] (default 1 = sequential) sizes the domain pool the worker
+    tasks run on; it changes wall-clock time only, never the result.
+    [crashes] lists worker indices whose task dies outright, taking its
+    domain (and the domain's unfinished workers) with it — those shards
+    join the planned-failure resharding path, so the merged outcome
+    still matches a crash-free run.
+    @raise Failure if every worker dies with work still queued. *)
 
 val pp : Format.formatter -> t -> unit

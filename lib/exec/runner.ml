@@ -7,14 +7,30 @@
    decoded to ASTs. The receiver is additionally re-run several times
    with different clock base offsets; result nodes that vary get their
    det flag cleared, and the flags are applied to both traces before
-   comparison. Non-determinism masks are cached per receiver program, as
-   the paper saves them to disk between campaigns; the cache is
-   size-capped with FIFO eviction so month-long campaigns cannot grow
-   memory without bound.
+   comparison.
 
-   Execution and mask-cache counters live in the observability plane's
+   Two memo caches cut the execution count, both keyed on the receiver
+   program hash and size-capped with LRU eviction (hits refresh
+   recency — FIFO evicts hot receivers under the cap during large
+   campaigns):
+
+   - the non-determinism mask cache, as the paper saves masks to disk
+     between campaigns;
+   - the baseline cache: execution B and the mask's reference run are
+     the receiver solo from the pristine snapshot at the reference
+     clock base — a function of the receiver program only, so test
+     cases sharing a receiver share the trace. Decoded ASTs are
+     immutable, so sharing is safe. The cache is bypassed entirely
+     while the fault plane has armed faults: a poisoned VM must not
+     populate it, and a cached trace must not swallow a fault that a
+     real execution would have consumed. (A receiver whose solo run
+     crashes or hangs never completes its first execution, so it can
+     never be cached.)
+
+   Execution and cache counters live in the observability plane's
    metrics registry ("exec.executions", "exec.mask_hits",
-   "exec.mask_misses") as always-on counters: they are campaign
+   "exec.mask_misses", "exec.mask_evictions", "exec.baseline_hits",
+   "exec.baseline_misses") as always-on counters: they are campaign
    accounting, so they keep counting even through a disabled bundle.
    Registry counters are monotone and may be shared across runner
    incarnations (the supervisor reboots runners into the same bundle),
@@ -36,31 +52,53 @@ type t = {
   obs : Obs.t;
   reruns : int;
   rerun_delta : int;
-  mask_cache : (int, Ast.t) Hashtbl.t;   (* receiver program hash -> mask *)
-  mask_order : int Queue.t;              (* insertion order, for eviction *)
-  mask_cache_cap : int;
+  mask_cache : (int, Ast.t) Lru.t;       (* receiver program hash -> mask *)
+  baseline : bool;                       (* baseline cache enabled? *)
+  baseline_cache : (int, Ast.t) Lru.t;   (* receiver hash -> solo trace at base0 *)
   c_execs : Metrics.counter;             (* single source of truth... *)
   c_hits : Metrics.counter;
   c_misses : Metrics.counter;
+  c_evictions : Metrics.counter;
+  c_bhits : Metrics.counter;
+  c_bmisses : Metrics.counter;
   execs0 : int;                          (* ...read as deltas from here *)
   hits0 : int;
   misses0 : int;
+  evictions0 : int;
+  bhits0 : int;
+  bmisses0 : int;
 }
 
 let create ?(reruns = 3) ?(rerun_delta = 7_777) ?(mask_cache_cap = 4096)
+    ?(baseline_cache = true) ?(baseline_cache_cap = 4096)
     ?(obs = Obs.nop) env =
   let c_execs = Metrics.counter ~always:true obs.Obs.metrics "exec.executions" in
   let c_hits = Metrics.counter ~always:true obs.Obs.metrics "exec.mask_hits" in
   let c_misses =
     Metrics.counter ~always:true obs.Obs.metrics "exec.mask_misses"
   in
+  let c_evictions =
+    Metrics.counter ~always:true obs.Obs.metrics "exec.mask_evictions"
+  in
+  let c_bhits =
+    Metrics.counter ~always:true obs.Obs.metrics "exec.baseline_hits"
+  in
+  let c_bmisses =
+    Metrics.counter ~always:true obs.Obs.metrics "exec.baseline_misses"
+  in
   { env; obs; reruns; rerun_delta;
-    mask_cache = Hashtbl.create 256; mask_order = Queue.create ();
-    mask_cache_cap = max 1 mask_cache_cap;
-    c_execs; c_hits; c_misses;
+    mask_cache =
+      Lru.create (max 1 mask_cache_cap)
+        ~on_evict:(fun _ _ -> Metrics.inc c_evictions);
+    baseline = baseline_cache;
+    baseline_cache = Lru.create (max 1 baseline_cache_cap);
+    c_execs; c_hits; c_misses; c_evictions; c_bhits; c_bmisses;
     execs0 = Metrics.counter_value c_execs;
     hits0 = Metrics.counter_value c_hits;
-    misses0 = Metrics.counter_value c_misses }
+    misses0 = Metrics.counter_value c_misses;
+    evictions0 = Metrics.counter_value c_evictions;
+    bhits0 = Metrics.counter_value c_bhits;
+    bmisses0 = Metrics.counter_value c_bmisses }
 
 let executions t = Metrics.counter_value t.c_execs - t.execs0
 
@@ -79,42 +117,57 @@ let run_pair t ~base sender receiver =
   let results = Interp.run t.env.Env.kernel ~pid:t.env.Env.receiver_pid receiver in
   Decode.decode_trace results
 
-(* Insert a mask, evicting the oldest entry when the cache is full. *)
-let cache_mask t key mask =
-  if not (Hashtbl.mem t.mask_cache key) then begin
-    if Queue.length t.mask_order >= t.mask_cache_cap then begin
-      let oldest = Queue.pop t.mask_order in
-      Hashtbl.remove t.mask_cache oldest
-    end;
-    Queue.push key t.mask_order
-  end;
-  Hashtbl.replace t.mask_cache key mask
+(* The receiver's solo trace from the pristine snapshot at the reference
+   clock base — execution B, and the mask's reference run. Memoized per
+   receiver program unless disabled or the fault plane is armed. *)
+let baseline_trace t receiver =
+  if not (t.baseline && Fault.schedule (Env.fault t.env) = []) then
+    run_receiver t ~base:t.env.Env.base0 receiver
+  else begin
+    let key = Program.hash receiver in
+    match Lru.find t.baseline_cache key with
+    | Some trace ->
+      Metrics.inc t.c_bhits;
+      trace
+    | None ->
+      Metrics.inc t.c_bmisses;
+      let trace = run_receiver t ~base:t.env.Env.base0 receiver in
+      Lru.add t.baseline_cache key trace;
+      trace
+  end
 
 (* The non-determinism mask of [receiver]: its solo trace with det flags
    cleared wherever re-executions with shifted clock bases disagree. *)
 let nondet_mask t receiver =
   let key = Program.hash receiver in
-  match Hashtbl.find_opt t.mask_cache key with
+  match Lru.find t.mask_cache key with
   | Some mask ->
     Metrics.inc t.c_hits;
     mask
   | None ->
     Metrics.inc t.c_misses;
     let base = t.env.Env.base0 in
-    let reference = run_receiver t ~base receiver in
+    let reference = baseline_trace t receiver in
     let alternatives =
       List.init t.reruns (fun k ->
           run_receiver t ~base:(base + ((k + 1) * t.rerun_delta)) receiver)
     in
     let mask = Nondet.mark reference alternatives in
-    cache_mask t key mask;
+    Lru.add t.mask_cache key mask;
     mask
 
 (* Thin reads over the registry counters — per-instance deltas. *)
 let mask_cache_stats t =
   ( Metrics.counter_value t.c_hits - t.hits0,
     Metrics.counter_value t.c_misses - t.misses0,
-    Hashtbl.length t.mask_cache )
+    Lru.length t.mask_cache )
+
+let mask_evictions t = Metrics.counter_value t.c_evictions - t.evictions0
+
+let baseline_cache_stats t =
+  ( Metrics.counter_value t.c_bhits - t.bhits0,
+    Metrics.counter_value t.c_bmisses - t.bmisses0,
+    Lru.length t.baseline_cache )
 
 type outcome = {
   trace_a : Ast.t;                  (* receiver trace, sender ran first *)
@@ -128,7 +181,7 @@ type outcome = {
 let execute t ~sender ~receiver =
   let base = t.env.Env.base0 in
   let trace_a = run_pair t ~base sender receiver in
-  let trace_b = run_receiver t ~base receiver in
+  let trace_b = baseline_trace t receiver in
   let raw_diffs = Compare.diff_trees trace_a trace_b in
   if raw_diffs = [] then
     { trace_a; trace_b; raw_diffs; masked_diffs = []; interfered = [] }
@@ -168,7 +221,7 @@ let test_interference t ~sender ~receiver =
    non-deterministic by nature, which the masking pipeline must skip. *)
 let bounds_of t receiver =
   let base = t.env.Env.base0 in
-  let reference = run_receiver t ~base receiver in
+  let reference = baseline_trace t receiver in
   let alternatives =
     List.init t.reruns (fun k ->
         run_receiver t ~base:(base + ((k + 1) * t.rerun_delta)) receiver)

@@ -5,38 +5,55 @@
     receiver in the receiver container; execution B reloads the snapshot
     and runs the receiver alone. The receiver is additionally re-run
     with shifted clock bases; result nodes that vary get their det flag
-    cleared before comparison. Masks are cached per receiver program (as
-    the paper saves them to disk between campaigns) in a size-capped
-    FIFO cache.
+    cleared before comparison.
 
-    Execution and mask-cache counters live in the observability plane
+    Two size-capped LRU memo caches keyed on the receiver program hash
+    cut the execution count: the non-determinism mask cache (as the
+    paper saves masks to disk between campaigns) and the baseline cache
+    (execution B and the mask's reference run depend only on the
+    receiver, so test cases sharing a receiver share the solo trace).
+    The baseline cache is bypassed while the fault plane has armed
+    faults — a poisoned VM must not populate it, and a cached trace
+    must not swallow a fault a real execution would have consumed.
+
+    Execution and cache counters live in the observability plane
     ([Kit_obs]) as always-on registry counters — the single source of
-    truth; {!executions} and {!mask_cache_stats} are thin per-instance
-    reads over them. *)
+    truth; {!executions}, {!mask_cache_stats}, {!mask_evictions} and
+    {!baseline_cache_stats} are thin per-instance reads over them. *)
 
 type t = {
   env : Env.t;
   obs : Kit_obs.Obs.t;
   reruns : int;
   rerun_delta : int;
-  mask_cache : (int, Kit_trace.Ast.t) Hashtbl.t;
-  mask_order : int Queue.t;       (** insertion order, for eviction *)
-  mask_cache_cap : int;
+  mask_cache : (int, Kit_trace.Ast.t) Lru.t;
+  baseline : bool;                (** baseline cache enabled? *)
+  baseline_cache : (int, Kit_trace.Ast.t) Lru.t;
   c_execs : Kit_obs.Metrics.counter;  (** "exec.executions" *)
   c_hits : Kit_obs.Metrics.counter;   (** "exec.mask_hits" *)
   c_misses : Kit_obs.Metrics.counter; (** "exec.mask_misses" *)
+  c_evictions : Kit_obs.Metrics.counter; (** "exec.mask_evictions" *)
+  c_bhits : Kit_obs.Metrics.counter;     (** "exec.baseline_hits" *)
+  c_bmisses : Kit_obs.Metrics.counter;   (** "exec.baseline_misses" *)
   execs0 : int;                   (** counter values at creation: the *)
   hits0 : int;                    (** registry is shared across runner *)
   misses0 : int;                  (** incarnations, reads are deltas *)
+  evictions0 : int;
+  bhits0 : int;
+  bmisses0 : int;
 }
 
 val create :
   ?reruns:int -> ?rerun_delta:int -> ?mask_cache_cap:int ->
+  ?baseline_cache:bool -> ?baseline_cache_cap:int ->
   ?obs:Kit_obs.Obs.t -> Env.t -> t
 (** [mask_cache_cap] (default 4096) bounds the non-determinism mask
-    cache; the oldest entry is evicted when full. [obs] (default
-    {!Kit_obs.Obs.nop}) receives the runner's counters; the accounting
-    counters above record even through a disabled bundle. *)
+    cache and [baseline_cache_cap] (default 4096) the baseline cache;
+    both evict least-recently-used. [baseline_cache] (default [true])
+    turns baseline memoization off entirely — useful as the reference
+    side of equivalence properties. [obs] (default {!Kit_obs.Obs.nop})
+    receives the runner's counters; the accounting counters above record
+    even through a disabled bundle. *)
 
 val executions : t -> int
 (** Program executions performed by this runner instance. *)
@@ -45,11 +62,22 @@ val run_receiver : t -> base:int -> Kit_abi.Program.t -> Kit_trace.Ast.t
 val run_pair :
   t -> base:int -> Kit_abi.Program.t -> Kit_abi.Program.t -> Kit_trace.Ast.t
 
+val baseline_trace : t -> Kit_abi.Program.t -> Kit_trace.Ast.t
+(** The receiver's solo trace from the pristine snapshot at the
+    reference clock base — execution B (memoized per receiver program
+    unless disabled or faults are armed). *)
+
 val nondet_mask : t -> Kit_abi.Program.t -> Kit_trace.Ast.t
 (** The non-determinism mask of a receiver program (cached). *)
 
 val mask_cache_stats : t -> int * int * int
 (** [(hits, misses, live_entries)] of the mask cache. *)
+
+val mask_evictions : t -> int
+(** Mask-cache capacity evictions by this runner instance. *)
+
+val baseline_cache_stats : t -> int * int * int
+(** [(hits, misses, live_entries)] of the baseline cache. *)
 
 type outcome = {
   trace_a : Kit_trace.Ast.t;       (** receiver trace, sender ran first *)

@@ -56,12 +56,26 @@ type stats = {
   mutable backoff_ms : float;
 }
 
+(* Interned registry handles for the [stats] mirror (see
+   [intern_counters] below). *)
+type counters = {
+  mc_attempts : Metrics.counter;
+  mc_retries : Metrics.counter;
+  mc_reboots : Metrics.counter;
+  mc_boot_failures : Metrics.counter;
+  mc_corruptions : Metrics.counter;
+  mc_quarantined : Metrics.counter;
+  mg_backoff_ms : Metrics.gauge;
+}
+
 type t = {
   cfg : config;
   kconfig : Config.t;
   fault : Fault.t;
   reruns : int;
+  baseline_cache : bool;
   obs : Obs.t;
+  m : counters;
   mutable runner : Runner.t;
   mutable prior_executions : int;
   stats : stats;
@@ -72,27 +86,37 @@ exception Gave_up of string
 
 (* The stats record stays the structural source (tests and pp read it);
    each mutation is mirrored into the bundle's registry so exports see
-   the same numbers without a separate collection pass. *)
-let m_counter obs name = Metrics.counter obs.Obs.metrics ("sup." ^ name)
-let m_gauge obs name = Metrics.gauge obs.Obs.metrics ("sup." ^ name)
+   the same numbers without a separate collection pass. The handles are
+   interned once per supervisor: interning takes a process-wide lock, so
+   per-increment lookups would serialise every domain of a parallel
+   campaign on one mutex. *)
+let intern_counters obs =
+  let c name = Metrics.counter obs.Obs.metrics ("sup." ^ name) in
+  { mc_attempts = c "attempts";
+    mc_retries = c "retries";
+    mc_reboots = c "reboots";
+    mc_boot_failures = c "boot_failures";
+    mc_corruptions = c "corruptions";
+    mc_quarantined = c "quarantined";
+    mg_backoff_ms = Metrics.gauge obs.Obs.metrics "sup.backoff_ms" }
 
-let backoff ~obs stats cfg ~attempt =
+let backoff ~m stats cfg ~attempt =
   let delay = cfg.backoff_base_ms *. (2.0 ** float_of_int attempt) in
   stats.backoff_ms <- stats.backoff_ms +. delay;
-  Metrics.add_gauge (m_gauge obs "backoff_ms") delay
+  Metrics.add_gauge m.mg_backoff_ms delay
 
 (* Boot an environment, retrying transient boot failures with backoff. *)
-let boot_env ~cfg ~fault ~obs ~stats kconfig =
+let boot_env ~cfg ~fault ~m ~stats kconfig =
   let rec go attempt =
     match Env.create ~fault kconfig with
     | env -> env
     | exception Fault.Boot_failed ->
       stats.boot_failures <- stats.boot_failures + 1;
-      Metrics.inc (m_counter obs "boot_failures");
+      Metrics.inc m.mc_boot_failures;
       if attempt >= cfg.max_reboots then
         raise (Gave_up "VM boot kept failing; fault plane arms a permanent boot failure")
       else begin
-        backoff ~obs stats cfg ~attempt;
+        backoff ~m stats cfg ~attempt;
         go (attempt + 1)
       end
   in
@@ -102,19 +126,22 @@ let fresh_stats () =
   { attempts = 0; retries = 0; reboots = 0; boot_failures = 0;
     corruptions = 0; backoff_ms = 0.0 }
 
-let create ?(cfg = default_config) ?(reruns = 3) ?fault ?(obs = Obs.nop)
-    kconfig =
+let create ?(cfg = default_config) ?(reruns = 3) ?(baseline_cache = true)
+    ?fault ?(obs = Obs.nop) kconfig =
   let fault = match fault with Some f -> f | None -> Fault.none () in
   Fault.set_fuel_limit fault (if cfg.fuel > 0 then Some cfg.fuel else None);
   let stats = fresh_stats () in
-  let env = boot_env ~cfg ~fault ~obs ~stats kconfig in
-  { cfg; kconfig; fault; reruns; obs;
-    runner = Runner.create ~reruns ~obs env;
+  let m = intern_counters obs in
+  let env = boot_env ~cfg ~fault ~m ~stats kconfig in
+  { cfg; kconfig; fault; reruns; baseline_cache; obs; m;
+    runner = Runner.create ~reruns ~baseline_cache ~obs env;
     prior_executions = 0; stats; quarantine = [] }
 
 let executions t = t.prior_executions + Runner.executions t.runner
 
 let quarantined t = List.rev t.quarantine
+
+let quarantine_count t = List.length t.quarantine
 
 (* Deterministic timestamp for trace events: the current runner's
    virtual kernel clock. *)
@@ -126,36 +153,38 @@ let vnow t = Clock.now t.runner.Runner.env.Env.kernel.State.clock
 let reboot t =
   t.prior_executions <- t.prior_executions + Runner.executions t.runner;
   t.stats.reboots <- t.stats.reboots + 1;
-  Metrics.inc (m_counter t.obs "reboots");
+  Metrics.inc t.m.mc_reboots;
   Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.reboot";
-  let env = boot_env ~cfg:t.cfg ~fault:t.fault ~obs:t.obs ~stats:t.stats t.kconfig in
-  t.runner <- Runner.create ~reruns:t.reruns ~obs:t.obs env
+  let env = boot_env ~cfg:t.cfg ~fault:t.fault ~m:t.m ~stats:t.stats t.kconfig in
+  t.runner <-
+    Runner.create ~reruns:t.reruns ~baseline_cache:t.baseline_cache ~obs:t.obs
+      env
 
 (* One supervised attempt loop shared by execute and test_interference:
    [retries] counts kernel deaths (panic/hang), [reboots] counts
    infrastructure faults; each budget is bounded separately. *)
 let rec attempt t ~sender ~receiver ~retries ~reboots =
   t.stats.attempts <- t.stats.attempts + 1;
-  Metrics.inc (m_counter t.obs "attempts");
+  Metrics.inc t.m.mc_attempts;
   match Runner.try_execute t.runner ~sender ~receiver with
   | Runner.Completed _ as s -> (s, retries)
   | (Runner.Crashed _ | Runner.Hung) as s ->
     if retries >= t.cfg.max_retries then (s, retries)
     else begin
       t.stats.retries <- t.stats.retries + 1;
-      Metrics.inc (m_counter t.obs "retries");
+      Metrics.inc t.m.mc_retries;
       Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.retry"
         ~attrs:[ ("attempt", string_of_int (retries + 1)) ];
-      backoff ~obs:t.obs t.stats t.cfg ~attempt:retries;
+      backoff ~m:t.m t.stats t.cfg ~attempt:retries;
       attempt t ~sender ~receiver ~retries:(retries + 1) ~reboots
     end
   | exception Fault.Snapshot_corrupt ->
     t.stats.corruptions <- t.stats.corruptions + 1;
-    Metrics.inc (m_counter t.obs "corruptions");
+    Metrics.inc t.m.mc_corruptions;
     if reboots >= t.cfg.max_reboots then
       raise (Gave_up "snapshot restore kept failing; fault plane arms permanent corruption")
     else begin
-      backoff ~obs:t.obs t.stats t.cfg ~attempt:reboots;
+      backoff ~m:t.m t.stats t.cfg ~attempt:reboots;
       reboot t;
       attempt t ~sender ~receiver ~retries ~reboots:(reboots + 1)
     end
@@ -171,7 +200,7 @@ let execute t ~sender ~receiver =
   (match status with
   | Runner.Completed _ -> ()
   | Runner.Crashed info ->
-    Metrics.inc (m_counter t.obs "quarantined");
+    Metrics.inc t.m.mc_quarantined;
     Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.quarantine"
       ~attrs:[ ("reason", "panic") ];
     t.quarantine <-
@@ -179,7 +208,7 @@ let execute t ~sender ~receiver =
         c_reason = Panicked info; c_attempts = retries + 1 }
       :: t.quarantine
   | Runner.Hung ->
-    Metrics.inc (m_counter t.obs "quarantined");
+    Metrics.inc t.m.mc_quarantined;
     Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.quarantine"
       ~attrs:[ ("reason", "hang") ];
     t.quarantine <-

@@ -56,12 +56,19 @@ type stats = {
   mutable backoff_ms : float;   (** total simulated backoff delay *)
 }
 
+type counters
+(** Registry handles for the [stats] mirror, interned once at [create]:
+    interning takes a process-wide lock, so per-increment lookups would
+    serialise the domains of a parallel campaign on one mutex. *)
+
 type t = {
   cfg : config;
   kconfig : Kit_kernel.Config.t;
   fault : Kit_kernel.Fault.t;
   reruns : int;
+  baseline_cache : bool;        (** propagated to every runner incarnation *)
   obs : Kit_obs.Obs.t;          (** observability bundle (shared with runners) *)
+  m : counters;
   mutable runner : Runner.t;    (** replaced on VM reboot *)
   mutable prior_executions : int;  (** executions by runners since retired *)
   stats : stats;
@@ -73,13 +80,14 @@ exception Gave_up of string
     infrastructure fault — the campaign cannot make progress. *)
 
 val create :
-  ?cfg:config -> ?reruns:int -> ?fault:Kit_kernel.Fault.t ->
-  ?obs:Kit_obs.Obs.t -> Kit_kernel.Config.t -> t
+  ?cfg:config -> ?reruns:int -> ?baseline_cache:bool ->
+  ?fault:Kit_kernel.Fault.t -> ?obs:Kit_obs.Obs.t -> Kit_kernel.Config.t -> t
 (** Boot a supervised environment (retrying transient boot failures).
-    [obs] (default {!Kit_obs.Obs.nop}) receives ["sup.*"] counters
-    mirroring {!stats}, per-execution ["sup.execute"] spans and
-    retry/reboot/quarantine instants timestamped with the virtual
-    kernel clock.
+    [baseline_cache] (default [true]) enables the runner's baseline-trace
+    memoization — see {!Runner.create}. [obs] (default
+    {!Kit_obs.Obs.nop}) receives ["sup.*"] counters mirroring {!stats},
+    per-execution ["sup.execute"] spans and retry/reboot/quarantine
+    instants timestamped with the virtual kernel clock.
     @raise Gave_up if the VM never comes up. *)
 
 val execute :
@@ -101,6 +109,10 @@ val executions : t -> int
 
 val quarantined : t -> crash list
 (** Quarantined crash reports, oldest first. *)
+
+val quarantine_count : t -> int
+(** [List.length (quarantined t)], O(n) but allocation-free — for
+    per-case delta accounting in parallel campaign chunks. *)
 
 val pp_crash : Format.formatter -> crash -> unit
 val pp_stats : Format.formatter -> stats -> unit

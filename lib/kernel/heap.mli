@@ -1,6 +1,13 @@
 (** The kernel "heap": a registry of traced shared variables with
     synthetic addresses and whole-heap snapshot/restore — the model
-    equivalent of a VM snapshot (paper, section 4.2). *)
+    equivalent of a VM snapshot (paper, section 4.2).
+
+    Restore is incremental in the style of QEMU dirty-page tracking: the
+    heap tracks which cells were written since it last matched a
+    snapshot, and restoring that same snapshot replays only those cells.
+    Restoring a different snapshot (or [~full:true]) replays every
+    captured cell. Both paths leave the heap in the same state; the
+    equivalence is qcheck-property-tested. *)
 
 type t
 
@@ -8,15 +15,34 @@ type snapshot
 
 val create : unit -> t
 
-val register : t -> width:int -> (unit -> unit -> unit) -> int
+val register : t -> width:int -> (unit -> unit -> unit) -> int * int
 (** [register t ~width capture] reserves [width] bytes of synthetic
     address space for a cell whose [capture] function returns a restore
-    thunk; returns the base address. Used by {!Var.alloc}. *)
+    thunk; returns [(base_addr, cell_id)]. The cell id must be passed to
+    {!mark_dirty} whenever the cell's contents change. Used by
+    {!Var.alloc}. *)
+
+val mark_dirty : t -> int -> unit
+(** Record that a cell was written since the last snapshot/restore, so
+    the next incremental restore replays it. Idempotent and O(1). *)
 
 val snapshot : t -> snapshot
-(** Capture the current contents of every registered cell. *)
+(** Capture the current contents of every registered cell. The heap is
+    bit-identical to the fresh snapshot, so the dirty set resets and the
+    next restore of this snapshot is already incremental. *)
 
-val restore : snapshot -> unit
-(** Write a snapshot's contents back into the cells it captured. *)
+val restore : ?full:bool -> t -> snapshot -> unit
+(** Write a snapshot's contents back into the cells it captured.
+    Incremental (dirty cells only) when the heap already matches the
+    snapshot from a prior capture/restore; full otherwise, or when
+    [~full:true] forces the naive path.
+    @raise Invalid_argument if the snapshot was captured from a
+    different heap. *)
 
 val cell_count : t -> int
+
+val restore_stats : t -> int * int
+(** Cumulative [(cells_replayed, cells_a_full_restore_would_replay)]
+    over every restore of this heap; the incrementality win is
+    [1 - replayed/total]. Also exported as [heap.cells_restored] /
+    [heap.cells_total] on {!Kit_obs.Metrics.default} when enabled. *)

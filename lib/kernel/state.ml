@@ -76,9 +76,9 @@ let boot ?fault config =
 
 let snapshot t = Heap.snapshot t.heap
 
-let restore t snap =
+let restore ?full t snap =
   Fault.on_restore t.fault;
-  Heap.restore snap
+  Heap.restore ?full t.heap snap
 
 (* Spawn a container: a process placed in fresh instances of every
    namespace kind (or the initial namespaces when [host] — the setup

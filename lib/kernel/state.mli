@@ -44,8 +44,12 @@ val boot : ?fault:Fault.t -> Config.t -> t
 
 val snapshot : t -> snapshot
 
-val restore : t -> snapshot -> unit
-(** @raise Fault.Snapshot_corrupt if snapshot corruption is armed. *)
+val restore : ?full:bool -> t -> snapshot -> unit
+(** Restore the heap to [snap] — incrementally (dirty cells only) when
+    the heap already matches the snapshot, fully otherwise or when
+    [~full:true]; see {!Heap.restore}.
+    @raise Fault.Snapshot_corrupt if snapshot corruption is armed.
+    @raise Invalid_argument if [snap] came from a different kernel. *)
 
 val spawn_container : ?host:bool -> ?uid:int -> t -> int
 (** Spawn a container: a process in fresh instances of every namespace

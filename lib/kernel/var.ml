@@ -10,12 +10,14 @@ type 'a t = {
   width : int;
   name : string;
   instrumented : bool;
+  heap : Heap.t;
+  cell : int;                       (* id for Heap.mark_dirty *)
   mutable v : 'a;
 }
 
 let alloc heap ~name ?(width = 8) ?(instrumented = true) init =
   let cell = ref None in
-  let addr =
+  let addr, cell_id =
     Heap.register heap ~width (fun () ->
         match !cell with
         | None -> fun () -> ()
@@ -23,7 +25,7 @@ let alloc heap ~name ?(width = 8) ?(instrumented = true) init =
           let saved = var.v in
           fun () -> var.v <- saved)
   in
-  let var = { addr; width; name; instrumented; v = init } in
+  let var = { addr; width; name; instrumented; heap; cell = cell_id; v = init } in
   cell := Some var;
   var
 
@@ -45,10 +47,14 @@ let read ctx t =
 
 let write ctx t v =
   trace ctx t Kevent.Write;
+  Heap.mark_dirty t.heap t.cell;
   t.v <- v
 
 (* Untraced accessors, for boot-time initialisation, the test harness and
    the execution environment (e.g. setting the per-execution clock base,
    which models the host side of the VM, not kernel code). *)
 let peek t = t.v
-let poke t v = t.v <- v
+
+let poke t v =
+  Heap.mark_dirty t.heap t.cell;
+  t.v <- v

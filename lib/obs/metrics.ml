@@ -12,7 +12,15 @@
 
    Metrics created with [~volatile:true] hold wall-clock-derived values;
    they are excluded from snapshots unless asked for, which is what keeps
-   the default export deterministic for a fixed seed. *)
+   the default export deterministic for a fixed seed.
+
+   Multicore: registries are shared across domains (the global [default]
+   registry sees every worker's syscall dispatch), so the structural
+   mutations — interning a handle, reset, snapshot, absorb — take a
+   process-wide mutex. The hot path is untouched: recording through an
+   already-interned handle is still an unsynchronised field mutation,
+   where a lost increment under contention is acceptable telemetry
+   noise but a torn Hashtbl is not. *)
 
 type c_rec = { mutable c : int }
 type g_rec = { mutable g : float }
@@ -47,13 +55,22 @@ let default = create ~enabled:false ()
 let enabled r = r.enabled
 let set_enabled r b = r.enabled <- b
 
+(* One process-wide lock for all registries: interning and whole-table
+   walks are cold paths, and a single lock cannot deadlock. *)
+let structural_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock structural_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock structural_lock) f
+
 let intern r name volatile make read =
-  match Hashtbl.find_opt r.tbl name with
-  | Some e -> read e.e_cell
-  | None ->
-    let cell = make () in
-    Hashtbl.replace r.tbl name { e_volatile = volatile; e_cell = cell };
-    read cell
+  locked (fun () ->
+      match Hashtbl.find_opt r.tbl name with
+      | Some e -> read e.e_cell
+      | None ->
+        let cell = make () in
+        Hashtbl.replace r.tbl name { e_volatile = volatile; e_cell = cell };
+        read cell)
 
 let wrong_kind name = invalid_arg ("Metrics: " ^ name ^ " registered with another kind")
 
@@ -107,16 +124,17 @@ let histogram_count h = h.hc.n
 let histogram_sum h = h.hc.sum
 
 let reset r =
-  Hashtbl.iter
-    (fun _ e ->
-      match e.e_cell with
-      | C cc -> cc.c <- 0
-      | G gc -> gc.g <- 0.0
-      | H hc ->
-        Array.fill hc.counts 0 (Array.length hc.counts) 0;
-        hc.sum <- 0.0;
-        hc.n <- 0)
-    r.tbl
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ e ->
+          match e.e_cell with
+          | C cc -> cc.c <- 0
+          | G gc -> gc.g <- 0.0
+          | H hc ->
+            Array.fill hc.counts 0 (Array.length hc.counts) 0;
+            hc.sum <- 0.0;
+            hc.n <- 0)
+        r.tbl)
 
 (* -- snapshots ----------------------------------------------------------- *)
 
@@ -128,21 +146,22 @@ type value =
 type snapshot = (string * value) list
 
 let snapshot ?(volatile = false) r =
-  Hashtbl.fold
-    (fun name e acc ->
-      if e.e_volatile && not volatile then acc
-      else
-        let v =
-          match e.e_cell with
-          | C cc -> Counter_v cc.c
-          | G gc -> Gauge_v gc.g
-          | H hc ->
-            Hist_v
-              { le = Array.to_list hc.le; counts = Array.to_list hc.counts;
-                sum = hc.sum; n = hc.n }
-        in
-        (name, v) :: acc)
-    r.tbl []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name e acc ->
+          if e.e_volatile && not volatile then acc
+          else
+            let v =
+              match e.e_cell with
+              | C cc -> Counter_v cc.c
+              | G gc -> Gauge_v gc.g
+              | H hc ->
+                Hist_v
+                  { le = Array.to_list hc.le; counts = Array.to_list hc.counts;
+                    sum = hc.sum; n = hc.n }
+            in
+            (name, v) :: acc)
+        r.tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let equal_snapshot (a : snapshot) (b : snapshot) = a = b
@@ -170,6 +189,28 @@ let merge snapshots =
     snapshots;
   List.rev_map (fun name -> (name, Hashtbl.find tbl name)) !order
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* In-place counterpart of [merge]: fold a snapshot's values into a
+   registry's own metrics. Always-on handles, so per-domain accounting
+   lands even when the target bundle has recording switched off. *)
+let absorb r snap =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_v n -> add (counter ~always:true r name) n
+      | Gauge_v g -> add_gauge (gauge ~always:true r name) g
+      | Hist_v { le; counts; sum; n } ->
+        let h =
+          histogram ~always:true ~buckets:(Array.of_list le) r name
+        in
+        if Array.to_list h.hc.le <> le then
+          invalid_arg ("Metrics.absorb: incompatible histogram " ^ name);
+        List.iteri
+          (fun i c -> h.hc.counts.(i) <- h.hc.counts.(i) + c)
+          counts;
+        h.hc.sum <- h.hc.sum +. sum;
+        h.hc.n <- h.hc.n + n)
+    snap
 
 let pp_value ppf = function
   | Counter_v n -> Fmt.int ppf n

@@ -85,5 +85,17 @@ val merge : snapshot list -> snapshot
     per-worker registries. @raise Invalid_argument on a name registered
     with incompatible kinds/bounds. *)
 
+val absorb : registry -> snapshot -> unit
+(** [absorb r snap] adds [snap]'s values into [r]'s own metrics
+    (get-or-create by name, always-on) — the in-place counterpart of
+    {!merge}, used to fold per-domain registries into the campaign
+    bundle after a parallel execute phase. @raise Invalid_argument on a
+    kind or bucket-bounds mismatch.
+
+    Registries may be shared across domains: handle interning, {!reset},
+    {!snapshot} and [absorb] are serialised on a process-wide mutex;
+    recording through an interned handle stays unsynchronised (lost
+    increments under contention are acceptable telemetry noise). *)
+
 val pp_value : Format.formatter -> value -> unit
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -85,7 +85,7 @@ let test_timing_and_leak_coexist () =
 
 let test_mask_cached_per_receiver () =
   let env = Env.create (K.Config.v5_13 ()) in
-  let runner = Runner.create ~reruns:3 env in
+  let runner = Runner.create ~reruns:3 ~baseline_cache:false env in
   let receiver = p "r0 = clock_gettime()" in
   let sender = p "r0 = getpid()" in
   let _ = Runner.execute runner ~sender ~receiver in
@@ -95,6 +95,27 @@ let test_mask_cached_per_receiver () =
   (* Second execution reuses the cached mask: exactly two runs (A and B),
      no re-profiling of non-determinism. *)
   check_int "mask cache hit" (execs_after_first + 2) execs_after_second
+
+let test_baseline_cached_per_receiver () =
+  let env = Env.create (K.Config.v5_13 ()) in
+  let runner = Runner.create ~reruns:3 env in
+  let receiver = p "r0 = clock_gettime()" in
+  let sender = p "r0 = getpid()" in
+  let o1 = Runner.execute runner ~sender ~receiver in
+  let execs_after_first = Runner.executions runner in
+  let o2 = Runner.execute runner ~sender ~receiver in
+  let execs_after_second = Runner.executions runner in
+  (* Second execution reuses both the cached baseline trace (execution B)
+     and the cached mask: exactly one run (A). *)
+  check_int "baseline + mask cache hit" (execs_after_first + 1)
+    execs_after_second;
+  let bhits, bmisses, blive = Runner.baseline_cache_stats runner in
+  check_int "baseline misses" 1 bmisses;
+  check_bool "baseline hits" true (bhits >= 1);
+  check_int "baseline live" 1 blive;
+  check_bool "outcomes agree" true
+    (o1.Runner.interfered = o2.Runner.interfered
+    && o1.Runner.masked_diffs = o2.Runner.masked_diffs)
 
 let test_no_divergence_skips_masking () =
   let env = Env.create (K.Config.v5_13 ()) in
@@ -172,6 +193,8 @@ let suite =
       test_timing_and_leak_coexist;
     Alcotest.test_case "runner: mask cached per receiver" `Quick
       test_mask_cached_per_receiver;
+    Alcotest.test_case "runner: baseline cached per receiver" `Quick
+      test_baseline_cached_per_receiver;
     Alcotest.test_case "runner: no divergence skips masking" `Quick
       test_no_divergence_skips_masking;
     Alcotest.test_case "runner: mask structure" `Quick test_nondet_mask_structure;

@@ -182,12 +182,20 @@ let test_mask_cache_bounded () =
   mask p3;
   let _, _, live = Runner.mask_cache_stats r in
   check_int "capped at 2 entries" 2 live;
-  (* p1 was evicted (FIFO), so it misses again *)
+  check_int "one eviction so far" 1 (Runner.mask_evictions r);
+  (* p1 is the least recently used after p2/p3, so it was the entry
+     evicted and misses again (evicting p2 in turn) *)
   mask p1;
   let hits, misses, live = Runner.mask_cache_stats r in
   check_int "eviction causes re-miss" 4 misses;
   check_int "hits unchanged" 1 hits;
-  check_int "still capped" 2 live
+  check_int "still capped" 2 live;
+  check_int "two evictions" 2 (Runner.mask_evictions r);
+  (* re-inserting p1 evicted p2, not the more recently used p3 — under
+     FIFO insertion order p3 would be the one gone *)
+  mask p3;
+  let hits, _, _ = Runner.mask_cache_stats r in
+  check_int "LRU kept the recently used entry" 2 hits
 
 (* --- supervisor ------------------------------------------------------------- *)
 
@@ -261,11 +269,14 @@ let baseline = lazy (Campaign.run small_options)
 (* Reports + funnel + quarantine. Deliberately NOT executions: retries
    re-execute programs, and a restarted (chunked) campaign recomputes
    non-determinism masks its dead process had cached — more executions,
-   same results. *)
+   same results. [No_sharing] so the fingerprint is structural: the
+   baseline cache makes reports physically share receiver-solo traces,
+   and how much sharing survives depends on cache history, which is
+   exactly what this fingerprint must not observe. *)
 let campaign_fingerprint (c : Campaign.t) =
   Marshal.to_string
     (c.Campaign.reports, c.Campaign.funnel, c.Campaign.quarantined)
-    []
+    [ Marshal.No_sharing ]
 
 (* The headline invariant: any transient fault schedule covered by the
    retry budget yields byte-identical reports + funnel. *)
@@ -436,7 +447,7 @@ let suite =
       test_schedule_of_seed;
     Alcotest.test_case "try_execute reports crash/hang/completion" `Quick
       test_try_execute_statuses;
-    Alcotest.test_case "mask cache is bounded with FIFO eviction" `Quick
+    Alcotest.test_case "mask cache is bounded with LRU eviction" `Quick
       test_mask_cache_bounded;
     Alcotest.test_case "supervisor recovers from transient faults" `Quick
       test_supervisor_recovers_transient;

@@ -63,7 +63,7 @@ let test_var_snapshot_roundtrip () =
   let snap = K.Heap.snapshot heap in
   K.Var.write ctx v1 42;
   K.Var.write ctx v2 "y";
-  K.Heap.restore snap;
+  K.Heap.restore heap snap;
   check_int "int restored" 1 (K.Var.peek v1);
   check_string "string restored" "x" (K.Var.peek v2)
 
@@ -72,6 +72,50 @@ let test_var_addresses_unique () =
   let v1 = K.Var.alloc heap ~name:"a" 0 in
   let v2 = K.Var.alloc heap ~name:"b" 0 in
   check_bool "distinct" true (K.Var.addr v1 <> K.Var.addr v2)
+
+(* Regression: restore used to ignore its heap argument entirely, so a
+   snapshot silently spliced another kernel's state into this one. *)
+let test_restore_rejects_foreign_snapshot () =
+  let h1 = K.Heap.create () in
+  let h2 = K.Heap.create () in
+  let ctx = K.Ctx.create () in
+  let v1 = K.Var.alloc h1 ~name:"a" 1 in
+  ignore (K.Var.alloc h2 ~name:"a" 1 : int K.Var.t);
+  let snap2 = K.Heap.snapshot h2 in
+  K.Var.write ctx v1 42;
+  Alcotest.check_raises "cross-heap restore rejected"
+    (Invalid_argument "Heap.restore: snapshot belongs to a different heap")
+    (fun () -> K.Heap.restore h1 snap2);
+  check_int "h1 untouched by the rejected restore" 42 (K.Var.peek v1)
+
+(* Incremental restore bookkeeping: only dirty cells are replayed when
+   re-restoring the same snapshot, and a dirty heap always converges to
+   the snapshot contents either way. *)
+let test_restore_incremental_stats () =
+  let heap = K.Heap.create () in
+  let ctx = K.Ctx.create () in
+  let v1 = K.Var.alloc heap ~name:"a" 1 in
+  let v2 = K.Var.alloc heap ~name:"b" 2 in
+  let v3 = K.Var.alloc heap ~name:"c" 3 in
+  let snap = K.Heap.snapshot heap in
+  K.Var.write ctx v2 20;
+  K.Heap.restore heap snap;
+  let replayed, total = K.Heap.restore_stats heap in
+  check_int "one dirty cell replayed" 1 replayed;
+  check_int "a full restore would replay all three" 3 total;
+  check_int "b restored" 2 (K.Var.peek v2);
+  (* clean heap: re-restoring the same snapshot replays nothing *)
+  K.Heap.restore heap snap;
+  let replayed, _ = K.Heap.restore_stats heap in
+  check_int "clean re-restore replays nothing" 1 replayed;
+  (* ~full:true replays everything regardless of the dirty set *)
+  K.Var.write ctx v1 10;
+  K.Heap.restore ~full:true heap snap;
+  let replayed, total = K.Heap.restore_stats heap in
+  check_int "full restore replays all cells" 4 replayed;
+  check_int "running full-cost total" 9 total;
+  check_int "a restored" 1 (K.Var.peek v1);
+  check_int "c untouched throughout" 3 (K.Var.peek v3)
 
 let collect_events ctx f =
   let events = ref [] in
@@ -677,6 +721,10 @@ let suite =
     Alcotest.test_case "var: snapshot/restore roundtrip" `Quick
       test_var_snapshot_roundtrip;
     Alcotest.test_case "var: unique addresses" `Quick test_var_addresses_unique;
+    Alcotest.test_case "heap: cross-heap restore rejected" `Quick
+      test_restore_rejects_foreign_snapshot;
+    Alcotest.test_case "heap: incremental restore stats" `Quick
+      test_restore_incremental_stats;
     Alcotest.test_case "var: traced accesses" `Quick test_var_traced_access;
     Alcotest.test_case "var: uninstrumented is silent" `Quick
       test_var_uninstrumented_silent;

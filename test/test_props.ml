@@ -12,6 +12,9 @@ module Runner = Kit_exec.Runner
 module Ast = Kit_trace.Ast
 module Bounds = Kit_trace.Bounds
 module Known_bugs = Kit_core.Known_bugs
+module Campaign = Kit_core.Campaign
+module Distrib = Kit_core.Distrib
+module Fault = Kit_kernel.Fault
 
 (* Random programs drawn from the corpus generator, so they are
    well-formed in the same way campaign inputs are. *)
@@ -81,6 +84,129 @@ let prop_bounds_cover_learning_inputs =
       let bounds = Bounds.learn reference [ alt ] in
       Bounds.check bounds reference = [] && Bounds.check bounds alt = [])
 
+(* --- execution hot-path equivalences ------------------------------------
+   The three optimisations of the execution loop are behaviour-preserving
+   by construction; these properties pin that down end to end. *)
+
+let prop_incremental_restore_equals_full =
+  (* Two identical heaps take the same snapshot and the same random
+     write sequences; one restores incrementally (dirty cells only), the
+     other with ~full:true. Every variable — including one registered
+     after the capture, which neither path may touch — must agree after
+     each round. *)
+  QCheck.Test.make ~name:"incremental restore = full restore" ~count:100
+    QCheck.(
+      pair
+        (small_list (pair small_nat small_nat))
+        (small_list (pair small_nat small_nat)))
+    (fun (writes1, writes2) ->
+      let n_vars = 6 in
+      let make () =
+        let heap = K.Heap.create () in
+        let ctx = K.Ctx.create () in
+        let vars =
+          Array.init n_vars (fun i ->
+              K.Var.alloc heap ~name:(Printf.sprintf "v%d" i) i)
+        in
+        (heap, ctx, vars)
+      in
+      let h1, c1, v1 = make () in
+      let h2, c2, v2 = make () in
+      let s1 = K.Heap.snapshot h1 in
+      let s2 = K.Heap.snapshot h2 in
+      let late1 = K.Var.alloc h1 ~name:"late" 99 in
+      let late2 = K.Var.alloc h2 ~name:"late" 99 in
+      let apply ctx vars late writes =
+        List.iter
+          (fun (i, x) ->
+            if i mod (n_vars + 1) = n_vars then K.Var.write ctx late x
+            else K.Var.write ctx vars.(i mod (n_vars + 1)) x)
+          writes
+      in
+      let agree () =
+        K.Var.peek late1 = K.Var.peek late2
+        && Array.for_all2
+             (fun a b -> K.Var.peek a = K.Var.peek b)
+             v1 v2
+      in
+      apply c1 v1 late1 writes1;
+      apply c2 v2 late2 writes1;
+      K.Heap.restore h1 s1;
+      K.Heap.restore ~full:true h2 s2;
+      let round1 = agree () in
+      apply c1 v1 late1 writes2;
+      apply c2 v2 late2 writes2;
+      K.Heap.restore h1 s1;
+      K.Heap.restore ~full:true h2 s2;
+      round1 && agree ())
+
+(* Structural fingerprint of what a campaign concluded. No_sharing
+   matters: the baseline cache makes reports physically share trace
+   ASTs, and Marshal's back-references would encode that sharing even
+   though the reports are structurally identical. *)
+let campaign_fp (c : Campaign.t) =
+  Digest.string
+    (Marshal.to_string
+       (c.Campaign.reports, c.Campaign.funnel, c.Campaign.quarantined)
+       [ Marshal.No_sharing ])
+
+let prop_baseline_cache_invisible =
+  (* The receiver-solo baseline depends only on the receiver program, so
+     memoizing it can change execution counts but never reports, funnel
+     or quarantine — with or without transient faults armed (fault-armed
+     runs bypass the cache entirely). *)
+  QCheck.Test.make ~name:"baseline cache never changes campaign results"
+    ~count:6
+    QCheck.(pair (int_range 0 1000) (int_range 0 2))
+    (fun (seed, intensity) ->
+      let options =
+        { Campaign.default_options with
+          Campaign.seed;
+          corpus_size = 24;
+          faults = Fault.schedule_of_seed ~seed ~intensity }
+      in
+      campaign_fp (Campaign.run { options with Campaign.baseline_cache = true })
+      = campaign_fp
+          (Campaign.run { options with Campaign.baseline_cache = false }))
+
+let prop_parallel_campaign_equals_sequential =
+  QCheck.Test.make ~name:"campaign domains=N = domains=1" ~count:4
+    QCheck.(pair (int_range 0 1000) (int_range 2 4))
+    (fun (seed, domains) ->
+      let options =
+        { Campaign.default_options with Campaign.seed; corpus_size = 24 }
+      in
+      campaign_fp (Campaign.run { options with Campaign.domains })
+      = campaign_fp (Campaign.run options))
+
+let prop_parallel_distrib_equals_sequential =
+  (* Worker results merge in worker order, so the domain count is
+     invisible; killing a worker task (which takes its whole domain
+     down) reshards through the same path as a planned death, so the
+     merged report multiset, funnel and quarantine survive that too. *)
+  QCheck.Test.make ~name:"distrib domains=N = domains=1, crashes included"
+    ~count:4
+    QCheck.(pair (int_range 0 1000) (pair (int_range 2 4) (int_range 0 3)))
+    (fun (seed, (domains, crashed)) ->
+      let options =
+        { Campaign.default_options with Campaign.seed; corpus_size = 24 }
+      in
+      let c = Campaign.run options in
+      let run ~domains ~crashes =
+        Distrib.execute ~domains ~crashes options c.Campaign.corpus
+          c.Campaign.generation ~workers:4
+      in
+      let fp_one x = Digest.string (Marshal.to_string x [ Marshal.No_sharing ]) in
+      let multiset l = List.sort compare (List.map fp_one l) in
+      let fps (d : Distrib.t) =
+        ( multiset d.Distrib.reports,
+          fp_one d.Distrib.funnel,
+          multiset d.Distrib.quarantined )
+      in
+      let reference = run ~domains:1 ~crashes:[] in
+      fps (run ~domains ~crashes:[]) = fps reference
+      && fps (run ~domains ~crashes:[ crashed ]) = fps reference)
+
 let test_fixed_kernel_silences_reproducers () =
   (* Every curated Table 3 reproducer is silent on the fixed kernel. *)
   List.iter
@@ -106,6 +232,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_interfered_subset_of_receiver;
     QCheck_alcotest.to_alcotest prop_self_interference_masked_or_real;
     QCheck_alcotest.to_alcotest prop_bounds_cover_learning_inputs;
+    QCheck_alcotest.to_alcotest prop_incremental_restore_equals_full;
+    QCheck_alcotest.to_alcotest prop_baseline_cache_invisible;
+    QCheck_alcotest.to_alcotest prop_parallel_campaign_equals_sequential;
+    QCheck_alcotest.to_alcotest prop_parallel_distrib_equals_sequential;
     Alcotest.test_case "fixed kernel silences every reproducer" `Quick
       test_fixed_kernel_silences_reproducers;
   ]
