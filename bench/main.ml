@@ -8,8 +8,11 @@
    KIT_BENCH_QUOTA (seconds per bechamel test, default 0.5),
    KIT_BENCH_EXEC_CORPUS (hot-path section corpus, default 320),
    KIT_BENCH_ONLY_EXEC (run only the hot-path section — the CI smoke
-   entry point), KIT_BENCH_JSON=PATH (write the hot-path timings and
-   speedup ratios as a single JSON object to PATH). *)
+   entry point), KIT_BENCH_PIPE_CORPUS / KIT_BENCH_PIPE_ADD (streaming
+   pipeline section corpus and growth, defaults 160/64),
+   KIT_BENCH_ONLY_PIPELINE (run only the streaming pipeline section),
+   KIT_BENCH_JSON=PATH (write the section timings and speedup ratios as
+   a single JSON object to PATH). *)
 
 open Bechamel
 open Toolkit
@@ -369,6 +372,95 @@ let print_exec_hotpath () =
   record "distrib_speedup" (Jsonl.Float speedup);
   Fmt.pr "@."
 
+(* --- streaming pipeline -------------------------------------------------
+   Batch vs streaming shape of the same campaign:
+     1. time-to-first-report — the batch path pays the full profile +
+        cluster barrier before the first execution, the streaming path
+        executes sealed representatives while the corpus is still being
+        profiled (batch TTFR measured by polling chunked execution);
+     2. peak materialized flows — the batch pass sweeps a df_total-sized
+        cross product, the online clusterer's working set is the largest
+        single feed;
+     3. delta campaigns — growing a finished stream re-executes only new
+        and representative-changed clusters. *)
+
+let print_pipeline_bench () =
+  Fmt.pr "-- Streaming pipeline: TTFR / working set / delta campaigns --@.";
+  (* 96 keeps the cluster count below saturation (~167 for this kernel),
+     so the +64 growth demonstrably creates new clusters to re-execute. *)
+  let corpus_size = getenv_int "KIT_BENCH_PIPE_CORPUS" 96 in
+  let add = getenv_int "KIT_BENCH_PIPE_ADD" 64 in
+  let options = { Campaign.default_options with Campaign.corpus_size } in
+  record "pipeline_corpus" (Jsonl.Int corpus_size);
+  record "pipeline_add" (Jsonl.Int add);
+  (* 1a. batch: poll chunked execution until the first report lands. *)
+  let (batch, batch_ttfr), batch_s =
+    timed (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let prepared = Campaign.prepare options in
+        let ttfr = ref None in
+        let rec go resume =
+          match Campaign.execute_partial ?resume ~budget:8 prepared with
+          | `Paused ck ->
+            if !ttfr = None && Campaign.checkpoint_reports ck > 0 then
+              ttfr := Some (Unix.gettimeofday () -. t0);
+            go (Some ck)
+          | `Done t ->
+            if !ttfr = None && t.Campaign.reports <> [] then
+              ttfr := Some (Unix.gettimeofday () -. t0);
+            (t, !ttfr)
+        in
+        go None)
+  in
+  (* 1b. streaming: the stream records its own first-report clock. *)
+  let (stream, s), stream_s =
+    timed (fun () ->
+        let s = Campaign.stream options in
+        (Campaign.stream_result s, s))
+  in
+  let stats = Campaign.stream_stats s in
+  let pp_ttfr ppf = function
+    | Some t -> Fmt.pf ppf "%.4fs" t
+    | None -> Fmt.string ppf "n/a (no reports)"
+  in
+  Fmt.pr "time to first report: batch %a, streaming %a (totals %.3fs / %.3fs)@."
+    pp_ttfr batch_ttfr pp_ttfr stats.Campaign.first_report_s batch_s stream_s;
+  Fmt.pr "identical results:    reports %b, df_total %b@."
+    (List.length batch.Campaign.reports = List.length stream.Campaign.reports)
+    (batch.Campaign.df_total = stream.Campaign.df_total);
+  (* 2. working set: batch sweeps the full cross product, streaming's
+     peak is one program's worth of group pairs. *)
+  Fmt.pr "materialized flows:   batch sweep %d, streaming peak feed %d@."
+    batch.Campaign.df_total stats.Campaign.peak_feed_pairs;
+  record "pipeline_ttfr_batch_s"
+    (match batch_ttfr with Some t -> Jsonl.Float t | None -> Jsonl.Null);
+  record "pipeline_ttfr_stream_s"
+    (match stats.Campaign.first_report_s with
+    | Some t -> Jsonl.Float t
+    | None -> Jsonl.Null);
+  record "pipeline_total_batch_s" (Jsonl.Float batch_s);
+  record "pipeline_total_stream_s" (Jsonl.Float stream_s);
+  record "pipeline_flows_batch" (Jsonl.Int batch.Campaign.df_total);
+  record "pipeline_flows_stream_peak" (Jsonl.Int stats.Campaign.peak_feed_pairs);
+  (* 3. delta campaign vs from-scratch on the grown corpus. *)
+  let before = stats.Campaign.executed_cases in
+  let (grown, scratch), _ =
+    timed (fun () ->
+        ( Campaign.extend s ~add,
+          Campaign.run { options with Campaign.corpus_size = corpus_size + add }
+        ))
+  in
+  let delta = (Campaign.stream_stats s).Campaign.executed_cases - before in
+  let scratch_reps = List.length scratch.Campaign.generation.Cluster.reps in
+  Fmt.pr
+    "delta campaign:       +%d programs re-executed %d of %d representatives \
+     (identical reports: %b)@."
+    add delta scratch_reps
+    (List.length grown.Campaign.reports = List.length scratch.Campaign.reports);
+  record "pipeline_delta_executed" (Jsonl.Int delta);
+  record "pipeline_scratch_executed" (Jsonl.Int scratch_reps);
+  Fmt.pr "@."
+
 (* --- bechamel micro/macro benchmarks ------------------------------------ *)
 
 let bench_corpus = 48
@@ -482,6 +574,11 @@ let () =
     write_bench_json ();
     Fmt.pr "done.@."
   end
+  else if Sys.getenv_opt "KIT_BENCH_ONLY_PIPELINE" <> None then begin
+    print_pipeline_bench ();
+    write_bench_json ();
+    Fmt.pr "done.@."
+  end
   else begin
     print_tables ();
     print_jump_label_ablation ();
@@ -490,6 +587,7 @@ let () =
     print_supervision_overhead ();
     print_observability_overhead ();
     print_exec_hotpath ();
+    print_pipeline_bench ();
     run_benchmarks ();
     write_bench_json ();
     Fmt.pr "done.@."

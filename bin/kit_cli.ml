@@ -1,6 +1,7 @@
 (* The kit command-line interface.
 
      kit campaign    run a full testing campaign and summarise reports
+     kit grow        streaming campaign + delta campaign on a grown corpus
      kit distrib     run a campaign sharded over worker environments
      kit tables      regenerate the paper's evaluation tables (2, 4, 5, 6)
      kit known-bugs  reproduce the documented bugs of Table 3
@@ -313,6 +314,76 @@ let cmd_campaign =
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
       $ domains_arg $ no_baseline_cache_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ metrics_arg $ trace_arg)
+
+let cmd_grow =
+  let add_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "add" ]
+          ~doc:"Programs to append to the corpus for the delta campaign.")
+  in
+  let run seed corpus_size strategy add verbose faults fault_intensity fuel
+      max_retries domains no_baseline_cache metrics_file trace_file =
+    guarded (fun () ->
+        let obs = obs_of_flags ~metrics_file ~trace_file in
+        let opts =
+          options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
+            ~max_retries ~domains ~baseline_cache:(not no_baseline_cache) ~obs
+        in
+        (* Streaming base campaign: execute-while-generate, so the first
+           report lands before the corpus is fully profiled. *)
+        let s = Campaign.stream opts in
+        let base = Campaign.stream_result s in
+        let base_stats = Campaign.stream_stats s in
+        Fmt.pr
+          "base corpus %d: %d clusters, %d reports, %d representative \
+           executions%a@."
+          corpus_size base.Campaign.generation.Cluster.clusters
+          (List.length base.Campaign.reports)
+          base_stats.Campaign.executed_cases
+          Fmt.(
+            option (fun ppf t -> pf ppf ", first report after %.3fs" t))
+          base_stats.Campaign.first_report_s;
+        (* Delta campaign: only new and representative-changed clusters
+           re-execute. *)
+        let c = Campaign.extend s ~add in
+        let stats = Campaign.stream_stats s in
+        let delta = stats.Campaign.executed_cases - base_stats.Campaign.executed_cases in
+        let total = List.length c.Campaign.generation.Cluster.reps in
+        export_obs obs ~metrics_file ~trace_file
+          ~meta:
+            [ ("cmd", Jsonl.Str "grow"); ("seed", Jsonl.Int seed);
+              ("corpus_size", Jsonl.Int corpus_size);
+              ("add", Jsonl.Int add);
+              ("strategy", Jsonl.Str (Cluster.strategy_name strategy)) ];
+        Fmt.pr
+          "grown corpus %d: %d clusters, %d reports after filtering@."
+          (corpus_size + add) c.Campaign.generation.Cluster.clusters
+          (List.length c.Campaign.reports);
+        Fmt.pr
+          "delta: executed %d of %d cluster representatives (%d unchanged, \
+           %d re-executed after representative changes)@."
+          delta total (total - delta)
+          (stats.Campaign.reexecuted - base_stats.Campaign.reexecuted);
+        let found = Oracle.new_bugs_found c.Campaign.keyed in
+        Fmt.pr "new bugs found (%d/9): %a@." (List.length found)
+          (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
+          found;
+        print_robustness c;
+        if verbose then
+          Fmt.pr "@.%s@." (Kit_report.Render.groups c.Campaign.agg_rs);
+        campaign_exit c)
+  in
+  Cmd.v
+    (Cmd.info "grow"
+       ~doc:
+         "Run a streaming campaign, then grow the corpus and re-execute \
+          only changed clusters")
+    Term.(
+      const run $ seed_arg $ corpus_size_arg $ strategy_arg $ add_arg
+      $ verbose_arg $ faults_arg $ fault_intensity_arg $ fuel_arg
+      $ max_retries_arg $ domains_arg $ no_baseline_cache_arg $ metrics_arg
+      $ trace_arg)
 
 let cmd_distrib =
   let workers_arg =
@@ -627,7 +698,7 @@ let main =
   Cmd.group
     (Cmd.info "kit" ~version:"1.0.0"
        ~doc:"Functional interference testing for OS-level virtualization")
-    [ cmd_campaign; cmd_distrib; cmd_tables; cmd_known_bugs; cmd_run;
-      cmd_profile; cmd_corpus; cmd_stats ]
+    [ cmd_campaign; cmd_grow; cmd_distrib; cmd_tables; cmd_known_bugs;
+      cmd_run; cmd_profile; cmd_corpus; cmd_stats ]
 
 let () = exit (Cmd.eval' main)

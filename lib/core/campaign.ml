@@ -7,7 +7,23 @@
    cases that panic or hang the kernel are retried with backoff and
    quarantined as crash reports once the retry budget is spent, and the
    execute phase checkpoints so an interrupted campaign resumes without
-   re-executing completed clusters. *)
+   re-executing completed clusters.
+
+   The pipeline comes in two shapes built from the same Pipeline stages
+   and the same per-case executor:
+
+   - the batch path ([run]): profile everything, cluster in one shot,
+     then execute every representative — with checkpointing and optional
+     domain parallelism;
+   - the streaming path ([stream]/[extend]): profile one program at a
+     time, fold it into the online cluster table, and execute
+     newly-sealed representatives immediately; [extend] grows the corpus
+     of a finished streaming campaign and re-executes only clusters
+     whose representative changed.
+
+   The two paths produce structurally identical reports, funnel,
+   quarantine and df_total (property-tested); only wall-clock shape and
+   execution counts differ. *)
 
 module Program = Kit_abi.Program
 module Corpus = Kit_abi.Corpus
@@ -17,7 +33,6 @@ module Spec = Kit_spec.Spec
 module Dataflow = Kit_gen.Dataflow
 module Cluster = Kit_gen.Cluster
 module Testcase = Kit_gen.Testcase
-module Env = Kit_exec.Env
 module Runner = Kit_exec.Runner
 module Supervisor = Kit_exec.Supervisor
 module Filter = Kit_detect.Filter
@@ -26,7 +41,6 @@ module Diagnose = Kit_report.Diagnose
 module Aggregate = Kit_report.Aggregate
 module Obs = Kit_obs.Obs
 module Metrics = Kit_obs.Metrics
-module Tracer = Kit_obs.Tracer
 
 type options = {
   config : Config.t;
@@ -94,10 +108,9 @@ let timed f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
-(* Wall-clock phase timings live in the registry as volatile gauges
-   (excluded from deterministic snapshots) and are always-on: they are
-   campaign accounting, so the [timings] record — now a thin read over
-   these gauges — stays populated even through a disabled bundle. *)
+(* Phase wall times are written by the Pipeline stage runner as volatile
+   always-on "time.<stage>_s" gauges; this helper resolves the same
+   handles for thin reads (and for the streaming accumulators). *)
 let time_gauge obs name =
   Metrics.gauge ~volatile:true ~always:true obs.Obs.metrics ("time." ^ name)
 
@@ -107,31 +120,42 @@ let c_counter obs name =
   Metrics.counter ~always:true obs.Obs.metrics ("campaign." ^ name)
 
 (* Prepared inputs shared by several strategies (Table 4 runs the same
-   corpus and profiles through each strategy). *)
+   corpus and profiles through each strategy). The unclustered data-flow
+   total now rides along in Cluster.result, so prepare no longer scans
+   the map a second time. *)
 type prepared = {
   p_options : options;
   p_corpus : Program.t array;
   p_profiles : Dataflow.profiles;
   p_map : Kit_profile.Accessmap.t;
-  p_df_total : int;
   p_obs : Obs.t;                        (* resolved bundle *)
 }
+
+(* -- pipeline stages ------------------------------------------------------
+
+   The typed stages the campaign driver composes. Each [Pipeline.run]
+   wraps the stage in a "phase.<name>" span, a volatile "time.<name>_s"
+   gauge and an always-on "pipeline.<name>_runs" counter. *)
+
+let profile_stage =
+  Pipeline.v ~consumes:"corpus" ~produces:"profiles+accessmap" "profile"
+    (fun _obs (config, spec, corpus) ->
+      let profiles = Dataflow.profile_corpus config spec corpus in
+      (profiles, Dataflow.build_map profiles))
+
+let generate_stage =
+  Pipeline.v ~consumes:"accessmap" ~produces:"clusters" "generate"
+    (fun _obs (strategy, seed, corpus_size, map) ->
+      Cluster.run strategy ~seed ~corpus_size map)
 
 let prepare (options : options) =
   let obs = match options.obs with Some o -> o | None -> Obs.create () in
   let corpus = Corpus.generate ~seed:options.seed ~size:options.corpus_size in
-  let (profiles, map), profile_s =
-    Tracer.with_span obs.Obs.tracer "phase.profile" (fun () ->
-        timed (fun () ->
-            let profiles =
-              Dataflow.profile_corpus options.config options.spec corpus
-            in
-            (profiles, Dataflow.build_map profiles)))
+  let profiles, map =
+    Pipeline.run obs profile_stage (options.config, options.spec, corpus)
   in
-  Metrics.set_gauge (time_gauge obs "profile_s") profile_s;
   { p_options = options; p_corpus = Array.of_list corpus;
-    p_profiles = profiles; p_map = map;
-    p_df_total = Dataflow.total_flows map; p_obs = obs }
+    p_profiles = profiles; p_map = map; p_obs = obs }
 
 (* Interference test used both for detection-time classification and for
    Algorithm 2 re-testing: masked divergence restricted to receiver calls
@@ -166,6 +190,8 @@ let copy_funnel (f : Filter.funnel) =
     after_resource = f.Filter.after_resource }
 
 let checkpoint_progress ck = (ck.ck_done, ck.ck_total)
+
+let checkpoint_reports ck = List.length ck.ck_rev_reports
 
 let checkpoint_magic = "KITCKPT1"
 
@@ -206,33 +232,57 @@ let make_supervisor ~obs options =
     ~fault:(Fault.of_schedule options.faults)
     ~obs options.config
 
+(* One executed cluster representative, as a self-contained result:
+   classification is order-free (the funnel only accumulates counters),
+   so per-case results can be produced in any schedule — sequential,
+   per-domain, or streaming — and folded back in representative order. *)
+type case_result = {
+  cr_tc : Testcase.t;
+  cr_funnel : Filter.funnel;            (* this case's funnel increments *)
+  cr_report : Report.t option;
+  cr_crashes : Supervisor.crash list;   (* quarantined by this case *)
+}
+
+let add_funnel (into : Filter.funnel) (f : Filter.funnel) =
+  into.Filter.executed <- into.Filter.executed + f.Filter.executed;
+  into.Filter.initial <- into.Filter.initial + f.Filter.initial;
+  into.Filter.after_nondet <- into.Filter.after_nondet + f.Filter.after_nondet;
+  into.Filter.after_resource <-
+    into.Filter.after_resource + f.Filter.after_resource
+
 (* Execute one cluster representative under supervision; quarantined
-   crashers are recorded by the supervisor and produce no report. *)
-let run_testcase options corpus sup funnel reports (tc : Testcase.t) =
+   crashers are captured by quarantine-count delta and produce no
+   report. *)
+let exec_case options corpus sup (tc : Testcase.t) =
   let sender = corpus.(tc.Testcase.sender) in
   let receiver = corpus.(tc.Testcase.receiver) in
-  match Supervisor.execute sup ~sender ~receiver with
-  | Runner.Crashed _ | Runner.Hung -> ()
-  | Runner.Completed outcome -> (
-    match
-      Filter.classify options.spec ~testcase:tc ~sender ~receiver outcome
-        funnel
-    with
-    | Filter.Reported r -> reports := r :: !reports
-    | Filter.No_divergence | Filter.Filtered_nondet | Filter.Filtered_resource
-      ->
-      ())
+  let funnel = Filter.funnel_create () in
+  let q0 = Supervisor.quarantine_count sup in
+  let report =
+    match Supervisor.execute sup ~sender ~receiver with
+    | Runner.Crashed _ | Runner.Hung -> None
+    | Runner.Completed outcome -> (
+      match
+        Filter.classify options.spec ~testcase:tc ~sender ~receiver outcome
+          funnel
+      with
+      | Filter.Reported r -> Some r
+      | Filter.No_divergence | Filter.Filtered_nondet
+      | Filter.Filtered_resource ->
+        None)
+  in
+  let crashes = Supervisor.quarantined_since sup q0 in
+  { cr_tc = tc; cr_funnel = funnel; cr_report = report; cr_crashes = crashes }
 
 (* Parallel chunk execution on OCaml domains. The chunk's representatives
    are dealt round-robin over [domains] slices tagged with their global
    chunk index; each domain boots its own isolated supervised environment
-   and observability registry (classification is order-free: the funnel
-   only accumulates counters) and reports per-case results. The merge
+   and observability registry and produces per-case results. The merge
    sorts by global index, so reports, funnel and quarantine come out
    structurally identical to the sequential schedule — only wall-clock
    changes. Per-domain registries are folded into the campaign bundle
    with [Metrics.absorb]. *)
-let run_chunk_on_domains ~domains ~obs options corpus funnel reports chunk =
+let run_chunk_on_domains ~domains ~obs options corpus chunk =
   let slices = Array.make domains [] in
   List.iteri
     (fun i tc -> slices.(i mod domains) <- (i, tc) :: slices.(i mod domains))
@@ -240,22 +290,8 @@ let run_chunk_on_domains ~domains ~obs options corpus funnel reports chunk =
   let worker slice () =
     let wobs = Obs.create () in
     let sup = make_supervisor ~obs:wobs options in
-    let wfunnel = Filter.funnel_create () in
-    let out =
-      List.map
-        (fun (i, tc) ->
-          let q0 = Supervisor.quarantine_count sup in
-          let one = ref [] in
-          run_testcase options corpus sup wfunnel one tc;
-          let crashes =
-            if Supervisor.quarantine_count sup > q0 then
-              List.filteri (fun k _ -> k >= q0) (Supervisor.quarantined sup)
-            else []
-          in
-          (i, !one, crashes))
-        slice
-    in
-    (out, wfunnel, Supervisor.executions sup, Obs.snapshot wobs)
+    let out = List.map (fun (i, tc) -> (i, exec_case options corpus sup tc)) slice in
+    (out, Supervisor.executions sup, Obs.snapshot wobs)
   in
   let handles =
     Array.map
@@ -281,29 +317,41 @@ let run_chunk_on_domains ~domains ~obs options corpus funnel reports chunk =
          | Some (Ok r) -> Some r
          | Some (Error _) | None -> None)
   in
-  let per_case =
-    List.concat_map (fun (out, _, _, _) -> out) results
-    |> List.sort (fun (i, _, _) (j, _, _) -> compare i j)
-  in
-  let quarantined_now = ref [] in
   List.iter
-    (fun (_, rs, crashes) ->
-      reports := rs @ !reports;
-      quarantined_now := List.rev_append crashes !quarantined_now)
-    per_case;
-  List.iter
-    (fun (_, wfunnel, _, snap) ->
-      funnel.Filter.executed <-
-        funnel.Filter.executed + wfunnel.Filter.executed;
-      funnel.Filter.initial <- funnel.Filter.initial + wfunnel.Filter.initial;
-      funnel.Filter.after_nondet <-
-        funnel.Filter.after_nondet + wfunnel.Filter.after_nondet;
-      funnel.Filter.after_resource <-
-        funnel.Filter.after_resource + wfunnel.Filter.after_resource;
-      Metrics.absorb obs.Obs.metrics snap)
+    (fun (_, _, snap) -> Metrics.absorb obs.Obs.metrics snap)
     results;
-  ( List.rev !quarantined_now,
-    List.fold_left (fun acc (_, _, execs, _) -> acc + execs) 0 results )
+  let per_case =
+    List.concat_map (fun (out, _, _) -> out) results
+    |> List.sort (fun (i, _) (j, _) -> compare i j)
+    |> List.map snd
+  in
+  (per_case, List.fold_left (fun acc (_, execs, _) -> acc + execs) 0 results)
+
+let execute_stage =
+  Pipeline.v ~consumes:"clusters" ~produces:"case-results" "execute"
+    (fun obs (options, corpus, chunk, domains) ->
+      if domains = 1 then begin
+        let sup = make_supervisor ~obs options in
+        let out = List.map (exec_case options corpus sup) chunk in
+        (out, Supervisor.executions sup, Some sup)
+      end
+      else
+        let out, execs = run_chunk_on_domains ~domains ~obs options corpus chunk in
+        (out, execs, None))
+
+let diagnose_stage =
+  Pipeline.v ~consumes:"reports" ~produces:"keyed-reports" "diagnose"
+    (fun _obs (options, sup, reports) ->
+      List.map
+        (fun (r : Report.t) ->
+          let pairs =
+            Diagnose.culprits
+              ~test:(protected_interference options.spec sup)
+              ~sender:r.Report.sender ~receiver:r.Report.receiver
+              ~interfered:r.Report.interfered
+          in
+          Aggregate.key_report r pairs)
+        reports)
 
 (* Run the execute phase for up to [budget] representatives, starting
    from [resume] (or from scratch). Returns either the completed phase
@@ -338,10 +386,8 @@ let execute_phase ?resume ~budget ~strategy prepared =
   let options = { prepared.p_options with strategy } in
   let obs = prepared.p_obs in
   let generation, generate_s_now =
-    Tracer.with_span obs.Obs.tracer "phase.generate" (fun () ->
-        timed (fun () ->
-            Cluster.run strategy ~seed:options.seed
-              ~corpus_size:(Array.length prepared.p_corpus) prepared.p_map))
+    Pipeline.run_timed obs generate_stage
+      (strategy, options.seed, Array.length prepared.p_corpus, prepared.p_map)
   in
   Metrics.set_counter (c_counter obs "generated") generation.Cluster.generated;
   Metrics.set_counter (c_counter obs "clusters") generation.Cluster.clusters;
@@ -367,28 +413,19 @@ let execute_phase ?resume ~budget ~strategy prepared =
   let chunk = List.filteri (fun i _ -> i < budget) todo in
   let executed_now = List.length chunk in
   let domains = max 1 options.domains in
-  let (quarantined_now, executions_now, chunk_sup), execute_s_now =
-    Tracer.with_span obs.Obs.tracer "phase.execute"
+  let (out, executions_now, chunk_sup), execute_s_now =
+    Pipeline.run_timed obs execute_stage ~elapsed_base:execute_s0
       ~attrs:
         [ ("chunk", string_of_int executed_now);
           ("domains", string_of_int domains) ]
-      (fun () ->
-        timed (fun () ->
-            if domains = 1 then begin
-              let sup = make_supervisor ~obs options in
-              List.iter
-                (run_testcase options prepared.p_corpus sup funnel reports)
-                chunk;
-              ( Supervisor.quarantined sup, Supervisor.executions sup,
-                Some sup )
-            end
-            else
-              let q, execs =
-                run_chunk_on_domains ~domains ~obs options prepared.p_corpus
-                  funnel reports chunk
-              in
-              (q, execs, None)))
+      (options, prepared.p_corpus, chunk, domains)
   in
+  let quarantined_now = List.concat_map (fun r -> r.cr_crashes) out in
+  List.iter
+    (fun r ->
+      add_funnel funnel r.cr_funnel;
+      Option.iter (fun rep -> reports := rep :: !reports) r.cr_report)
+    out;
   let execute_s = execute_s0 +. execute_s_now in
   (* Per-chunk accounting: representative counts are deterministic,
      chunk wall-times are volatile. *)
@@ -399,7 +436,6 @@ let execute_phase ?resume ~budget ~strategy prepared =
     (Metrics.histogram ~volatile:true ~always:true obs.Obs.metrics
        "campaign.chunk_s")
     execute_s_now;
-  Metrics.set_gauge (time_gauge obs "execute_s") execute_s;
   let quarantined = quarantined0 @ quarantined_now in
   let executions = executions0 + executions_now in
   if done_ + executed_now < total then
@@ -430,6 +466,25 @@ let execute_phase ?resume ~budget ~strategy prepared =
       { generation; funnel; reports = List.rev !reports; quarantined;
         prior_executions; sup; generate_s; execute_s }
 
+(* Mirror final campaign accounting into always-on counters. *)
+let set_result_counters obs ~executions ~funnel ~reports ~quarantined =
+  Metrics.set_counter (c_counter obs "executions") executions;
+  Metrics.set_counter (c_counter obs "funnel_executed") funnel.Filter.executed;
+  Metrics.set_counter (c_counter obs "funnel_initial") funnel.Filter.initial;
+  Metrics.set_counter (c_counter obs "funnel_after_nondet")
+    funnel.Filter.after_nondet;
+  Metrics.set_counter (c_counter obs "funnel_after_resource")
+    funnel.Filter.after_resource;
+  Metrics.set_counter (c_counter obs "reports") (List.length reports);
+  Metrics.set_counter (c_counter obs "quarantined") (List.length quarantined)
+
+(* Thin reads: the gauges are the source of truth for wall times. *)
+let read_timings obs =
+  { profile_s = Metrics.gauge_value (time_gauge obs "profile_s");
+    generate_s = Metrics.gauge_value (time_gauge obs "generate_s");
+    execute_s = Metrics.gauge_value (time_gauge obs "execute_s");
+    diagnose_s = Metrics.gauge_value (time_gauge obs "diagnose_s") }
+
 let finish prepared options phase =
   match phase with
   | Phase_paused _ -> assert false
@@ -437,45 +492,25 @@ let finish prepared options phase =
       { generation; funnel; reports; quarantined; prior_executions; sup;
         generate_s; execute_s } ->
     let obs = prepared.p_obs in
-    let keyed, diagnose_s =
-      if not options.diagnose then ([], 0.0)
-      else
-        Tracer.with_span obs.Obs.tracer "phase.diagnose" (fun () ->
-            timed (fun () ->
-                List.map
-                  (fun (r : Report.t) ->
-                    let pairs =
-                      Diagnose.culprits
-                        ~test:(protected_interference options.spec sup)
-                        ~sender:r.Report.sender ~receiver:r.Report.receiver
-                        ~interfered:r.Report.interfered
-                    in
-                    Aggregate.key_report r pairs)
-                  reports))
+    let keyed =
+      if not options.diagnose then begin
+        Metrics.set_gauge (time_gauge obs "diagnose_s") 0.0;
+        []
+      end
+      else Pipeline.run obs diagnose_stage (options, sup, reports)
     in
     Metrics.set_gauge (time_gauge obs "generate_s") generate_s;
     Metrics.set_gauge (time_gauge obs "execute_s") execute_s;
-    Metrics.set_gauge (time_gauge obs "diagnose_s") diagnose_s;
     let agg_r = Aggregate.agg_r keyed in
     let agg_rs = Aggregate.agg_rs keyed in
     (* diagnosis re-executed through [sup], so read the counter last *)
     let executions = prior_executions + Supervisor.executions sup in
-    Metrics.set_counter (c_counter obs "executions") executions;
-    Metrics.set_counter (c_counter obs "funnel_executed")
-      funnel.Filter.executed;
-    Metrics.set_counter (c_counter obs "funnel_initial") funnel.Filter.initial;
-    Metrics.set_counter (c_counter obs "funnel_after_nondet")
-      funnel.Filter.after_nondet;
-    Metrics.set_counter (c_counter obs "funnel_after_resource")
-      funnel.Filter.after_resource;
-    Metrics.set_counter (c_counter obs "reports") (List.length reports);
-    Metrics.set_counter (c_counter obs "quarantined")
-      (List.length quarantined);
+    set_result_counters obs ~executions ~funnel ~reports ~quarantined;
     {
       options;
       corpus = prepared.p_corpus;
       generation;
-      df_total = prepared.p_df_total;
+      df_total = generation.Cluster.df_total;
       funnel;
       reports;
       quarantined;
@@ -485,12 +520,7 @@ let finish prepared options phase =
       executions;
       sup_stats = sup.Supervisor.stats;
       fault_counters = Fault.counters sup.Supervisor.fault;
-      (* thin reads: the gauges are the source of truth for wall times *)
-      timings =
-        { profile_s = Metrics.gauge_value (time_gauge obs "profile_s");
-          generate_s = Metrics.gauge_value (time_gauge obs "generate_s");
-          execute_s = Metrics.gauge_value (time_gauge obs "execute_s");
-          diagnose_s = Metrics.gauge_value (time_gauge obs "diagnose_s") };
+      timings = read_timings obs;
       obs;
     }
 
@@ -514,3 +544,251 @@ let execute_prepared ?strategy ?resume prepared =
 
 (* Run a complete campaign with [options]. *)
 let run options = execute_prepared (prepare options)
+
+(* -- streaming pipeline --------------------------------------------------
+
+   Execute-while-generate: each program is profiled, folded into the
+   online cluster table, and any newly-sealed (or representative-changed)
+   cluster is executed immediately — no global clustering barrier, so the
+   first report lands while most of the corpus is still unprofiled.
+
+   Per-cluster results are cached by cluster id; the final assembly
+   orders them by the batch representative order, which makes the
+   streaming result structurally identical to the batch path
+   (property-tested). [extend] reuses the same machinery: feeding M more
+   programs emits events only for clusters whose membership created a
+   new cluster or changed a representative, so only those re-execute. *)
+
+type stream = {
+  s_options : options;
+  s_obs : Obs.t;
+  s_profiler : Dataflow.profiler;
+  s_cstate : Cluster.state;
+  s_sup : Supervisor.t;                 (* sequential executor + diagnosis *)
+  mutable s_corpus : Program.t array;
+  s_results : (int, case_result) Hashtbl.t;    (* cluster id -> result *)
+  s_keyed : (int, Aggregate.keyed) Hashtbl.t;  (* diagnosis cache *)
+  s_t0 : float;
+  mutable s_first_report_s : float option;
+  mutable s_exec_cases : int;           (* rep executions incl. re-runs *)
+  mutable s_reexecuted : int;           (* rep-change invalidations *)
+  mutable s_domain_execs : int;         (* executions by domain workers *)
+  mutable s_profile_s : float;
+  mutable s_generate_s : float;
+  mutable s_execute_s : float;
+  mutable s_diagnose_s : float;
+  mutable s_stream_s : float;           (* cumulative fold wall time *)
+}
+
+type stream_stats = {
+  fed : int;                            (* programs folded *)
+  live_clusters : int;
+  executed_cases : int;
+  reexecuted : int;
+  first_report_s : float option;
+  peak_feed_pairs : int;
+}
+
+let stream_stats s =
+  { fed = Cluster.fed s.s_cstate;
+    live_clusters = List.length (Cluster.live s.s_cstate);
+    executed_cases = s.s_exec_cases;
+    reexecuted = s.s_reexecuted;
+    first_report_s = s.s_first_report_s;
+    peak_feed_pairs = Cluster.peak_feed_pairs s.s_cstate }
+
+let s_counter s name n = Metrics.set_counter (c_counter s.s_obs name) n
+
+(* Execute the clusters an event batch sealed or re-sealed, caching the
+   per-case results by cluster id. *)
+let stream_execute s (events : Cluster.event list) =
+  let cases =
+    List.filter_map
+      (function
+        | Cluster.Dropped id ->
+          Hashtbl.remove s.s_results id;
+          Hashtbl.remove s.s_keyed id;
+          None
+        | Cluster.Sealed (id, tc) -> Some (id, tc)
+        | Cluster.Rep_changed (id, tc) ->
+          (* Cached execution and diagnosis are for the old rep: stale. *)
+          Hashtbl.remove s.s_keyed id;
+          s.s_reexecuted <- s.s_reexecuted + 1;
+          Some (id, tc))
+      events
+  in
+  if cases <> [] then begin
+    let domains = max 1 s.s_options.domains in
+    let (out, dexecs), dt =
+      timed (fun () ->
+          if domains = 1 then
+            (List.map (exec_case s.s_options s.s_corpus s.s_sup)
+               (List.map snd cases), 0)
+          else
+            run_chunk_on_domains ~domains ~obs:s.s_obs s.s_options s.s_corpus
+              (List.map snd cases))
+    in
+    s.s_execute_s <- s.s_execute_s +. dt;
+    s.s_domain_execs <- s.s_domain_execs + dexecs;
+    s.s_exec_cases <- s.s_exec_cases + List.length cases;
+    List.iter2
+      (fun (id, _) r ->
+        Hashtbl.replace s.s_results id r;
+        if Option.is_some r.cr_report && s.s_first_report_s = None then
+          s.s_first_report_s <- Some (Unix.gettimeofday () -. s.s_t0))
+      cases out
+  end
+
+(* Profile programs [from, to_size) one at a time and fold each into the
+   online cluster table, executing sealed representatives as they
+   appear. One Pipeline stage run per growth step keeps the span count
+   bounded while the per-phase gauges still accumulate. *)
+let stream_fold_stage =
+  Pipeline.v ~consumes:"corpus-suffix" ~produces:"case-results" "stream"
+    (fun _obs (s, from, to_size) ->
+      for prog = from to to_size - 1 do
+        let accs, dt =
+          timed (fun () -> Dataflow.profile_program s.s_profiler s.s_corpus.(prog))
+        in
+        s.s_profile_s <- s.s_profile_s +. dt;
+        let events, dt = timed (fun () -> Cluster.feed s.s_cstate ~prog accs) in
+        s.s_generate_s <- s.s_generate_s +. dt;
+        stream_execute s events
+      done)
+
+let stream_grow s ~to_size =
+  let from = Array.length s.s_corpus in
+  if to_size < from then invalid_arg "Campaign.extend: corpus cannot shrink";
+  (* Corpus generation is prefix-stable: generating a larger corpus from
+     the same seed extends the smaller one, so only the suffix is new. *)
+  s.s_corpus <-
+    Array.of_list (Corpus.generate ~seed:s.s_options.seed ~size:to_size);
+  let (), dt =
+    Pipeline.run_timed s.s_obs stream_fold_stage ~elapsed_base:s.s_stream_s
+      ~attrs:[ ("from", string_of_int from); ("to", string_of_int to_size) ]
+      (s, from, to_size)
+  in
+  s.s_stream_s <- s.s_stream_s +. dt;
+  s_counter s "stream_fed" (Cluster.fed s.s_cstate);
+  s_counter s "stream_executed" s.s_exec_cases;
+  s_counter s "stream_reexecuted" s.s_reexecuted
+
+let stream (options : options) =
+  let obs = match options.obs with Some o -> o | None -> Obs.create () in
+  let options = { options with obs = Some obs } in
+  let s =
+    { s_options = options;
+      s_obs = obs;
+      s_profiler = Dataflow.profiler options.config options.spec;
+      s_cstate = Cluster.start ~seed:options.seed options.strategy;
+      s_sup = make_supervisor ~obs options;
+      s_corpus = [||];
+      s_results = Hashtbl.create 256;
+      s_keyed = Hashtbl.create 256;
+      s_t0 = Unix.gettimeofday ();
+      s_first_report_s = None;
+      s_exec_cases = 0;
+      s_reexecuted = 0;
+      s_domain_execs = 0;
+      s_profile_s = 0.0;
+      s_generate_s = 0.0;
+      s_execute_s = 0.0;
+      s_diagnose_s = 0.0;
+      s_stream_s = 0.0 }
+  in
+  stream_grow s ~to_size:options.corpus_size;
+  s
+
+(* Assemble the campaign result from the per-cluster caches. Ordering:
+   the batch path executes [generation.reps] in order (sorted for keyed
+   strategies, draw order for RAND), so the assembly replays exactly
+   that order over the cached results — reports, funnel and quarantine
+   come out structurally identical to [run]. *)
+let stream_result s =
+  let options = s.s_options in
+  let obs = s.s_obs in
+  stream_execute s (Cluster.drain s.s_cstate);
+  let generation = Cluster.finalize s.s_cstate in
+  Metrics.set_counter (c_counter obs "generated") generation.Cluster.generated;
+  Metrics.set_counter (c_counter obs "clusters") generation.Cluster.clusters;
+  let live = Cluster.live s.s_cstate in
+  let ordered =
+    match options.strategy with
+    | Cluster.Rand _ -> live            (* draw order, like the batch path *)
+    | Cluster.Df | Cluster.Df_ia | Cluster.Df_st _ ->
+      List.sort (fun (_, a) (_, b) -> Testcase.compare a b) live
+  in
+  let cases =
+    List.map
+      (fun (id, rep) ->
+        match Hashtbl.find_opt s.s_results id with
+        | Some r -> (id, r)
+        | None ->
+          Fmt.invalid_arg "Campaign.stream_result: cluster %d (%a) never ran"
+            id Testcase.pp rep)
+      ordered
+  in
+  let funnel = Filter.funnel_create () in
+  let rev_reports = ref [] and rev_quarantined = ref [] in
+  List.iter
+    (fun (_, r) ->
+      add_funnel funnel r.cr_funnel;
+      Option.iter (fun rep -> rev_reports := rep :: !rev_reports) r.cr_report;
+      rev_quarantined := List.rev_append r.cr_crashes !rev_quarantined)
+    cases;
+  let reports = List.rev !rev_reports in
+  let quarantined = List.rev !rev_quarantined in
+  (* Diagnose newly-reported clusters; unchanged clusters reuse the
+     cached keyed report from a previous assembly. *)
+  let keyed, diagnose_dt =
+    timed (fun () ->
+        if not options.diagnose then []
+        else
+          List.filter_map
+            (fun (id, r) ->
+              match r.cr_report with
+              | None -> None
+              | Some rep -> (
+                match Hashtbl.find_opt s.s_keyed id with
+                | Some k -> Some k
+                | None ->
+                  let pairs =
+                    Diagnose.culprits
+                      ~test:(protected_interference options.spec s.s_sup)
+                      ~sender:rep.Report.sender ~receiver:rep.Report.receiver
+                      ~interfered:rep.Report.interfered
+                  in
+                  let k = Aggregate.key_report rep pairs in
+                  Hashtbl.replace s.s_keyed id k;
+                  Some k))
+            cases)
+  in
+  s.s_diagnose_s <- s.s_diagnose_s +. diagnose_dt;
+  Metrics.set_gauge (time_gauge obs "profile_s") s.s_profile_s;
+  Metrics.set_gauge (time_gauge obs "generate_s") s.s_generate_s;
+  Metrics.set_gauge (time_gauge obs "execute_s") s.s_execute_s;
+  Metrics.set_gauge (time_gauge obs "diagnose_s") s.s_diagnose_s;
+  let executions = Supervisor.executions s.s_sup + s.s_domain_execs in
+  set_result_counters obs ~executions ~funnel ~reports ~quarantined;
+  {
+    options = { options with corpus_size = Array.length s.s_corpus };
+    corpus = s.s_corpus;
+    generation;
+    df_total = generation.Cluster.df_total;
+    funnel;
+    reports;
+    quarantined;
+    keyed;
+    agg_r = Aggregate.agg_r keyed;
+    agg_rs = Aggregate.agg_rs keyed;
+    executions;
+    sup_stats = s.s_sup.Supervisor.stats;
+    fault_counters = Fault.counters s.s_sup.Supervisor.fault;
+    timings = read_timings obs;
+    obs;
+  }
+
+let extend s ~add =
+  if add < 0 then invalid_arg "Campaign.extend: add must be non-negative";
+  stream_grow s ~to_size:(Array.length s.s_corpus + add);
+  stream_result s

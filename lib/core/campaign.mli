@@ -6,7 +6,15 @@
     Execution runs under the supervised runtime: crashes and hangs are
     retried and quarantined rather than killing the campaign, and the
     execute phase checkpoints so interrupted campaigns resume without
-    re-execution. *)
+    re-execution.
+
+    The pipeline comes in two shapes built from the same {!Pipeline}
+    stages and the same per-case executor: the batch path ({!run}) and
+    the streaming path ({!stream}/{!extend}), which profiles one program
+    at a time, folds it into the online cluster table and executes
+    newly-sealed representatives immediately. Both produce structurally
+    identical reports, funnel, quarantine and [df_total]
+    (property-tested). *)
 
 type options = {
   config : Kit_kernel.Config.t;
@@ -55,7 +63,9 @@ type t = {
   options : options;
   corpus : Kit_abi.Program.t array;
   generation : Kit_gen.Cluster.result;
-  df_total : int;                  (** unclustered data-flow count *)
+  df_total : int;
+  (** unclustered data-flow count, read from
+      [generation.Cluster.df_total] (no second map scan) *)
   funnel : Kit_detect.Filter.funnel;
   reports : Kit_detect.Report.t list;
   quarantined : Kit_exec.Supervisor.crash list;
@@ -93,6 +103,10 @@ type checkpoint
 val checkpoint_progress : checkpoint -> int * int
 (** [(completed, total)] cluster representatives. *)
 
+val checkpoint_reports : checkpoint -> int
+(** Reports accumulated so far — lets callers poll chunked execution for
+    time-to-first-report without finishing the phase. *)
+
 val save_checkpoint : string -> checkpoint -> unit
 (** Write a checkpoint file (binary, versioned magic header). *)
 
@@ -112,3 +126,55 @@ val execute_prepared :
 
 val run : options -> t
 (** [run options] = [execute_prepared (prepare options)]. *)
+
+(** {2 Streaming campaigns}
+
+    Execute-while-generate: {!stream} profiles one program at a time,
+    folds it into the online cluster table
+    ({!Kit_gen.Cluster.start}/[feed]) and executes newly-sealed cluster
+    representatives immediately — no global clustering barrier, so the
+    first report lands while most of the corpus is still unprofiled.
+    {!stream_result} assembles a campaign result structurally identical
+    to the batch {!run} of the same options (property-tested; execution
+    counts and wall-clock shape differ).
+
+    {!extend} grows the corpus of a live stream by [add] programs and
+    re-executes only clusters that are new or whose representative
+    changed — a delta campaign. Corpus generation is prefix-stable, so
+    the grown corpus extends the original and cached per-cluster
+    execution and diagnosis results stay valid for untouched clusters. *)
+
+type stream
+
+type stream_stats = {
+  fed : int;                       (** programs folded so far *)
+  live_clusters : int;
+  executed_cases : int;            (** rep executions incl. re-runs *)
+  reexecuted : int;                (** representative-change re-runs *)
+  first_report_s : float option;
+  (** wall-clock seconds from stream creation to the first report *)
+  peak_feed_pairs : int;
+  (** largest per-feed working set
+      ({!Kit_gen.Cluster.peak_feed_pairs}) — the streaming counterpart
+      of the batch pass's [df_total]-sized sweep *)
+}
+
+val stream : options -> stream
+(** Profile, cluster and execute [options.corpus_size] programs
+    incrementally. Returns once the corpus is folded; call
+    {!stream_result} for the assembled campaign. *)
+
+val stream_stats : stream -> stream_stats
+
+val stream_result : stream -> t
+(** Assemble the campaign result from the per-cluster caches: drains the
+    cluster state, orders cached case results in batch representative
+    order and diagnoses any reported cluster not already in the keyed
+    cache. Idempotent; the stream stays live for {!extend}. *)
+
+val extend : stream -> add:int -> t
+(** [extend s ~add] grows the corpus by [add] programs, re-executes only
+    new and representative-changed clusters, and returns the assembled
+    result for the grown corpus — identical to a from-scratch campaign
+    of the final corpus size, with strictly fewer delta executions
+    (property-tested). *)

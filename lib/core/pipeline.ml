@@ -1,0 +1,69 @@
+(* Typed pipeline stages. A stage is a named transformation from one
+   artifact to another; running it through a bundle instruments the call
+   with a "phase.<name>" span (annotated with the artifact labels), a
+   volatile "time.<name>_s" wall-clock gauge and an always-on
+   "pipeline.<name>_runs" counter. Campaign drives both its batch phases
+   and the streaming pipeline through these stages, so the two paths
+   share one observability vocabulary. *)
+
+module Obs = Kit_obs.Obs
+module Metrics = Kit_obs.Metrics
+module Tracer = Kit_obs.Tracer
+
+type ('a, 'b) stage = {
+  name : string;
+  consumes : string;                   (* input artifact label *)
+  produces : string;                   (* output artifact label *)
+  f : Obs.t -> 'a -> 'b;
+}
+
+let v ?(consumes = "") ?(produces = "") name f =
+  { name; consumes; produces; f }
+
+let name s = s.name
+
+let stage_attrs s attrs =
+  let artifact label value acc =
+    if String.equal value "" then acc else (label, value) :: acc
+  in
+  artifact "consumes" s.consumes (artifact "produces" s.produces attrs)
+
+(* Wall-clock timing: stages include supervisor backoff and (in a real
+   deployment) I/O waits, which CPU time would hide. *)
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Phase wall times live in the registry as volatile gauges (excluded
+   from deterministic snapshots) and are always-on: they are campaign
+   accounting, so readers stay populated through a disabled bundle. *)
+let time_gauge obs name =
+  Metrics.gauge ~volatile:true ~always:true obs.Obs.metrics
+    ("time." ^ name ^ "_s")
+
+let runs_counter obs name =
+  Metrics.counter ~always:true obs.Obs.metrics ("pipeline." ^ name ^ "_runs")
+
+(* Run a stage: span + cumulative time gauge + run counter. [elapsed_base]
+   seeds the gauge for stages resumed from a checkpoint, whose earlier
+   chunks ran in another process. *)
+let run_timed ?(attrs = []) ?(elapsed_base = 0.0) obs stage x =
+  let y, dt =
+    Tracer.with_span obs.Obs.tracer ("phase." ^ stage.name)
+      ~attrs:(stage_attrs stage attrs)
+      (fun () -> timed (fun () -> stage.f obs x))
+  in
+  Metrics.inc (runs_counter obs stage.name);
+  Metrics.set_gauge (time_gauge obs stage.name) (elapsed_base +. dt);
+  (y, dt)
+
+let run ?attrs obs stage x = fst (run_timed ?attrs obs stage x)
+
+(* Sequential composition; each constituent stage keeps its own span,
+   gauge and counter when the composite runs. *)
+let ( >>> ) a b =
+  { name = a.name ^ ">" ^ b.name;
+    consumes = a.consumes;
+    produces = b.produces;
+    f = (fun obs x -> run obs b (run obs a x)) }

@@ -143,6 +143,15 @@ let quarantined t = List.rev t.quarantine
 
 let quarantine_count t = List.length t.quarantine
 
+(* [quarantine] is newest-first: the delta past the first [n] reports is
+   its prefix, re-reversed to oldest-first as it accumulates. *)
+let quarantined_since t n =
+  let rec take k l acc =
+    if k <= 0 then acc
+    else match l with [] -> acc | x :: tl -> take (k - 1) tl (x :: acc)
+  in
+  take (List.length t.quarantine - n) t.quarantine []
+
 (* Deterministic timestamp for trace events: the current runner's
    virtual kernel clock. *)
 let vnow t = Clock.now t.runner.Runner.env.Env.kernel.State.clock

@@ -114,5 +114,10 @@ val quarantine_count : t -> int
 (** [List.length (quarantined t)], O(n) but allocation-free — for
     per-case delta accounting in parallel campaign chunks. *)
 
+val quarantined_since : t -> int -> crash list
+(** [quarantined_since t n] is every crash report quarantined after the
+    first [n], oldest first — the delta between two
+    {!quarantine_count} readings, allocating only the delta. *)
+
 val pp_crash : Format.formatter -> crash -> unit
 val pp_stats : Format.formatter -> stats -> unit

@@ -9,10 +9,22 @@
    - RAND    random sender/receiver pairs from the corpus, the baseline.
 
    One representative test case per cluster is executed; representatives
-   are chosen deterministically as the earliest (corpus order) writer and
-   reader entries, so runs are reproducible. *)
+   are chosen deterministically as the minimum candidate under the total
+   Testcase order (corpus order first), so runs are reproducible.
+
+   Two equivalent construction modes exist. The batch mode ([run]) takes
+   a fully built access map and clusters it in one pass. The online mode
+   ([start]/[feed]/[finalize]) folds one profiled program at a time into
+   the same cluster table, maintaining the generated/df_total counts
+   incrementally and emitting newly-sealed or representative-changed
+   clusters as it goes — the streaming campaign executes those
+   immediately instead of waiting behind a clustering barrier. The two
+   modes produce identical results (property-tested); the equivalence
+   argument lives with the online code below. *)
 
 module Accessmap = Kit_profile.Accessmap
+module Stackrec = Kit_profile.Stackrec
+module Kevent = Kit_kernel.Kevent
 
 type strategy =
   | Df
@@ -31,6 +43,10 @@ type result = {
   generated : int;        (* the Table 4 "test cases" figure *)
   clusters : int;
   reps : Testcase.t list; (* executed representatives, in order *)
+  df_total : int;         (* unclustered flow universe (DF row) *)
+  sizes : (int * int) list;  (* cluster size -> count, ascending *)
+  requested : int;        (* representatives asked for (RAND budget) *)
+  delivered : int;        (* representatives actually produced *)
 }
 
 (* The k stack frames above the instrumentation site. The innermost
@@ -68,14 +84,38 @@ let flow_of ~addr (w : Accessmap.entry) (r : Accessmap.entry) =
     w_stack = w.Accessmap.stack; r_stack = r.Accessmap.stack;
     r_sys_index = r.Accessmap.sys_index }
 
+(* Per-side cluster keys: (instruction, stack-context hash). *)
+let ia_key (e : Accessmap.entry) = (e.Accessmap.ip, 0)
+
+let st_key k (e : Accessmap.entry) =
+  (e.Accessmap.ip, Hashtbl.hash (context k e.Accessmap.stack))
+
+let keys_of_strategy = function
+  | Df_ia -> Some (ia_key, ia_key)
+  | Df_st k -> Some (st_key k, st_key k)
+  | Df | Rand _ -> None
+
+(* Cluster-size distribution: size -> number of clusters, ascending. *)
+let distribution counts =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      Hashtbl.replace table n
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table n)))
+    counts;
+  Hashtbl.fold (fun n c acc -> (n, c) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 (* Cluster the data flows of [map] by per-side keys derived from [wkey]
    and [rkey]; clusters over the same address pair writer groups with
-   reader groups. *)
+   reader groups. Returns the raw flow count (the DF universe — every
+   (write entry, read entry) pair on a shared address), the cluster
+   count, the sorted representatives and the size distribution. *)
 let cluster_map map ~wkey ~rkey =
   let clusters = Hashtbl.create 256 in
-  let generated = ref 0 in
+  let flows = ref 0 in
   Accessmap.iter_overlaps map (fun ~addr ~writers ~readers ->
-      generated := !generated + (List.length writers * List.length readers);
+      flows := !flows + (List.length writers * List.length readers);
       let wgroups = group_entries wkey writers in
       let rgroups = group_entries rkey readers in
       List.iter
@@ -99,14 +139,23 @@ let cluster_map map ~wkey ~rkey =
     Hashtbl.fold (fun _ (tc, _) acc -> tc :: acc) clusters []
     |> List.sort Testcase.compare
   in
-  (!generated, Hashtbl.length clusters, reps)
+  let sizes = distribution (Hashtbl.fold (fun _ (_, n) acc -> n :: acc) clusters []) in
+  (!flows, Hashtbl.length clusters, reps, sizes)
 
+(* RAND baseline. The budget is clamped to the corpus_size² distinct
+   pairs that exist; within the clamp the fill is exact: rejection
+   sampling first (preserving the historical draw sequence for sparse
+   budgets), then a deterministic row-major sweep over the remaining
+   pairs if the sampler keeps colliding near saturation. *)
 let run_rand ~seed ~budget ~corpus_size =
   let rng = Random.State.make [| seed; 0x52414E44 |] in
-  let seen = Hashtbl.create budget in
+  let cap = corpus_size * corpus_size in
+  let effective = max 0 (min budget cap) in
+  let seen = Hashtbl.create (max 16 effective) in
   let reps = ref [] in
   let attempts = ref 0 in
-  while Hashtbl.length seen < budget && !attempts < budget * 4 do
+  let max_attempts = 16 * cap in
+  while Hashtbl.length seen < effective && !attempts < max_attempts do
     incr attempts;
     let s = Random.State.int rng corpus_size in
     let r = Random.State.int rng corpus_size in
@@ -115,25 +164,345 @@ let run_rand ~seed ~budget ~corpus_size =
       reps := { Testcase.sender = s; receiver = r; flow = None } :: !reps
     end
   done;
-  List.rev !reps
+  for s = 0 to corpus_size - 1 do
+    for r = 0 to corpus_size - 1 do
+      if Hashtbl.length seen < effective && not (Hashtbl.mem seen (s, r))
+      then begin
+        Hashtbl.replace seen (s, r) ();
+        reps := { Testcase.sender = s; receiver = r; flow = None } :: !reps
+      end
+    done
+  done;
+  (List.rev !reps, effective)
+
+let rand_result strategy ~budget ~df_total reps delivered =
+  { strategy; generated = delivered; clusters = delivered; reps; df_total;
+    sizes = (if delivered = 0 then [] else [ (1, delivered) ]);
+    requested = budget; delivered }
 
 let run strategy ?(seed = 0) ~corpus_size map =
   match strategy with
   | Df ->
-    let generated = Dataflow.total_flows map in
-    { strategy; generated; clusters = generated; reps = [] }
-  | Df_ia ->
-    let key (e : Accessmap.entry) = (e.Accessmap.ip, 0) in
-    let _, clusters, reps = cluster_map map ~wkey:key ~rkey:key in
-    { strategy; generated = clusters; clusters; reps }
-  | Df_st k ->
-    let wkey (e : Accessmap.entry) =
-      (e.Accessmap.ip, Hashtbl.hash (context k e.Accessmap.stack))
+    let total = Dataflow.total_flows map in
+    { strategy; generated = total; clusters = total; reps = [];
+      df_total = total;
+      sizes = (if total = 0 then [] else [ (1, total) ]);
+      requested = 0; delivered = 0 }
+  | Df_ia | Df_st _ ->
+    let wkey, rkey =
+      match keys_of_strategy strategy with
+      | Some ks -> ks
+      | None -> assert false
     in
-    let rkey = wkey in
-    let _, clusters, reps = cluster_map map ~wkey ~rkey in
-    { strategy; generated = clusters; clusters; reps }
+    let flows, clusters, reps, sizes = cluster_map map ~wkey ~rkey in
+    { strategy; generated = clusters; clusters; reps; df_total = flows;
+      sizes; requested = clusters; delivered = clusters }
   | Rand budget ->
-    let reps = run_rand ~seed ~budget ~corpus_size in
-    { strategy; generated = List.length reps; clusters = List.length reps;
-      reps }
+    let reps, delivered = run_rand ~seed ~budget ~corpus_size in
+    rand_result strategy ~budget ~df_total:(Dataflow.total_flows map) reps
+      delivered
+
+(* -- online clustering ----------------------------------------------------
+
+   Fold one profiled program at a time into the cluster table. The
+   equivalence with [cluster_map] rests on three facts:
+
+   1. Group bests are stable once created. Programs are fed in corpus
+      order, so a (addr, key) group's best entry — minimum (prog,
+      sys_index) — is fixed by the first program contributing to the
+      group; later programs only grow the count. Within the creating
+      program the best is computed exactly like the batch
+      [group_entries] pass (same reversed entry order, same tie-break).
+
+   2. Candidates are immutable. The candidate test case of an
+      (addr, wkey, rkey) triple is flow_of(best_w, best_r); both bests
+      are final when the pair first coexists, which is the moment the
+      candidate is created.
+
+   3. The representative is the minimum, under the *total* Testcase
+      order, over a growing set of immutable candidates — the order the
+      candidates arrive in cannot change the minimum, so the final
+      representative equals the batch one. A new candidate below the
+      current representative fires a [Rep_changed] event; the streaming
+      campaign re-executes that cluster.
+
+   Cluster sizes and the DF universe update by delta: with per-address
+   old counts w, r and program deltas Δw, Δr,
+       Δ(w·r) = Δw·(r + Δr) + w·Δr
+   which the two count loops below implement per group pair (and per
+   entry total for df_total). *)
+
+type event =
+  | Sealed of int * Testcase.t       (* new cluster: id, representative *)
+  | Rep_changed of int * Testcase.t  (* better representative found *)
+  | Dropped of int                   (* cluster retired (RAND re-draw) *)
+
+type group = { g_best : Accessmap.entry; mutable g_n : int }
+
+type side = {
+  s_groups : (int * int, group) Hashtbl.t;
+  mutable s_entries : int;
+}
+
+type addr_state = { aw : side; ar : side }
+
+type cluster = { cl_id : int; mutable cl_rep : Testcase.t; mutable cl_n : int }
+
+type state = {
+  st_strategy : strategy;
+  st_seed : int;
+  st_keys : ((Accessmap.entry -> int * int) * (Accessmap.entry -> int * int))
+      option;
+  mutable st_fed : int;                 (* programs folded, in order *)
+  st_addrs : (int, addr_state) Hashtbl.t;
+  st_clusters : ((int * int) * (int * int), cluster) Hashtbl.t;
+  mutable st_next_id : int;
+  mutable st_df_total : int;
+  mutable st_peak_pairs : int;          (* max group pairs in one feed *)
+  mutable st_rand : (int * Testcase.t) list;  (* sealed RAND reps *)
+  mutable st_rand_drained_at : int;     (* corpus size of last RAND draw *)
+}
+
+let start ?(seed = 0) strategy =
+  { st_strategy = strategy; st_seed = seed;
+    st_keys = keys_of_strategy strategy; st_fed = 0;
+    st_addrs = Hashtbl.create 256; st_clusters = Hashtbl.create 256;
+    st_next_id = 0; st_df_total = 0; st_peak_pairs = 0; st_rand = [];
+    st_rand_drained_at = -1 }
+
+let fed st = st.st_fed
+let peak_feed_pairs st = st.st_peak_pairs
+
+let fresh_side () = { s_groups = Hashtbl.create 8; s_entries = 0 }
+
+let addr_state st addr =
+  match Hashtbl.find_opt st.st_addrs addr with
+  | Some a -> a
+  | None ->
+    let a = { aw = fresh_side (); ar = fresh_side () } in
+    Hashtbl.add st.st_addrs addr a;
+    a
+
+let sorted_groups side =
+  Hashtbl.fold (fun k g acc -> (k, g) :: acc) side.s_groups []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+(* Merge a program's per-key contributions into a side. Returns, sorted
+   by key, each touched key with its delta count and whether the group
+   is new at this address. *)
+let merge_side side news =
+  List.map
+    (fun (k, (best, n)) ->
+      match Hashtbl.find_opt side.s_groups k with
+      | None ->
+        Hashtbl.replace side.s_groups k { g_best = best; g_n = n };
+        (k, n, true)
+      | Some g ->
+        g.g_n <- g.g_n + n;
+        (k, n, false))
+    (List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) news)
+
+(* Visit a candidate representative for cluster (wk, rk): create the
+   cluster (Sealed) or lower its representative (Rep_changed). *)
+let candidate st events ~addr (wk, (wg : group)) (rk, (rg : group)) =
+  let tc =
+    { Testcase.sender = wg.g_best.Accessmap.prog;
+      receiver = rg.g_best.Accessmap.prog;
+      flow = Some (flow_of ~addr wg.g_best rg.g_best) }
+  in
+  match Hashtbl.find_opt st.st_clusters (wk, rk) with
+  | None ->
+    let id = st.st_next_id in
+    st.st_next_id <- id + 1;
+    Hashtbl.replace st.st_clusters (wk, rk) { cl_id = id; cl_rep = tc; cl_n = 0 };
+    events := Sealed (id, tc) :: !events
+  | Some cl ->
+    if Testcase.compare tc cl.cl_rep < 0 then begin
+      cl.cl_rep <- tc;
+      events := Rep_changed (cl.cl_id, tc) :: !events
+    end
+
+let feed_addr st events ~addr ~wnews ~rnews =
+  let a = addr_state st addr in
+  (* DF universe delta from raw entry counts (both sides must exist). *)
+  let wadd = List.fold_left (fun acc (_, (_, n)) -> acc + n) 0 wnews in
+  let radd = List.fold_left (fun acc (_, (_, n)) -> acc + n) 0 rnews in
+  st.st_df_total <-
+    st.st_df_total + (wadd * (a.ar.s_entries + radd))
+    + (a.aw.s_entries * radd);
+  a.aw.s_entries <- a.aw.s_entries + wadd;
+  a.ar.s_entries <- a.ar.s_entries + radd;
+  match st.st_keys with
+  | None -> 0
+  | Some _ ->
+    let wtouched = merge_side a.aw wnews in
+    let rtouched = merge_side a.ar rnews in
+    let wall = sorted_groups a.aw in
+    let rall = sorted_groups a.ar in
+    (* Candidates: a (wk, rk) pair first coexists at this address when
+       either side's group is new here; both bests are final, so the
+       candidate is immutable (new×new pairs are visited once, by the
+       writer loop). *)
+    List.iter
+      (fun (wk, _, wnew) ->
+        if wnew then
+          let wg = Hashtbl.find a.aw.s_groups wk in
+          List.iter (fun (rk, rg) -> candidate st events ~addr (wk, wg) (rk, rg))
+            rall)
+      wtouched;
+    let wnew_keys =
+      List.filter_map (fun (k, _, n) -> if n then Some k else None) wtouched
+    in
+    List.iter
+      (fun (rk, _, rnew) ->
+        if rnew then
+          let rg = Hashtbl.find a.ar.s_groups rk in
+          List.iter
+            (fun (wk, wg) ->
+              if not (List.mem wk wnew_keys) then
+                candidate st events ~addr (wk, wg) (rk, rg))
+            wall)
+      rtouched;
+    (* Count deltas: Δ(w·r) = Δw·r_new + w_old·Δr per group pair. *)
+    let pairs = ref 0 in
+    let wdelta wk =
+      List.fold_left
+        (fun acc (k, d, _) -> if k = wk then acc + d else acc)
+        0 wtouched
+    in
+    List.iter
+      (fun (wk, dw, _) ->
+        List.iter
+          (fun (rk, (rg : group)) ->
+            incr pairs;
+            let cl = Hashtbl.find st.st_clusters (wk, rk) in
+            cl.cl_n <- cl.cl_n + (dw * rg.g_n))
+          rall)
+      wtouched;
+    List.iter
+      (fun (rk, dr, _) ->
+        List.iter
+          (fun (wk, (wg : group)) ->
+            incr pairs;
+            let w_old = wg.g_n - wdelta wk in
+            if w_old > 0 then
+              let cl = Hashtbl.find st.st_clusters (wk, rk) in
+              cl.cl_n <- cl.cl_n + (w_old * dr))
+          wall)
+      rtouched;
+    !pairs
+
+let feed st ~prog (accesses : Stackrec.access list) =
+  if prog <> st.st_fed then
+    invalid_arg "Cluster.feed: programs must be fed in corpus order";
+  st.st_fed <- prog + 1;
+  (* Split into per-address, per-side entry lists. Prepending mirrors
+     Accessmap.add, so per-program group bests (including ties on
+     (prog, sys_index)) match the batch pass exactly. *)
+  let waccs = Hashtbl.create 16 and raccs = Hashtbl.create 16 in
+  List.iter
+    (fun (acc : Stackrec.access) ->
+      let entry =
+        { Accessmap.prog; sys_index = acc.Stackrec.sys_index;
+          ip = acc.Stackrec.ip; stack = acc.Stackrec.stack;
+          stack_hash = acc.Stackrec.stack_hash }
+      in
+      let table =
+        match acc.Stackrec.rw with
+        | Kevent.Write -> waccs
+        | Kevent.Read -> raccs
+      in
+      let prev =
+        Option.value ~default:[] (Hashtbl.find_opt table acc.Stackrec.addr)
+      in
+      Hashtbl.replace table acc.Stackrec.addr (entry :: prev))
+    accesses;
+  let addrs =
+    Hashtbl.fold (fun addr _ acc -> addr :: acc) waccs []
+    |> Hashtbl.fold (fun addr _ acc -> addr :: acc) raccs
+    |> List.sort_uniq Int.compare
+  in
+  let events = ref [] in
+  let pairs = ref 0 in
+  List.iter
+    (fun addr ->
+      let group key table =
+        match Hashtbl.find_opt table addr with
+        | None -> []
+        | Some entries -> (
+          match key with
+          | Some key -> group_entries key entries
+          | None ->
+            (* Count-only strategies still need entry totals. *)
+            [ ((0, 0), (List.hd entries, List.length entries)) ])
+      in
+      let wnews = group (Option.map fst st.st_keys) waccs in
+      let rnews = group (Option.map snd st.st_keys) raccs in
+      pairs := !pairs + feed_addr st events ~addr ~wnews ~rnews)
+    addrs;
+  if !pairs > st.st_peak_pairs then st.st_peak_pairs <- !pairs;
+  List.rev !events
+
+(* Seal representatives that only materialize once the corpus is
+   complete: RAND draws pairs over the final corpus size, so feeding
+   more programs invalidates every previous draw (Dropped) and re-seals
+   a fresh set. Keyed strategies seal eagerly in [feed]. *)
+let drain st =
+  match st.st_strategy with
+  | Df | Df_ia | Df_st _ -> []
+  | Rand budget ->
+    if st.st_rand_drained_at = st.st_fed then []
+    else begin
+      let dropped = List.rev_map (fun (id, _) -> Dropped id) st.st_rand in
+      let reps, _ = run_rand ~seed:st.st_seed ~budget ~corpus_size:st.st_fed in
+      let sealed =
+        List.map
+          (fun tc ->
+            let id = st.st_next_id in
+            st.st_next_id <- id + 1;
+            (id, tc))
+          reps
+      in
+      st.st_rand <- sealed;
+      st.st_rand_drained_at <- st.st_fed;
+      List.rev dropped @ List.map (fun (id, tc) -> Sealed (id, tc)) sealed
+    end
+
+(* Current clusters as (id, representative), in id (creation) order. *)
+let live st =
+  match st.st_strategy with
+  | Rand _ -> st.st_rand
+  | Df -> []
+  | Df_ia | Df_st _ ->
+    Hashtbl.fold (fun _ cl acc -> (cl.cl_id, cl.cl_rep) :: acc) st.st_clusters []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let finalize st =
+  let strategy = st.st_strategy in
+  match strategy with
+  | Df ->
+    let total = st.st_df_total in
+    { strategy; generated = total; clusters = total; reps = [];
+      df_total = total;
+      sizes = (if total = 0 then [] else [ (1, total) ]);
+      requested = 0; delivered = 0 }
+  | Df_ia | Df_st _ ->
+    let reps =
+      Hashtbl.fold (fun _ cl acc -> cl.cl_rep :: acc) st.st_clusters []
+      |> List.sort Testcase.compare
+    in
+    let sizes =
+      distribution
+        (Hashtbl.fold (fun _ cl acc -> cl.cl_n :: acc) st.st_clusters [])
+    in
+    let clusters = Hashtbl.length st.st_clusters in
+    { strategy; generated = clusters; clusters; reps; df_total = st.st_df_total;
+      sizes; requested = clusters; delivered = clusters }
+  | Rand budget ->
+    let reps, delivered =
+      if st.st_rand_drained_at = st.st_fed then
+        let reps = List.map snd st.st_rand in
+        (reps, List.length reps)
+      else run_rand ~seed:st.st_seed ~budget ~corpus_size:st.st_fed
+    in
+    rand_result strategy ~budget ~df_total:st.st_df_total reps delivered

@@ -10,8 +10,14 @@
     - [Rand n]: [n] random sender/receiver pairs — the baseline.
 
     One representative test case per cluster is executed; the
-    representatives are the earliest (corpus order) writer and reader
-    entries, so runs are reproducible. *)
+    representative is the minimum candidate under the total
+    {!Testcase.compare} order, so runs are reproducible.
+
+    Clustering comes in two equivalent modes: the batch {!run} over a
+    fully built access map, and the online {!start}/{!feed}/{!finalize}
+    mode that folds one profiled program at a time into the cluster
+    table, emitting newly-sealed and representative-changed clusters as
+    it goes. Both modes produce identical {!result}s (property-tested). *)
 
 type strategy =
   | Df
@@ -26,6 +32,18 @@ type result = {
   generated : int;        (** the Table 4 "test cases" figure *)
   clusters : int;
   reps : Testcase.t list; (** executed representatives, in order *)
+  df_total : int;
+  (** the unclustered flow universe (the DF row): one per (write entry,
+      read entry) pair on a shared address — campaigns read it from here
+      instead of re-scanning the map with
+      {!Kit_gen.Dataflow.total_flows} *)
+  sizes : (int * int) list;
+  (** cluster-size distribution as [(size, count)] pairs, ascending *)
+  requested : int;        (** representatives asked for (RAND budget) *)
+  delivered : int;
+  (** representatives actually produced; for [Rand n] the budget is
+      clamped to the [corpus_size²] distinct pairs and then filled
+      exactly, so [delivered = min n corpus_size²] *)
 }
 
 val context : int -> int list -> int list
@@ -36,3 +54,56 @@ val context : int -> int list -> int list
 val run :
   strategy -> ?seed:int -> corpus_size:int -> Kit_profile.Accessmap.t ->
   result
+(** Batch clustering over a fully built access map. *)
+
+(** {2 Online clustering}
+
+    The streaming pipeline folds one profiled program at a time into the
+    cluster table with {!feed}, maintaining [generated]/[df_total]
+    incrementally instead of materializing per-address writer×reader
+    cross products behind a barrier. Events report clusters the caller
+    can execute immediately. *)
+
+type state
+
+(** Incremental cluster-table changes emitted by {!feed} and {!drain}.
+    Cluster ids are stable for the lifetime of the state. *)
+type event =
+  | Sealed of int * Testcase.t
+      (** a new cluster appeared, with its representative *)
+  | Rep_changed of int * Testcase.t
+      (** a later program produced a smaller representative; cached
+          execution results for this cluster are stale *)
+  | Dropped of int
+      (** the cluster was retired (RAND re-draws on corpus growth) *)
+
+val start : ?seed:int -> strategy -> state
+
+val feed : state -> prog:int -> Kit_profile.Stackrec.access list -> event list
+(** Fold program [prog]'s filtered accesses (from
+    {!Kit_gen.Dataflow.profile_program}) into the table. Programs must
+    be fed in corpus order — the equivalence with {!run} depends on it —
+    or the call raises [Invalid_argument]. *)
+
+val drain : state -> event list
+(** Seal representatives that only materialize once the corpus is
+    complete: RAND draws pairs over the final corpus size, so a drain
+    after corpus growth retires every previous draw ([Dropped]) and
+    seals a fresh set. Keyed strategies seal eagerly in {!feed} and
+    drain to []. Idempotent until the next {!feed}. *)
+
+val finalize : state -> result
+(** The clustering result over everything fed so far — structurally
+    identical to {!run} on a batch-built map of the same programs
+    (property-tested). Non-destructive: the state can keep feeding. *)
+
+val live : state -> (int * Testcase.t) list
+(** Current clusters as [(id, representative)], in creation order. *)
+
+val fed : state -> int
+(** Programs folded so far. *)
+
+val peak_feed_pairs : state -> int
+(** The largest per-feed working set: the maximum number of group pairs
+    examined while folding a single program — the streaming counterpart
+    of the batch pass's [df_total]-sized sweep. *)

@@ -39,24 +39,52 @@ let profile_corpus config spec corpus =
   in
   { programs; accesses; protected_calls }
 
-(* Build the access map. Writer entries are unrestricted; reader entries
-   are kept only when the reading syscall accesses a protected resource —
-   data flows whose reader cannot witness protected state are useless for
-   functional interference testing. *)
+(* Writer entries are unrestricted; reader entries are kept only when
+   the reading syscall accesses a protected resource — data flows whose
+   reader cannot witness protected state are useless for functional
+   interference testing. *)
+let filter_accesses ~protected_calls accs =
+  let keep (a : Stackrec.access) =
+    match a.Stackrec.rw with
+    | Kevent.Write -> true
+    | Kevent.Read ->
+      a.Stackrec.sys_index < Array.length protected_calls
+      && protected_calls.(a.Stackrec.sys_index)
+  in
+  List.filter keep accs
+
+(* Build the access map from batch profiles. *)
 let build_map profiles =
   let map = Accessmap.create () in
   Array.iteri
     (fun prog accs ->
-      let prot = profiles.protected_calls.(prog) in
-      let keep (a : Stackrec.access) =
-        match a.Stackrec.rw with
-        | Kevent.Write -> true
-        | Kevent.Read ->
-          a.Stackrec.sys_index < Array.length prot && prot.(a.Stackrec.sys_index)
-      in
-      Accessmap.add map ~prog (List.filter keep accs))
+      Accessmap.add map ~prog
+        (filter_accesses ~protected_calls:profiles.protected_calls.(prog) accs))
     profiles.accesses;
   map
+
+(* -- streaming profiler --------------------------------------------------
+
+   The batch path profiles the whole corpus behind one barrier; the
+   streaming pipeline profiles one program at a time and feeds its
+   contribution straight into the online cluster state. Both paths share
+   [filter_accesses], so a program's contribution is identical either
+   way (the profiler reloads the same snapshot per program). *)
+
+type profiler = { collect : Collect.t; spec : Kit_spec.Spec.t }
+
+let profiler config spec = { collect = Collect.create config; spec }
+
+let profile_program t prog =
+  let accesses =
+    (Collect.profile t.collect ~role:Collect.Receiver prog).Collect.accesses
+  in
+  let types = Program.result_types prog in
+  let protected_calls =
+    Array.init (Program.length prog) (fun i ->
+        Kit_spec.Spec.call_protected t.spec prog types i)
+  in
+  filter_accesses ~protected_calls accesses
 
 (* The total number of unclustered data-flow test cases — the DF row of
    Table 4: one per (write access site, read access site) pair on a

@@ -20,3 +20,20 @@ val build_map : profiles -> Kit_profile.Accessmap.t
 val total_flows : Kit_profile.Accessmap.t -> int
 (** The number of unclustered data-flow test cases — the DF row of
     Table 4: one per (write site, read site) pair on a shared address. *)
+
+(** {2 Streaming profiler}
+
+    One program at a time, for the online pipeline. A program's filtered
+    access list is identical to its contribution to {!build_map} — the
+    profiler reloads the same snapshot per program, and both paths apply
+    the same reader-protection filter. *)
+
+type profiler
+
+val profiler : Kit_kernel.Config.t -> Kit_spec.Spec.t -> profiler
+(** Boot a profiling environment shared across [profile_program] calls. *)
+
+val profile_program :
+  profiler -> Kit_abi.Program.t -> Kit_profile.Stackrec.access list
+(** Profile one program and return its filtered accesses, ready for
+    {!Kit_profile.Accessmap.add} or online clustering. *)

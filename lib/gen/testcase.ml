@@ -17,9 +17,36 @@ type t = {
   flow : flow option;        (* None for randomly generated cases *)
 }
 
+(* Total order. Corpus order (sender, then receiver) first; ties — two
+   clusters whose representatives pair the same programs through
+   different flows — fall back to the witness flow, so sorting and
+   min-selection are independent of hash-table iteration order. The
+   online clustering mode relies on this: batch and streaming encounter
+   representative candidates in different orders, and only a total order
+   makes their minima coincide. *)
+let compare_flow (a : flow) (b : flow) =
+  let c = Int.compare a.addr b.addr in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.w_ip b.w_ip in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.r_ip b.r_ip in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.r_sys_index b.r_sys_index in
+        if c <> 0 then c
+        else
+          let c = List.compare Int.compare a.w_stack b.w_stack in
+          if c <> 0 then c else List.compare Int.compare a.r_stack b.r_stack
+
 let compare a b =
   let c = Int.compare a.sender b.sender in
-  if c <> 0 then c else Int.compare a.receiver b.receiver
+  if c <> 0 then c
+  else
+    let c = Int.compare a.receiver b.receiver in
+    if c <> 0 then c
+    else Option.compare compare_flow a.flow b.flow
 
 let pp ppf t =
   match t.flow with

@@ -18,6 +18,9 @@ type t = {
 }
 
 val compare : t -> t -> int
-(** Corpus order: by sender index, then receiver index. *)
+(** Total order: sender index, then receiver index, then the witness
+    flow. Totality matters: representative selection takes the minimum
+    over candidates discovered in hash-table order, and only a total
+    order makes batch and streaming clustering agree on ties. *)
 
 val pp : Format.formatter -> t -> unit

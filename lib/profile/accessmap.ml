@@ -52,7 +52,16 @@ let iter_overlaps t f =
 let writer_addresses t = List.map fst (Int_map.bindings t.writers)
 let reader_addresses t = List.map fst (Int_map.bindings t.readers)
 
+type stats = {
+  write_addrs : int;
+  write_entries : int;
+  read_addrs : int;
+  read_entries : int;
+}
+
 let stats t =
   let count m = Int_map.fold (fun _ es acc -> acc + List.length es) m 0 in
-  (Int_map.cardinal t.writers, count t.writers, Int_map.cardinal t.readers,
-   count t.readers)
+  { write_addrs = Int_map.cardinal t.writers;
+    write_entries = count t.writers;
+    read_addrs = Int_map.cardinal t.readers;
+    read_entries = count t.readers }

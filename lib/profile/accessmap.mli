@@ -28,5 +28,12 @@ val iter_overlaps :
 val writer_addresses : t -> int list
 val reader_addresses : t -> int list
 
-val stats : t -> int * int * int * int
-(** (write addresses, write entries, read addresses, read entries). *)
+(** Map shape summary: distinct addresses and total entries per side. *)
+type stats = {
+  write_addrs : int;
+  write_entries : int;
+  read_addrs : int;
+  read_entries : int;
+}
+
+val stats : t -> stats

@@ -185,6 +185,60 @@ let test_campaign_rand_weaker () =
   let n_rand = List.length (Oracle.new_bugs_found rand.Campaign.keyed) in
   check_bool "equal-budget RAND finds fewer bugs" true (n_rand < n_ia)
 
+(* --- Streaming campaigns ---------------------------------------------------------- *)
+
+let test_stream_stats_shape () =
+  let opts = { Campaign.default_options with Campaign.corpus_size = 48 } in
+  let s = Campaign.stream opts in
+  let t = Campaign.stream_result s in
+  let stats = Campaign.stream_stats s in
+  check_int "every program folded" 48 stats.Campaign.fed;
+  check_int "one live cluster per cluster"
+    t.Campaign.generation.Cluster.clusters stats.Campaign.live_clusters;
+  check_bool "executions cover every cluster plus re-runs" true
+    (stats.Campaign.executed_cases
+    >= t.Campaign.generation.Cluster.clusters);
+  check_bool "first report observed" true
+    (Option.is_some stats.Campaign.first_report_s
+    = (t.Campaign.reports <> []));
+  check_bool "peak feed working set bounded by df_total" true
+    (stats.Campaign.peak_feed_pairs <= t.Campaign.df_total)
+
+let test_stream_result_idempotent () =
+  let opts = { Campaign.default_options with Campaign.corpus_size = 32 } in
+  let s = Campaign.stream opts in
+  let a = Campaign.stream_result s in
+  let execs = (Campaign.stream_stats s).Campaign.executed_cases in
+  let b = Campaign.stream_result s in
+  check_int "no re-execution on re-assembly" execs
+    (Campaign.stream_stats s).Campaign.executed_cases;
+  check_int "same reports" (List.length a.Campaign.reports)
+    (List.length b.Campaign.reports);
+  check_int "same df_total" a.Campaign.df_total b.Campaign.df_total
+
+let test_extend_rejects_negative () =
+  let opts = { Campaign.default_options with Campaign.corpus_size = 16 } in
+  let s = Campaign.stream opts in
+  Alcotest.check_raises "negative growth rejected"
+    (Invalid_argument "Campaign.extend: add must be non-negative") (fun () ->
+      ignore (Campaign.extend s ~add:(-1)))
+
+let test_checkpoint_reports_accessor () =
+  let prepared =
+    Campaign.prepare { Campaign.default_options with Campaign.corpus_size = 48 }
+  in
+  let rec drive resume acc =
+    match Campaign.execute_partial ?resume ~budget:16 prepared with
+    | `Paused ck ->
+      let n = Campaign.checkpoint_reports ck in
+      check_bool "report count monotone across chunks" true (n >= acc);
+      drive (Some ck) n
+    | `Done t -> (acc, t)
+  in
+  let last_seen, t = drive None 0 in
+  check_bool "final count caps the checkpoints" true
+    (last_seen <= List.length t.Campaign.reports)
+
 (* --- Tables ----------------------------------------------------------------------- *)
 
 let test_table2_rows () =
@@ -246,6 +300,13 @@ let suite =
       test_campaign_fixed_kernel_clean;
     Alcotest.test_case "campaign: equal-budget RAND weaker" `Slow
       test_campaign_rand_weaker;
+    Alcotest.test_case "stream: stats shape" `Slow test_stream_stats_shape;
+    Alcotest.test_case "stream: assembly idempotent" `Slow
+      test_stream_result_idempotent;
+    Alcotest.test_case "stream: negative growth rejected" `Quick
+      test_extend_rejects_negative;
+    Alcotest.test_case "checkpoint: report count accessor" `Slow
+      test_checkpoint_reports_accessor;
     Alcotest.test_case "tables: table 2 static rows" `Quick test_table2_rows;
     Alcotest.test_case "tables: table 2 marks all found" `Slow
       test_table2_marks_found;

@@ -247,6 +247,35 @@ let test_supervisor_quarantines_permanent () =
       | Supervisor.Hung_forever -> false)
   | q -> Alcotest.failf "expected 1 quarantined crash, got %d" (List.length q)
 
+let test_supervisor_quarantined_since () =
+  (* Two permanent crashers: the delta accessor must slice the
+     quarantine at any count, oldest first, and agree with the full
+     list. *)
+  let sender = Syzlang.parse sender_prog in
+  let receiver = Syzlang.parse receiver_prog in
+  let cfg = { Supervisor.default_config with Supervisor.max_retries = 1 } in
+  let sup =
+    Supervisor.create ~cfg
+      ~fault:(Fault.of_schedule (sched "panic:open:perm,panic:socket:perm"))
+      (K.Config.v5_13 ())
+  in
+  check (Alcotest.list Alcotest.pass) "empty delta on empty quarantine" []
+    (Supervisor.quarantined_since sup 0);
+  ignore (Supervisor.execute sup ~sender ~receiver : Runner.status);
+  let q1 = Supervisor.quarantine_count sup in
+  ignore (Supervisor.execute sup ~sender:receiver ~receiver:sender
+           : Runner.status);
+  let all = Supervisor.quarantined sup in
+  check_int "since 0 = full list" (List.length all)
+    (List.length (Supervisor.quarantined_since sup 0));
+  let delta = Supervisor.quarantined_since sup q1 in
+  check_int "delta covers the remainder"
+    (List.length all - q1) (List.length delta);
+  check_bool "delta is the oldest-first suffix" true
+    (delta = List.filteri (fun i _ -> i >= q1) all);
+  check (Alcotest.list Alcotest.pass) "past-the-end delta empty" []
+    (Supervisor.quarantined_since sup (List.length all))
+
 let test_supervisor_gives_up_on_dead_vm () =
   try
     ignore
@@ -453,6 +482,8 @@ let suite =
       test_supervisor_recovers_transient;
     Alcotest.test_case "supervisor quarantines permanent crashers" `Quick
       test_supervisor_quarantines_permanent;
+    Alcotest.test_case "supervisor quarantine delta accessor" `Quick
+      test_supervisor_quarantined_since;
     Alcotest.test_case "supervisor gives up on a dead VM" `Quick
       test_supervisor_gives_up_on_dead_vm;
     QCheck_alcotest.to_alcotest prop_transient_faults_preserve_results;

@@ -177,6 +177,150 @@ let test_context_truncation () =
   check (Alcotest.list Alcotest.int) "short stack" [] (Cluster.context 2 [ 1 ]);
   check (Alcotest.list Alcotest.int) "empty stack" [] (Cluster.context 3 [])
 
+let test_context_edges () =
+  (* Exactly the two folded site frames: nothing above them. *)
+  check (Alcotest.list Alcotest.int) "two-frame stack" []
+    (Cluster.context 2 [ 1; 2 ]);
+  check (Alcotest.list Alcotest.int) "two-frame stack, k=1" []
+    (Cluster.context 1 [ 1; 2 ]);
+  (* k = 0 keeps no context regardless of depth — DF-ST-0 degenerates to
+     DF-IA. *)
+  check (Alcotest.list Alcotest.int) "k=0 deep stack" []
+    (Cluster.context 0 [ 1; 2; 3; 4; 5 ]);
+  check (Alcotest.list Alcotest.int) "k=0 empty stack" []
+    (Cluster.context 0 []);
+  (* Three frames: one frame of context survives even for large k. *)
+  check (Alcotest.list Alcotest.int) "three-frame stack, large k" [ 3 ]
+    (Cluster.context 10 [ 1; 2; 3 ])
+
+let test_rand_budget_clamped () =
+  (* A 2-program corpus has only 2² = 4 distinct (sender, receiver)
+     pairs; an over-budget request is clamped and filled exactly. *)
+  let corpus =
+    [ Syzlang.parse "r0 = socket(3)";
+      Syzlang.parse "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)" ]
+  in
+  let profiles = Dataflow.profile_corpus config Spec.default corpus in
+  let map = Dataflow.build_map profiles in
+  let over = Cluster.run (Cluster.Rand 100) ~seed:7 ~corpus_size:2 map in
+  check_int "requested recorded" 100 over.Cluster.requested;
+  check_int "delivered clamped to corpus²" 4 over.Cluster.delivered;
+  check_int "reps match delivered" 4 (List.length over.Cluster.reps);
+  check_bool "all four pairs distinct" true
+    (List.sort_uniq Testcase.compare over.Cluster.reps |> List.length = 4);
+  let exact = Cluster.run (Cluster.Rand 4) ~seed:7 ~corpus_size:2 map in
+  check_int "exact budget fully delivered" 4 exact.Cluster.delivered
+
+let test_rand_sparse_budget_exact () =
+  (* Historical behaviour: sparse budgets (well under corpus²) must
+     still deliver exactly the requested count. *)
+  let rand = run_strategy (Cluster.Rand 50) in
+  check_int "requested" 50 rand.Cluster.requested;
+  check_int "delivered" 50 rand.Cluster.delivered
+
+let test_df_total_matches_map_scan () =
+  let _, _, map = Lazy.force fixture in
+  let expected = Dataflow.total_flows map in
+  List.iter
+    (fun strategy ->
+      let r = run_strategy strategy in
+      check_int
+        (Cluster.strategy_name strategy ^ " df_total")
+        expected r.Cluster.df_total)
+    [ Cluster.Df; Cluster.Df_ia; Cluster.Df_st 2; Cluster.Rand 40 ]
+
+let test_sizes_distribution_consistent () =
+  List.iter
+    (fun strategy ->
+      let r = run_strategy strategy in
+      let name = Cluster.strategy_name strategy in
+      check_int (name ^ ": size counts sum to clusters") r.Cluster.clusters
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 r.Cluster.sizes);
+      check_bool (name ^ ": every cluster holds at least one member") true
+        (List.fold_left (fun acc (sz, n) -> acc + (sz * n)) 0 r.Cluster.sizes
+         >= r.Cluster.clusters);
+      check_bool (name ^ ": ascending by size") true
+        (let rec asc = function
+           | (a, _) :: ((b, _) :: _ as rest) -> a < b && asc rest
+           | [ _ ] | [] -> true
+         in
+         asc r.Cluster.sizes))
+    [ Cluster.Df_ia; Cluster.Df_st 2; Cluster.Rand 40 ]
+
+(* --- online clustering ------------------------------------------------------ *)
+
+(* Fold the fixture corpus one program at a time and compare the final
+   state against the batch run over the fully built access map. *)
+let online_result strategy =
+  let corpus, _, _ = Lazy.force fixture in
+  let profiler = Dataflow.profiler config Spec.default in
+  let st = Cluster.start ~seed:7 strategy in
+  let events = ref [] in
+  List.iteri
+    (fun prog p ->
+      let accs = Dataflow.profile_program profiler p in
+      events := List.rev_append (Cluster.feed st ~prog accs) !events)
+    corpus;
+  events := List.rev_append (Cluster.drain st) !events;
+  (st, Cluster.finalize st, List.rev !events)
+
+let check_online_equals_batch strategy =
+  let batch = run_strategy strategy in
+  let _, online, _ = online_result strategy in
+  let name = Cluster.strategy_name strategy in
+  check_int (name ^ ": generated") batch.Cluster.generated
+    online.Cluster.generated;
+  check_int (name ^ ": clusters") batch.Cluster.clusters
+    online.Cluster.clusters;
+  check_int (name ^ ": df_total") batch.Cluster.df_total
+    online.Cluster.df_total;
+  check_bool (name ^ ": identical representatives") true
+    (List.equal
+       (fun x y -> Testcase.compare x y = 0)
+       batch.Cluster.reps online.Cluster.reps);
+  check_bool (name ^ ": identical size distribution") true
+    (batch.Cluster.sizes = online.Cluster.sizes)
+
+let test_online_equals_batch () =
+  List.iter check_online_equals_batch
+    [ Cluster.Df; Cluster.Df_ia; Cluster.Df_st 1; Cluster.Df_st 2;
+      Cluster.Rand 40 ]
+
+let test_online_events_track_live () =
+  (* Replaying the event stream reconstructs exactly the live cluster
+     table: every seal/rep-change/drop is reported, none is spurious. *)
+  let st, _, events = online_result Cluster.Df_ia in
+  let replay = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Cluster.Sealed (id, tc) ->
+        check_bool "sealed ids are fresh" false (Hashtbl.mem replay id);
+        Hashtbl.replace replay id tc
+      | Cluster.Rep_changed (id, tc) ->
+        check_bool "rep changes hit live clusters" true (Hashtbl.mem replay id);
+        Hashtbl.replace replay id tc
+      | Cluster.Dropped id ->
+        check_bool "drops hit live clusters" true (Hashtbl.mem replay id);
+        Hashtbl.remove replay id)
+    events;
+  let live = Cluster.live st in
+  check_int "replayed table size" (List.length live) (Hashtbl.length replay);
+  List.iter
+    (fun (id, rep) ->
+      match Hashtbl.find_opt replay id with
+      | None -> Alcotest.failf "cluster %d missing from replay" id
+      | Some tc ->
+        check_bool "replayed representative matches" true
+          (Testcase.compare tc rep = 0))
+    live
+
+let test_online_feed_order_enforced () =
+  let st = Cluster.start Cluster.Df_ia in
+  let _ = Cluster.feed st ~prog:0 [] in
+  Alcotest.check_raises "out-of-order feed rejected"
+    (Invalid_argument "Cluster.feed: programs must be fed in corpus order")
+    (fun () -> ignore (Cluster.feed st ~prog:2 []))
+
 let test_strategy_names () =
   check Alcotest.string "df" "DF" (Cluster.strategy_name Cluster.Df);
   check Alcotest.string "ia" "DF-IA" (Cluster.strategy_name Cluster.Df_ia);
@@ -212,5 +356,21 @@ let suite =
     Alcotest.test_case "rand: indices in range" `Quick test_rand_in_range;
     Alcotest.test_case "cluster: stack context truncation" `Quick
       test_context_truncation;
+    Alcotest.test_case "cluster: stack context edge cases" `Quick
+      test_context_edges;
+    Alcotest.test_case "rand: over-budget clamped to corpus pairs" `Quick
+      test_rand_budget_clamped;
+    Alcotest.test_case "rand: sparse budget delivered exactly" `Quick
+      test_rand_sparse_budget_exact;
+    Alcotest.test_case "cluster: df_total matches map scan" `Quick
+      test_df_total_matches_map_scan;
+    Alcotest.test_case "cluster: size distribution consistent" `Quick
+      test_sizes_distribution_consistent;
+    Alcotest.test_case "online: equals batch clustering" `Quick
+      test_online_equals_batch;
+    Alcotest.test_case "online: events track live table" `Quick
+      test_online_events_track_live;
+    Alcotest.test_case "online: feed order enforced" `Quick
+      test_online_feed_order_enforced;
     Alcotest.test_case "cluster: strategy names" `Quick test_strategy_names;
   ]

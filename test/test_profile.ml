@@ -92,11 +92,34 @@ let test_accessmap_stats () =
   Accessmap.add map ~prog:0
     [ access ~rw:K.Kevent.Write ~addr:100 ~ip:1 ~sys_index:0;
       access ~rw:K.Kevent.Read ~addr:100 ~ip:1 ~sys_index:0 ];
-  let waddrs, wcount, raddrs, rcount = Accessmap.stats map in
-  check_int "write addrs" 1 waddrs;
-  check_int "write count" 1 wcount;
-  check_int "read addrs" 1 raddrs;
-  check_int "read count" 1 rcount
+  let s = Accessmap.stats map in
+  check_int "write addrs" 1 s.Accessmap.write_addrs;
+  check_int "write count" 1 s.Accessmap.write_entries;
+  check_int "read addrs" 1 s.Accessmap.read_addrs;
+  check_int "read count" 1 s.Accessmap.read_entries
+
+let test_accessmap_one_sided_addresses () =
+  (* Addresses touched by only one side never appear as overlaps. *)
+  let map = Accessmap.create () in
+  Accessmap.add map ~prog:0
+    [ access ~rw:K.Kevent.Write ~addr:100 ~ip:1 ~sys_index:0 ];
+  Accessmap.add map ~prog:1
+    [ access ~rw:K.Kevent.Read ~addr:200 ~ip:2 ~sys_index:0 ];
+  let visited = ref [] in
+  Accessmap.iter_overlaps map (fun ~addr ~writers:_ ~readers:_ ->
+      visited := addr :: !visited);
+  check (Alcotest.list Alcotest.int) "writer-only and reader-only skipped" []
+    !visited;
+  let s = Accessmap.stats map in
+  check_int "writer-only address still counted" 1 s.Accessmap.write_addrs;
+  check_int "reader-only address still counted" 1 s.Accessmap.read_addrs
+
+let test_accessmap_empty_stats () =
+  let s = Accessmap.stats (Accessmap.create ()) in
+  check_int "no write addrs" 0 s.Accessmap.write_addrs;
+  check_int "no write entries" 0 s.Accessmap.write_entries;
+  check_int "no read addrs" 0 s.Accessmap.read_addrs;
+  check_int "no read entries" 0 s.Accessmap.read_entries
 
 (* --- Collect ----------------------------------------------------------------- *)
 
@@ -169,6 +192,9 @@ let suite =
     Alcotest.test_case "accessmap: writer/reader overlap" `Quick
       test_accessmap_overlaps;
     Alcotest.test_case "accessmap: stats" `Quick test_accessmap_stats;
+    Alcotest.test_case "accessmap: one-sided addresses never overlap" `Quick
+      test_accessmap_one_sided_addresses;
+    Alcotest.test_case "accessmap: empty stats" `Quick test_accessmap_empty_stats;
     Alcotest.test_case "collect: profile non-empty" `Quick
       test_collect_profile_nonempty;
     Alcotest.test_case "collect: deterministic across reloads" `Quick

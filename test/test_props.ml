@@ -207,6 +207,72 @@ let prop_parallel_distrib_equals_sequential =
       fps (run ~domains ~crashes:[]) = fps reference
       && fps (run ~domains ~crashes:[ crashed ]) = fps reference)
 
+(* --- streaming pipeline equivalences ------------------------------------ *)
+
+(* The streaming fingerprint additionally pins df_total: the online
+   clusterer maintains it incrementally, the batch path scans the built
+   map. *)
+let stream_fp (c : Campaign.t) =
+  Digest.string
+    (Marshal.to_string
+       ( c.Campaign.reports, c.Campaign.funnel, c.Campaign.quarantined,
+         c.Campaign.df_total )
+       [ Marshal.No_sharing ])
+
+let prop_streaming_equals_batch =
+  (* Execute-while-generate must be invisible: for any strategy, any
+     domain count and any transient-fault schedule, the streaming
+     pipeline produces the same reports, funnel, quarantine and df_total
+     as the batch campaign — only wall-clock shape and execution counts
+     may differ. *)
+  QCheck.Test.make ~name:"streaming campaign = batch campaign" ~count:5
+    QCheck.(
+      pair (int_range 0 1000)
+        (pair (int_range 0 3) (pair (int_range 1 3) (int_range 0 2))))
+    (fun (seed, (strat, (domains, intensity))) ->
+      let strategy =
+        match strat with
+        | 0 -> Kit_gen.Cluster.Df_ia
+        | 1 -> Kit_gen.Cluster.Df_st 1
+        | 2 -> Kit_gen.Cluster.Rand 30
+        | _ -> Kit_gen.Cluster.Df
+      in
+      let options =
+        { Campaign.default_options with
+          Campaign.seed;
+          corpus_size = 24;
+          strategy;
+          domains;
+          faults = Fault.schedule_of_seed ~seed ~intensity }
+      in
+      stream_fp (Campaign.stream_result (Campaign.stream options))
+      = stream_fp (Campaign.run options))
+
+let prop_extend_delta_is_cheaper =
+  (* Growing a streaming campaign re-executes only new and
+     representative-changed clusters: the result is identical to a
+     from-scratch campaign of the final corpus size, and the delta
+     executes strictly fewer cluster representatives. *)
+  QCheck.Test.make ~name:"extend = from-scratch, strictly fewer executions"
+    ~count:4
+    QCheck.(pair (int_range 0 1000) (pair (int_range 12 20) (int_range 1 8)))
+    (fun (seed, (base, add)) ->
+      let options =
+        { Campaign.default_options with Campaign.seed; corpus_size = base }
+      in
+      let s = Campaign.stream options in
+      let _ = Campaign.stream_result s in
+      let before = (Campaign.stream_stats s).Campaign.executed_cases in
+      let grown = Campaign.extend s ~add in
+      let delta = (Campaign.stream_stats s).Campaign.executed_cases - before in
+      let scratch =
+        Campaign.run { options with Campaign.corpus_size = base + add }
+      in
+      let scratch_reps =
+        List.length scratch.Campaign.generation.Kit_gen.Cluster.reps
+      in
+      stream_fp grown = stream_fp scratch && delta < scratch_reps)
+
 let test_fixed_kernel_silences_reproducers () =
   (* Every curated Table 3 reproducer is silent on the fixed kernel. *)
   List.iter
@@ -236,6 +302,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_baseline_cache_invisible;
     QCheck_alcotest.to_alcotest prop_parallel_campaign_equals_sequential;
     QCheck_alcotest.to_alcotest prop_parallel_distrib_equals_sequential;
+    QCheck_alcotest.to_alcotest prop_streaming_equals_batch;
+    QCheck_alcotest.to_alcotest prop_extend_delta_is_cheaper;
     Alcotest.test_case "fixed kernel silences every reproducer" `Quick
       test_fixed_kernel_silences_reproducers;
   ]
