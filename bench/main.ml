@@ -11,6 +11,8 @@
    entry point), KIT_BENCH_PIPE_CORPUS / KIT_BENCH_PIPE_ADD (streaming
    pipeline section corpus and growth, defaults 160/64),
    KIT_BENCH_ONLY_PIPELINE (run only the streaming pipeline section),
+   KIT_BENCH_TRACE_CORPUS / KIT_BENCH_ONLY_TRACE (trace-analysis
+   section corpus, default 160, and its section-only switch),
    KIT_BENCH_JSON=PATH (write the section timings and speedup ratios as
    a single JSON object to PATH). *)
 
@@ -38,6 +40,9 @@ module Compare = Kit_trace.Compare
 module Obs = Kit_obs.Obs
 module Metrics = Kit_obs.Metrics
 module Jsonl = Kit_obs.Jsonl
+module Tracer = Kit_obs.Tracer
+module Spantree = Kit_obs.Spantree
+module Profile = Kit_obs.Profile
 module Distrib = Kit_core.Distrib
 
 let getenv_int name default =
@@ -461,6 +466,83 @@ let print_pipeline_bench () =
   record "pipeline_scratch_executed" (Jsonl.Int scratch_reps);
   Fmt.pr "@."
 
+(* --- trace analysis -----------------------------------------------------
+   The causal trace toolchain on a real campaign ring:
+     1. recording overhead — the same campaign with a nop tracer vs a
+        recording one (spans are stamped by Pipeline and Supervisor
+        either way; only the ring writes differ);
+     2. analysis cost — Spantree.build + Profile.of_tree over the full
+        ring, and the k-way Tracer.interleave on per-domain ring splits;
+     3. export cost/size — Chrome trace-event serialization and folded
+        stacks. *)
+
+let print_trace_bench () =
+  Fmt.pr "-- Trace analysis: recording / tree build / exports --@.";
+  let corpus_size = getenv_int "KIT_BENCH_TRACE_CORPUS" 160 in
+  let options = { Campaign.default_options with Campaign.corpus_size } in
+  record "trace_corpus" (Jsonl.Int corpus_size);
+  let _, base_s =
+    timed (fun () ->
+        Campaign.run
+          { options with
+            Campaign.obs = Some (Obs.create ~tracer:Tracer.nop ()) })
+  in
+  let obs = Obs.create () in
+  let _, traced_s =
+    timed (fun () -> Campaign.run { options with Campaign.obs = Some obs })
+  in
+  let events = Tracer.events obs.Obs.tracer in
+  let n_events = List.length events in
+  let overhead =
+    if base_s > 0.0 then (traced_s -. base_s) /. base_s *. 100.0 else 0.0
+  in
+  Fmt.pr
+    "recording overhead:   %.3fs untraced, %.3fs traced (%+.1f%%), %d events (%d dropped)@."
+    base_s traced_s overhead n_events
+    (Tracer.dropped obs.Obs.tracer);
+  record "trace_s_untraced" (Jsonl.Float base_s);
+  record "trace_s_traced" (Jsonl.Float traced_s);
+  record "trace_overhead_pct" (Jsonl.Float overhead);
+  record "trace_events" (Jsonl.Int n_events);
+  record "trace_dropped" (Jsonl.Int (Tracer.dropped obs.Obs.tracer));
+  let tree, build_s =
+    timed (fun () ->
+        Spantree.build ~dropped:(Tracer.dropped obs.Obs.tracer) events)
+  in
+  let profile, profile_s = timed (fun () -> Profile.of_tree tree) in
+  Fmt.pr
+    "analysis:             build %.4fs (%d spans, %d lanes), profile %.4fs (%d rows)@."
+    build_s tree.Spantree.spans
+    (List.length tree.Spantree.lanes)
+    profile_s
+    (List.length profile.Profile.rows);
+  record "trace_build_s" (Jsonl.Float build_s);
+  record "trace_spans" (Jsonl.Int tree.Spantree.spans);
+  record "trace_profile_s" (Jsonl.Float profile_s);
+  (* k-way merge on an even split of the ring, the shape Campaign's
+     domain join hands it. *)
+  let shards = 4 in
+  let rings =
+    List.init shards (fun d ->
+        List.filteri (fun i _ -> i mod shards = d) events)
+  in
+  let merged, merge_s = timed (fun () -> Tracer.interleave rings) in
+  Fmt.pr "interleave:           %d rings of ~%d events in %.4fs@." shards
+    (n_events / max 1 shards) merge_s;
+  record "trace_interleave_s" (Jsonl.Float merge_s);
+  assert (List.length merged = n_events);
+  let chrome, chrome_s =
+    timed (fun () -> Jsonl.to_string (Spantree.to_chrome tree))
+  in
+  let folded, folded_s = timed (fun () -> Profile.folded tree) in
+  Fmt.pr
+    "exports:              chrome %d bytes in %.4fs, %d folded stacks in %.4fs@.@."
+    (String.length chrome) chrome_s (List.length folded) folded_s;
+  record "trace_chrome_bytes" (Jsonl.Int (String.length chrome));
+  record "trace_chrome_s" (Jsonl.Float chrome_s);
+  record "trace_folded_lines" (Jsonl.Int (List.length folded));
+  record "trace_folded_s" (Jsonl.Float folded_s)
+
 (* --- bechamel micro/macro benchmarks ------------------------------------ *)
 
 let bench_corpus = 48
@@ -579,6 +661,11 @@ let () =
     write_bench_json ();
     Fmt.pr "done.@."
   end
+  else if Sys.getenv_opt "KIT_BENCH_ONLY_TRACE" <> None then begin
+    print_trace_bench ();
+    write_bench_json ();
+    Fmt.pr "done.@."
+  end
   else begin
     print_tables ();
     print_jump_label_ablation ();
@@ -588,6 +675,7 @@ let () =
     print_observability_overhead ();
     print_exec_hotpath ();
     print_pipeline_bench ();
+    print_trace_bench ();
     run_benchmarks ();
     write_bench_json ();
     Fmt.pr "done.@."

@@ -8,6 +8,8 @@
      kit run         execute one sender/receiver test case and explain it
      kit corpus      print a generated program corpus
      kit stats       summarise a telemetry JSONL file
+     kit trace       analyse a trace export: span tree, profile,
+                     critical path, Chrome/flamegraph output
 
    All commands are deterministic for a given --seed, including the
    injected fault schedules. campaign, distrib and run accept
@@ -39,6 +41,8 @@ module Tracer = Kit_obs.Tracer
 module Export = Kit_obs.Export
 module Render = Kit_obs.Render
 module Jsonl = Kit_obs.Jsonl
+module Spantree = Kit_obs.Spantree
+module Profile = Kit_obs.Profile
 
 open Cmdliner
 
@@ -428,8 +432,9 @@ let cmd_distrib =
             single.Campaign.corpus single.Campaign.generation ~workers
         in
         (* The metrics export is the merged per-worker registries (what
-           the paper's server would aggregate from its clients); trace
-           events come from the single-node reference campaign. *)
+           the paper's server would aggregate from its clients); the
+           trace export is the per-worker rings interleaved by
+           deterministic time, each span stamped with worker/case. *)
         (match (obs, metrics_file) with
         | Some (obs : Obs.t), Some path ->
           let snap =
@@ -446,8 +451,16 @@ let cmd_distrib =
                ~dropped:(Tracer.dropped obs.Obs.tracer) snap);
           Fmt.pr "telemetry: %s@." path
         | _ -> ());
-        export_obs obs ~metrics_file:None ~trace_file
-          ~meta:[ ("cmd", Jsonl.Str "distrib"); ("seed", Jsonl.Int seed) ];
+        (match (obs, trace_file) with
+        | Some _, Some path ->
+          Export.write_file path
+            (Export.lines ~wall:true
+               ~meta:
+                 [ ("cmd", Jsonl.Str "distrib"); ("seed", Jsonl.Int seed);
+                   ("workers", Jsonl.Int workers) ]
+               ~events:d.Distrib.trace []);
+          Fmt.pr "trace: %s@." path
+        | _ -> ());
         Fmt.pr "%a@." Distrib.pp d;
         List.iter
           (fun (w : Distrib.worker_result) ->
@@ -680,7 +693,14 @@ let cmd_stats =
           ~doc:"Telemetry JSONL file written by $(b,--metrics) or \
                 $(b,--trace).")
   in
-  let run file =
+  let tree_arg =
+    Arg.(
+      value & flag
+      & info [ "tree" ]
+          ~doc:"Also print the reconstructed span tree (see $(b,kit trace) \
+                for the full analysis).")
+  in
+  let run file tree =
     guarded (fun () ->
         match Export.read_file file with
         | Error e ->
@@ -688,17 +708,124 @@ let cmd_stats =
           exit_internal
         | Ok parsed ->
           Fmt.pr "%s@." (Render.stats parsed);
+          if tree then
+            Fmt.pr "%s@."
+              (Spantree.render
+                 (Spantree.build ~dropped:parsed.Export.p_dropped
+                    parsed.Export.p_events));
           exit_clean)
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Summarise a telemetry JSONL file")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ tree_arg)
+
+(* kit trace: the trace-analysis toolchain over a --trace/--metrics
+   export. Streams the file (Export.fold_file) so a long campaign's
+   export never has to fit in one list, rebuilds the span tree, and
+   prints tree + profile + critical path, or writes Chrome trace-event
+   JSON / folded flamegraph stacks. *)
+let cmd_trace =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Trace JSONL file written by $(b,--trace) (or \
+                $(b,--metrics)).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~doc:"Rows of the profile table to print.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "depth" ] ~doc:"Maximum span-tree depth to print.")
+  in
+  let chrome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write Chrome trace-event JSON to $(docv); load it in Perfetto \
+             (ui.perfetto.dev) or chrome://tracing.")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Write folded flamegraph stacks to $(docv) (flamegraph.pl or \
+             speedscope input).")
+  in
+  let lane_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "lane" ] ~docv:"ATTR"
+          ~doc:
+            "Split lanes by span attribute $(docv) (repeatable; default: \
+             domain, worker).")
+  in
+  let run file top depth chrome folded lanes =
+    guarded (fun () ->
+        (* One streaming pass: keep only events and the drop count. *)
+        let folded_lines =
+          Export.fold_file file ~init:(0, [])
+            ~f:(fun ((dropped, evs) as acc) line ->
+              match line with
+              | Export.Event e -> (dropped, e :: evs)
+              | Export.Dropped n -> (n, evs)
+              | Export.Meta _ | Export.Metric _ -> acc)
+        in
+        match folded_lines with
+        | Error e ->
+          Fmt.epr "kit: %s@." e;
+          exit_internal
+        | Ok (dropped, rev_events) ->
+          let lane_attrs =
+            if lanes = [] then Spantree.default_lane_attrs else lanes
+          in
+          let tree =
+            Spantree.build ~lane_attrs ~dropped (List.rev rev_events)
+          in
+          let profile = Profile.of_tree tree in
+          Fmt.pr "%s@." (Spantree.render ~max_depth:depth tree);
+          Fmt.pr "%s@." (Profile.render_table ~k:top profile);
+          Fmt.pr "%s@." (Profile.render_critical_path tree);
+          (match chrome with
+          | None -> ()
+          | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Jsonl.to_string (Spantree.to_chrome tree));
+                output_char oc '\n');
+            Fmt.pr "chrome trace: %s@." path);
+          (match folded with
+          | None -> ()
+          | Some path ->
+            Export.write_file path (Profile.folded tree);
+            Fmt.pr "folded stacks: %s@." path);
+          exit_clean)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Analyse a trace export: span tree, profile table, critical path, \
+          Chrome/flamegraph output")
+    Term.(
+      const run $ file_arg $ top_arg $ depth_arg $ chrome_arg $ folded_arg
+      $ lane_arg)
 
 let main =
   Cmd.group
     (Cmd.info "kit" ~version:"1.0.0"
        ~doc:"Functional interference testing for OS-level virtualization")
     [ cmd_campaign; cmd_grow; cmd_distrib; cmd_tables; cmd_known_bugs;
-      cmd_run; cmd_profile; cmd_corpus; cmd_stats ]
+      cmd_run; cmd_profile; cmd_corpus; cmd_stats; cmd_trace ]
 
 let () = exit (Cmd.eval' main)

@@ -41,6 +41,7 @@ module Diagnose = Kit_report.Diagnose
 module Aggregate = Kit_report.Aggregate
 module Obs = Kit_obs.Obs
 module Metrics = Kit_obs.Metrics
+module Tracer = Kit_obs.Tracer
 
 type options = {
   config : Config.t;
@@ -252,14 +253,17 @@ let add_funnel (into : Filter.funnel) (f : Filter.funnel) =
 
 (* Execute one cluster representative under supervision; quarantined
    crashers are captured by quarantine-count delta and produce no
-   report. *)
-let exec_case options corpus sup (tc : Testcase.t) =
+   report. [attrs] are correlation attributes ([case], [cluster],
+   [domain]) stamped on the execution's trace events, so the
+   reconstructed span tree can join each execution to its test case no
+   matter which schedule ran it. *)
+let exec_case ?(attrs = []) options corpus sup (tc : Testcase.t) =
   let sender = corpus.(tc.Testcase.sender) in
   let receiver = corpus.(tc.Testcase.receiver) in
   let funnel = Filter.funnel_create () in
   let q0 = Supervisor.quarantine_count sup in
   let report =
-    match Supervisor.execute sup ~sender ~receiver with
+    match Supervisor.execute ~attrs sup ~sender ~receiver with
     | Runner.Crashed _ | Runner.Hung -> None
     | Runner.Completed outcome -> (
       match
@@ -275,29 +279,39 @@ let exec_case options corpus sup (tc : Testcase.t) =
   { cr_tc = tc; cr_funnel = funnel; cr_report = report; cr_crashes = crashes }
 
 (* Parallel chunk execution on OCaml domains. The chunk's representatives
-   are dealt round-robin over [domains] slices tagged with their global
-   chunk index; each domain boots its own isolated supervised environment
-   and observability registry and produces per-case results. The merge
-   sorts by global index, so reports, funnel and quarantine come out
-   structurally identical to the sequential schedule — only wall-clock
-   changes. Per-domain registries are folded into the campaign bundle
-   with [Metrics.absorb]. *)
+   arrive as [(case, attrs, tc)] triples ([case] a globally increasing
+   index, [attrs] the case's correlation attributes) and are dealt
+   round-robin over [domains] slices; each domain boots its own isolated
+   supervised environment and observability registry and produces
+   per-case results, stamping its executions with a ["domain"] attr on
+   top of the case attrs. The merge sorts by case index, so reports,
+   funnel and quarantine come out structurally identical to the
+   sequential schedule — only wall-clock changes. Per-domain registries
+   are folded into the campaign bundle with [Metrics.absorb] and the
+   per-domain trace rings with [Tracer.merge]. *)
 let run_chunk_on_domains ~domains ~obs options corpus chunk =
   let slices = Array.make domains [] in
   List.iteri
-    (fun i tc -> slices.(i mod domains) <- (i, tc) :: slices.(i mod domains))
+    (fun i case -> slices.(i mod domains) <- case :: slices.(i mod domains))
     chunk;
-  let worker slice () =
+  let worker d slice () =
     let wobs = Obs.create () in
     let sup = make_supervisor ~obs:wobs options in
-    let out = List.map (fun (i, tc) -> (i, exec_case options corpus sup tc)) slice in
-    (out, Supervisor.executions sup, Obs.snapshot wobs)
+    let dom = ("domain", string_of_int d) in
+    let out =
+      List.map
+        (fun (case, attrs, tc) ->
+          (case, exec_case ~attrs:(dom :: attrs) options corpus sup tc))
+        slice
+    in
+    (out, Supervisor.executions sup, Obs.snapshot wobs,
+     Tracer.events wobs.Obs.tracer)
   in
   let handles =
-    Array.map
-      (fun slice ->
+    Array.mapi
+      (fun d slice ->
         let slice = List.rev slice in
-        if slice = [] then None else Some (Domain.spawn (worker slice)))
+        if slice = [] then None else Some (Domain.spawn (worker d slice)))
       slices
   in
   (* Join every domain before propagating any failure, so a crashed
@@ -318,21 +332,27 @@ let run_chunk_on_domains ~domains ~obs options corpus chunk =
          | Some (Error _) | None -> None)
   in
   List.iter
-    (fun (_, _, snap) -> Metrics.absorb obs.Obs.metrics snap)
+    (fun (_, _, snap, _) -> Metrics.absorb obs.Obs.metrics snap)
     results;
+  Tracer.merge obs.Obs.tracer
+    (List.map (fun (_, _, _, events) -> events) results);
   let per_case =
-    List.concat_map (fun (out, _, _) -> out) results
+    List.concat_map (fun (out, _, _, _) -> out) results
     |> List.sort (fun (i, _) (j, _) -> compare i j)
     |> List.map snd
   in
-  (per_case, List.fold_left (fun acc (_, execs, _) -> acc + execs) 0 results)
+  (per_case, List.fold_left (fun acc (_, execs, _, _) -> acc + execs) 0 results)
 
 let execute_stage =
   Pipeline.v ~consumes:"clusters" ~produces:"case-results" "execute"
     (fun obs (options, corpus, chunk, domains) ->
       if domains = 1 then begin
         let sup = make_supervisor ~obs options in
-        let out = List.map (exec_case options corpus sup) chunk in
+        let out =
+          List.map
+            (fun (_, attrs, tc) -> exec_case ~attrs options corpus sup tc)
+            chunk
+        in
         (out, Supervisor.executions sup, Some sup)
       end
       else
@@ -412,6 +432,15 @@ let execute_phase ?resume ~budget ~strategy prepared =
   let todo = List.filteri (fun i _ -> i >= done_) reps in
   let chunk = List.filteri (fun i _ -> i < budget) todo in
   let executed_now = List.length chunk in
+  (* Global case indices survive checkpoint resume: case [done_ + i] is
+     the same representative whichever process executes it. *)
+  let chunk =
+    List.mapi
+      (fun i tc ->
+        let case = done_ + i in
+        (case, [ ("case", string_of_int case) ], tc))
+      chunk
+  in
   let domains = max 1 options.domains in
   let (out, executions_now, chunk_sup), execute_s_now =
     Pipeline.run_timed obs execute_stage ~elapsed_base:execute_s0
@@ -619,14 +648,29 @@ let stream_execute s (events : Cluster.event list) =
   in
   if cases <> [] then begin
     let domains = max 1 s.s_options.domains in
+    (* Streaming case indices are execution ordinals; the cluster id
+       rides along so traces can be joined back to the cluster table. *)
+    let indexed =
+      List.mapi
+        (fun i (id, tc) ->
+          let case = s.s_exec_cases + i in
+          ( case,
+            [ ("case", string_of_int case);
+              ("cluster", string_of_int id) ],
+            tc ))
+        cases
+    in
     let (out, dexecs), dt =
       timed (fun () ->
           if domains = 1 then
-            (List.map (exec_case s.s_options s.s_corpus s.s_sup)
-               (List.map snd cases), 0)
+            ( List.map
+                (fun (_, attrs, tc) ->
+                  exec_case ~attrs s.s_options s.s_corpus s.s_sup tc)
+                indexed,
+              0 )
           else
             run_chunk_on_domains ~domains ~obs:s.s_obs s.s_options s.s_corpus
-              (List.map snd cases))
+              indexed)
     in
     s.s_execute_s <- s.s_execute_s +. dt;
     s.s_domain_execs <- s.s_domain_execs + dexecs;

@@ -34,6 +34,7 @@ module Filter = Kit_detect.Filter
 module Report = Kit_detect.Report
 module Obs = Kit_obs.Obs
 module Metrics = Kit_obs.Metrics
+module Tracer = Kit_obs.Tracer
 
 type worker_result = {
   worker : int;
@@ -46,6 +47,7 @@ type worker_result = {
   quarantined : Supervisor.crash list;
   metrics : Metrics.snapshot;          (* this worker's registry, at death
                                           or completion *)
+  trace : Tracer.event list;           (* this worker's span events *)
 }
 
 type failure = {
@@ -61,6 +63,7 @@ type t = {
   total_executions : int;
   resharded : int;                     (* cases inherited from dead workers *)
   metrics : Metrics.snapshot;          (* per-worker registries, merged *)
+  trace : Tracer.event list;           (* per-worker rings, interleaved *)
 }
 
 (* Round-robin sharding, like the paper's RPC work distribution. *)
@@ -97,10 +100,16 @@ let make_supervisor ~obs options =
     ~fault:(Fault.of_schedule options.Campaign.faults)
     ~obs options.Campaign.config
 
-let run_case options corpus sup funnel reports (tc : Testcase.t) =
+(* Cases arrive as [(case, tc)] pairs — [case] the global representative
+   index — and every execution's trace events are stamped with the case
+   and worker, so a merged trace joins back to both. *)
+let run_case options corpus sup ~worker funnel reports ((case, tc) : int * Testcase.t) =
   let sender = corpus.(tc.Testcase.sender) in
   let receiver = corpus.(tc.Testcase.receiver) in
-  match Supervisor.execute sup ~sender ~receiver with
+  let attrs =
+    [ ("case", string_of_int case); ("worker", string_of_int worker) ]
+  in
+  match Supervisor.execute ~attrs sup ~sender ~receiver with
   | Runner.Crashed _ | Runner.Hung -> ()
   | Runner.Completed outcome -> (
     match
@@ -127,13 +136,14 @@ let run_worker options corpus ~worker ?dies_after testcases =
   in
   let mine = List.filteri (fun i _ -> i < budget) testcases in
   let leftover = List.filteri (fun i _ -> i >= budget) testcases in
-  List.iter (run_case options corpus sup funnel reports) mine;
+  List.iter (run_case options corpus sup ~worker funnel reports) mine;
   ( { worker; assigned = List.length testcases;
       completed = List.length mine; died = dies_after <> None;
       executions = Supervisor.executions sup; funnel;
       reports = List.rev !reports;
       quarantined = Supervisor.quarantined sup;
-      metrics = Obs.snapshot obs },
+      metrics = Obs.snapshot obs;
+      trace = Tracer.events obs.Obs.tracer },
     leftover )
 
 let copy_funnel_into (w : worker_result) =
@@ -152,7 +162,8 @@ let run_extra options corpus (w : worker_result) extra =
     let sup = make_supervisor ~obs options in
     let funnel = copy_funnel_into w in
     let reports = ref (List.rev w.reports) in
-    List.iter (run_case options corpus sup funnel reports) extra;
+    List.iter (run_case options corpus sup ~worker:w.worker funnel reports)
+      extra;
     { w with
       assigned = w.assigned + List.length extra;
       completed = w.completed + List.length extra;
@@ -160,7 +171,9 @@ let run_extra options corpus (w : worker_result) extra =
       funnel;
       reports = List.rev !reports;
       quarantined = w.quarantined @ Supervisor.quarantined sup;
-      metrics = Metrics.merge [ w.metrics; Obs.snapshot obs ] }
+      metrics = Metrics.merge [ w.metrics; Obs.snapshot obs ];
+      (* the inherited queue ran strictly after the original shard *)
+      trace = w.trace @ Tracer.events obs.Obs.tracer }
   end
 
 exception Worker_crashed of int
@@ -170,7 +183,7 @@ exception Worker_crashed of int
 let dead_result ~worker ~assigned =
   { worker; assigned; completed = 0; died = true; executions = 0;
     funnel = Filter.funnel_create (); reports = []; quarantined = [];
-    metrics = [] }
+    metrics = []; trace = [] }
 
 (* Run every worker task, sequentially ([domains = 1]) or pinned over a
    domain pool. [slots.(w)] is written by exactly one domain, before any
@@ -217,7 +230,9 @@ let run_pool ~domains ~task n =
    both feed the same resharding path. *)
 let execute ?(failures = []) ?(domains = 1) ?(crashes = []) options corpus
     (generation : Cluster.result) ~workers =
-  let shards = shard ~workers generation.Cluster.reps in
+  let shards =
+    shard ~workers (List.mapi (fun i tc -> (i, tc)) generation.Cluster.reps)
+  in
   let n = Array.length shards in
   let plan w =
     List.find_opt (fun f -> f.dead_worker = w) failures
@@ -278,6 +293,8 @@ let execute ?(failures = []) ?(domains = 1) ?(crashes = []) options corpus
     resharded = List.length orphans;
     metrics =
       Metrics.merge (List.map (fun (w : worker_result) -> w.metrics) results);
+    trace =
+      Tracer.interleave (List.map (fun (w : worker_result) -> w.trace) results);
   }
 
 let pp ppf t =

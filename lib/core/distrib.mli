@@ -23,6 +23,8 @@ type worker_result = {
   quarantined : Kit_exec.Supervisor.crash list;
   metrics : Kit_obs.Metrics.snapshot;
   (** the worker's own registry (each client VM reports its telemetry) *)
+  trace : Kit_obs.Tracer.event list;
+  (** the worker's span events, stamped with [worker] and [case] attrs *)
 }
 
 (** A worker-death plan: [dead_worker] dies after completing [after]
@@ -41,6 +43,9 @@ type t = {
   resharded : int;                 (** cases inherited from dead workers *)
   metrics : Kit_obs.Metrics.snapshot;
   (** per-worker registries merged with {!Kit_obs.Metrics.merge} *)
+  trace : Kit_obs.Tracer.event list;
+  (** per-worker trace rings merged with {!Kit_obs.Tracer.interleave} —
+      one deterministic stream, joinable by [worker]/[case] attrs *)
 }
 
 val shard : workers:int -> 'a list -> 'a list array

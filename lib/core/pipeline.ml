@@ -28,13 +28,6 @@ let stage_attrs s attrs =
   in
   artifact "consumes" s.consumes (artifact "produces" s.produces attrs)
 
-(* Wall-clock timing: stages include supervisor backoff and (in a real
-   deployment) I/O waits, which CPU time would hide. *)
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
-
 (* Phase wall times live in the registry as volatile gauges (excluded
    from deterministic snapshots) and are always-on: they are campaign
    accounting, so readers stay populated through a disabled bundle. *)
@@ -47,16 +40,32 @@ let runs_counter obs name =
 
 (* Run a stage: span + cumulative time gauge + run counter. [elapsed_base]
    seeds the gauge for stages resumed from a checkpoint, whose earlier
-   chunks ran in another process. *)
+   chunks ran in another process.
+
+   Wall-clock timing (stages include supervisor backoff and, in a real
+   deployment, I/O waits, which CPU time would hide). The span is
+   stamped with the same gettimeofday readings the gauge is computed
+   from, so a profile over the trace reports exactly the exported
+   time.<stage>_s value — the two views of a phase can be cross-checked
+   for equality, not just proximity. *)
 let run_timed ?(attrs = []) ?(elapsed_base = 0.0) obs stage x =
-  let y, dt =
-    Tracer.with_span obs.Obs.tracer ("phase." ^ stage.name)
-      ~attrs:(stage_attrs stage attrs)
-      (fun () -> timed (fun () -> stage.f obs x))
+  let tracer = obs.Obs.tracer in
+  let t0 = Unix.gettimeofday () in
+  let sp =
+    Tracer.span tracer ~attrs:(stage_attrs stage attrs) ~wall:t0
+      ("phase." ^ stage.name)
   in
-  Metrics.inc (runs_counter obs stage.name);
-  Metrics.set_gauge (time_gauge obs stage.name) (elapsed_base +. dt);
-  (y, dt)
+  match stage.f obs x with
+  | y ->
+    let t1 = Unix.gettimeofday () in
+    Tracer.finish tracer ~wall:t1 sp;
+    let dt = t1 -. t0 in
+    Metrics.inc (runs_counter obs stage.name);
+    Metrics.set_gauge (time_gauge obs stage.name) (elapsed_base +. dt);
+    (y, dt)
+  | exception e ->
+    Tracer.finish tracer ~wall:(Unix.gettimeofday ()) sp;
+    raise e
 
 let run ?attrs obs stage x = fst (run_timed ?attrs obs stage x)
 

@@ -199,19 +199,26 @@ let rec attempt t ~sender ~receiver ~retries ~reboots =
     end
 
 (* Per-execution span around the whole attempt loop (retries included),
-   timestamped with the virtual clock so traces stay deterministic. *)
-let supervised t name ~sender ~receiver =
-  Tracer.with_span t.obs.Obs.tracer ~time:(vnow t) name (fun () ->
-      attempt t ~sender ~receiver ~retries:0 ~reboots:0)
+   timestamped with the virtual clock so traces stay deterministic. The
+   Begin and End read the clock separately — the span's deterministic
+   duration is the virtual time the attempts actually consumed. [attrs]
+   carries the caller's correlation attributes (case/cluster/domain), so
+   a reconstructed trace can join each execution back to its test case. *)
+let supervised t name ~attrs ~sender ~receiver =
+  let tracer = t.obs.Obs.tracer in
+  let sp = Tracer.span tracer ~attrs ~time:(vnow t) name in
+  match attempt t ~sender ~receiver ~retries:0 ~reboots:0 with
+  | result -> Tracer.finish tracer ~time:(vnow t) sp; result
+  | exception e -> Tracer.finish tracer ~time:(vnow t) sp; raise e
 
-let execute t ~sender ~receiver =
-  let status, retries = supervised t "sup.execute" ~sender ~receiver in
+let execute ?(attrs = []) t ~sender ~receiver =
+  let status, retries = supervised t "sup.execute" ~attrs ~sender ~receiver in
   (match status with
   | Runner.Completed _ -> ()
   | Runner.Crashed info ->
     Metrics.inc t.m.mc_quarantined;
     Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.quarantine"
-      ~attrs:[ ("reason", "panic") ];
+      ~attrs:(("reason", "panic") :: attrs);
     t.quarantine <-
       { c_sender = sender; c_receiver = receiver;
         c_reason = Panicked info; c_attempts = retries + 1 }
@@ -219,7 +226,7 @@ let execute t ~sender ~receiver =
   | Runner.Hung ->
     Metrics.inc t.m.mc_quarantined;
     Tracer.instant t.obs.Obs.tracer ~time:(vnow t) "sup.quarantine"
-      ~attrs:[ ("reason", "hang") ];
+      ~attrs:(("reason", "hang") :: attrs);
     t.quarantine <-
       { c_sender = sender; c_receiver = receiver;
         c_reason = Hung_forever; c_attempts = retries + 1 }
@@ -227,7 +234,7 @@ let execute t ~sender ~receiver =
   status
 
 let test_interference t ~sender ~receiver =
-  let status, _ = supervised t "sup.retest" ~sender ~receiver in
+  let status, _ = supervised t "sup.retest" ~attrs:[] ~sender ~receiver in
   match status with
   | Runner.Completed outcome -> outcome.Runner.interfered
   | Runner.Crashed _ | Runner.Hung -> []

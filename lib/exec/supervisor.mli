@@ -91,10 +91,17 @@ val create :
     @raise Gave_up if the VM never comes up. *)
 
 val execute :
+  ?attrs:(string * string) list ->
   t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> Runner.status
 (** Execute one test case under supervision. [Completed] after at most
     [max_retries] retries; [Crashed]/[Hung] means the case exceeded the
     retry budget and was quarantined (recorded in [quarantine]).
+    [attrs] (default [[]]) are correlation attributes (e.g. [case],
+    [cluster], [domain]) stamped on the ["sup.execute"] span and any
+    quarantine instant, so trace analysis can join executions back to
+    their test cases. The span's Begin and End each read the virtual
+    clock, so its deterministic duration is the virtual time the attempt
+    loop consumed.
     @raise Gave_up on permanent infrastructure faults. *)
 
 val test_interference :

@@ -122,70 +122,99 @@ let parse_event json =
   in
   Ok { Tracer.seq; time; kind; name; attrs; wall }
 
-let parse lines =
-  let empty = { p_meta = []; p_snapshot = []; p_events = []; p_dropped = 0 } in
+(* One parsed export line. The streaming surface: `fold_file` hands
+   these to a fold one at a time, so `kit trace` can walk an export far
+   larger than memory-comfortable without materialising the event
+   list. *)
+type line =
+  | Meta of (string * Jsonl.t) list
+  | Metric of string * Metrics.value
+  | Event of Tracer.event
+  | Dropped of int
+
+let parse_line ~line_no raw =
+  if String.trim raw = "" then Ok None
+  else
+    let* json =
+      Result.map_error
+        (fun e -> Printf.sprintf "line %d: %s" line_no e)
+        (Jsonl.parse raw)
+    in
+    let* kind =
+      req
+        (Printf.sprintf "line %d: \"k\" tag" line_no)
+        Jsonl.(Option.bind (member "k" json) to_str)
+    in
+    match kind with
+    | "meta" ->
+      let meta =
+        match json with
+        | Jsonl.Obj fields ->
+          List.filter (fun (k, _) -> k <> "k" && k <> "version") fields
+        | _ -> []
+      in
+      Ok (Some (Meta meta))
+    | "counter" | "gauge" | "hist" ->
+      let* name, value = parse_metric kind json in
+      Ok (Some (Metric (name, value)))
+    | "event" ->
+      let* e = parse_event json in
+      Ok (Some (Event e))
+    | "dropped" ->
+      let n =
+        Option.value ~default:0
+          Jsonl.(Option.bind (member "events" json) to_int)
+      in
+      Ok (Some (Dropped n))
+    | other -> Error (Printf.sprintf "line %d: unknown kind %S" line_no other)
+
+let fold_lines lines ~init ~f =
   let line_no = ref 0 in
   let rec go acc = function
-    | [] ->
-      Ok
-        { acc with
-          p_snapshot = List.rev acc.p_snapshot;
-          p_events = List.rev acc.p_events }
-    | line :: rest ->
+    | [] -> Ok acc
+    | raw :: rest ->
       incr line_no;
-      if String.trim line = "" then go acc rest
-      else
-        let result =
-          let* json =
-            Result.map_error
-              (fun e -> Printf.sprintf "line %d: %s" !line_no e)
-              (Jsonl.parse line)
-          in
-          let* kind =
-            req
-              (Printf.sprintf "line %d: \"k\" tag" !line_no)
-              Jsonl.(Option.bind (member "k" json) to_str)
-          in
-          match kind with
-          | "meta" ->
-            let meta =
-              match json with
-              | Jsonl.Obj fields ->
-                List.filter (fun (k, _) -> k <> "k" && k <> "version") fields
-              | _ -> []
-            in
-            Ok { acc with p_meta = acc.p_meta @ meta }
-          | "counter" | "gauge" | "hist" ->
-            let* m = parse_metric kind json in
-            Ok { acc with p_snapshot = m :: acc.p_snapshot }
-          | "event" ->
-            let* e = parse_event json in
-            Ok { acc with p_events = e :: acc.p_events }
-          | "dropped" ->
-            let n =
-              Option.value ~default:0
-                Jsonl.(Option.bind (member "events" json) to_int)
-            in
-            Ok { acc with p_dropped = n }
-          | other ->
-            Error (Printf.sprintf "line %d: unknown kind %S" !line_no other)
-        in
-        let* acc = result in
-        go acc rest
+      let* parsed = parse_line ~line_no:!line_no raw in
+      let acc = match parsed with Some l -> f acc l | None -> acc in
+      go acc rest
   in
-  go empty lines
+  go init lines
 
-let read_file path =
+let fold_file path ~init ~f =
   match open_in path with
   | exception Sys_error e -> Error e
   | ic ->
-    let lines = ref [] in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        (try
-           while true do
-             lines := input_line ic :: !lines
-           done
-         with End_of_file -> ());
-        parse (List.rev !lines))
+        let line_no = ref 0 in
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> Ok acc
+          | raw ->
+            incr line_no;
+            let* parsed = parse_line ~line_no:!line_no raw in
+            go (match parsed with Some l -> f acc l | None -> acc)
+        in
+        go init)
+
+let collect acc = function
+  | Meta meta -> { acc with p_meta = acc.p_meta @ meta }
+  | Metric (name, value) ->
+    { acc with p_snapshot = (name, value) :: acc.p_snapshot }
+  | Event e -> { acc with p_events = e :: acc.p_events }
+  | Dropped n -> { acc with p_dropped = n }
+
+let empty_parsed =
+  { p_meta = []; p_snapshot = []; p_events = []; p_dropped = 0 }
+
+let finish_parsed acc =
+  { acc with
+    p_snapshot = List.rev acc.p_snapshot;
+    p_events = List.rev acc.p_events }
+
+let parse lines =
+  Result.map finish_parsed (fold_lines lines ~init:empty_parsed ~f:collect)
+
+let read_file path =
+  Result.map finish_parsed (fold_file path ~init:empty_parsed ~f:collect)

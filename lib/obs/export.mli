@@ -32,3 +32,20 @@ type parsed = {
 
 val parse : string list -> (parsed, string) result
 val read_file : string -> (parsed, string) result
+
+(** {2 Streaming} *)
+
+type line =
+  | Meta of (string * Jsonl.t) list
+  | Metric of string * Metrics.value
+  | Event of Tracer.event
+  | Dropped of int
+      (** One parsed export line (blank lines yield nothing). *)
+
+val parse_line : line_no:int -> string -> (line option, string) result
+(** [line_no] only labels error messages. *)
+
+val fold_file : string -> init:'a -> f:('a -> line -> 'a) -> ('a, string) result
+(** Fold [f] over an export file one parsed line at a time, without
+    materialising the line list — [kit trace] uses this on exports far
+    larger than the tracer ring. Stops at the first malformed line. *)

@@ -32,11 +32,16 @@ val nop : t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
-val span : t -> ?attrs:(string * string) list -> ?time:int -> string -> span
+val span :
+  t -> ?attrs:(string * string) list -> ?time:int -> ?wall:float -> string ->
+  span
 (** Record a [Begin] event and return the handle for {!finish}. [time]
-    overrides the deterministic timestamp (e.g. the virtual clock). *)
+    overrides the deterministic timestamp (e.g. the virtual clock);
+    [wall] overrides the wall-clock one — callers that also measure the
+    same interval (e.g. a phase gauge) pass their own readings so the
+    span duration is exactly the measured one. *)
 
-val finish : t -> ?time:int -> span -> unit
+val finish : t -> ?time:int -> ?wall:float -> span -> unit
 
 val with_span :
   t -> ?attrs:(string * string) list -> ?time:int -> string ->
@@ -44,7 +49,9 @@ val with_span :
 (** Bracket [f] in a span; the [End] event is recorded even if [f]
     raises. *)
 
-val instant : t -> ?attrs:(string * string) list -> ?time:int -> string -> unit
+val instant :
+  t -> ?attrs:(string * string) list -> ?time:int -> ?wall:float -> string ->
+  unit
 
 val events : t -> event list
 (** Buffered events, oldest first (at most [cap]). *)
@@ -54,6 +61,20 @@ val recorded : t -> int
 
 val dropped : t -> int
 val clear : t -> unit
+
+val interleave : event list list -> event list
+(** Interleave per-domain rings into one deterministic stream: a k-way
+    merge taking, at each step, the ring whose head event has the
+    smallest (deterministic time, ring index). Each ring's internal
+    order — and so its Begin/End nesting — is preserved unconditionally,
+    even when deterministic times rewind within a ring (virtual-clock
+    spans across snapshot restores). *)
+
+val merge : t -> event list list -> unit
+(** [merge t rings] folds per-domain rings into [t] — the tracer
+    counterpart of [Metrics.absorb]. Events are {!interleave}d and
+    re-recorded with fresh sequence numbers but their original
+    deterministic and wall timestamps. No-op on a disabled tracer. *)
 
 val kind_to_string : kind -> string
 val kind_of_string : string -> kind option

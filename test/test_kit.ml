@@ -13,6 +13,7 @@ let () =
       ("detect", Test_detect.suite);
       ("report", Test_report.suite);
       ("obs", Test_obs.suite);
+      ("traceana", Test_traceana.suite);
       ("core", Test_core.suite);
       ("ext", Test_ext.suite);
       ("fault", Test_fault.suite);

@@ -142,6 +142,54 @@ let test_span_ends_on_raise () =
        (fun (e : Tracer.event) -> Tracer.kind_to_string e.Tracer.kind)
        (Tracer.events t))
 
+(* Satellite regression: a cap-2 ring that dropped the Begin of a
+   still-open span. Spantree.build must synthesize a truncated root
+   instead of crashing on the orphaned End. *)
+let test_orphaned_span_survives_truncated_ring () =
+  let t = Tracer.create ~cap:2 () in
+  let sp = Tracer.span t "outer" in
+  Tracer.instant t "mark";
+  Tracer.finish t sp;
+  (* ring: [instant mark; end outer] — "begin outer" was dropped *)
+  check_int "begin was dropped" 1 (Tracer.dropped t);
+  let tree =
+    Kit_obs.Spantree.build ~dropped:(Tracer.dropped t) (Tracer.events t)
+  in
+  check_int "one synthesized truncated root" 1
+    tree.Kit_obs.Spantree.truncated_begins;
+  check_int "drop count carried through" 1 tree.Kit_obs.Spantree.dropped;
+  match Kit_obs.Spantree.roots tree with
+  | [ root ] ->
+    check_str "root takes the orphaned End's name" "outer"
+      root.Kit_obs.Spantree.n_name;
+    check_bool "root flagged truncated" true root.Kit_obs.Spantree.n_truncated;
+    check_int "root adopted the surviving instant" 1
+      (List.length root.Kit_obs.Spantree.n_children)
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+(* k-way interleave must preserve per-ring order even when deterministic
+   times rewind inside a ring (virtual-clock spans across snapshot
+   restores) — a global sort would tear the Begin/End nesting apart. *)
+let test_interleave_preserves_ring_order_on_rewind () =
+  let r1 = Tracer.create () in
+  let sp = Tracer.span r1 ~time:100 "case0" in
+  Tracer.finish r1 ~time:10 sp;                 (* clock rewound *)
+  let sp = Tracer.span r1 ~time:20 "case1" in
+  Tracer.finish r1 ~time:30 sp;
+  let r2 = Tracer.create () in
+  let sp = Tracer.span r2 ~time:50 "case2" in
+  Tracer.finish r2 ~time:60 sp;
+  let merged = Tracer.interleave [ Tracer.events r1; Tracer.events r2 ] in
+  let names = List.map (fun (e : Tracer.event) -> e.Tracer.name) merged in
+  (* r1's internal order must survive: case0 begin, case0 end, case1 ... *)
+  check (Alcotest.list Alcotest.string) "per-ring order preserved"
+    [ "case2"; "case2"; "case0"; "case0"; "case1"; "case1" ]
+    names;
+  let tree = Kit_obs.Spantree.build merged in
+  check_int "no span torn apart" 0
+    (tree.Kit_obs.Spantree.truncated_begins
+     + tree.Kit_obs.Spantree.unfinished)
+
 (* --- jsonl ---------------------------------------------------------------- *)
 
 let test_jsonl_round_trip () =
@@ -176,6 +224,65 @@ let test_export_round_trip () =
       (Jsonl.to_string (List.assoc "cmd" p.Export.p_meta));
     (* the renderer accepts anything the exporter produced *)
     check_bool "stats renders" true (String.length (Render.stats p) > 0)
+
+(* Satellite: span-event attrs that need escaping — quotes, newlines,
+   tabs, control bytes, non-ASCII — must survive export → parse. *)
+let test_event_attrs_escaping_round_trip () =
+  let nasty =
+    [ ("quoted", {|a"b\c|}); ("newline", "line1\nline2");
+      ("tab", "col1\tcol2"); ("ctl", "bell\007end");
+      ("utf", "h\xc3\xa9llo \xe2\x80\x94 \xc3\xbcn\xc3\xafcode") ]
+  in
+  let obs = Obs.create () in
+  Tracer.with_span obs.Obs.tracer ~attrs:nasty "phase.nasty" (fun () ->
+      Tracer.instant obs.Obs.tracer ~attrs:nasty "mark");
+  match Export.parse (Obs.export_lines obs) with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok p ->
+    check_int "all events survive" 3 (List.length p.Export.p_events);
+    List.iter
+      (fun (e : Tracer.event) ->
+        List.iter
+          (fun (k, v) ->
+            check_str ("attr " ^ k ^ " survives byte-exactly") v
+              (List.assoc k e.Tracer.attrs))
+          nasty)
+      p.Export.p_events
+
+(* Satellite qcheck: Tracer.merge determinism — dealing the same case
+   spans over any number of per-domain rings and merging yields a span
+   tree with the same placement-ignoring fingerprint. *)
+let prop_merge_fingerprint_invariant_in_domains =
+  QCheck.Test.make
+    ~name:"Tracer.merge: tree fingerprint invariant in domain count"
+    ~count:30
+    QCheck.(pair (int_range 1 24) (int_range 2 4))
+    (fun (cases, domains) ->
+      let deal domains =
+        let rings = Array.init domains (fun _ -> Tracer.create ()) in
+        for case = 0 to cases - 1 do
+          let t = rings.(case mod domains) in
+          let attrs =
+            [ ("case", string_of_int case);
+              ("domain", string_of_int (case mod domains)) ]
+          in
+          (* rewinding virtual-clock times, like real supervised spans *)
+          let sp = Tracer.span t ~attrs ~time:(1000 - case) "sup.execute" in
+          if case mod 3 = 0 then
+            Tracer.instant t ~attrs ~time:(1000 - case) "sup.retry";
+          Tracer.finish t ~time:(case * 7) sp
+        done;
+        let merged = Tracer.create () in
+        Tracer.merge merged
+          (Array.to_list (Array.map Tracer.events rings));
+        let tree =
+          Kit_obs.Spantree.build ~lane_attrs:[ "case" ]
+            (Tracer.events merged)
+        in
+        ( Kit_obs.Spantree.fingerprint tree,
+          Kit_obs.Profile.fingerprint (Kit_obs.Profile.of_tree tree) )
+      in
+      deal 1 = deal domains)
 
 (* A hand-built registry with a pinned export: catches accidental format
    drift (field renames, float formatting, ordering changes). *)
@@ -314,6 +421,13 @@ let suite =
     Alcotest.test_case "ring drops oldest" `Quick test_ring_drops_oldest;
     Alcotest.test_case "nop tracer is inert" `Quick test_nop_tracer_is_inert;
     Alcotest.test_case "span ends on raise" `Quick test_span_ends_on_raise;
+    Alcotest.test_case "orphaned span survives truncated ring" `Quick
+      test_orphaned_span_survives_truncated_ring;
+    Alcotest.test_case "interleave preserves ring order on rewind" `Quick
+      test_interleave_preserves_ring_order_on_rewind;
+    Alcotest.test_case "event attrs escaping round trip" `Quick
+      test_event_attrs_escaping_round_trip;
+    QCheck_alcotest.to_alcotest prop_merge_fingerprint_invariant_in_domains;
     Alcotest.test_case "jsonl round trip" `Quick test_jsonl_round_trip;
     Alcotest.test_case "export round trip" `Quick test_export_round_trip;
     Alcotest.test_case "golden export" `Quick test_golden_export;
