@@ -13,6 +13,9 @@
    KIT_BENCH_ONLY_PIPELINE (run only the streaming pipeline section),
    KIT_BENCH_TRACE_CORPUS / KIT_BENCH_ONLY_TRACE (trace-analysis
    section corpus, default 160, and its section-only switch),
+   KIT_BENCH_POOL_CORPUS / KIT_BENCH_POOL_PROCS / KIT_BENCH_ONLY_POOL
+   (process-pool section: corpus default 96, procs default 4, and its
+   section-only switch),
    KIT_BENCH_JSON=PATH (write the section timings and speedup ratios as
    a single JSON object to PATH). *)
 
@@ -44,6 +47,7 @@ module Tracer = Kit_obs.Tracer
 module Spantree = Kit_obs.Spantree
 module Profile = Kit_obs.Profile
 module Distrib = Kit_core.Distrib
+module Pool = Kit_serve.Pool
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -650,6 +654,77 @@ let run_benchmarks () =
   in
   List.iter (fun (name, ns) -> Fmt.pr "%-42s %a@." name pp_time ns) rows
 
+(* --- crash-isolated process pool ----------------------------------------
+   What real process isolation costs over in-process domain sharding:
+     1. spawn + Hello bootstrap + per-job pipe round-trips (same queue,
+        same corpus, workers as processes instead of domains);
+     2. crash recovery — a sabotaged worker SIGKILLed mid-run, its shard
+        resharded over the survivors (the wall-clock price of one death
+        on the same workload). Reports must be identical in all three
+        schedules. *)
+
+let print_pool_bench () =
+  Fmt.pr "-- Crash-isolated pool: process vs domain sharding --@.";
+  let corpus_size = getenv_int "KIT_BENCH_POOL_CORPUS" 96 in
+  let procs = getenv_int "KIT_BENCH_POOL_PROCS" 4 in
+  let options =
+    { Campaign.default_options with Campaign.corpus_size; diagnose = false }
+  in
+  record "pool_corpus" (Jsonl.Int corpus_size);
+  record "pool_procs" (Jsonl.Int procs);
+  let base = Campaign.run options in
+  let corpus = base.Campaign.corpus
+  and generation = base.Campaign.generation in
+  let cases = List.length generation.Cluster.reps in
+  let in_process () =
+    Distrib.execute ~domains:1 options corpus generation ~workers:procs
+  in
+  let pool ~sabotage () =
+    Pool.execute
+      { Pool.default_config with Pool.procs; sabotage }
+      options corpus generation
+  in
+  (* Warm both paths once so allocator and code paths are hot. *)
+  ignore (in_process () : Distrib.t);
+  ignore (pool ~sabotage:Pool.no_sabotage () : Pool.outcome);
+  let d, d_s = timed in_process in
+  let p, p_s = timed (fun () -> pool ~sabotage:Pool.no_sabotage ()) in
+  let kill = { Pool.no_sabotage with Pool.kill_after = [ (0, 2) ] } in
+  let pk, pk_s = timed (fun () -> pool ~sabotage:kill ()) in
+  let per_case = if cases > 0 then (p_s -. d_s) /. float_of_int cases else 0.0 in
+  Fmt.pr "domain sharding:      %d workers, %d cases: %.3fs@." procs cases d_s;
+  Fmt.pr
+    "process pool:         %d procs,   %d cases: %.3fs (%.1f us/case \
+     isolation overhead)@."
+    procs cases p_s (per_case *. 1e6);
+  Fmt.pr
+    "pool + 1 SIGKILL:     %.3fs (%d resharded, %d respawns; recovery cost \
+     %.3fs)@."
+    pk_s pk.Pool.stats.Pool.resharded pk.Pool.stats.Pool.respawns
+    (pk_s -. p_s);
+  Fmt.pr "                      reports identical: %b@."
+    (List.length d.Distrib.reports
+     = List.length
+         (List.filter_map
+            (fun r -> r.Campaign.cr_report)
+            p.Pool.results)
+     && List.length d.Distrib.reports
+        = List.length
+            (List.filter_map
+               (fun r -> r.Campaign.cr_report)
+               pk.Pool.results));
+  record "pool_cases" (Jsonl.Int cases);
+  record "pool_s_domains" (Jsonl.Float d_s);
+  record "pool_s_procs" (Jsonl.Float p_s);
+  record "pool_overhead_us_per_case" (Jsonl.Float (per_case *. 1e6));
+  record "pool_s_procs_sigkill" (Jsonl.Float pk_s);
+  record "pool_sigkill_resharded" (Jsonl.Int pk.Pool.stats.Pool.resharded);
+  Fmt.pr "@."
+
+(* Pool workers re-execute this binary; the trampoline must run before
+   the bench dispatch below. No-op in the parent. *)
+let () = Pool.worker_entry ()
+
 let () =
   if Sys.getenv_opt "KIT_BENCH_ONLY_EXEC" <> None then begin
     print_exec_hotpath ();
@@ -666,6 +741,11 @@ let () =
     write_bench_json ();
     Fmt.pr "done.@."
   end
+  else if Sys.getenv_opt "KIT_BENCH_ONLY_POOL" <> None then begin
+    print_pool_bench ();
+    write_bench_json ();
+    Fmt.pr "done.@."
+  end
   else begin
     print_tables ();
     print_jump_label_ablation ();
@@ -676,6 +756,7 @@ let () =
     print_exec_hotpath ();
     print_pipeline_bench ();
     print_trace_bench ();
+    print_pool_bench ();
     run_benchmarks ();
     write_bench_json ();
     Fmt.pr "done.@."

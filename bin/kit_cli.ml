@@ -3,6 +3,9 @@
      kit campaign    run a full testing campaign and summarise reports
      kit grow        streaming campaign + delta campaign on a grown corpus
      kit distrib     run a campaign sharded over worker environments
+     kit pool        run the execute phase on crash-isolated worker
+                     processes (real Unix processes, heartbeats,
+                     respawns, reshard-on-death)
      kit tables      regenerate the paper's evaluation tables (2, 4, 5, 6)
      kit known-bugs  reproduce the documented bugs of Table 3
      kit run         execute one sender/receiver test case and explain it
@@ -35,6 +38,7 @@ module Config = Kit_kernel.Config
 module Fault = Kit_kernel.Fault
 module Bugs = Kit_kernel.Bugs
 module Supervisor = Kit_exec.Supervisor
+module Pool = Kit_serve.Pool
 module Obs = Kit_obs.Obs
 module Metrics = Kit_obs.Metrics
 module Tracer = Kit_obs.Tracer
@@ -57,6 +61,18 @@ let guarded f =
   with
   | Supervisor.Gave_up msg ->
     Fmt.epr "kit: gave up: %s@." msg;
+    exit_internal
+  | Distrib.All_workers_dead unfinished ->
+    Fmt.epr "kit: every worker died; %d test case(s) unfinished@."
+      (List.length unfinished);
+    exit_internal
+  | Pool.Aborted { unfinished; stats } ->
+    Fmt.epr
+      "kit: pool aborted: %d unfinished case(s) after %d death(s) and %d \
+       respawn(s)%s@."
+      (List.length unfinished) stats.Pool.deaths stats.Pool.respawns
+      " (completed shards were checkpointed if --checkpoint was given; \
+       rerun with --resume)";
     exit_internal
   | e ->
     Fmt.epr "kit: internal error: %s@." (Printexc.to_string e);
@@ -123,6 +139,16 @@ let max_retries_arg =
     & opt int Campaign.default_options.Campaign.max_retries
     & info [ "max-retries" ]
         ~doc:"Supervisor retries per test case before quarantining it.")
+
+let procs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "procs" ]
+        ~doc:
+          "Run the execute phase on N crash-isolated worker processes \
+           (real Unix processes driven over pipes; see $(b,kit pool)). \
+           Reports, funnel and quarantine are identical for any value, \
+           even under worker crashes; only wall-clock time changes.")
 
 let domains_arg =
   Arg.(
@@ -264,7 +290,8 @@ let run_campaign opts ~checkpoint_file ~checkpoint_every ~resume =
             total;
           Some ck
         | Error e ->
-          Fmt.epr "kit: cannot resume: %s (starting over)@." e;
+          Fmt.epr "kit: cannot resume: %s (starting over)@."
+            (Kit_core.Checkpoint.error_to_string e);
           None
       else None
     in
@@ -284,15 +311,29 @@ let run_campaign opts ~checkpoint_file ~checkpoint_every ~resume =
 
 let cmd_campaign =
   let run seed corpus_size strategy verbose faults fault_intensity fuel
-      max_retries domains no_baseline_cache checkpoint_file checkpoint_every
-      resume metrics_file trace_file =
+      max_retries domains procs no_baseline_cache checkpoint_file
+      checkpoint_every resume metrics_file trace_file =
     guarded (fun () ->
         let obs = obs_of_flags ~metrics_file ~trace_file in
         let opts =
           options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
             ~max_retries ~domains ~baseline_cache:(not no_baseline_cache) ~obs
         in
-        let c = run_campaign opts ~checkpoint_file ~checkpoint_every ~resume in
+        let c =
+          if procs > 1 then
+            (* Crash-isolated execute phase: the pool owns checkpointing
+               (its shard file is not the in-process campaign format). *)
+            let cfg =
+              { Pool.default_config with
+                Pool.procs;
+                checkpoint_path = checkpoint_file;
+                checkpoint_every = max 1 checkpoint_every }
+            in
+            Campaign.run_with_executor
+              ~executor:(Pool.executor ?obs ~resume cfg)
+              opts
+          else run_campaign opts ~checkpoint_file ~checkpoint_every ~resume
+        in
         export_obs obs ~metrics_file ~trace_file
           ~meta:
             [ ("cmd", Jsonl.Str "campaign"); ("seed", Jsonl.Int seed);
@@ -316,7 +357,7 @@ let cmd_campaign =
     Term.(
       const run $ seed_arg $ corpus_size_arg $ strategy_arg $ verbose_arg
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
-      $ domains_arg $ no_baseline_cache_arg $ checkpoint_arg
+      $ domains_arg $ procs_arg $ no_baseline_cache_arg $ checkpoint_arg
       $ checkpoint_every_arg $ resume_arg $ metrics_arg $ trace_arg)
 
 let cmd_grow =
@@ -487,6 +528,134 @@ let cmd_distrib =
       const run $ seed_arg $ corpus_size_arg $ strategy_arg $ workers_arg
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
       $ domains_arg $ no_baseline_cache_arg $ kill_arg $ metrics_arg
+      $ trace_arg)
+
+(* kit pool: the crash-isolated process pool, exposed directly so its
+   failure machinery (sabotage, heartbeats, respawns, reshard,
+   checkpoint/resume) can be exercised and CI-gated. Exit 0 means the
+   run COMPLETED — crash isolation held — regardless of how many
+   interference reports were found; an abort (every worker dead with
+   work left) exits 3 through [guarded]. *)
+let cmd_pool =
+  let pool_procs_arg =
+    Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Worker processes.")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "heartbeat" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-job wall-clock deadline; a worker silent past it is \
+             killed and its shard resharded.")
+  in
+  let max_respawns_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-respawns" ] ~doc:"Respawn budget per worker slot.")
+  in
+  let slot_after_conv what =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ w; n ] -> (
+        match (int_of_string_opt w, int_of_string_opt n) with
+        | Some w, Some n when w >= 0 && n >= 0 -> Ok (w, n)
+        | _ -> Error (`Msg "expected SLOT:AFTER (non-negative integers)"))
+      | _ -> Error (`Msg "expected SLOT:AFTER")
+    in
+    let print ppf (w, n) = Fmt.pf ppf "%d:%d" w n in
+    Arg.conv ~docv:(what ^ " SLOT:AFTER") (parse, print)
+  in
+  let kill_arg =
+    Arg.(
+      value
+      & opt_all (slot_after_conv "kill") []
+      & info [ "kill" ] ~docv:"SLOT:AFTER"
+          ~doc:
+            "Sabotage: worker $(b,SLOT) SIGKILLs itself on its next job \
+             once it has completed $(b,AFTER) cases. Repeatable; the CI \
+             crash-isolation gate.")
+  in
+  let hang_arg =
+    Arg.(
+      value
+      & opt_all (slot_after_conv "hang") []
+      & info [ "hang" ] ~docv:"SLOT:AFTER"
+          ~doc:
+            "Sabotage: as $(b,--kill) but the worker hangs forever — \
+             only the heartbeat can catch it. Repeatable.")
+  in
+  let poison_arg =
+    Arg.(
+      value & opt_all int []
+      & info [ "poison" ] ~docv:"CASE"
+          ~doc:
+            "Sabotage: any worker receiving case $(docv) dies — the \
+             twice-lethal quarantine path. Repeatable.")
+  in
+  let run seed corpus_size strategy procs heartbeat_s max_respawns kills hangs
+      poisons checkpoint_file checkpoint_every resume metrics_file trace_file
+      =
+    guarded (fun () ->
+        let obs = obs_of_flags ~metrics_file ~trace_file in
+        let opts =
+          options ~seed ~corpus_size ~strategy ~faults:[] ~fault_intensity:0
+            ~fuel:Campaign.default_options.Campaign.fuel
+            ~max_retries:Campaign.default_options.Campaign.max_retries
+            ~domains:1 ~baseline_cache:true ~obs
+        in
+        let cfg =
+          { Pool.default_config with
+            Pool.procs = max 1 procs;
+            heartbeat_s;
+            max_respawns = max 0 max_respawns;
+            checkpoint_path = checkpoint_file;
+            checkpoint_every = max 1 checkpoint_every;
+            sabotage =
+              { Pool.kill_after = kills; hang_after = hangs; poison = poisons }
+          }
+        in
+        let stats = ref None in
+        let executor options corpus generation =
+          let o = Pool.execute ?obs ~resume cfg options corpus generation in
+          stats := Some o.Pool.stats;
+          (o.Pool.results, o.Pool.executions)
+        in
+        let c = Campaign.run_with_executor ~executor opts in
+        export_obs obs ~metrics_file ~trace_file
+          ~meta:
+            [ ("cmd", Jsonl.Str "pool"); ("seed", Jsonl.Int seed);
+              ("corpus_size", Jsonl.Int corpus_size);
+              ("procs", Jsonl.Int procs) ];
+        Fmt.pr "strategy %s: %d clusters, %d reports after filtering@."
+          (Cluster.strategy_name c.Campaign.generation.Cluster.strategy)
+          c.Campaign.generation.Cluster.clusters
+          (List.length c.Campaign.reports);
+        (match !stats with
+        | None -> ()
+        | Some (s : Pool.stats) ->
+          Fmt.pr
+            "pool: %d procs, %d spawns, %d deaths (%d heartbeat), %d \
+             respawns@."
+            (max 1 procs) s.Pool.spawns s.Pool.deaths
+            s.Pool.heartbeat_timeouts s.Pool.respawns;
+          Fmt.pr "pool: %d resharded, %d stolen, %d poisoned, %d resumed@."
+            s.Pool.resharded s.Pool.stolen s.Pool.poisoned s.Pool.resumed);
+        if c.Campaign.quarantined <> [] then
+          Fmt.pr "%d quarantined crasher(s)@."
+            (List.length c.Campaign.quarantined);
+        Fmt.pr "run completed: crash isolation held@.";
+        exit_clean)
+  in
+  Cmd.v
+    (Cmd.info "pool"
+       ~doc:
+         "Run the execute phase on crash-isolated worker processes. Exit 0 \
+          means the run completed (even under --kill/--hang sabotage); an \
+          abort exits 3.")
+    Term.(
+      const run $ seed_arg $ corpus_size_arg $ strategy_arg $ pool_procs_arg
+      $ heartbeat_arg $ max_respawns_arg $ kill_arg $ hang_arg $ poison_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ metrics_arg
       $ trace_arg)
 
 let cmd_tables =
@@ -825,7 +994,10 @@ let main =
   Cmd.group
     (Cmd.info "kit" ~version:"1.0.0"
        ~doc:"Functional interference testing for OS-level virtualization")
-    [ cmd_campaign; cmd_grow; cmd_distrib; cmd_tables; cmd_known_bugs;
-      cmd_run; cmd_profile; cmd_corpus; cmd_stats; cmd_trace ]
+    [ cmd_campaign; cmd_grow; cmd_distrib; cmd_pool; cmd_tables;
+      cmd_known_bugs; cmd_run; cmd_profile; cmd_corpus; cmd_stats; cmd_trace ]
 
+(* Pool workers re-execute this binary; the trampoline must run before
+   cmdliner sees argv. No-op in the parent. *)
+let () = Pool.worker_entry ()
 let () = exit (Cmd.eval' main)

@@ -194,31 +194,15 @@ let checkpoint_progress ck = (ck.ck_done, ck.ck_total)
 
 let checkpoint_reports ck = List.length ck.ck_rev_reports
 
-let checkpoint_magic = "KITCKPT1"
+(* Checkpoints ride the validated KITCKPT1 container: magic, kind tag,
+   payload length and digest are all checked before any Marshal byte is
+   decoded, so a truncated or corrupt file is a typed error. *)
+let checkpoint_kind = "campaign-execute"
 
-let save_checkpoint path ck =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc checkpoint_magic;
-      Marshal.to_channel oc ck [])
+let save_checkpoint path ck = Checkpoint.save path ~kind:checkpoint_kind ck
 
-let load_checkpoint path =
-  match open_in_bin path with
-  | exception Sys_error e -> Error e
-  | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        match really_input_string ic (String.length checkpoint_magic) with
-        | exception End_of_file -> Error (path ^ ": not a checkpoint file")
-        | magic when not (String.equal magic checkpoint_magic) ->
-          Error (path ^ ": not a checkpoint file")
-        | _ -> (
-          match (Marshal.from_channel ic : checkpoint) with
-          | ck -> Ok ck
-          | exception _ -> Error (path ^ ": truncated or corrupt checkpoint")))
+let load_checkpoint path : (checkpoint, Checkpoint.error) result =
+  Checkpoint.load path ~kind:checkpoint_kind
 
 (* -- supervised execution ------------------------------------------------ *)
 
@@ -278,6 +262,43 @@ let exec_case ?(attrs = []) options corpus sup (tc : Testcase.t) =
   let crashes = Supervisor.quarantined_since sup q0 in
   { cr_tc = tc; cr_funnel = funnel; cr_report = report; cr_crashes = crashes }
 
+(* A case that never produced an outcome because the execution
+   environment itself died under it (permanent boot fault, lost worker
+   process): a quarantined crash report, same shape as a supervised
+   quarantine. *)
+let lost_case_result ?(attempts = 0) corpus ~why (tc : Testcase.t) =
+  let crash =
+    { Supervisor.c_sender = corpus.(tc.Testcase.sender);
+      c_receiver = corpus.(tc.Testcase.receiver);
+      c_reason = Supervisor.Worker_lost why;
+      c_attempts = attempts }
+  in
+  { cr_tc = tc; cr_funnel = Filter.funnel_create (); cr_report = None;
+    cr_crashes = [ crash ] }
+
+(* Run a chunk of [(case, attrs, tc)] triples sequentially, absorbing
+   [Supervisor.Gave_up] at the chunk boundary: a permanent
+   infrastructure fault quarantines the faulting case (one attempt) and
+   the rest of the chunk (zero attempts) as [Worker_lost] crash reports
+   instead of aborting the campaign. Returns [(case, result)] pairs in
+   input order. *)
+let exec_cases_absorbing options corpus sup triples =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (case, attrs, tc) :: rest -> (
+      match exec_case ~attrs options corpus sup tc with
+      | r -> go ((case, r) :: acc) rest
+      | exception Supervisor.Gave_up why ->
+        let first = (case, lost_case_result ~attempts:1 corpus ~why tc) in
+        let others =
+          List.map
+            (fun (case, _, tc) -> (case, lost_case_result corpus ~why tc))
+            rest
+        in
+        List.rev_append acc (first :: others))
+  in
+  go [] triples
+
 (* Parallel chunk execution on OCaml domains. The chunk's representatives
    arrive as [(case, attrs, tc)] triples ([case] a globally increasing
    index, [attrs] the case's correlation attributes) and are dealt
@@ -299,10 +320,8 @@ let run_chunk_on_domains ~domains ~obs options corpus chunk =
     let sup = make_supervisor ~obs:wobs options in
     let dom = ("domain", string_of_int d) in
     let out =
-      List.map
-        (fun (case, attrs, tc) ->
-          (case, exec_case ~attrs:(dom :: attrs) options corpus sup tc))
-        slice
+      exec_cases_absorbing options corpus sup
+        (List.map (fun (case, attrs, tc) -> (case, dom :: attrs, tc)) slice)
     in
     (out, Supervisor.executions sup, Obs.snapshot wobs,
      Tracer.events wobs.Obs.tracer)
@@ -348,11 +367,7 @@ let execute_stage =
     (fun obs (options, corpus, chunk, domains) ->
       if domains = 1 then begin
         let sup = make_supervisor ~obs options in
-        let out =
-          List.map
-            (fun (_, attrs, tc) -> exec_case ~attrs options corpus sup tc)
-            chunk
-        in
+        let out = List.map snd (exec_cases_absorbing options corpus sup chunk) in
         (out, Supervisor.executions sup, Some sup)
       end
       else
@@ -574,6 +589,57 @@ let execute_prepared ?strategy ?resume prepared =
 (* Run a complete campaign with [options]. *)
 let run options = execute_prepared (prepare options)
 
+(* -- pluggable executors -------------------------------------------------
+
+   The seam external execution drivers (the forked process pool in
+   kit.serve, remote executors) plug into: the campaign prepares and
+   generates as usual, hands the cluster representatives to [executor],
+   and folds whatever per-case results come back through the same
+   funnel/report/quarantine/diagnosis machinery as the built-in paths.
+   The executor returns case results in representative order plus its
+   total execution count (it runs in its own processes, so supervisor
+   counters don't flow back through [obs]). *)
+
+type executor =
+  options -> Program.t array -> Cluster.result -> case_result list * int
+
+let run_with_executor ~executor options =
+  let prepared = prepare options in
+  let obs = prepared.p_obs in
+  let generation, generate_s =
+    Pipeline.run_timed obs generate_stage
+      (options.strategy, options.seed, Array.length prepared.p_corpus,
+       prepared.p_map)
+  in
+  Metrics.set_gauge (time_gauge obs "generate_s") generate_s;
+  Metrics.set_counter (c_counter obs "generated") generation.Cluster.generated;
+  Metrics.set_counter (c_counter obs "clusters") generation.Cluster.clusters;
+  let (out, executions), execute_s =
+    timed (fun () -> executor options prepared.p_corpus generation)
+  in
+  let funnel = Filter.funnel_create () in
+  let rev_reports = ref [] and rev_quarantined = ref [] in
+  List.iter
+    (fun r ->
+      add_funnel funnel r.cr_funnel;
+      Option.iter (fun rep -> rev_reports := rep :: !rev_reports) r.cr_report;
+      rev_quarantined := List.rev_append r.cr_crashes !rev_quarantined)
+    out;
+  (* Diagnosis runs in this process on a fresh sequential environment,
+     exactly like the domain-parallel path. *)
+  finish prepared options
+    (Phase_done
+       { generation; funnel;
+         reports = List.rev !rev_reports;
+         quarantined = List.rev !rev_quarantined;
+         prior_executions = executions;
+         sup = make_supervisor ~obs options;
+         generate_s; execute_s })
+
+(* Public alias: pool workers boot the exact environment the built-in
+   paths use. *)
+let supervisor = make_supervisor
+
 (* -- streaming pipeline --------------------------------------------------
 
    Execute-while-generate: each program is profiled, folded into the
@@ -595,7 +661,7 @@ type stream = {
   s_cstate : Cluster.state;
   s_sup : Supervisor.t;                 (* sequential executor + diagnosis *)
   mutable s_corpus : Program.t array;
-  s_results : (int, case_result) Hashtbl.t;    (* cluster id -> result *)
+  s_results : (Testcase.t, case_result) Jobqueue.t; (* keyed by cluster id *)
   s_keyed : (int, Aggregate.keyed) Hashtbl.t;  (* diagnosis cache *)
   s_t0 : float;
   mutable s_first_report_s : float option;
@@ -631,16 +697,23 @@ let s_counter s name n = Metrics.set_counter (c_counter s.s_obs name) n
 (* Execute the clusters an event batch sealed or re-sealed, caching the
    per-case results by cluster id. *)
 let stream_execute s (events : Cluster.event list) =
+  (* The per-cluster result cache is a Jobqueue keyed by cluster id:
+     sealing submits the representative, a representative change reopens
+     the job (stale result discarded by [submit_as]), dropping forgets
+     it, and completed executions are recorded with [complete]. *)
   let cases =
     List.filter_map
       (function
         | Cluster.Dropped id ->
-          Hashtbl.remove s.s_results id;
+          Jobqueue.drop s.s_results id;
           Hashtbl.remove s.s_keyed id;
           None
-        | Cluster.Sealed (id, tc) -> Some (id, tc)
+        | Cluster.Sealed (id, tc) ->
+          Jobqueue.submit_as s.s_results ~id tc;
+          Some (id, tc)
         | Cluster.Rep_changed (id, tc) ->
           (* Cached execution and diagnosis are for the old rep: stale. *)
+          Jobqueue.submit_as s.s_results ~id tc;
           Hashtbl.remove s.s_keyed id;
           s.s_reexecuted <- s.s_reexecuted + 1;
           Some (id, tc))
@@ -663,10 +736,8 @@ let stream_execute s (events : Cluster.event list) =
     let (out, dexecs), dt =
       timed (fun () ->
           if domains = 1 then
-            ( List.map
-                (fun (_, attrs, tc) ->
-                  exec_case ~attrs s.s_options s.s_corpus s.s_sup tc)
-                indexed,
+            ( List.map snd
+                (exec_cases_absorbing s.s_options s.s_corpus s.s_sup indexed),
               0 )
           else
             run_chunk_on_domains ~domains ~obs:s.s_obs s.s_options s.s_corpus
@@ -677,7 +748,7 @@ let stream_execute s (events : Cluster.event list) =
     s.s_exec_cases <- s.s_exec_cases + List.length cases;
     List.iter2
       (fun (id, _) r ->
-        Hashtbl.replace s.s_results id r;
+        Jobqueue.complete s.s_results id r;
         if Option.is_some r.cr_report && s.s_first_report_s = None then
           s.s_first_report_s <- Some (Unix.gettimeofday () -. s.s_t0))
       cases out
@@ -727,7 +798,7 @@ let stream (options : options) =
       s_cstate = Cluster.start ~seed:options.seed options.strategy;
       s_sup = make_supervisor ~obs options;
       s_corpus = [||];
-      s_results = Hashtbl.create 256;
+      s_results = Jobqueue.create ();
       s_keyed = Hashtbl.create 256;
       s_t0 = Unix.gettimeofday ();
       s_first_report_s = None;
@@ -765,7 +836,7 @@ let stream_result s =
   let cases =
     List.map
       (fun (id, rep) ->
-        match Hashtbl.find_opt s.s_results id with
+        match Jobqueue.result s.s_results id with
         | Some r -> (id, r)
         | None ->
           Fmt.invalid_arg "Campaign.stream_result: cluster %d (%a) never ran"

@@ -108,9 +108,14 @@ val checkpoint_reports : checkpoint -> int
     time-to-first-report without finishing the phase. *)
 
 val save_checkpoint : string -> checkpoint -> unit
-(** Write a checkpoint file (binary, versioned magic header). *)
+(** Write a checkpoint file in the validated KITCKPT1 container
+    ({!Checkpoint}): magic, kind tag, payload length and digest. *)
 
-val load_checkpoint : string -> (checkpoint, string) result
+val load_checkpoint : string -> (checkpoint, Checkpoint.error) result
+(** Validate and load a checkpoint. Magic, kind, length and digest are
+    checked before any byte is deserialised; truncation or corruption
+    comes back as {!Checkpoint.error.Checkpoint_corrupt}, never a raw
+    [Failure] or a crash inside [Marshal]. *)
 
 val execute_partial :
   ?strategy:Kit_gen.Cluster.strategy -> ?resume:checkpoint -> budget:int ->
@@ -126,6 +131,61 @@ val execute_prepared :
 
 val run : options -> t
 (** [run options] = [execute_prepared (prepare options)]. *)
+
+(** {2 Per-case execution — the driver seam}
+
+    The building blocks external execution drivers (the forked process
+    pool in [kit.serve], remote executors) are written against. Every
+    built-in path — sequential, domain-parallel, streaming — runs each
+    cluster representative through the same {!exec_case} and folds the
+    resulting {!case_result}s in representative order, which is what
+    makes alternative schedules outcome-equivalent. *)
+
+(** One executed cluster representative, self-contained: classification
+    is order-free, so results can be produced under any schedule and
+    folded back in representative order. *)
+type case_result = {
+  cr_tc : Kit_gen.Testcase.t;
+  cr_funnel : Kit_detect.Filter.funnel;
+      (** this case's funnel increments *)
+  cr_report : Kit_detect.Report.t option;
+  cr_crashes : Kit_exec.Supervisor.crash list;
+      (** quarantined by this case *)
+}
+
+val supervisor : obs:Kit_obs.Obs.t -> options -> Kit_exec.Supervisor.t
+(** Boot the supervised execution environment the built-in paths use
+    (fuel, retry budget, fault schedule and baseline cache from
+    [options]). *)
+
+val exec_case :
+  ?attrs:(string * string) list ->
+  options -> Kit_abi.Program.t array -> Kit_exec.Supervisor.t ->
+  Kit_gen.Testcase.t -> case_result
+(** Execute one cluster representative under supervision. [attrs] are
+    correlation attributes stamped on the execution's trace events.
+    @raise Kit_exec.Supervisor.Gave_up on permanent infrastructure
+    faults — drivers absorb it at their chunk boundary. *)
+
+val lost_case_result :
+  ?attempts:int ->
+  Kit_abi.Program.t array -> why:string -> Kit_gen.Testcase.t -> case_result
+(** The quarantined crash report for a case whose execution environment
+    died under it ([Worker_lost]) — what drivers convert un-runnable
+    cases into instead of aborting. *)
+
+type executor =
+  options -> Kit_abi.Program.t array -> Kit_gen.Cluster.result ->
+  case_result list * int
+(** An execute-phase replacement: given the prepared corpus and the
+    generated clusters, return per-representative case results in
+    representative order plus the total execution count. *)
+
+val run_with_executor : executor:executor -> options -> t
+(** A full campaign — prepare, generate, execute, diagnose, aggregate —
+    with the execute phase delegated to [executor]. Used by
+    [kit campaign --procs N] to run execution on the forked process
+    pool while diagnosis and reporting stay in-process. *)
 
 (** {2 Streaming campaigns}
 

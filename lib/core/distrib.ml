@@ -223,16 +223,27 @@ let run_pool ~domains ~task n =
   end;
   slots
 
+exception All_workers_dead of (int * Testcase.t) list
+
 (* Distribute the representatives of [generation] over [workers]
    environments and merge the results. [failures] kills workers
    mid-shard; their remaining queues are resharded over the survivors.
    [crashes] kills worker tasks outright (taking their domain with them);
-   both feed the same resharding path. *)
+   both feed the same resharding path.
+
+   The server's book of record is a [Jobqueue]: representatives are
+   submitted in rep order (job id = global case index), dealt round-robin
+   over the worker shards, completed as workers report back, and a dead
+   worker's unfinished queue is released and re-dealt over the survivors
+   — the same driver loop the forked process pool runs, minus the
+   processes. *)
 let execute ?(failures = []) ?(domains = 1) ?(crashes = []) options corpus
     (generation : Cluster.result) ~workers =
-  let shards =
-    shard ~workers (List.mapi (fun i tc -> (i, tc)) generation.Cluster.reps)
-  in
+  let q : (Testcase.t, unit) Jobqueue.t = Jobqueue.create () in
+  List.iter
+    (fun tc -> ignore (Jobqueue.submit q tc))
+    generation.Cluster.reps;
+  let shards = Jobqueue.assign_round_robin q ~workers in
   let n = Array.length shards in
   let plan w =
     List.find_opt (fun f -> f.dead_worker = w) failures
@@ -243,38 +254,50 @@ let execute ?(failures = []) ?(domains = 1) ?(crashes = []) options corpus
     run_worker options corpus ~worker:w ?dies_after:(plan w) shards.(w)
   in
   let slots = run_pool ~domains:(max 1 domains) ~task n in
-  (* Walk slots in worker order: results and the orphan queue come out
+  (* Walk slots in worker order, completing executed cases and releasing
+     dead workers' queues: results and the orphan queue come out
      deterministic no matter how the domains interleaved. *)
-  let results, orphans_rev =
-    let results = ref [] and orphans_rev = ref [] in
+  let results =
+    let results = ref [] in
     for w = 0 to n - 1 do
       match slots.(w) with
-      | Some (r, leftover) ->
-        results := r :: !results;
-        orphans_rev := List.rev_append leftover !orphans_rev
+      | Some (r, _leftover) ->
+        List.iteri
+          (fun i (id, _) -> if i < r.completed then Jobqueue.complete q id ())
+          shards.(w);
+        if r.died then ignore (Jobqueue.release q ~worker:w : (int * _) list);
+        results := r :: !results
       | None ->
-        results := dead_result ~worker:w ~assigned:(List.length shards.(w)) :: !results;
-        orphans_rev := List.rev_append shards.(w) !orphans_rev
+        ignore (Jobqueue.release q ~worker:w : (int * _) list);
+        results :=
+          dead_result ~worker:w ~assigned:(List.length shards.(w)) :: !results
     done;
-    (List.rev !results, !orphans_rev)
+    List.rev !results
   in
-  let orphans = List.rev orphans_rev in
+  let orphans = Jobqueue.unfinished q in
   let survivors = List.filter (fun (w : worker_result) -> not w.died) results in
-  if orphans <> [] && survivors = [] then
-    failwith "Distrib.execute: every worker died; nothing can absorb the queue";
+  if orphans <> [] && survivors = [] then raise (All_workers_dead orphans);
   let results =
     if orphans = [] then results
     else begin
-      (* Reshard the orphaned queue round-robin over the survivors. *)
-      let extra = shard ~workers:(List.length survivors) orphans in
-      let _, results =
-        List.fold_left
-          (fun (i, acc) (w : worker_result) ->
-            if w.died then (i, w :: acc)
-            else (i + 1, run_extra options corpus w extra.(i) :: acc))
-          (0, []) results
-      in
-      List.rev results
+      (* Reshard the orphaned queue round-robin over the survivors; each
+         survivor claims its dealt share in submit order. *)
+      Jobqueue.deal q orphans
+        ~to_:(List.map (fun (w : worker_result) -> w.worker) survivors);
+      List.map
+        (fun (w : worker_result) ->
+          if w.died then w
+          else begin
+            let rec claim acc =
+              match Jobqueue.claim_next q ~worker:w.worker with
+              | Some job -> claim (job :: acc)
+              | None -> List.rev acc
+            in
+            let extra = claim [] in
+            List.iter (fun (id, _) -> Jobqueue.complete q id ()) extra;
+            run_extra options corpus w extra
+          end)
+        results
     end
   in
   let order (r : Report.t) = r.Report.testcase in
@@ -290,7 +313,7 @@ let execute ?(failures = []) ?(domains = 1) ?(crashes = []) options corpus
       List.concat_map (fun (w : worker_result) -> w.quarantined) results;
     total_executions =
       List.fold_left (fun acc (w : worker_result) -> acc + w.executions) 0 results;
-    resharded = List.length orphans;
+    resharded = Jobqueue.resharded q;
     metrics =
       Metrics.merge (List.map (fun (w : worker_result) -> w.metrics) results);
     trace =

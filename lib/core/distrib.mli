@@ -50,6 +50,11 @@ type t = {
 
 val shard : workers:int -> 'a list -> 'a list array
 
+exception All_workers_dead of (int * Kit_gen.Testcase.t) list
+(** Every worker died with work still queued. Carries the unfinished
+    [(case, testcase)] queue in case order, so callers can checkpoint,
+    resume on a fresh pool, or report exactly what was lost. *)
+
 val execute :
   ?failures:failure list -> ?domains:int -> ?crashes:int list ->
   Campaign.options -> Kit_abi.Program.t array -> Kit_gen.Cluster.result ->
@@ -59,7 +64,8 @@ val execute :
     [crashes] lists worker indices whose task dies outright, taking its
     domain (and the domain's unfinished workers) with it — those shards
     join the planned-failure resharding path, so the merged outcome
-    still matches a crash-free run.
-    @raise Failure if every worker dies with work still queued. *)
+    still matches a crash-free run. Sharding, completion and resharding
+    all drive a {!Jobqueue} — the same loop the forked pool runs.
+    @raise All_workers_dead if every worker dies with work queued. *)
 
 val pp : Format.formatter -> t -> unit

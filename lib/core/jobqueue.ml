@@ -1,0 +1,203 @@
+(* The generic campaign job queue. See jobqueue.mli for the contract.
+
+   Jobs live in a hashtable keyed by id; every ordered read sorts by the
+   submit sequence number, so the merge order is a function of the
+   submissions alone — never of worker scheduling. Queue sizes are
+   cluster-representative counts (hundreds), so O(n log n) ordered scans
+   per operation are noise next to a single program execution. *)
+
+type ('a, 'b) status =
+  | Queued
+  | Assigned of int                    (* in worker's queue, not started *)
+  | Running of int                     (* claimed by worker *)
+  | Completed of 'b
+  | Quarantined
+
+type ('a, 'b) job = {
+  j_id : int;
+  j_seq : int;                         (* submit order, stable on reopen *)
+  mutable j_payload : 'a;
+  mutable j_status : ('a, 'b) status;
+}
+
+type ('a, 'b) t = {
+  jobs : (int, ('a, 'b) job) Hashtbl.t;
+  mutable seq : int;
+  mutable next_id : int;
+  mutable resharded : int;
+  mutable stolen : int;
+}
+
+let create () =
+  { jobs = Hashtbl.create 64; seq = 0; next_id = 0; resharded = 0; stolen = 0 }
+
+let job t id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some j -> j
+  | None -> raise Not_found
+
+let submit_as t ~id payload =
+  match Hashtbl.find_opt t.jobs id with
+  | Some j ->
+    j.j_payload <- payload;
+    j.j_status <- Queued
+  | None ->
+    Hashtbl.replace t.jobs id
+      { j_id = id; j_seq = t.seq; j_payload = payload; j_status = Queued };
+    t.seq <- t.seq + 1;
+    if id >= t.next_id then t.next_id <- id + 1
+
+let submit t payload =
+  let id = t.next_id in
+  submit_as t ~id payload;
+  id
+
+let mem t id = Hashtbl.mem t.jobs id
+
+let payload t id = (job t id).j_payload
+
+(* All jobs in submit order — the one ordering every read derives from. *)
+let ordered t =
+  Hashtbl.fold (fun _ j acc -> j :: acc) t.jobs []
+  |> List.sort (fun a b -> compare a.j_seq b.j_seq)
+
+let assign_round_robin t ~workers =
+  let workers = max 1 workers in
+  let buckets = Array.make workers [] in
+  let i = ref 0 in
+  List.iter
+    (fun j ->
+      match j.j_status with
+      | Queued ->
+        let w = !i mod workers in
+        j.j_status <- Assigned w;
+        buckets.(w) <- (j.j_id, j.j_payload) :: buckets.(w);
+        incr i
+      | Assigned _ | Running _ | Completed _ | Quarantined -> ())
+    (ordered t);
+  Array.map List.rev buckets
+
+let deal t jobs ~to_ =
+  match to_ with
+  | [] -> invalid_arg "Jobqueue.deal: no survivors to deal to"
+  | survivors ->
+    let arr = Array.of_list survivors in
+    List.iteri
+      (fun k (id, _) -> (job t id).j_status <- Assigned arr.(k mod Array.length arr))
+      jobs
+
+let claim_next t ~worker =
+  let rec first = function
+    | [] -> None
+    | j :: rest -> (
+      match j.j_status with
+      | Assigned w when w = worker ->
+        j.j_status <- Running worker;
+        Some (j.j_id, j.j_payload)
+      | _ -> first rest)
+  in
+  first (ordered t)
+
+let assigned_count t ~worker =
+  Hashtbl.fold
+    (fun _ j acc ->
+      match j.j_status with Assigned w when w = worker -> acc + 1 | _ -> acc)
+    t.jobs 0
+
+let steal t ~thief =
+  (* Victim: the longest assigned queue that is not the thief's own;
+     take its newest (highest-seq) assigned job so the victim's own
+     claim order stays untouched at the front. *)
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ j ->
+      match j.j_status with
+      | Assigned w when w <> thief ->
+        Hashtbl.replace counts w
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts w))
+      | _ -> ())
+    t.jobs;
+  let victim =
+    (* Deterministic: longest queue wins, lowest worker id breaks ties. *)
+    Hashtbl.fold
+      (fun w n best ->
+        match best with
+        | Some (bw, bn) when bn > n || (bn = n && bw < w) -> best
+        | Some _ | None -> Some (w, n))
+      counts None
+  in
+  match victim with
+  | None -> None
+  | Some (w, _) ->
+    let last =
+      List.fold_left
+        (fun acc j ->
+          match j.j_status with Assigned w' when w' = w -> Some j | _ -> acc)
+        None (ordered t)
+    in
+    Option.map
+      (fun j ->
+        j.j_status <- Running thief;
+        t.stolen <- t.stolen + 1;
+        (j.j_id, j.j_payload))
+      last
+
+let release t ~worker =
+  let orphans =
+    List.filter
+      (fun j ->
+        match j.j_status with
+        | Assigned w | Running w -> w = worker
+        | Queued | Completed _ | Quarantined -> false)
+      (ordered t)
+  in
+  List.iter (fun j -> j.j_status <- Queued) orphans;
+  t.resharded <- t.resharded + List.length orphans;
+  List.map (fun j -> (j.j_id, j.j_payload)) orphans
+
+let complete t id r =
+  let j = job t id in
+  match j.j_status with
+  | Quarantined -> ()                  (* a late result for a retired job *)
+  | Queued | Assigned _ | Running _ | Completed _ -> j.j_status <- Completed r
+
+let quarantine t id = (job t id).j_status <- Quarantined
+
+let drop t id = Hashtbl.remove t.jobs id
+
+let result t id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some { j_status = Completed r; _ } -> Some r
+  | Some _ | None -> None
+
+let results t =
+  List.filter_map
+    (fun j ->
+      match j.j_status with Completed r -> Some (j.j_id, r) | _ -> None)
+    (ordered t)
+
+let unfinished t =
+  List.filter_map
+    (fun j ->
+      match j.j_status with
+      | Queued | Assigned _ | Running _ -> Some (j.j_id, j.j_payload)
+      | Completed _ | Quarantined -> None)
+    (ordered t)
+
+let quarantined_ids t =
+  List.filter_map
+    (fun j ->
+      match j.j_status with Quarantined -> Some j.j_id | _ -> None)
+    (ordered t)
+
+let is_drained t =
+  Hashtbl.fold
+    (fun _ j acc ->
+      acc
+      && match j.j_status with
+         | Completed _ | Quarantined -> true
+         | Queued | Assigned _ | Running _ -> false)
+    t.jobs true
+
+let resharded t = t.resharded
+let stolen t = t.stolen

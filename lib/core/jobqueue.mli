@@ -1,0 +1,102 @@
+(** The generic campaign job queue: submit / claim / complete / reassign
+    with a deterministic merge order.
+
+    One queue abstraction backs every execution driver: the in-process
+    domain pool ({!Distrib}), the streaming per-cluster result cache
+    ({!Campaign.stream}) and the forked-process pool ([Kit_serve.Pool])
+    are all thin drivers over it. Jobs carry a stable integer id —
+    either allocated in submit order ({!submit}) or caller-chosen
+    ({!submit_as}, e.g. cluster ids) — and every ordered read
+    ({!results}, {!unfinished}, {!release}) walks jobs in submit order,
+    so merged outcomes are deterministic no matter which worker ran
+    what, in which interleaving.
+
+    Assignment is two-level, mirroring the paper's server mode: a job is
+    {e assigned} to a worker's queue (round-robin sharding, resharding
+    after a death) and then {e claimed} when the worker actually starts
+    it. {!release} returns a dead worker's whole unfinished queue —
+    assigned and in-flight — for resharding over the survivors. *)
+
+type ('a, 'b) t
+(** A queue of jobs with payload ['a] and result ['b]. Not
+    domain-safe: drivers mutate it from the coordinating
+    domain/process only. *)
+
+val create : unit -> ('a, 'b) t
+
+(** {2 Submission} *)
+
+val submit : ('a, 'b) t -> 'a -> int
+(** Enqueue a job; returns its id (consecutive from 0 in submit
+    order when ids are never chosen explicitly). *)
+
+val submit_as : ('a, 'b) t -> id:int -> 'a -> unit
+(** Enqueue under a caller-chosen id (e.g. a cluster id). If the id
+    already exists the job {e reopens}: payload replaced, any previous
+    result discarded, state back to queued — the streaming pipeline's
+    representative-changed invalidation. The job keeps its original
+    submit-order position. *)
+
+val mem : ('a, 'b) t -> int -> bool
+val payload : ('a, 'b) t -> int -> 'a
+(** @raise Not_found if the id was never submitted (or was dropped). *)
+
+(** {2 Assignment and claiming} *)
+
+val assign_round_robin : ('a, 'b) t -> workers:int -> (int * 'a) list array
+(** Deal every queued job round-robin over [workers] queues by submit
+    order — the paper's RPC sharding. Returns the per-worker queues
+    ([(id, payload)], submit order); jobs already assigned, running or
+    finished are untouched. *)
+
+val deal : ('a, 'b) t -> (int * 'a) list -> to_:int list -> unit
+(** [deal t jobs ~to_:survivors] reassigns [jobs] (typically a dead
+    worker's {!release}d queue) round-robin over the [survivors] in list
+    order: job [k] goes to [List.nth survivors (k mod n)]. *)
+
+val claim_next : ('a, 'b) t -> worker:int -> (int * 'a) option
+(** The worker's next assigned-but-unclaimed job, in submit order;
+    marks it running. [None] if its queue is empty. *)
+
+val steal : ('a, 'b) t -> thief:int -> (int * 'a) option
+(** Work stealing for an idle worker: take the {e last} assigned
+    (unclaimed) job of the worker with the longest queue, mark it
+    running on [thief]. [None] when nothing is stealable. *)
+
+val release : ('a, 'b) t -> worker:int -> (int * 'a) list
+(** A worker died: return its whole unfinished queue — assigned and
+    running jobs, in submit order — to the queued state and count the
+    jobs as resharded. *)
+
+(** {2 Completion} *)
+
+val complete : ('a, 'b) t -> int -> 'b -> unit
+(** Record a job's result. Permitted from any live state (queued,
+    assigned or running — drivers that execute whole shards complete
+    jobs post-hoc). @raise Not_found on an unknown id. *)
+
+val quarantine : ('a, 'b) t -> int -> unit
+(** Retire a poisoned job: it will never be claimed, dealt or listed
+    as unfinished again, and produces no result. *)
+
+val drop : ('a, 'b) t -> int -> unit
+(** Forget a job entirely (streaming cluster [Dropped] events). *)
+
+(** {2 Reads — all in submit order (deterministic merge order)} *)
+
+val result : ('a, 'b) t -> int -> 'b option
+val results : ('a, 'b) t -> (int * 'b) list
+val unfinished : ('a, 'b) t -> (int * 'a) list
+(** Jobs not yet completed or quarantined. *)
+
+val quarantined_ids : ('a, 'b) t -> int list
+val is_drained : ('a, 'b) t -> bool
+(** No queued, assigned or running jobs remain. *)
+
+val assigned_count : ('a, 'b) t -> worker:int -> int
+(** Assigned-but-unclaimed jobs in the worker's queue. *)
+
+val resharded : ('a, 'b) t -> int
+(** Total jobs ever {!release}d from dead workers. *)
+
+val stolen : ('a, 'b) t -> int

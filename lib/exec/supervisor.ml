@@ -39,6 +39,7 @@ let default_config =
 type crash_reason =
   | Panicked of Fault.panic_info
   | Hung_forever
+  | Worker_lost of string
 
 type crash = {
   c_sender : Program.t;
@@ -242,6 +243,7 @@ let test_interference t ~sender ~receiver =
 let pp_crash_reason ppf = function
   | Panicked info -> Fault.pp_panic_info ppf info
   | Hung_forever -> Fmt.string ppf "hung (fuel deadline exceeded every attempt)"
+  | Worker_lost how -> Fmt.pf ppf "worker process lost (%s)" how
 
 let pp_crash ppf c =
   Fmt.pf ppf "@[<v>QUARANTINED after %d attempts: %a@,sender   %s@,receiver %s@]"

@@ -37,6 +37,9 @@ val default_config : config
 type crash_reason =
   | Panicked of Kit_kernel.Fault.panic_info
   | Hung_forever
+  | Worker_lost of string
+      (** the worker process executing this case died or was killed;
+          the string says how (signal, exit code, heartbeat) *)
 
 (** A first-class crash report: the test case, why it died, and how many
     times the supervisor tried. *)

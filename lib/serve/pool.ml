@@ -1,0 +1,587 @@
+(* The crash-isolated process pool. See pool.mli for the contract.
+
+   Topology: the parent spawns [procs] workers by re-executing its own
+   image ([Sys.executable_name] with [KIT_POOL_WORKER] in the
+   environment; {!worker_entry} is the trampoline). [Unix.fork] is not
+   an option: OCaml 5 forbids it for the lifetime of any process that
+   has ever spawned a domain, and the pool must coexist with the
+   domain-distributed campaign paths in one executable. Each worker owns
+   a job pipe (parent writes) and a result pipe (worker writes), both
+   carrying length-prefixed Marshal frames (Wire); the first job-pipe
+   frame is a [Hello] with the worker's slot, sabotage and campaign
+   inputs — spawned workers share no memory, so the context travels the
+   wire ([Marshal.Closures], sound across the identical image). The
+   parent pre-shards the Jobqueue round-robin over the worker slots and
+   then drives each worker one job at a time: claim → send → wait for
+   Done → complete → claim the next (stealing from the longest queue
+   when its own shard runs dry).
+
+   Fd hygiene is what makes death detection sound: the parent-side pipe
+   ends are close-on-exec, and the child-side ends — advertised to the
+   worker by number through the environment variable — are closed by
+   the parent immediately after each (sequential) spawn, so no later
+   sibling can inherit them. The wire deliberately does NOT ride on the
+   worker's stdin/stdout: module initialisers of the re-executed binary
+   run before {!worker_entry} and are free to print (qcheck's seed
+   banner, for one), and any such bytes would desynchronise the framed
+   stream. So a worker's result-pipe write end lives in exactly one
+   process, and its death turns into EOF on the parent's read end the
+   moment the kernel reaps it. waitpid gives the why (exit code or
+   signal); per-job wall-clock deadlines catch the one failure mode
+   with no signal at all, the hang.
+
+   Workers never touch the parent's state: they exit only via
+   [Unix._exit] (0 on Quit/EOF, 71 on Supervisor.Gave_up, 70 on any
+   other escaped exception), so an exception inside a worker is crash
+   isolation, not a half-initialised replay of the parent. *)
+
+module Program = Kit_abi.Program
+module Testcase = Kit_gen.Testcase
+module Cluster = Kit_gen.Cluster
+module Supervisor = Kit_exec.Supervisor
+module Campaign = Kit_core.Campaign
+module Jobqueue = Kit_core.Jobqueue
+module Checkpoint = Kit_core.Checkpoint
+module Obs = Kit_obs.Obs
+module Metrics = Kit_obs.Metrics
+module Tracer = Kit_obs.Tracer
+
+type sabotage = {
+  kill_after : (int * int) list;
+  hang_after : (int * int) list;
+  poison : int list;
+}
+
+let no_sabotage = { kill_after = []; hang_after = []; poison = [] }
+
+type config = {
+  procs : int;
+  heartbeat_s : float;
+  max_respawns : int;
+  backoff_base_ms : float;
+  checkpoint_path : string option;
+  checkpoint_every : int;
+  sabotage : sabotage;
+}
+
+let default_config =
+  { procs = 4; heartbeat_s = 30.0; max_respawns = 3; backoff_base_ms = 5.0;
+    checkpoint_path = None; checkpoint_every = 16; sabotage = no_sabotage }
+
+type stats = {
+  spawns : int;
+  deaths : int;
+  respawns : int;
+  resharded : int;
+  heartbeat_timeouts : int;
+  poisoned : int;
+  resumed : int;
+  stolen : int;
+}
+
+type outcome = {
+  results : Campaign.case_result list;
+  executions : int;
+  stats : stats;
+}
+
+exception
+  Aborted of {
+    unfinished : (int * Testcase.t) list;
+    stats : stats;
+  }
+
+(* -- wire messages ------------------------------------------------------- *)
+
+type hello =
+  | Hello of {
+      h_slot : int;
+      h_sab : sabotage;
+      h_options : Campaign.options;
+      h_corpus : Program.t array;
+    }
+
+type job_msg = Job of int * Testcase.t | Quit
+type res_msg = Done of int * Campaign.case_result * int  (* execs delta *)
+
+let worker_env_var = "KIT_POOL_WORKER"
+
+(* -- worker (child) side -------------------------------------------------- *)
+
+let kill_self () =
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  (* SIGKILL is not deliverable-to-self-synchronously on every kernel
+     before the next scheduling point; never fall through into the
+     parent's code path. *)
+  Unix._exit 70
+
+let child_main ~slot ~options ~corpus ~(sab : sabotage) rx tx =
+  let code = ref 0 in
+  (try
+     let obs = Obs.create () in
+     let sup = Campaign.supervisor ~obs options in
+     let kill_at = List.assoc_opt slot sab.kill_after in
+     let hang_at = List.assoc_opt slot sab.hang_after in
+     let completed = ref 0 in
+     let rec loop () =
+       match (Wire.recv rx : job_msg option) with
+       | None | Some Quit -> ()
+       | Some (Job (id, tc)) ->
+         (match kill_at with
+          | Some n when !completed >= n -> kill_self ()
+          | Some _ | None -> ());
+         (match hang_at with
+          | Some n when !completed >= n ->
+            while true do Unix.sleepf 3600.0 done
+          | Some _ | None -> ());
+         if List.mem id sab.poison then kill_self ();
+         let e0 = Supervisor.executions sup in
+         let attrs =
+           [ ("case", string_of_int id); ("proc", string_of_int slot) ]
+         in
+         let r = Campaign.exec_case ~attrs options corpus sup tc in
+         Wire.send tx (Done (id, r, Supervisor.executions sup - e0));
+         incr completed;
+         loop ()
+     in
+     loop ()
+   with
+   | Supervisor.Gave_up _ -> code := 71
+   | _ -> code := 70);
+  Unix._exit !code
+
+(* On Unix a [file_descr] is the integer, which is what lets the pipe
+   ends cross the exec boundary as text in the environment. *)
+let fd_of_int (n : int) : Unix.file_descr = Obj.magic n
+let int_of_fd (fd : Unix.file_descr) : int = Obj.magic fd
+
+let worker_entry () =
+  match Sys.getenv_opt worker_env_var with
+  | None -> ()
+  | Some spec ->
+    let rx, tx =
+      match String.split_on_char ':' spec with
+      | [ jr; rw ] -> (
+        match (int_of_string_opt jr, int_of_string_opt rw) with
+        | Some jr, Some rw -> (fd_of_int jr, fd_of_int rw)
+        | _ -> Unix._exit 70)
+      | _ -> Unix._exit 70
+    in
+    (match (Wire.recv rx : hello option) with
+     | Some (Hello { h_slot; h_sab; h_options; h_corpus }) ->
+       child_main ~slot:h_slot ~options:h_options ~corpus:h_corpus ~sab:h_sab
+         rx tx
+     | None -> ());
+    (* Only reachable on a missing or undecodable Hello. *)
+    Unix._exit 70
+
+(* -- parent side ---------------------------------------------------------- *)
+
+type worker = {
+  slot : int;
+  mutable pid : int;
+  mutable tx : Unix.file_descr;          (* job pipe, write end *)
+  mutable rx : Unix.file_descr;          (* result pipe, read end *)
+  mutable alive : bool;
+  mutable job : (int * float) option;    (* in-flight id, deadline *)
+  mutable respawns_left : int;
+  mutable backoff_s : float;
+  mutable span : Tracer.span option;
+}
+
+type state = {
+  q : (Testcase.t, Campaign.case_result) Jobqueue.t;
+  qres : (int, Campaign.case_result) Hashtbl.t;  (* pool-quarantined *)
+  lethal : (int, int) Hashtbl.t;         (* consecutive kills per case *)
+  workers : worker array;
+  cfg : config;
+  options : Campaign.options;
+  corpus : Program.t array;
+  obs : Obs.t;
+  total : int;
+  mutable execs : int;
+  mutable since_ckpt : int;              (* completions since last save *)
+  mutable spawns : int;
+  mutable deaths : int;
+  mutable respawns : int;
+  mutable hb_timeouts : int;
+  mutable poisoned : int;
+  mutable resumed : int;
+}
+
+let pc name st = Metrics.counter ~always:true st.obs.Obs.metrics ("pool." ^ name)
+
+let stats_of st =
+  { spawns = st.spawns; deaths = st.deaths; respawns = st.respawns;
+    resharded = Jobqueue.resharded st.q;
+    heartbeat_timeouts = st.hb_timeouts; poisoned = st.poisoned;
+    resumed = st.resumed; stolen = Jobqueue.stolen st.q }
+
+let status_to_string = function
+  | Unix.WEXITED 71 -> "worker gave up (permanent infrastructure fault)"
+  | Unix.WEXITED n -> Printf.sprintf "worker exited %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "worker killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "worker stopped by signal %d" n
+
+(* -- checkpointing -------------------------------------------------------- *)
+
+let checkpoint_kind = "pool-shards"
+
+type pool_checkpoint = {
+  pc_seed : int;
+  pc_corpus_size : int;
+  pc_total : int;
+  pc_completed : (int * Campaign.case_result) list;
+  pc_quarantined : (int * Campaign.case_result) list;
+  pc_executions : int;
+}
+
+let save_checkpoint st path =
+  let quarantined =
+    Hashtbl.fold (fun id r acc -> (id, r) :: acc) st.qres []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Checkpoint.save path ~kind:checkpoint_kind
+    { pc_seed = st.options.Campaign.seed;
+      pc_corpus_size = st.options.Campaign.corpus_size;
+      pc_total = st.total;
+      pc_completed = Jobqueue.results st.q;
+      pc_quarantined = quarantined;
+      pc_executions = st.execs }
+
+let maybe_checkpoint ?(force = false) st =
+  match st.cfg.checkpoint_path with
+  | None -> ()
+  | Some path ->
+    if force || st.since_ckpt >= max 1 st.cfg.checkpoint_every then begin
+      st.since_ckpt <- 0;
+      save_checkpoint st path
+    end
+
+let load_resume st path =
+  match (Checkpoint.load path ~kind:checkpoint_kind
+         : (pool_checkpoint, Checkpoint.error) result)
+  with
+  | Error e -> failwith (Checkpoint.error_to_string e)
+  | Ok ck ->
+    if ck.pc_seed <> st.options.Campaign.seed
+       || ck.pc_corpus_size <> st.options.Campaign.corpus_size
+       || ck.pc_total <> st.total
+    then
+      invalid_arg
+        "Pool.execute: checkpoint was taken with different campaign inputs";
+    List.iter (fun (id, r) -> Jobqueue.complete st.q id r) ck.pc_completed;
+    List.iter
+      (fun (id, r) ->
+        Jobqueue.quarantine st.q id;
+        Hashtbl.replace st.qres id r)
+      ck.pc_quarantined;
+    st.execs <- st.execs + ck.pc_executions;
+    st.resumed <-
+      List.length ck.pc_completed + List.length ck.pc_quarantined;
+    Metrics.set_counter (pc "resumed" st) st.resumed
+
+(* -- spawning ------------------------------------------------------------- *)
+
+let spawn st w =
+  (* Kill/hang sabotage is a one-shot event schedule: the slot's entry
+     fires in the first incarnation only, so a respawned worker is not
+     doomed to die every N cases forever. (Poison deliberately re-fires
+     — that is the twice-lethal path.) *)
+  let sab =
+    if w.pid = -1 then st.cfg.sabotage
+    else
+      { st.cfg.sabotage with
+        kill_after =
+          List.filter (fun (s, _) -> s <> w.slot) st.cfg.sabotage.kill_after;
+        hang_after =
+          List.filter (fun (s, _) -> s <> w.slot) st.cfg.sabotage.hang_after }
+  in
+  (* The parent-side ends are close-on-exec; the child-side ends cross
+     the exec by number via the environment and are closed here right
+     after the (sequential) spawn — so no sibling spawned later can
+     inherit this worker's result-pipe write end, and EOF detection
+     stays sound. The wire must not ride on stdin/stdout: module
+     initialisers of the re-executed image print before {!worker_entry}
+     runs and would desynchronise the framing. *)
+  let jr, jw = Unix.pipe () in
+  let rr, rw = Unix.pipe () in
+  Unix.set_close_on_exec jw;
+  Unix.set_close_on_exec rr;
+  let env =
+    Array.append
+      (Array.to_seq (Unix.environment ())
+      |> Seq.filter (fun kv ->
+             not (String.length kv > String.length worker_env_var
+                  && String.sub kv 0 (String.length worker_env_var + 1)
+                     = worker_env_var ^ "="))
+      |> Array.of_seq)
+      [| Printf.sprintf "%s=%d:%d" worker_env_var (int_of_fd jr)
+           (int_of_fd rw) |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin Unix.stdout Unix.stderr
+  in
+  Unix.close jr;
+  Unix.close rw;
+  w.pid <- pid;
+  w.tx <- jw;
+  w.rx <- rr;
+  w.alive <- true;
+  w.job <- None;
+  (* The bootstrap frame replaces the address space a fork would have
+     copied. [Marshal.Closures] carries the spec's checker closures;
+     the obs bundle is unmarshalable and private anyway — the worker
+     builds its own. *)
+  (try
+     Wire.send ~flags:[ Marshal.Closures ] jw
+       (Hello
+          { h_slot = w.slot; h_sab = sab;
+            h_options = { st.options with Campaign.obs = None };
+            h_corpus = st.corpus })
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  w.span <-
+    Some
+      (Tracer.span st.obs.Obs.tracer
+         ~attrs:[ ("proc", string_of_int w.slot); ("pid", string_of_int pid) ]
+         "pool.worker");
+  st.spawns <- st.spawns + 1;
+  Metrics.inc (pc "spawns" st)
+
+(* -- the driver loop ------------------------------------------------------ *)
+
+let dispatch st (w : worker) =
+  if w.alive && w.job = None then begin
+    let next =
+      match Jobqueue.claim_next st.q ~worker:w.slot with
+      | Some j -> Some j
+      | None -> Jobqueue.steal st.q ~thief:w.slot
+    in
+    match next with
+    | None -> ()
+    | Some (id, tc) ->
+      w.job <- Some (id, Unix.gettimeofday () +. st.cfg.heartbeat_s);
+      (* A send to a dying worker raises EPIPE; the death is picked up
+         through EOF/waitpid and the job resharded with the rest. *)
+      (try Wire.send w.tx (Job (id, tc))
+       with Unix.Unix_error _ | Sys_error _ -> ())
+  end
+
+let record_done st (w : worker) id r d =
+  Jobqueue.complete st.q id r;            (* no-op if already quarantined *)
+  Hashtbl.remove st.lethal id;            (* a success resets the strikes *)
+  st.execs <- st.execs + d;
+  st.since_ckpt <- st.since_ckpt + 1;
+  (match w.job with Some (jid, _) when jid = id -> w.job <- None | _ -> ());
+  maybe_checkpoint st
+
+let abort st =
+  maybe_checkpoint ~force:true st;
+  raise (Aborted { unfinished = Jobqueue.unfinished st.q; stats = stats_of st })
+
+(* A worker died (or was killed): drain its buffered results, count a
+   strike against the in-flight case, release and redeal its queue, and
+   respawn if budget remains. The kernel closed the dead worker's
+   result-pipe write end, so the drain terminates at EOF. *)
+let handle_death st (w : worker) ~why =
+  let rec drain () =
+    match (Wire.recv w.rx : res_msg option) with
+    | Some (Done (id, r, d)) ->
+      record_done st w id r d;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  (try Unix.close w.rx with Unix.Unix_error _ -> ());
+  (try Unix.close w.tx with Unix.Unix_error _ -> ());
+  Option.iter (Tracer.finish st.obs.Obs.tracer) w.span;
+  w.span <- None;
+  w.alive <- false;
+  st.deaths <- st.deaths + 1;
+  Metrics.inc (pc "deaths" st);
+  Tracer.instant st.obs.Obs.tracer
+    ~attrs:[ ("proc", string_of_int w.slot); ("why", why) ]
+    "pool.death";
+  (* Two strikes: a case that killed two workers in a row is poison —
+     quarantine it as a first-class crash report instead of feeding it
+     to a third worker. *)
+  (match w.job with
+   | Some (id, _) when Jobqueue.result st.q id = None ->
+     let strikes = 1 + Option.value ~default:0 (Hashtbl.find_opt st.lethal id) in
+     Hashtbl.replace st.lethal id strikes;
+     if strikes >= 2 then begin
+       let tc = Jobqueue.payload st.q id in
+       Hashtbl.replace st.qres id
+         (Campaign.lost_case_result ~attempts:strikes st.corpus
+            ~why:(Printf.sprintf "case killed %d workers in a row; last: %s"
+                    strikes why)
+            tc);
+       Jobqueue.quarantine st.q id;
+       st.poisoned <- st.poisoned + 1;
+       Metrics.inc (pc "poisoned" st)
+     end
+   | Some _ | None -> ());
+  w.job <- None;
+  let orphans = Jobqueue.release st.q ~worker:w.slot in
+  Metrics.set_counter (pc "resharded" st) (Jobqueue.resharded st.q);
+  if w.respawns_left > 0 then begin
+    w.respawns_left <- w.respawns_left - 1;
+    Unix.sleepf w.backoff_s;
+    w.backoff_s <- w.backoff_s *. 2.0;
+    st.respawns <- st.respawns + 1;
+    Metrics.inc (pc "respawns" st);
+    spawn st w
+  end;
+  let alive =
+    Array.to_list st.workers |> List.filter (fun (o : worker) -> o.alive)
+  in
+  (match (orphans, alive) with
+   | [], _ -> ()
+   | _ :: _, [] -> ()                     (* the all-dead check below aborts *)
+   | _ :: _, survivors ->
+     Jobqueue.deal st.q orphans
+       ~to_:(List.map (fun (o : worker) -> o.slot) survivors));
+  if alive = [] && not (Jobqueue.is_drained st.q) then abort st;
+  Array.iter (dispatch st) st.workers
+
+let reap st (w : worker) =
+  if w.alive then
+    match Unix.waitpid [ Unix.WNOHANG ] w.pid with
+    | 0, _ -> ()
+    | _, status -> handle_death st w ~why:(status_to_string status)
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+      handle_death st w ~why:"worker vanished (no child to reap)"
+
+let kill_overdue st now (w : worker) =
+  match w.job with
+  | Some (_, deadline) when w.alive && now > deadline ->
+    st.hb_timeouts <- st.hb_timeouts + 1;
+    Metrics.inc (pc "heartbeat_timeouts" st);
+    (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+    handle_death st w
+      ~why:
+        (Printf.sprintf "heartbeat timeout after %.1fs" st.cfg.heartbeat_s)
+  | Some _ | None -> ()
+
+let rec drive st =
+  if not (Jobqueue.is_drained st.q) then begin
+    let now = Unix.gettimeofday () in
+    Array.iter (kill_overdue st now) st.workers;
+    Array.iter (reap st) st.workers;
+    if not (Jobqueue.is_drained st.q) then begin
+      let alive =
+        Array.to_list st.workers |> List.filter (fun (w : worker) -> w.alive)
+      in
+      if alive = [] then abort st;
+      let fds = List.map (fun (w : worker) -> w.rx) alive in
+      (* Wake at the earliest heartbeat deadline; cap the idle tick so
+         exits with no pipe traffic (pure SIGKILL) are still reaped
+         promptly via waitpid. *)
+      let timeout =
+        List.fold_left
+          (fun acc (w : worker) ->
+            match w.job with
+            | Some (_, dl) -> Float.min acc (dl -. now)
+            | None -> acc)
+          0.2 alive
+        |> Float.max 0.01
+      in
+      (match Unix.select fds [] [] timeout with
+       | readable, _, _ ->
+         List.iter
+           (fun fd ->
+             match
+               List.find_opt (fun (w : worker) -> w.alive && w.rx == fd) alive
+             with
+             | None -> ()
+             | Some w -> (
+               match (Wire.recv w.rx : res_msg option) with
+               | Some (Done (id, r, d)) ->
+                 record_done st w id r d;
+                 dispatch st w
+               | None ->
+                 let why =
+                   match Unix.waitpid [] w.pid with
+                   | _, status -> status_to_string status
+                   | exception Unix.Unix_error _ -> "worker closed its pipe"
+                 in
+                 handle_death st w ~why))
+           readable
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      drive st
+    end
+  end
+
+let shutdown st =
+  Array.iter
+    (fun (w : worker) ->
+      if w.alive then begin
+        (try Wire.send w.tx Quit with Unix.Unix_error _ | Sys_error _ -> ());
+        (try Unix.close w.tx with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
+        (try Unix.close w.rx with Unix.Unix_error _ -> ());
+        Option.iter (Tracer.finish st.obs.Obs.tracer) w.span;
+        w.span <- None;
+        w.alive <- false
+      end)
+    st.workers
+
+let execute ?obs ?(resume = false) cfg options corpus
+    (generation : Cluster.result) =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let procs = max 1 cfg.procs in
+  let q : (Testcase.t, Campaign.case_result) Jobqueue.t = Jobqueue.create () in
+  List.iter (fun tc -> ignore (Jobqueue.submit q tc)) generation.Cluster.reps;
+  let total = List.length generation.Cluster.reps in
+  let workers =
+    Array.init procs (fun slot ->
+        { slot; pid = -1; tx = Unix.stdin; rx = Unix.stdin; alive = false;
+          job = None; respawns_left = max 0 cfg.max_respawns;
+          backoff_s = Float.max 0.0 cfg.backoff_base_ms /. 1000.0;
+          span = None })
+  in
+  let st =
+    { q; qres = Hashtbl.create 16; lethal = Hashtbl.create 16; workers; cfg;
+      options; corpus; obs; total; execs = 0; since_ckpt = 0; spawns = 0;
+      deaths = 0; respawns = 0; hb_timeouts = 0; poisoned = 0; resumed = 0 }
+  in
+  (match cfg.checkpoint_path with
+   | Some path when resume && Sys.file_exists path -> load_resume st path
+   | Some _ | None -> ());
+  ignore (Jobqueue.assign_round_robin q ~workers:procs : (int * _) list array);
+  (* The parent writes into job pipes of workers that may already be
+     dead; without this a single EPIPE would kill the whole pool. *)
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      shutdown st;
+      Option.iter (fun b -> ignore (Sys.signal Sys.sigpipe b)) old_sigpipe)
+    (fun () ->
+      Tracer.with_span st.obs.Obs.tracer
+        ~attrs:[ ("procs", string_of_int procs) ]
+        "pool.execute"
+        (fun () ->
+          Array.iter (fun w -> spawn st w) workers;
+          Array.iter (dispatch st) workers;
+          drive st;
+          maybe_checkpoint ~force:true st;
+          let results =
+            List.init total (fun id ->
+                match Jobqueue.result q id with
+                | Some r -> r
+                | None -> Hashtbl.find st.qres id)
+          in
+          Metrics.set_counter (pc "resharded" st) (Jobqueue.resharded q);
+          Metrics.set_counter (pc "stolen" st) (Jobqueue.stolen q);
+          { results; executions = st.execs; stats = stats_of st }))
+
+let executor ?obs ?resume cfg : Campaign.executor =
+ fun options corpus generation ->
+  let o = execute ?obs ?resume cfg options corpus generation in
+  (o.results, o.executions)

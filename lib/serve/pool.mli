@@ -1,0 +1,120 @@
+(** The crash-isolated process pool: the paper's server/client mode
+    (§5.2) with real Unix processes.
+
+    {!execute} spawns [procs] worker processes — re-executions of the
+    current binary (OCaml 5 forbids [Unix.fork] in any process that has
+    ever spawned a domain), bootstrapped over the job pipe and entered
+    through {!worker_entry} — each booting its own
+    supervised execution environment, and drives them over
+    length-prefixed {!Wire} pipes from a {!Kit_core.Jobqueue} of cluster
+    representatives. The parent detects worker death via [waitpid]
+    (exit code or signal) and pipe EOF, detects hangs via per-job
+    wall-clock heartbeat deadlines (an expired worker is [SIGKILL]ed),
+    respawns crashed workers with bounded retries and exponential
+    backoff, reshards a dead worker's unfinished queue over the
+    survivors, and quarantines a case that kills two workers in a row as
+    a first-class [Worker_lost] crash report instead of looping
+    respawns. Completed shards checkpoint on the validated KITCKPT1
+    container, so a killed parent resumes without re-executing finished
+    work.
+
+    Per-case results are schedule-independent, so the merged
+    funnel/report/quarantine fingerprint equals the sequential
+    {!Kit_core.Distrib} run for any procs count and any kill schedule
+    (property-tested). *)
+
+module Campaign := Kit_core.Campaign
+
+val worker_entry : unit -> unit
+(** The worker trampoline. Every executable that calls {!execute} (or
+    installs {!executor}) MUST call this first thing in [main], before
+    argument parsing: when the process was spawned as a pool worker
+    (the [KIT_POOL_WORKER] environment variable is set), it runs the
+    worker loop over the inherited pipe descriptors the variable names
+    and never returns ([Unix._exit]); otherwise it is a no-op. *)
+
+(** Deliberate worker misbehaviour, for tests and the CI crash-isolation
+    gate. Sabotage acts inside the worker — the parent only ever sees
+    its observable effects (death, silence). *)
+type sabotage = {
+  kill_after : (int * int) list;
+      (** [(slot, n)]: worker [slot] SIGKILLs itself on receiving its
+          next job once it has completed [n] cases — from the parent's
+          view, death mid-case. One-shot: the slot's respawned worker is
+          not re-sabotaged. *)
+  hang_after : (int * int) list;
+      (** [(slot, n)]: as [kill_after], but the worker sleeps forever —
+          only the heartbeat can catch it. One-shot per slot. *)
+  poison : int list;
+      (** case ids whose receipt SIGKILLs {e any} worker — the
+          twice-lethal quarantine path *)
+}
+
+val no_sabotage : sabotage
+
+type config = {
+  procs : int;                       (** worker processes (at least 1) *)
+  heartbeat_s : float;
+      (** per-job wall-clock deadline; an overdue worker is killed *)
+  max_respawns : int;                (** respawn budget per worker slot *)
+  backoff_base_ms : float;           (** respawn backoff base, doubling *)
+  checkpoint_path : string option;
+      (** checkpoint completed shards here (and on abort) *)
+  checkpoint_every : int;            (** completions between checkpoints *)
+  sabotage : sabotage;
+}
+
+val default_config : config
+(** 4 procs, 30 s heartbeat, 3 respawns, 5 ms backoff, no checkpointing,
+    no sabotage. *)
+
+type stats = {
+  spawns : int;                      (** worker processes ever forked *)
+  deaths : int;                      (** exits, signals and hang kills *)
+  respawns : int;
+  resharded : int;                   (** cases redealt from dead workers *)
+  heartbeat_timeouts : int;
+  poisoned : int;                    (** cases quarantined as twice-lethal *)
+  resumed : int;                     (** cases restored from checkpoint *)
+  stolen : int;                      (** cases work-stolen by idle workers *)
+}
+
+type outcome = {
+  results : Campaign.case_result list;
+      (** one per cluster representative, in representative order;
+          pool-quarantined cases appear as [Worker_lost] crash results *)
+  executions : int;                  (** summed over workers and resumes *)
+  stats : stats;
+}
+
+exception
+  Aborted of {
+    unfinished : (int * Kit_gen.Testcase.t) list;
+        (** the queue nobody could absorb, in case order *)
+    stats : stats;
+  }
+(** Every worker slot is dead with its respawn budget spent and work
+    still queued. If a checkpoint path is configured the completed
+    shards were saved before raising, so a fresh pool resumes. *)
+
+val execute :
+  ?obs:Kit_obs.Obs.t ->
+  ?resume:bool ->
+  config ->
+  Campaign.options ->
+  Kit_abi.Program.t array ->
+  Kit_gen.Cluster.result ->
+  outcome
+(** Run every cluster representative of [generation] on the pool.
+    [resume] (default [false]) preloads completed shards from
+    [config.checkpoint_path] first — ignored when the file is missing;
+    a corrupt file aborts with the typed checkpoint error message.
+    [obs] receives the [pool.*] counters and per-worker spans (default:
+    a private bundle).
+    @raise Aborted when no worker can absorb the remaining queue. *)
+
+val executor :
+  ?obs:Kit_obs.Obs.t -> ?resume:bool -> config -> Campaign.executor
+(** Package {!execute} as a campaign execute-phase driver for
+    {!Kit_core.Campaign.run_with_executor} — the engine behind
+    [kit campaign --procs N]. *)

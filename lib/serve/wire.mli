@@ -1,0 +1,28 @@
+(** Length-prefixed [Marshal] framing over pipe file descriptors — the
+    parent/worker wire protocol of the process pool.
+
+    Each frame is an 8-byte big-endian payload length followed by the
+    Marshal bytes. Reads are exact: a closed or half-written pipe
+    surfaces as [None] from {!recv}, never as a crash inside the
+    deserialiser — the pool treats it as worker (or parent) death.
+
+    Both ends of every pipe live in the same executable image (the
+    workers are forks), so Marshal's type-unsafety is confined to the
+    usual rule: send and receive sites must agree on the frame type. *)
+
+val max_frame : int
+(** Sanity bound on a single frame (16 MiB). A length prefix beyond it
+    means a desynchronised or corrupt stream; {!recv} returns [None]. *)
+
+val send : ?flags:Marshal.extern_flags list -> Unix.file_descr -> 'a -> unit
+(** Write one frame. Loops over partial writes. [flags] defaults to
+    [[Marshal.No_sharing]]; the pool's bootstrap frame passes
+    [[Marshal.Closures]] instead — sound because both ends run the
+    identical executable image, which Marshal checks via the code
+    fragment digest.
+    @raise Unix.Unix_error e.g. [EPIPE] when the peer is gone — callers
+    treat it as peer death. *)
+
+val recv : Unix.file_descr -> 'a option
+(** Read one frame. [None] on EOF, truncation mid-frame, an implausible
+    length prefix, or undecodable payload bytes. *)

@@ -244,7 +244,7 @@ let test_supervisor_quarantines_permanent () =
     check_bool "reason is a panic" true
       (match crash.Supervisor.c_reason with
       | Supervisor.Panicked _ -> true
-      | Supervisor.Hung_forever -> false)
+      | Supervisor.Hung_forever | Supervisor.Worker_lost _ -> false)
   | q -> Alcotest.failf "expected 1 quarantined crash, got %d" (List.length q)
 
 let test_supervisor_quarantined_since () =
@@ -341,7 +341,7 @@ let test_permanent_crashers_quarantined_once () =
        (fun (cr : Supervisor.crash) ->
          match cr.Supervisor.c_reason with
          | Supervisor.Panicked i -> i.Fault.panic_sysno = sysno "read"
-         | Supervisor.Hung_forever -> false)
+         | Supervisor.Hung_forever | Supervisor.Worker_lost _ -> false)
        q)
 
 (* --- checkpoint / resume ----------------------------------------------------- *)
@@ -375,7 +375,9 @@ let test_checkpoint_file_round_trip () =
       (fun () ->
         Campaign.save_checkpoint path ck;
         match Campaign.load_checkpoint path with
-        | Error e -> Alcotest.failf "load_checkpoint: %s" e
+        | Error e ->
+          Alcotest.failf "load_checkpoint: %s"
+            (Kit_core.Checkpoint.error_to_string e)
         | Ok ck' ->
           check_bool "progress survives" true
             (Campaign.checkpoint_progress ck = Campaign.checkpoint_progress ck');
@@ -458,7 +460,12 @@ let test_all_workers_dead_fails () =
          small_options b.Campaign.corpus b.Campaign.generation ~workers:2
         : Distrib.t);
     Alcotest.fail "no survivors must be an error"
-  with Failure _ -> ()
+  with Distrib.All_workers_dead unfinished ->
+    (* the typed error carries the whole orphaned queue *)
+    Alcotest.(check int)
+      "unfinished queue"
+      (List.length b.Campaign.generation.Kit_gen.Cluster.reps)
+      (List.length unfinished)
 
 let suite =
   [

@@ -1,5 +1,9 @@
 (* Test runner aggregating all library suites. *)
 
+(* Pool workers are re-executions of this binary; the trampoline must
+   run before alcotest sees argv. No-op in the parent. *)
+let () = Kit_serve.Pool.worker_entry ()
+
 let () =
   Alcotest.run "kit"
     [
@@ -19,4 +23,5 @@ let () =
       ("fault", Test_fault.suite);
       ("edge", Test_edge.suite);
       ("props", Test_props.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -1,0 +1,346 @@
+(* The process-pool layer: the generic Jobqueue, the validated KITCKPT1
+   container, and the forked worker pool — including the acceptance
+   invariant that a SIGKILLed worker never changes the merged campaign
+   outcome (qcheck over procs × kill schedules), the twice-lethal
+   quarantine, the heartbeat hang-catcher, and abort/resume through the
+   pool checkpoint. *)
+
+module Campaign = Kit_core.Campaign
+module Distrib = Kit_core.Distrib
+module Jobqueue = Kit_core.Jobqueue
+module Checkpoint = Kit_core.Checkpoint
+module Testcase = Kit_gen.Testcase
+module Filter = Kit_detect.Filter
+module Supervisor = Kit_exec.Supervisor
+module Pool = Kit_serve.Pool
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Jobqueue ----------------------------------------------------------- *)
+
+let test_jobqueue_submit_order () =
+  let q : (string, int) Jobqueue.t = Jobqueue.create () in
+  let a = Jobqueue.submit q "a" in
+  let b = Jobqueue.submit q "b" in
+  let c = Jobqueue.submit q "c" in
+  check_int "consecutive ids" 1 b;
+  (* complete out of order; reads come back in submit order *)
+  Jobqueue.complete q c 30;
+  Jobqueue.complete q a 10;
+  Jobqueue.complete q b 20;
+  Alcotest.(check (list (pair int int)))
+    "results in submit order"
+    [ (a, 10); (b, 20); (c, 30) ]
+    (Jobqueue.results q);
+  check_bool "drained" true (Jobqueue.is_drained q)
+
+let test_jobqueue_reopen () =
+  let q : (string, int) Jobqueue.t = Jobqueue.create () in
+  Jobqueue.submit_as q ~id:7 "old";
+  Jobqueue.complete q 7 1;
+  Jobqueue.submit_as q ~id:3 "later";
+  (* reopening id 7 discards its result but keeps its queue position *)
+  Jobqueue.submit_as q ~id:7 "new";
+  check_bool "result discarded" true (Jobqueue.result q 7 = None);
+  Alcotest.(check string) "payload replaced" "new" (Jobqueue.payload q 7);
+  Jobqueue.complete q 7 2;
+  Jobqueue.complete q 3 9;
+  Alcotest.(check (list (pair int int)))
+    "submit-order position survives reopen"
+    [ (7, 2); (3, 9) ]
+    (Jobqueue.results q)
+
+let test_jobqueue_reshard () =
+  let q : (int, unit) Jobqueue.t = Jobqueue.create () in
+  List.iter (fun i -> ignore (Jobqueue.submit q i)) [ 0; 1; 2; 3; 4; 5 ];
+  let shards = Jobqueue.assign_round_robin q ~workers:3 in
+  Alcotest.(check (list int))
+    "worker 1 shard" [ 1; 4 ]
+    (List.map fst shards.(1));
+  (* worker 1 claims one job, then dies: both its jobs come back *)
+  check_bool "claims own shard head" true
+    (Jobqueue.claim_next q ~worker:1 = Some (1, 1));
+  let orphans = Jobqueue.release q ~worker:1 in
+  Alcotest.(check (list int))
+    "release returns running+assigned in submit order" [ 1; 4 ]
+    (List.map fst orphans);
+  check_int "resharded counted" 2 (Jobqueue.resharded q);
+  Jobqueue.deal q orphans ~to_:[ 0; 2 ];
+  (* each survivor keeps its own 2-job shard and inherits one orphan *)
+  check_int "dealt to 0" 3 (Jobqueue.assigned_count q ~worker:0);
+  check_int "dealt to 2" 3 (Jobqueue.assigned_count q ~worker:2);
+  (* a fresh worker with an empty shard steals from the longest queue *)
+  (match Jobqueue.steal q ~thief:9 with
+   | Some _ -> ()
+   | None -> Alcotest.fail "steal must find a victim");
+  check_int "steal counted" 1 (Jobqueue.stolen q)
+
+let test_jobqueue_quarantine () =
+  let q : (string, int) Jobqueue.t = Jobqueue.create () in
+  let a = Jobqueue.submit q "a" in
+  let b = Jobqueue.submit q "b" in
+  Jobqueue.quarantine q a;
+  (* a late result for a retired job must not resurrect it *)
+  Jobqueue.complete q a 1;
+  check_bool "still quarantined" true (Jobqueue.result q a = None);
+  Alcotest.(check (list int)) "quarantined ids" [ a ] (Jobqueue.quarantined_ids q);
+  Alcotest.(check (list int))
+    "unfinished excludes quarantined" [ b ]
+    (List.map fst (Jobqueue.unfinished q));
+  Jobqueue.complete q b 2;
+  check_bool "drained with quarantine" true (Jobqueue.is_drained q)
+
+(* --- Checkpoint --------------------------------------------------------- *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_checkpoint_roundtrip () =
+  let path = tmp "kit_test_ckpt_rt" in
+  Checkpoint.save path ~kind:"unit-test" (42, "payload", [ 1; 2; 3 ]);
+  (match Checkpoint.load path ~kind:"unit-test" with
+   | Ok v ->
+     check_bool "value round-trips" true (v = (42, "payload", [ 1; 2; 3 ]))
+   | Error e -> Alcotest.failf "load: %s" (Checkpoint.error_to_string e));
+  Sys.remove path
+
+let test_checkpoint_typed_errors () =
+  let path = tmp "kit_test_ckpt_err" in
+  (* missing file *)
+  (match (Checkpoint.load (tmp "kit_no_such_ckpt") ~kind:"k" : (int, _) result) with
+   | Error (Checkpoint.Io _) -> ()
+   | Error e -> Alcotest.failf "want Io, got %s" (Checkpoint.error_to_string e)
+   | Ok _ -> Alcotest.fail "missing file cannot load");
+  (* not a checkpoint at all *)
+  let oc = open_out_bin path in
+  output_string oc "definitely not a checkpoint";
+  close_out oc;
+  (match (Checkpoint.load path ~kind:"k" : (int, _) result) with
+   | Error (Checkpoint.Not_checkpoint _) -> ()
+   | Error e ->
+     Alcotest.failf "want Not_checkpoint, got %s" (Checkpoint.error_to_string e)
+   | Ok _ -> Alcotest.fail "garbage cannot load");
+  (* wrong kind *)
+  Checkpoint.save path ~kind:"kind-a" 1;
+  (match (Checkpoint.load path ~kind:"kind-b" : (int, _) result) with
+   | Error (Checkpoint.Checkpoint_corrupt _) -> ()
+   | Error e ->
+     Alcotest.failf "want Checkpoint_corrupt, got %s"
+       (Checkpoint.error_to_string e)
+   | Ok _ -> Alcotest.fail "kind mismatch cannot load");
+  (* truncation: cut the file short *)
+  Checkpoint.save path ~kind:"k" (Array.make 64 "x");
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full - 7));
+  close_out oc;
+  (match (Checkpoint.load path ~kind:"k" : (string array, _) result) with
+   | Error (Checkpoint.Checkpoint_corrupt _) -> ()
+   | Error e ->
+     Alcotest.failf "want Checkpoint_corrupt, got %s"
+       (Checkpoint.error_to_string e)
+   | Ok _ -> Alcotest.fail "truncated file cannot load");
+  (* bit flip in the payload: digest must catch it *)
+  let oc = open_out_bin path in
+  let flipped = Bytes.of_string full in
+  let last = Bytes.length flipped - 1 in
+  Bytes.set flipped last (Char.chr (Char.code (Bytes.get flipped last) lxor 1));
+  output_bytes oc flipped;
+  close_out oc;
+  (match (Checkpoint.load path ~kind:"k" : (string array, _) result) with
+   | Error (Checkpoint.Checkpoint_corrupt _) -> ()
+   | Error e ->
+     Alcotest.failf "want Checkpoint_corrupt, got %s"
+       (Checkpoint.error_to_string e)
+   | Ok _ -> Alcotest.fail "corrupt payload cannot load");
+  Sys.remove path
+
+(* --- the pool ----------------------------------------------------------- *)
+
+let small_options =
+  { Campaign.default_options with
+    Campaign.corpus_size = 24;
+    seed = 11;
+    diagnose = false }
+
+let baseline = lazy (Campaign.run small_options)
+
+(* Fast sabotage recovery for tests: tiny backoff, generous respawns. *)
+let test_config =
+  { Pool.default_config with
+    Pool.procs = 2;
+    heartbeat_s = 30.0;
+    max_respawns = 8;
+    backoff_base_ms = 1.0 }
+
+let fp_one x = Digest.string (Marshal.to_string x [ Marshal.No_sharing ])
+let multiset l = List.sort compare (List.map fp_one l)
+
+let funnel_fp (f : Filter.funnel) =
+  ( f.Filter.executed, f.Filter.initial, f.Filter.after_nondet,
+    f.Filter.after_resource )
+
+let pool_fps (o : Pool.outcome) =
+  let reports = List.filter_map (fun r -> r.Campaign.cr_report) o.Pool.results in
+  let quarantined =
+    List.concat_map (fun r -> r.Campaign.cr_crashes) o.Pool.results
+  in
+  let funnel =
+    List.fold_left
+      (fun (e, i, n, r) (cr : Campaign.case_result) ->
+        let f = cr.Campaign.cr_funnel in
+        ( e + f.Filter.executed, i + f.Filter.initial,
+          n + f.Filter.after_nondet, r + f.Filter.after_resource ))
+      (0, 0, 0, 0) o.Pool.results
+  in
+  (multiset reports, funnel, multiset quarantined)
+
+let distrib_fps (d : Distrib.t) =
+  (multiset d.Distrib.reports, funnel_fp d.Distrib.funnel,
+   multiset d.Distrib.quarantined)
+
+let reference =
+  lazy
+    (let b = Lazy.force baseline in
+     distrib_fps
+       (Distrib.execute small_options b.Campaign.corpus b.Campaign.generation
+          ~workers:1))
+
+let run_pool ?(cfg = test_config) ?resume () =
+  let b = Lazy.force baseline in
+  Pool.execute ?resume cfg small_options b.Campaign.corpus
+    b.Campaign.generation
+
+let test_pool_matches_sequential () =
+  let o = run_pool ~cfg:{ test_config with Pool.procs = 3 } () in
+  check_bool "pool(3) = sequential distrib" true
+    (pool_fps o = Lazy.force reference);
+  check_int "no deaths in a clean run" 0 o.Pool.stats.Pool.deaths
+
+let test_pool_survives_sigkill () =
+  (* Worker 0 SIGKILLs itself on its second job — death mid-case from
+     the parent's view. The run must finish with the shard resharded and
+     the merged fingerprint unchanged. *)
+  let cfg =
+    { test_config with
+      Pool.sabotage = { Pool.no_sabotage with Pool.kill_after = [ (0, 1) ] } }
+  in
+  let o = run_pool ~cfg () in
+  check_bool "fingerprint equals crash-free run" true
+    (pool_fps o = Lazy.force reference);
+  check_bool "worker death observed" true (o.Pool.stats.Pool.deaths >= 1);
+  check_bool "shard resharded" true (o.Pool.stats.Pool.resharded > 0);
+  check_bool "worker respawned" true (o.Pool.stats.Pool.respawns >= 1)
+
+let prop_pool_equals_distrib =
+  (* The acceptance invariant: for any procs count and any single-kill
+     schedule (slot × cases-completed-before-death, SIGKILL mid-case),
+     the merged funnel/reports/quarantine fingerprint equals the
+     sequential Distrib run. Multi-kill schedules are covered by the
+     directed twice-lethal test — two kills in a row on one case
+     *should* quarantine it, by design. *)
+  QCheck.Test.make ~name:"pool procs=N × kill schedule = sequential distrib"
+    ~count:5
+    QCheck.(pair (int_range 1 4) (pair (int_range 0 3) (int_range 1 3)))
+    (fun (procs, (slot, after)) ->
+      let cfg =
+        { test_config with
+          Pool.procs;
+          sabotage =
+            { Pool.no_sabotage with
+              Pool.kill_after = [ (slot mod procs, after) ] } }
+      in
+      pool_fps (run_pool ~cfg ()) = Lazy.force reference)
+
+let test_pool_poison_two_strikes () =
+  (* Case 0 kills every worker that touches it. Two strikes must land it
+     in quarantine as a first-class Worker_lost crash report — not loop
+     respawns forever — and every other case must match the clean run. *)
+  let cfg =
+    { test_config with
+      Pool.sabotage = { Pool.no_sabotage with Pool.poison = [ 0 ] } }
+  in
+  let o = run_pool ~cfg () in
+  let clean = run_pool () in
+  check_int "one poisoned case" 1 o.Pool.stats.Pool.poisoned;
+  (match (o.Pool.results, clean.Pool.results) with
+   | poisoned :: rest, _ :: clean_rest ->
+     (match poisoned.Campaign.cr_crashes with
+      | [ { Supervisor.c_reason = Supervisor.Worker_lost _; c_attempts; _ } ] ->
+        check_int "two strikes recorded" 2 c_attempts
+      | _ -> Alcotest.fail "poisoned case must carry one Worker_lost crash");
+     check_bool "every other case unchanged" true
+       (List.map fp_one rest = List.map fp_one clean_rest)
+   | _ -> Alcotest.fail "pool produced no results")
+
+let test_pool_heartbeat_timeout () =
+  (* Worker 0 hangs forever on its first job; only the wall-clock
+     heartbeat can catch it. With no respawn budget the slot retires and
+     the survivor absorbs the queue. *)
+  let cfg =
+    { test_config with
+      Pool.heartbeat_s = 0.5;
+      max_respawns = 0;
+      sabotage = { Pool.no_sabotage with Pool.hang_after = [ (0, 0) ] } }
+  in
+  let o = run_pool ~cfg () in
+  check_bool "hang caught by heartbeat" true
+    (o.Pool.stats.Pool.heartbeat_timeouts >= 1);
+  check_int "no respawn budget" 0 o.Pool.stats.Pool.respawns;
+  check_bool "fingerprint equals crash-free run" true
+    (pool_fps o = Lazy.force reference)
+
+let test_pool_abort_and_resume () =
+  (* A single worker with no respawn budget dies mid-run: the pool must
+     abort with the typed exception, checkpointing completed shards —
+     and a fresh pool must resume without re-executing them. *)
+  let path = tmp "kit_test_pool_ckpt" in
+  if Sys.file_exists path then Sys.remove path;
+  let crash_cfg =
+    { test_config with
+      Pool.procs = 1;
+      max_respawns = 0;
+      checkpoint_path = Some path;
+      checkpoint_every = 1;
+      sabotage = { Pool.no_sabotage with Pool.kill_after = [ (0, 2) ] } }
+  in
+  (match run_pool ~cfg:crash_cfg () with
+   | (_ : Pool.outcome) -> Alcotest.fail "a dead pool must abort"
+   | exception Pool.Aborted { unfinished; stats } ->
+     check_bool "unfinished queue reported" true (unfinished <> []);
+     check_int "one death" 1 stats.Pool.deaths);
+  let resume_cfg =
+    { test_config with Pool.checkpoint_path = Some path; checkpoint_every = 1 }
+  in
+  let o = run_pool ~cfg:resume_cfg ~resume:true () in
+  check_bool "completed shards restored" true (o.Pool.stats.Pool.resumed >= 2);
+  check_bool "resumed fingerprint equals crash-free run" true
+    (pool_fps o = Lazy.force reference);
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "jobqueue merge order is submit order" `Quick
+      test_jobqueue_submit_order;
+    Alcotest.test_case "jobqueue reopen keeps position, drops result" `Quick
+      test_jobqueue_reopen;
+    Alcotest.test_case "jobqueue release/deal reshards deterministically"
+      `Quick test_jobqueue_reshard;
+    Alcotest.test_case "jobqueue quarantine retires a job for good" `Quick
+      test_jobqueue_quarantine;
+    Alcotest.test_case "checkpoint round-trips through KITCKPT1" `Quick
+      test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint corruption is a typed error" `Quick
+      test_checkpoint_typed_errors;
+    Alcotest.test_case "pool matches the sequential distrib run" `Quick
+      test_pool_matches_sequential;
+    Alcotest.test_case "SIGKILLed worker reshards, never aborts" `Quick
+      test_pool_survives_sigkill;
+    QCheck_alcotest.to_alcotest prop_pool_equals_distrib;
+    Alcotest.test_case "twice-lethal case is quarantined, not retried" `Quick
+      test_pool_poison_two_strikes;
+    Alcotest.test_case "hung worker is caught by the heartbeat" `Quick
+      test_pool_heartbeat_timeout;
+    Alcotest.test_case "dead pool aborts with checkpoint; resume skips done"
+      `Quick test_pool_abort_and_resume;
+  ]
