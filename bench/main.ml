@@ -16,6 +16,9 @@
    KIT_BENCH_POOL_CORPUS / KIT_BENCH_POOL_PROCS / KIT_BENCH_ONLY_POOL
    (process-pool section: corpus default 96, procs default 4, and its
    section-only switch),
+   KIT_BENCH_SERVE_CORPUS / KIT_BENCH_SERVE_PROCS / KIT_BENCH_ONLY_SERVE
+   (multi-tenant scheduler section: per-tenant corpus default 96, procs
+   default 4, and its section-only switch),
    KIT_BENCH_JSON=PATH (write the section timings and speedup ratios as
    a single JSON object to PATH). *)
 
@@ -48,6 +51,9 @@ module Spantree = Kit_obs.Spantree
 module Profile = Kit_obs.Profile
 module Distrib = Kit_core.Distrib
 module Pool = Kit_serve.Pool
+module Proto = Kit_serve.Proto
+module Sched = Kit_serve.Sched
+module Tenant = Kit_serve.Tenant
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -721,6 +727,120 @@ let print_pool_bench () =
   record "pool_sigkill_resharded" (Jsonl.Int pk.Pool.stats.Pool.resharded);
   Fmt.pr "@."
 
+(* --- multi-tenant serve scheduler ---------------------------------------
+   What the [kit serve] scheduler costs over driving the bare pool:
+     1. scheduling overhead — the same two campaigns end to end (prepare,
+        generate, execute), back to back on bare pools vs submitted
+        together and drained through Sched. The baseline pays two pool
+        spawns where the scheduler shares one — amortizing spawn across
+        tenants is part of what serve buys — so the per-case delta is
+        pure DRR/bookkeeping cost minus that saving;
+     2. fairness — with 3:1 weights the heavy tenant's share of
+        contended dispatches should sit at 0.75 (CI accepts +-10%);
+     3. work stealing — dispatches that spent another tenant's stranded
+        credit rather than idling a worker slot. *)
+
+let print_serve_bench () =
+  Fmt.pr "-- Multi-tenant serve: scheduler overhead / fairness / steals --@.";
+  let corpus_size = getenv_int "KIT_BENCH_SERVE_CORPUS" 96 in
+  let procs = getenv_int "KIT_BENCH_SERVE_PROCS" 4 in
+  record "serve_corpus" (Jsonl.Int corpus_size);
+  record "serve_procs" (Jsonl.Int procs);
+  let spec name seed weight =
+    { Proto.default_spec with
+      Proto.sp_name = name;
+      sp_seed = seed;
+      sp_corpus_size = corpus_size;
+      sp_weight = weight;
+      sp_diagnose = false }
+  in
+  let specs = [ spec "heavy" 11 3; spec "light" 7 1 ] in
+  let pool_cfg = { Pool.default_config with Pool.procs } in
+  let run_bare sp =
+    let options = Proto.options_of_spec sp in
+    let prepared = Campaign.prepare options in
+    let generation = Campaign.generate_prepared prepared in
+    let o =
+      Pool.execute pool_cfg options
+        (Campaign.prepared_corpus prepared)
+        generation
+    in
+    List.length o.Pool.results
+  in
+  let run_sched () =
+    let cfg =
+      { Sched.default_config with Sched.sc_pool = pool_cfg; sc_max_active = 2 }
+    in
+    let s = Sched.create cfg in
+    Fun.protect ~finally:(fun () -> Sched.shutdown s) @@ fun () ->
+    List.iter
+      (fun sp ->
+        match Sched.request s (Proto.Submit sp) with
+        | Proto.Accepted _ -> ()
+        | _ -> failwith "serve bench: submit rejected")
+      specs;
+    Sched.drain s;
+    List.map Tenant.status (Sched.tenants s)
+  in
+  (* Warm both paths once so allocator and code paths are hot. *)
+  ignore (run_bare (List.hd specs) : int);
+  ignore (run_sched () : Proto.tenant_status list);
+  let cases_per_spec, pool_s =
+    timed (fun () -> List.map run_bare specs)
+  in
+  let cases = List.fold_left ( + ) 0 cases_per_spec in
+  let statuses, sched_s = timed run_sched in
+  let per_case =
+    if cases > 0 then (sched_s -. pool_s) /. float_of_int cases else 0.0
+  in
+  Fmt.pr "bare pool x%d:        %d cases total: %.3fs (two pool spawns)@."
+    (List.length specs) cases pool_s;
+  Fmt.pr
+    "sched, shared pool:   %d cases total: %.3fs (%+.1f us/case scheduler \
+     overhead)@."
+    cases sched_s (per_case *. 1e6);
+  let dispatched =
+    List.fold_left (fun a st -> a + st.Proto.ts_dispatched) 0 statuses
+  and contended =
+    List.fold_left (fun a st -> a + st.Proto.ts_contended) 0 statuses
+  and steals =
+    List.fold_left (fun a st -> a + st.Proto.ts_steals) 0 statuses
+  in
+  let heavy_contended =
+    match List.find_opt (fun st -> st.Proto.ts_name = "heavy") statuses with
+    | Some st -> st.Proto.ts_contended
+    | None -> 0
+  in
+  let heavy_share =
+    if contended > 0 then
+      float_of_int heavy_contended /. float_of_int contended
+    else 0.75
+  in
+  let fairness_err = Float.abs (heavy_share -. 0.75) in
+  let steal_rate =
+    if dispatched > 0 then float_of_int steals /. float_of_int dispatched
+    else 0.0
+  in
+  Fmt.pr
+    "fairness (3:1):       heavy share %.3f of %d contended dispatches \
+     (target 0.750, err %.3f)@."
+    heavy_share contended fairness_err;
+  Fmt.pr "work stealing:        %d of %d dispatches stolen (%.1f%%)@." steals
+    dispatched (100.0 *. steal_rate);
+  Fmt.pr "                      every tenant finished with reports: %b@."
+    (List.for_all
+       (fun st -> st.Proto.ts_state = "finished" && st.Proto.ts_reports >= 0)
+       statuses);
+  record "serve_cases" (Jsonl.Int cases);
+  record "serve_s_pool" (Jsonl.Float pool_s);
+  record "serve_s_sched" (Jsonl.Float sched_s);
+  record "serve_overhead_us_per_case" (Jsonl.Float (per_case *. 1e6));
+  record "serve_dispatched" (Jsonl.Int dispatched);
+  record "serve_steals" (Jsonl.Int steals);
+  record "serve_steal_rate" (Jsonl.Float steal_rate);
+  record "serve_fairness_err" (Jsonl.Float fairness_err);
+  Fmt.pr "@."
+
 (* Pool workers re-execute this binary; the trampoline must run before
    the bench dispatch below. No-op in the parent. *)
 let () = Pool.worker_entry ()
@@ -746,6 +866,11 @@ let () =
     write_bench_json ();
     Fmt.pr "done.@."
   end
+  else if Sys.getenv_opt "KIT_BENCH_ONLY_SERVE" <> None then begin
+    print_serve_bench ();
+    write_bench_json ();
+    Fmt.pr "done.@."
+  end
   else begin
     print_tables ();
     print_jump_label_ablation ();
@@ -757,6 +882,7 @@ let () =
     print_pipeline_bench ();
     print_trace_bench ();
     print_pool_bench ();
+    print_serve_bench ();
     run_benchmarks ();
     write_bench_json ();
     Fmt.pr "done.@."

@@ -6,6 +6,15 @@
      kit pool        run the execute phase on crash-isolated worker
                      processes (real Unix processes, heartbeats,
                      respawns, reshard-on-death)
+     kit serve       multi-tenant campaign daemon: concurrent
+                     submissions share one worker pool under weighted
+                     deficit-round-robin scheduling, with per-tenant
+                     checkpoints and --resume
+     kit submit      submit a campaign to a running daemon
+     kit status      show the daemon's pool and tenant state
+     kit results     print a finished tenant's deterministic summary
+     kit cancel      cancel a pending or active tenant
+     kit extend      grow a finished tenant's corpus (delta campaign)
      kit tables      regenerate the paper's evaluation tables (2, 4, 5, 6)
      kit known-bugs  reproduce the documented bugs of Table 3
      kit run         execute one sender/receiver test case and explain it
@@ -39,6 +48,8 @@ module Fault = Kit_kernel.Fault
 module Bugs = Kit_kernel.Bugs
 module Supervisor = Kit_exec.Supervisor
 module Pool = Kit_serve.Pool
+module Proto = Kit_serve.Proto
+module Sched = Kit_serve.Sched
 module Obs = Kit_obs.Obs
 module Metrics = Kit_obs.Metrics
 module Tracer = Kit_obs.Tracer
@@ -73,6 +84,11 @@ let guarded f =
       (List.length unfinished) stats.Pool.deaths stats.Pool.respawns
       " (completed shards were checkpointed if --checkpoint was given; \
        rerun with --resume)";
+    exit_internal
+  | Sched.Dead_pool ->
+    Fmt.epr
+      "kit: every pool worker died with tenant work remaining; tenant state \
+       was checkpointed — restart with --resume@.";
     exit_internal
   | e ->
     Fmt.epr "kit: internal error: %s@." (Printexc.to_string e);
@@ -253,6 +269,32 @@ let options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Render the AGG-RS groups.")
 
+let summary_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summary" ] ~docv:"FILE"
+        ~doc:
+          "Write the deterministic campaign summary (no wall-clock content) \
+           to $(docv) — byte-identical to what $(b,kit results) prints for \
+           a served tenant with the same seed, corpus size and strategy.")
+
+let write_summary c = function
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (Proto.summary c));
+    Fmt.pr "summary: %s@." path
+
+let print_pool_stats ~procs = function
+  | None -> ()
+  | Some (s : Pool.stats) ->
+    Fmt.pr "pool: %d procs, %d spawns, %d deaths (%d heartbeat), %d respawns@."
+      procs s.Pool.spawns s.Pool.deaths s.Pool.heartbeat_timeouts
+      s.Pool.respawns;
+    Fmt.pr "pool: %d resharded, %d stolen, %d poisoned, %d resumed@."
+      s.Pool.resharded s.Pool.stolen s.Pool.poisoned s.Pool.resumed
+
 (* Exit code of a finished campaign: quarantined crashers dominate. *)
 let campaign_exit (c : Campaign.t) =
   if c.Campaign.quarantined <> [] then exit_quarantined
@@ -312,13 +354,14 @@ let run_campaign opts ~checkpoint_file ~checkpoint_every ~resume =
 let cmd_campaign =
   let run seed corpus_size strategy verbose faults fault_intensity fuel
       max_retries domains procs no_baseline_cache checkpoint_file
-      checkpoint_every resume metrics_file trace_file =
+      checkpoint_every resume summary_file metrics_file trace_file =
     guarded (fun () ->
         let obs = obs_of_flags ~metrics_file ~trace_file in
         let opts =
           options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
             ~max_retries ~domains ~baseline_cache:(not no_baseline_cache) ~obs
         in
+        let pool_stats = ref None in
         let c =
           if procs > 1 then
             (* Crash-isolated execute phase: the pool owns checkpointing
@@ -330,7 +373,10 @@ let cmd_campaign =
                 checkpoint_every = max 1 checkpoint_every }
             in
             Campaign.run_with_executor
-              ~executor:(Pool.executor ?obs ~resume cfg)
+              ~executor:
+                (Pool.executor ?obs ~resume
+                   ~on_stats:(fun s -> pool_stats := Some s)
+                   cfg)
               opts
           else run_campaign opts ~checkpoint_file ~checkpoint_every ~resume
         in
@@ -349,8 +395,12 @@ let cmd_campaign =
           (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
           found;
         Fmt.pr "%s@." (Tables.performance c);
+        (* satellite: a resumed --procs run must say so — the pool line
+           (including the resumed count) used to be dropped here *)
+        print_pool_stats ~procs !pool_stats;
         print_robustness c;
         if verbose then Fmt.pr "@.%s@." (Kit_report.Render.groups c.Campaign.agg_rs);
+        write_summary c summary_file;
         campaign_exit c)
   in
   Cmd.v (Cmd.info "campaign" ~doc:"Run a full testing campaign")
@@ -358,7 +408,8 @@ let cmd_campaign =
       const run $ seed_arg $ corpus_size_arg $ strategy_arg $ verbose_arg
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
       $ domains_arg $ procs_arg $ no_baseline_cache_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg $ metrics_arg $ trace_arg)
+      $ checkpoint_every_arg $ resume_arg $ summary_arg $ metrics_arg
+      $ trace_arg)
 
 let cmd_grow =
   let add_arg =
@@ -630,16 +681,7 @@ let cmd_pool =
           (Cluster.strategy_name c.Campaign.generation.Cluster.strategy)
           c.Campaign.generation.Cluster.clusters
           (List.length c.Campaign.reports);
-        (match !stats with
-        | None -> ()
-        | Some (s : Pool.stats) ->
-          Fmt.pr
-            "pool: %d procs, %d spawns, %d deaths (%d heartbeat), %d \
-             respawns@."
-            (max 1 procs) s.Pool.spawns s.Pool.deaths
-            s.Pool.heartbeat_timeouts s.Pool.respawns;
-          Fmt.pr "pool: %d resharded, %d stolen, %d poisoned, %d resumed@."
-            s.Pool.resharded s.Pool.stolen s.Pool.poisoned s.Pool.resumed);
+        print_pool_stats ~procs:(max 1 procs) !stats;
         if c.Campaign.quarantined <> [] then
           Fmt.pr "%d quarantined crasher(s)@."
             (List.length c.Campaign.quarantined);
@@ -990,11 +1032,288 @@ let cmd_trace =
       const run $ file_arg $ top_arg $ depth_arg $ chrome_arg $ folded_arg
       $ lane_arg)
 
+(* -- the serve family: daemon + one-shot clients ------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value & opt string "kit-serve.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+(* One-shot client call; transport failures and rejections exit 3. *)
+let client socket req ~on_reply =
+  match Proto.request socket req with
+  | Error e ->
+    Fmt.epr "kit: %s@." e;
+    exit_internal
+  | Ok (Proto.Rejected why) ->
+    Fmt.epr "kit: rejected: %s@." why;
+    exit_internal
+  | Ok reply -> on_reply reply
+
+let unexpected_reply (_ : Proto.reply) =
+  Fmt.epr "kit: unexpected reply from the daemon@.";
+  exit_internal
+
+let rec wait_results socket name =
+  match Proto.request socket (Proto.Results name) with
+  | Ok (Proto.Summary s) ->
+    Fmt.pr "%s@?" s;
+    exit_clean
+  | Ok (Proto.Not_ready _) ->
+    Unix.sleepf 0.25;
+    wait_results socket name
+  | Ok (Proto.Rejected why) ->
+    Fmt.epr "kit: rejected: %s@." why;
+    exit_internal
+  | Ok _ -> unexpected_reply Proto.Bye
+  | Error e ->
+    Fmt.epr "kit: %s@." e;
+    exit_internal
+
+let cmd_serve =
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Checkpoint tenant state under $(docv) (created if missing); a \
+             daemon restarted with $(b,--resume) restores every tenant from \
+             it without re-executing checkpointed work.")
+  in
+  let serve_procs_arg =
+    Arg.(value & opt int 4 & info [ "procs" ] ~doc:"Shared worker processes.")
+  in
+  let serve_heartbeat_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "heartbeat" ] ~docv:"SECONDS"
+          ~doc:"Per-job wall-clock deadline for pool workers.")
+  in
+  let serve_max_respawns_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-respawns" ] ~doc:"Respawn budget per worker slot.")
+  in
+  let max_active_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-active" ] ~doc:"Tenants executing concurrently.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "max-pending" ]
+          ~doc:"Admission bound: submissions waiting for activation.")
+  in
+  let run socket state_dir procs heartbeat_s max_respawns max_active
+      max_pending checkpoint_every resume metrics_file trace_file =
+    guarded (fun () ->
+        let obs = obs_of_flags ~metrics_file ~trace_file in
+        let cfg =
+          { Sched.sc_pool =
+              { Pool.default_config with
+                Pool.procs = max 1 procs;
+                heartbeat_s;
+                max_respawns = max 0 max_respawns };
+            sc_max_active = max 1 max_active;
+            sc_max_pending = max 0 max_pending;
+            sc_state_dir = state_dir;
+            sc_checkpoint_every = max 1 checkpoint_every }
+        in
+        let s = Sched.create ?obs cfg in
+        Fun.protect
+          ~finally:(fun () -> Sched.shutdown s)
+          (fun () ->
+            if resume then
+              List.iter
+                (fun (name, state) ->
+                  Fmt.pr "kit-serve: resumed tenant %s (%s)@." name state)
+                (Sched.resume s);
+            Sched.serve ~log:(fun m -> Fmt.pr "kit-serve: %s@." m) s ~socket);
+        export_obs obs ~metrics_file ~trace_file
+          ~meta:[ ("cmd", Jsonl.Str "serve"); ("procs", Jsonl.Int procs) ];
+        exit_clean)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant campaign daemon: concurrent submissions \
+          share one crash-isolated worker pool under weighted \
+          deficit-round-robin fair scheduling. SIGTERM (or a Shutdown \
+          request) checkpoints every tenant and exits 0; a daemon whose \
+          every worker died exits 3 after checkpointing, and \
+          $(b,--resume) picks up where it left off.")
+    Term.(
+      const run $ socket_arg $ state_dir_arg $ serve_procs_arg
+      $ serve_heartbeat_arg $ serve_max_respawns_arg $ max_active_arg
+      $ max_pending_arg $ checkpoint_every_arg $ resume_arg $ metrics_arg
+      $ trace_arg)
+
+let name_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"NAME" ~doc:"Tenant name.")
+
+let wait_arg =
+  Arg.(
+    value & flag
+    & info [ "wait" ]
+        ~doc:"Poll until the tenant finishes, then print its summary.")
+
+let cmd_submit =
+  let submit_name_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Tenant name (1-64 chars from [A-Za-z0-9_-]; unique).")
+  in
+  let weight_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "weight" ]
+          ~doc:
+            "Fair-share weight: under contention the tenant's executed-case \
+             share converges to weight / sum-of-weights.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-inflight" ]
+          ~doc:"Cap on the tenant's concurrently executing cases (0 = none).")
+  in
+  let no_diagnose_arg =
+    Arg.(
+      value & flag
+      & info [ "no-diagnose" ] ~doc:"Skip diagnosis and aggregation.")
+  in
+  let run socket name seed corpus_size strategy weight max_inflight
+      no_diagnose wait =
+    guarded (fun () ->
+        let spec =
+          { Proto.sp_name = name;
+            sp_seed = seed;
+            sp_corpus_size = corpus_size;
+            sp_strategy = strategy;
+            sp_weight = max 1 weight;
+            sp_max_inflight = max 0 max_inflight;
+            sp_diagnose = not no_diagnose }
+        in
+        client socket (Proto.Submit spec) ~on_reply:(function
+          | Proto.Accepted { a_name; a_id } ->
+            Fmt.pr "accepted %s as tenant %d@." a_name a_id;
+            if wait then wait_results socket name else exit_clean
+          | reply -> unexpected_reply reply))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a campaign to a running $(b,kit serve) daemon. The \
+          tenant's eventual $(b,kit results) summary is byte-identical to \
+          a standalone $(b,kit campaign --summary) with the same seed, \
+          corpus size and strategy.")
+    Term.(
+      const run $ socket_arg $ submit_name_arg $ seed_arg $ corpus_size_arg
+      $ strategy_arg $ weight_arg $ max_inflight_arg $ no_diagnose_arg
+      $ wait_arg)
+
+let cmd_status =
+  let run socket =
+    guarded (fun () ->
+        client socket Proto.Status ~on_reply:(function
+          | Proto.Status_is { st_pool = p; st_tenants } ->
+            Fmt.pr "pool: %d procs, %d live, %d spawns, %d deaths, %d \
+                    respawns@."
+              p.Proto.ps_procs p.Proto.ps_live p.Proto.ps_spawns
+              p.Proto.ps_deaths p.Proto.ps_respawns;
+            List.iter
+              (fun (ts : Proto.tenant_status) ->
+                Fmt.pr
+                  "tenant %s (id %d, weight %d): %s, %d/%d done, %d execs, \
+                   %d resumed, %d dispatched (%d contended, %d stolen)%s@."
+                  ts.Proto.ts_name ts.Proto.ts_id ts.Proto.ts_weight
+                  ts.Proto.ts_state ts.Proto.ts_done ts.Proto.ts_total
+                  ts.Proto.ts_executions ts.Proto.ts_resumed
+                  ts.Proto.ts_dispatched ts.Proto.ts_contended
+                  ts.Proto.ts_steals
+                  (if ts.Proto.ts_reports >= 0 then
+                     Printf.sprintf ", %d reports" ts.Proto.ts_reports
+                   else ""))
+              st_tenants;
+            exit_clean
+          | reply -> unexpected_reply reply))
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Show the daemon's pool and tenant state.")
+    Term.(const run $ socket_arg)
+
+let cmd_results =
+  let run socket name wait =
+    guarded (fun () ->
+        if wait then wait_results socket name
+        else
+          client socket (Proto.Results name) ~on_reply:(function
+            | Proto.Summary s ->
+              Fmt.pr "%s@?" s;
+              exit_clean
+            | Proto.Not_ready state ->
+              Fmt.epr "kit: %s is not finished (%s)@." name state;
+              exit_reports
+            | reply -> unexpected_reply reply))
+  in
+  Cmd.v
+    (Cmd.info "results"
+       ~doc:
+         "Print a finished tenant's deterministic campaign summary \
+          (byte-identical to $(b,kit campaign --summary) on the same \
+          inputs).")
+    Term.(const run $ socket_arg $ name_arg $ wait_arg)
+
+let cmd_cancel =
+  let run socket name =
+    guarded (fun () ->
+        client socket (Proto.Cancel name) ~on_reply:(function
+          | Proto.Acked ->
+            Fmt.pr "cancelled %s@." name;
+            exit_clean
+          | reply -> unexpected_reply reply))
+  in
+  Cmd.v
+    (Cmd.info "cancel" ~doc:"Cancel a pending or active tenant.")
+    Term.(const run $ socket_arg $ name_arg)
+
+let cmd_extend =
+  let add_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "add" ] ~doc:"Programs to append to the tenant's corpus.")
+  in
+  let run socket name add wait =
+    guarded (fun () ->
+        client socket (Proto.Extend { x_name = name; x_add = max 1 add })
+          ~on_reply:(function
+          | Proto.Accepted { a_name; a_id } ->
+            Fmt.pr "extending %s (tenant %d) by %d@." a_name a_id (max 1 add);
+            if wait then wait_results socket name else exit_clean
+          | reply -> unexpected_reply reply))
+  in
+  Cmd.v
+    (Cmd.info "extend"
+       ~doc:
+         "Grow a finished tenant's corpus and re-run it as a delta \
+          campaign: cached per-cluster results are replayed, so unchanged \
+          clusters are not re-executed.")
+    Term.(const run $ socket_arg $ name_arg $ add_arg $ wait_arg)
+
 let main =
   Cmd.group
     (Cmd.info "kit" ~version:"1.0.0"
        ~doc:"Functional interference testing for OS-level virtualization")
-    [ cmd_campaign; cmd_grow; cmd_distrib; cmd_pool; cmd_tables;
+    [ cmd_campaign; cmd_grow; cmd_distrib; cmd_pool; cmd_serve; cmd_submit;
+      cmd_status; cmd_results; cmd_cancel; cmd_extend; cmd_tables;
       cmd_known_bugs; cmd_run; cmd_profile; cmd_corpus; cmd_stats; cmd_trace ]
 
 (* Pool workers re-execute this binary; the trampoline must run before

@@ -158,6 +158,8 @@ let prepare (options : options) =
   { p_options = options; p_corpus = Array.of_list corpus;
     p_profiles = profiles; p_map = map; p_obs = obs }
 
+let prepared_corpus prepared = prepared.p_corpus
+
 (* Interference test used both for detection-time classification and for
    Algorithm 2 re-testing: masked divergence restricted to receiver calls
    that access protected resources. The supervised variant survives
@@ -603,20 +605,33 @@ let run options = execute_prepared (prepare options)
 type executor =
   options -> Program.t array -> Cluster.result -> case_result list * int
 
-let run_with_executor ~executor options =
-  let prepared = prepare options in
+(* The generate phase alone, on already-prepared inputs. Split out of
+   [run_with_executor] so asynchronous drivers (the serve scheduler)
+   can materialise a tenant's cluster representatives up front, execute
+   them over any schedule, and only later fold the results back with
+   {!assemble}. *)
+let generate_prepared ?strategy prepared =
+  let options = prepared.p_options in
+  let strategy = Option.value strategy ~default:options.strategy in
   let obs = prepared.p_obs in
   let generation, generate_s =
     Pipeline.run_timed obs generate_stage
-      (options.strategy, options.seed, Array.length prepared.p_corpus,
-       prepared.p_map)
+      (strategy, options.seed, Array.length prepared.p_corpus, prepared.p_map)
   in
   Metrics.set_gauge (time_gauge obs "generate_s") generate_s;
   Metrics.set_counter (c_counter obs "generated") generation.Cluster.generated;
   Metrics.set_counter (c_counter obs "clusters") generation.Cluster.clusters;
-  let (out, executions), execute_s =
-    timed (fun () -> executor options prepared.p_corpus generation)
+  generation
+
+(* Fold per-case results (representative order) back into a finished
+   campaign: funnel accumulation, report/quarantine collection, then the
+   shared diagnosis machinery on a fresh sequential environment —
+   exactly what [run_with_executor] does after its executor returns. *)
+let assemble ?(execute_s = 0.0) prepared generation out ~executions =
+  let options =
+    { prepared.p_options with strategy = generation.Cluster.strategy }
   in
+  let obs = prepared.p_obs in
   let funnel = Filter.funnel_create () in
   let rev_reports = ref [] and rev_quarantined = ref [] in
   List.iter
@@ -625,8 +640,6 @@ let run_with_executor ~executor options =
       Option.iter (fun rep -> rev_reports := rep :: !rev_reports) r.cr_report;
       rev_quarantined := List.rev_append r.cr_crashes !rev_quarantined)
     out;
-  (* Diagnosis runs in this process on a fresh sequential environment,
-     exactly like the domain-parallel path. *)
   finish prepared options
     (Phase_done
        { generation; funnel;
@@ -634,7 +647,16 @@ let run_with_executor ~executor options =
          quarantined = List.rev !rev_quarantined;
          prior_executions = executions;
          sup = make_supervisor ~obs options;
-         generate_s; execute_s })
+         generate_s = Metrics.gauge_value (time_gauge obs "generate_s");
+         execute_s })
+
+let run_with_executor ~executor options =
+  let prepared = prepare options in
+  let generation = generate_prepared prepared in
+  let (out, executions), execute_s =
+    timed (fun () -> executor options prepared.p_corpus generation)
+  in
+  assemble prepared generation out ~executions ~execute_s
 
 (* Public alias: pool workers boot the exact environment the built-in
    paths use. *)

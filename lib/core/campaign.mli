@@ -89,6 +89,11 @@ type prepared
 
 val prepare : options -> prepared
 
+val prepared_corpus : prepared -> Kit_abi.Program.t array
+(** The generated corpus, for external execution drivers that need the
+    program array itself (pool context registration,
+    {!lost_case_result}). *)
+
 (** {2 Checkpointing}
 
     The execute phase — the long-running part of a campaign — can pause
@@ -186,6 +191,25 @@ val run_with_executor : executor:executor -> options -> t
     with the execute phase delegated to [executor]. Used by
     [kit campaign --procs N] to run execution on the forked process
     pool while diagnosis and reporting stay in-process. *)
+
+val generate_prepared :
+  ?strategy:Kit_gen.Cluster.strategy -> prepared -> Kit_gen.Cluster.result
+(** The generate phase alone (clusters + representatives from the
+    prepared access map, with the usual phase span and counters).
+    {!run_with_executor} is [prepare] → [generate_prepared] → executor →
+    {!assemble}; asynchronous drivers like the serve scheduler call the
+    pieces separately so many tenants' representatives can interleave on
+    one shared pool. *)
+
+val assemble :
+  ?execute_s:float ->
+  prepared -> Kit_gen.Cluster.result -> case_result list ->
+  executions:int -> t
+(** Fold per-case results (in representative order, one per
+    representative of the generation) into a finished campaign:
+    funnel/report/quarantine accumulation, diagnosis on a fresh
+    sequential environment, aggregation — the back half of
+    {!run_with_executor}. *)
 
 (** {2 Streaming campaigns}
 

@@ -77,9 +77,11 @@ let assign_round_robin t ~workers =
     (ordered t);
   Array.map List.rev buckets
 
+exception No_survivors
+
 let deal t jobs ~to_ =
   match to_ with
-  | [] -> invalid_arg "Jobqueue.deal: no survivors to deal to"
+  | [] -> raise No_survivors
   | survivors ->
     let arr = Array.of_list survivors in
     List.iteri

@@ -49,10 +49,17 @@ val assign_round_robin : ('a, 'b) t -> workers:int -> (int * 'a) list array
     ([(id, payload)], submit order); jobs already assigned, running or
     finished are untouched. *)
 
+exception No_survivors
+(** {!deal} was given an empty [to_] list: there is nobody left to
+    absorb the orphaned jobs. Drivers catch it to abort (the pool) or to
+    fail just the owning tenant (the scheduler) instead of dying on a
+    generic [Invalid_argument]. *)
+
 val deal : ('a, 'b) t -> (int * 'a) list -> to_:int list -> unit
 (** [deal t jobs ~to_:survivors] reassigns [jobs] (typically a dead
     worker's {!release}d queue) round-robin over the [survivors] in list
-    order: job [k] goes to [List.nth survivors (k mod n)]. *)
+    order: job [k] goes to [List.nth survivors (k mod n)].
+    @raise No_survivors when [survivors] is empty. *)
 
 val claim_next : ('a, 'b) t -> worker:int -> (int * 'a) option
 (** The worker's next assigned-but-unclaimed job, in submit order;

@@ -8,13 +8,18 @@
    domain-distributed campaign paths in one executable. Each worker owns
    a job pipe (parent writes) and a result pipe (worker writes), both
    carrying length-prefixed Marshal frames (Wire); the first job-pipe
-   frame is a [Hello] with the worker's slot, sabotage and campaign
-   inputs — spawned workers share no memory, so the context travels the
-   wire ([Marshal.Closures], sound across the identical image). The
-   parent pre-shards the Jobqueue round-robin over the worker slots and
-   then drives each worker one job at a time: claim → send → wait for
-   Done → complete → claim the next (stealing from the longest queue
-   when its own shard runs dry).
+   frame is a [Hello] with the worker's slot and sabotage, followed by
+   one [Context] frame per registered tenant — spawned workers share no
+   memory, so campaign inputs travel the wire ([Marshal.Closures],
+   sound across the identical image).
+
+   The pool itself is tenant-agnostic plumbing: it spawns, feeds,
+   reaps, heartbeat-kills and respawns workers, and reports what
+   happened as {!event}s. Policy — which job runs next, strikes,
+   quarantine, resharding, checkpointing — lives in the drivers:
+   {!execute} (the single-campaign driver behind [kit pool] and
+   [kit campaign --procs]) and the multi-tenant scheduler
+   ({!Kit_serve.Sched}), both claiming work from {!Kit_core.Jobqueue}s.
 
    Fd hygiene is what makes death detection sound: the parent-side pipe
    ends are close-on-exec, and the child-side ends — advertised to the
@@ -93,16 +98,26 @@ exception
 
 (* -- wire messages ------------------------------------------------------- *)
 
-type hello =
-  | Hello of {
-      h_slot : int;
-      h_sab : sabotage;
-      h_options : Campaign.options;
-      h_corpus : Program.t array;
-    }
+type hello = Hello of { h_slot : int; h_sab : sabotage }
 
-type job_msg = Job of int * Testcase.t | Quit
-type res_msg = Done of int * Campaign.case_result * int  (* execs delta *)
+type job_msg =
+  | Context of {
+      c_tenant : int;
+      c_label : string;
+      c_options : Campaign.options;
+      c_corpus : Program.t array;
+    }
+  | Job of { j_tenant : int; j_id : int; j_tc : Testcase.t }
+  | Retire of int
+  | Quit
+
+type res_msg =
+  | Done of {
+      d_tenant : int;
+      d_id : int;
+      d_result : Campaign.case_result;
+      d_execs : int;                     (* execs delta *)
+    }
 
 let worker_env_var = "KIT_POOL_WORKER"
 
@@ -115,18 +130,38 @@ let kill_self () =
      parent's code path. *)
   Unix._exit 70
 
-let child_main ~slot ~options ~corpus ~(sab : sabotage) rx tx =
+(* One supervised execution environment per registered tenant: each
+   tenant is its own campaign with its own options, corpus and
+   supervisor, so their fault schedules and quarantine counters never
+   bleed into each other. Sabotage counts completed cases across
+   tenants — it models the worker process dying, not a campaign. *)
+type child_env = {
+  e_label : string;
+  e_options : Campaign.options;
+  e_corpus : Program.t array;
+  e_sup : Supervisor.t;
+}
+
+let child_main ~slot ~(sab : sabotage) rx tx =
   let code = ref 0 in
   (try
      let obs = Obs.create () in
-     let sup = Campaign.supervisor ~obs options in
+     let envs : (int, child_env) Hashtbl.t = Hashtbl.create 4 in
      let kill_at = List.assoc_opt slot sab.kill_after in
      let hang_at = List.assoc_opt slot sab.hang_after in
      let completed = ref 0 in
      let rec loop () =
        match (Wire.recv rx : job_msg option) with
        | None | Some Quit -> ()
-       | Some (Job (id, tc)) ->
+       | Some (Context { c_tenant; c_label; c_options; c_corpus }) ->
+         Hashtbl.replace envs c_tenant
+           { e_label = c_label; e_options = c_options; e_corpus = c_corpus;
+             e_sup = Campaign.supervisor ~obs c_options };
+         loop ()
+       | Some (Retire tenant) ->
+         Hashtbl.remove envs tenant;
+         loop ()
+       | Some (Job { j_tenant; j_id; j_tc }) ->
          (match kill_at with
           | Some n when !completed >= n -> kill_self ()
           | Some _ | None -> ());
@@ -134,19 +169,34 @@ let child_main ~slot ~options ~corpus ~(sab : sabotage) rx tx =
           | Some n when !completed >= n ->
             while true do Unix.sleepf 3600.0 done
           | Some _ | None -> ());
-         if List.mem id sab.poison then kill_self ();
-         let e0 = Supervisor.executions sup in
-         let attrs =
-           [ ("case", string_of_int id); ("proc", string_of_int slot) ]
-         in
-         let r = Campaign.exec_case ~attrs options corpus sup tc in
-         Wire.send tx (Done (id, r, Supervisor.executions sup - e0));
-         incr completed;
-         loop ()
+         if List.mem j_id sab.poison then kill_self ();
+         (match Hashtbl.find_opt envs j_tenant with
+          | None ->
+            (* A job for a tenant we never heard of is a protocol bug;
+               die loudly rather than fabricate a result. *)
+            Unix._exit 70
+          | Some env ->
+            let e0 = Supervisor.executions env.e_sup in
+            let attrs =
+              [ ("case", string_of_int j_id); ("proc", string_of_int slot) ]
+              @ (if env.e_label = "" then []
+                 else [ ("tenant", env.e_label) ])
+            in
+            let r =
+              Campaign.exec_case ~attrs env.e_options env.e_corpus env.e_sup
+                j_tc
+            in
+            Wire.send tx
+              (Done
+                 { d_tenant = j_tenant; d_id = j_id; d_result = r;
+                   d_execs = Supervisor.executions env.e_sup - e0 });
+            incr completed;
+            loop ())
      in
      loop ()
    with
    | Supervisor.Gave_up _ -> code := 71
+   | Wire.Oversized _ -> code := 70
    | _ -> code := 70);
   Unix._exit !code
 
@@ -168,14 +218,12 @@ let worker_entry () =
       | _ -> Unix._exit 70
     in
     (match (Wire.recv rx : hello option) with
-     | Some (Hello { h_slot; h_sab; h_options; h_corpus }) ->
-       child_main ~slot:h_slot ~options:h_options ~corpus:h_corpus ~sab:h_sab
-         rx tx
-     | None -> ());
+     | Some (Hello { h_slot; h_sab }) -> child_main ~slot:h_slot ~sab:h_sab rx tx
+     | None | (exception Wire.Oversized _) -> ());
     (* Only reachable on a missing or undecodable Hello. *)
     Unix._exit 70
 
-(* -- parent side ---------------------------------------------------------- *)
+(* -- parent side: the persistent pool core -------------------------------- *)
 
 type worker = {
   slot : int;
@@ -183,39 +231,43 @@ type worker = {
   mutable tx : Unix.file_descr;          (* job pipe, write end *)
   mutable rx : Unix.file_descr;          (* result pipe, read end *)
   mutable alive : bool;
-  mutable job : (int * float) option;    (* in-flight id, deadline *)
+  mutable job : (int * int * float) option; (* tenant, id, deadline *)
   mutable respawns_left : int;
   mutable backoff_s : float;
   mutable span : Tracer.span option;
 }
 
-type state = {
-  q : (Testcase.t, Campaign.case_result) Jobqueue.t;
-  qres : (int, Campaign.case_result) Hashtbl.t;  (* pool-quarantined *)
-  lethal : (int, int) Hashtbl.t;         (* consecutive kills per case *)
+type event =
+  | Job_done of {
+      ev_slot : int;
+      ev_tenant : int;
+      ev_id : int;
+      ev_result : Campaign.case_result;
+      ev_execs : int;
+    }
+  | Worker_lost of {
+      ev_slot : int;
+      ev_why : string;
+      ev_in_flight : (int * int) option; (* tenant, id — already drained *)
+      ev_respawned : bool;
+    }
+
+type t = {
   workers : worker array;
   cfg : config;
-  options : Campaign.options;
-  corpus : Program.t array;
   obs : Obs.t;
-  total : int;
-  mutable execs : int;
-  mutable since_ckpt : int;              (* completions since last save *)
+  (* Registered campaign contexts, re-sent to every respawned worker so
+     an incarnation can pick up any tenant's jobs. *)
+  contexts : (int, string * Campaign.options * Program.t array) Hashtbl.t;
+  mutable pending : event list;          (* reverse order *)
   mutable spawns : int;
   mutable deaths : int;
   mutable respawns : int;
   mutable hb_timeouts : int;
-  mutable poisoned : int;
-  mutable resumed : int;
+  mutable sigpipe_prev : Sys.signal_behavior option;
 }
 
-let pc name st = Metrics.counter ~always:true st.obs.Obs.metrics ("pool." ^ name)
-
-let stats_of st =
-  { spawns = st.spawns; deaths = st.deaths; respawns = st.respawns;
-    resharded = Jobqueue.resharded st.q;
-    heartbeat_timeouts = st.hb_timeouts; poisoned = st.poisoned;
-    resumed = st.resumed; stolen = Jobqueue.stolen st.q }
+let pc name t = Metrics.counter ~always:true t.obs.Obs.metrics ("pool." ^ name)
 
 let status_to_string = function
   | Unix.WEXITED 71 -> "worker gave up (permanent infrastructure fault)"
@@ -223,87 +275,38 @@ let status_to_string = function
   | Unix.WSIGNALED n -> Printf.sprintf "worker killed by signal %d" n
   | Unix.WSTOPPED n -> Printf.sprintf "worker stopped by signal %d" n
 
-(* -- checkpointing -------------------------------------------------------- *)
+let send_context w ~tenant ~label ~options ~corpus =
+  (* The context frame replaces the address space a fork would have
+     copied. [Marshal.Closures] carries the spec's checker closures;
+     the obs bundle is unmarshalable and private anyway — the worker
+     builds its own. *)
+  try
+    Wire.send ~flags:[ Marshal.Closures ] w.tx
+      (Context
+         { c_tenant = tenant; c_label = label;
+           c_options = { options with Campaign.obs = None };
+           c_corpus = corpus })
+  with Unix.Unix_error _ | Sys_error _ -> ()
 
-let checkpoint_kind = "pool-shards"
-
-type pool_checkpoint = {
-  pc_seed : int;
-  pc_corpus_size : int;
-  pc_total : int;
-  pc_completed : (int * Campaign.case_result) list;
-  pc_quarantined : (int * Campaign.case_result) list;
-  pc_executions : int;
-}
-
-let save_checkpoint st path =
-  let quarantined =
-    Hashtbl.fold (fun id r acc -> (id, r) :: acc) st.qres []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-  in
-  Checkpoint.save path ~kind:checkpoint_kind
-    { pc_seed = st.options.Campaign.seed;
-      pc_corpus_size = st.options.Campaign.corpus_size;
-      pc_total = st.total;
-      pc_completed = Jobqueue.results st.q;
-      pc_quarantined = quarantined;
-      pc_executions = st.execs }
-
-let maybe_checkpoint ?(force = false) st =
-  match st.cfg.checkpoint_path with
-  | None -> ()
-  | Some path ->
-    if force || st.since_ckpt >= max 1 st.cfg.checkpoint_every then begin
-      st.since_ckpt <- 0;
-      save_checkpoint st path
-    end
-
-let load_resume st path =
-  match (Checkpoint.load path ~kind:checkpoint_kind
-         : (pool_checkpoint, Checkpoint.error) result)
-  with
-  | Error e -> failwith (Checkpoint.error_to_string e)
-  | Ok ck ->
-    if ck.pc_seed <> st.options.Campaign.seed
-       || ck.pc_corpus_size <> st.options.Campaign.corpus_size
-       || ck.pc_total <> st.total
-    then
-      invalid_arg
-        "Pool.execute: checkpoint was taken with different campaign inputs";
-    List.iter (fun (id, r) -> Jobqueue.complete st.q id r) ck.pc_completed;
-    List.iter
-      (fun (id, r) ->
-        Jobqueue.quarantine st.q id;
-        Hashtbl.replace st.qres id r)
-      ck.pc_quarantined;
-    st.execs <- st.execs + ck.pc_executions;
-    st.resumed <-
-      List.length ck.pc_completed + List.length ck.pc_quarantined;
-    Metrics.set_counter (pc "resumed" st) st.resumed
-
-(* -- spawning ------------------------------------------------------------- *)
-
-let spawn st w =
+let spawn t w =
   (* Kill/hang sabotage is a one-shot event schedule: the slot's entry
      fires in the first incarnation only, so a respawned worker is not
      doomed to die every N cases forever. (Poison deliberately re-fires
      — that is the twice-lethal path.) *)
   let sab =
-    if w.pid = -1 then st.cfg.sabotage
+    if w.pid = -1 then t.cfg.sabotage
     else
-      { st.cfg.sabotage with
+      { t.cfg.sabotage with
         kill_after =
-          List.filter (fun (s, _) -> s <> w.slot) st.cfg.sabotage.kill_after;
+          List.filter (fun (s, _) -> s <> w.slot) t.cfg.sabotage.kill_after;
         hang_after =
-          List.filter (fun (s, _) -> s <> w.slot) st.cfg.sabotage.hang_after }
+          List.filter (fun (s, _) -> s <> w.slot) t.cfg.sabotage.hang_after }
   in
   (* The parent-side ends are close-on-exec; the child-side ends cross
      the exec by number via the environment and are closed here right
      after the (sequential) spawn — so no sibling spawned later can
      inherit this worker's result-pipe write end, and EOF detection
-     stays sound. The wire must not ride on stdin/stdout: module
-     initialisers of the re-executed image print before {!worker_entry}
-     runs and would desynchronise the framing. *)
+     stays sound. *)
   let jr, jw = Unix.pipe () in
   let rr, rw = Unix.pipe () in
   Unix.set_close_on_exec jw;
@@ -331,191 +334,224 @@ let spawn st w =
   w.rx <- rr;
   w.alive <- true;
   w.job <- None;
-  (* The bootstrap frame replaces the address space a fork would have
-     copied. [Marshal.Closures] carries the spec's checker closures;
-     the obs bundle is unmarshalable and private anyway — the worker
-     builds its own. *)
-  (try
-     Wire.send ~flags:[ Marshal.Closures ] jw
-       (Hello
-          { h_slot = w.slot; h_sab = sab;
-            h_options = { st.options with Campaign.obs = None };
-            h_corpus = st.corpus })
+  (try Wire.send jw (Hello { h_slot = w.slot; h_sab = sab })
    with Unix.Unix_error _ | Sys_error _ -> ());
+  (* Every registered tenant context, in tenant order: a respawned
+     worker can serve any tenant its predecessor could. *)
+  Hashtbl.fold (fun tenant ctx acc -> (tenant, ctx) :: acc) t.contexts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (tenant, (label, options, corpus)) ->
+         send_context w ~tenant ~label ~options ~corpus);
   w.span <-
     Some
-      (Tracer.span st.obs.Obs.tracer
+      (Tracer.span t.obs.Obs.tracer
          ~attrs:[ ("proc", string_of_int w.slot); ("pid", string_of_int pid) ]
          "pool.worker");
-  st.spawns <- st.spawns + 1;
-  Metrics.inc (pc "spawns" st)
+  t.spawns <- t.spawns + 1;
+  Metrics.inc (pc "spawns" t)
 
-(* -- the driver loop ------------------------------------------------------ *)
+let create ?obs cfg =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let procs = max 1 cfg.procs in
+  let workers =
+    Array.init procs (fun slot ->
+        { slot; pid = -1; tx = Unix.stdin; rx = Unix.stdin; alive = false;
+          job = None; respawns_left = max 0 cfg.max_respawns;
+          backoff_s = Float.max 0.0 cfg.backoff_base_ms /. 1000.0;
+          span = None })
+  in
+  (* The parent writes into job pipes of workers that may already be
+     dead; without this a single EPIPE would kill the whole pool. *)
+  let sigpipe_prev =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let t =
+    { workers; cfg; obs; contexts = Hashtbl.create 4; pending = [];
+      spawns = 0; deaths = 0; respawns = 0; hb_timeouts = 0; sigpipe_prev }
+  in
+  Array.iter (fun w -> spawn t w) workers;
+  t
 
-let dispatch st (w : worker) =
-  if w.alive && w.job = None then begin
-    let next =
-      match Jobqueue.claim_next st.q ~worker:w.slot with
-      | Some j -> Some j
-      | None -> Jobqueue.steal st.q ~thief:w.slot
-    in
-    match next with
-    | None -> ()
-    | Some (id, tc) ->
-      w.job <- Some (id, Unix.gettimeofday () +. st.cfg.heartbeat_s);
-      (* A send to a dying worker raises EPIPE; the death is picked up
-         through EOF/waitpid and the job resharded with the rest. *)
-      (try Wire.send w.tx (Job (id, tc))
-       with Unix.Unix_error _ | Sys_error _ -> ())
-  end
+let register t ~tenant ~label options corpus =
+  Hashtbl.replace t.contexts tenant (label, options, corpus);
+  Array.iter
+    (fun w -> if w.alive then send_context w ~tenant ~label ~options ~corpus)
+    t.workers
 
-let record_done st (w : worker) id r d =
-  Jobqueue.complete st.q id r;            (* no-op if already quarantined *)
-  Hashtbl.remove st.lethal id;            (* a success resets the strikes *)
-  st.execs <- st.execs + d;
-  st.since_ckpt <- st.since_ckpt + 1;
-  (match w.job with Some (jid, _) when jid = id -> w.job <- None | _ -> ());
-  maybe_checkpoint st
+let retire t ~tenant =
+  Hashtbl.remove t.contexts tenant;
+  Array.iter
+    (fun w ->
+      if w.alive then
+        try Wire.send w.tx (Retire tenant)
+        with Unix.Unix_error _ | Sys_error _ -> ())
+    t.workers
 
-let abort st =
-  maybe_checkpoint ~force:true st;
-  raise (Aborted { unfinished = Jobqueue.unfinished st.q; stats = stats_of st })
+let alive_slots t =
+  Array.to_list t.workers
+  |> List.filter_map (fun w -> if w.alive then Some w.slot else None)
 
-(* A worker died (or was killed): drain its buffered results, count a
-   strike against the in-flight case, release and redeal its queue, and
-   respawn if budget remains. The kernel closed the dead worker's
-   result-pipe write end, so the drain terminates at EOF. *)
-let handle_death st (w : worker) ~why =
+let idle_slots t =
+  Array.to_list t.workers
+  |> List.filter_map (fun w ->
+         if w.alive && w.job = None then Some w.slot else None)
+
+let live_count t =
+  Array.fold_left (fun acc w -> if w.alive then acc + 1 else acc) 0 t.workers
+
+let in_flight t =
+  Array.to_list t.workers
+  |> List.filter_map (fun w ->
+         match w.job with
+         | Some (tenant, id, _) when w.alive -> Some (w.slot, (tenant, id))
+         | _ -> None)
+
+let dispatch_job t ~slot ~tenant ~id tc =
+  let w = t.workers.(slot) in
+  if not (w.alive && w.job = None) then
+    invalid_arg "Pool.dispatch_job: slot is dead or busy";
+  w.job <- Some (tenant, id, Unix.gettimeofday () +. t.cfg.heartbeat_s);
+  (* A send to a dying worker raises EPIPE; the death is picked up
+     through EOF/waitpid and the job resharded with the rest. *)
+  try Wire.send w.tx (Job { j_tenant = tenant; j_id = id; j_tc = tc })
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let push t ev = t.pending <- ev :: t.pending
+
+let record_done t (w : worker) (Done { d_tenant; d_id; d_result; d_execs }) =
+  (match w.job with
+   | Some (jt, jid, _) when jt = d_tenant && jid = d_id -> w.job <- None
+   | _ -> ());
+  push t
+    (Job_done
+       { ev_slot = w.slot; ev_tenant = d_tenant; ev_id = d_id;
+         ev_result = d_result; ev_execs = d_execs })
+
+(* A worker died (or was killed): drain its buffered results, close its
+   pipes and respawn if budget remains — then report what was in flight
+   so the driver can count a strike and reshard. The kernel closed the
+   dead worker's result-pipe write end, so the drain terminates at
+   EOF. *)
+let handle_death t (w : worker) ~why =
   let rec drain () =
     match (Wire.recv w.rx : res_msg option) with
-    | Some (Done (id, r, d)) ->
-      record_done st w id r d;
+    | Some d ->
+      record_done t w d;
       drain ()
     | None -> ()
+    | exception Wire.Oversized _ -> ()
   in
   drain ();
   (try Unix.close w.rx with Unix.Unix_error _ -> ());
   (try Unix.close w.tx with Unix.Unix_error _ -> ());
-  Option.iter (Tracer.finish st.obs.Obs.tracer) w.span;
+  Option.iter (Tracer.finish t.obs.Obs.tracer) w.span;
   w.span <- None;
   w.alive <- false;
-  st.deaths <- st.deaths + 1;
-  Metrics.inc (pc "deaths" st);
-  Tracer.instant st.obs.Obs.tracer
+  t.deaths <- t.deaths + 1;
+  Metrics.inc (pc "deaths" t);
+  Tracer.instant t.obs.Obs.tracer
     ~attrs:[ ("proc", string_of_int w.slot); ("why", why) ]
     "pool.death";
-  (* Two strikes: a case that killed two workers in a row is poison —
-     quarantine it as a first-class crash report instead of feeding it
-     to a third worker. *)
-  (match w.job with
-   | Some (id, _) when Jobqueue.result st.q id = None ->
-     let strikes = 1 + Option.value ~default:0 (Hashtbl.find_opt st.lethal id) in
-     Hashtbl.replace st.lethal id strikes;
-     if strikes >= 2 then begin
-       let tc = Jobqueue.payload st.q id in
-       Hashtbl.replace st.qres id
-         (Campaign.lost_case_result ~attempts:strikes st.corpus
-            ~why:(Printf.sprintf "case killed %d workers in a row; last: %s"
-                    strikes why)
-            tc);
-       Jobqueue.quarantine st.q id;
-       st.poisoned <- st.poisoned + 1;
-       Metrics.inc (pc "poisoned" st)
-     end
-   | Some _ | None -> ());
+  let in_flight = Option.map (fun (tn, id, _) -> (tn, id)) w.job in
   w.job <- None;
-  let orphans = Jobqueue.release st.q ~worker:w.slot in
-  Metrics.set_counter (pc "resharded" st) (Jobqueue.resharded st.q);
-  if w.respawns_left > 0 then begin
-    w.respawns_left <- w.respawns_left - 1;
-    Unix.sleepf w.backoff_s;
-    w.backoff_s <- w.backoff_s *. 2.0;
-    st.respawns <- st.respawns + 1;
-    Metrics.inc (pc "respawns" st);
-    spawn st w
-  end;
-  let alive =
-    Array.to_list st.workers |> List.filter (fun (o : worker) -> o.alive)
+  let respawned =
+    if w.respawns_left > 0 then begin
+      w.respawns_left <- w.respawns_left - 1;
+      Unix.sleepf w.backoff_s;
+      w.backoff_s <- w.backoff_s *. 2.0;
+      t.respawns <- t.respawns + 1;
+      Metrics.inc (pc "respawns" t);
+      spawn t w;
+      true
+    end
+    else false
   in
-  (match (orphans, alive) with
-   | [], _ -> ()
-   | _ :: _, [] -> ()                     (* the all-dead check below aborts *)
-   | _ :: _, survivors ->
-     Jobqueue.deal st.q orphans
-       ~to_:(List.map (fun (o : worker) -> o.slot) survivors));
-  if alive = [] && not (Jobqueue.is_drained st.q) then abort st;
-  Array.iter (dispatch st) st.workers
+  push t
+    (Worker_lost
+       { ev_slot = w.slot; ev_why = why; ev_in_flight = in_flight;
+         ev_respawned = respawned })
 
-let reap st (w : worker) =
+let reap t (w : worker) =
   if w.alive then
     match Unix.waitpid [ Unix.WNOHANG ] w.pid with
     | 0, _ -> ()
-    | _, status -> handle_death st w ~why:(status_to_string status)
+    | _, status -> handle_death t w ~why:(status_to_string status)
     | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
-      handle_death st w ~why:"worker vanished (no child to reap)"
+      handle_death t w ~why:"worker vanished (no child to reap)"
 
-let kill_overdue st now (w : worker) =
+let kill_overdue t now (w : worker) =
   match w.job with
-  | Some (_, deadline) when w.alive && now > deadline ->
-    st.hb_timeouts <- st.hb_timeouts + 1;
-    Metrics.inc (pc "heartbeat_timeouts" st);
+  | Some (_, _, deadline) when w.alive && now > deadline ->
+    t.hb_timeouts <- t.hb_timeouts + 1;
+    Metrics.inc (pc "heartbeat_timeouts" t);
     (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
     (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
-    handle_death st w
-      ~why:
-        (Printf.sprintf "heartbeat timeout after %.1fs" st.cfg.heartbeat_s)
+    handle_death t w
+      ~why:(Printf.sprintf "heartbeat timeout after %.1fs" t.cfg.heartbeat_s)
   | Some _ | None -> ()
 
-let rec drive st =
-  if not (Jobqueue.is_drained st.q) then begin
-    let now = Unix.gettimeofday () in
-    Array.iter (kill_overdue st now) st.workers;
-    Array.iter (reap st) st.workers;
-    if not (Jobqueue.is_drained st.q) then begin
-      let alive =
-        Array.to_list st.workers |> List.filter (fun (w : worker) -> w.alive)
-      in
-      if alive = [] then abort st;
-      let fds = List.map (fun (w : worker) -> w.rx) alive in
-      (* Wake at the earliest heartbeat deadline; cap the idle tick so
-         exits with no pipe traffic (pure SIGKILL) are still reaped
-         promptly via waitpid. *)
-      let timeout =
+let poll ?(extra = []) t ~timeout =
+  let now = Unix.gettimeofday () in
+  Array.iter (kill_overdue t now) t.workers;
+  Array.iter (reap t) t.workers;
+  let alive =
+    Array.to_list t.workers |> List.filter (fun (w : worker) -> w.alive)
+  in
+  let fds = List.map (fun (w : worker) -> w.rx) alive @ extra in
+  let ready_extra = ref [] in
+  if fds <> [] then begin
+    (* Wake at the earliest heartbeat deadline; cap the idle tick so
+       exits with no pipe traffic (pure SIGKILL) are still reaped
+       promptly via waitpid. *)
+    let timeout =
+      if t.pending <> [] then 0.0
+      else
         List.fold_left
           (fun acc (w : worker) ->
             match w.job with
-            | Some (_, dl) -> Float.min acc (dl -. now)
+            | Some (_, _, dl) -> Float.min acc (dl -. now)
             | None -> acc)
-          0.2 alive
+          timeout alive
         |> Float.max 0.01
-      in
-      (match Unix.select fds [] [] timeout with
-       | readable, _, _ ->
-         List.iter
-           (fun fd ->
-             match
-               List.find_opt (fun (w : worker) -> w.alive && w.rx == fd) alive
-             with
-             | None -> ()
-             | Some w -> (
-               match (Wire.recv w.rx : res_msg option) with
-               | Some (Done (id, r, d)) ->
-                 record_done st w id r d;
-                 dispatch st w
-               | None ->
-                 let why =
-                   match Unix.waitpid [] w.pid with
-                   | _, status -> status_to_string status
-                   | exception Unix.Unix_error _ -> "worker closed its pipe"
-                 in
-                 handle_death st w ~why))
-           readable
-       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      drive st
-    end
-  end
+    in
+    match Unix.select fds [] [] timeout with
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if List.exists (fun e -> e == fd) extra then
+            ready_extra := fd :: !ready_extra
+          else
+            match
+              List.find_opt (fun (w : worker) -> w.alive && w.rx == fd) alive
+            with
+            | None -> ()
+            | Some w -> (
+              match (Wire.recv w.rx : res_msg option) with
+              | Some d -> record_done t w d
+              | None ->
+                let why =
+                  match Unix.waitpid [] w.pid with
+                  | _, status -> status_to_string status
+                  | exception Unix.Unix_error _ -> "worker closed its pipe"
+                in
+                handle_death t w ~why
+              | exception Wire.Oversized _ ->
+                (* The stream cannot be re-synchronised past a bogus
+                   length announcement; treat it as worker death. *)
+                (try Unix.kill w.pid Sys.sigkill
+                 with Unix.Unix_error _ -> ());
+                (try ignore (Unix.waitpid [] w.pid)
+                 with Unix.Unix_error _ -> ());
+                handle_death t w ~why:"oversized frame from worker"))
+        readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  end;
+  let events = List.rev t.pending in
+  t.pending <- [];
+  (events, List.rev !ready_extra)
 
-let shutdown st =
+let shutdown t =
   Array.iter
     (fun (w : worker) ->
       if w.alive then begin
@@ -523,11 +559,98 @@ let shutdown st =
         (try Unix.close w.tx with Unix.Unix_error _ -> ());
         (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
         (try Unix.close w.rx with Unix.Unix_error _ -> ());
-        Option.iter (Tracer.finish st.obs.Obs.tracer) w.span;
+        Option.iter (Tracer.finish t.obs.Obs.tracer) w.span;
         w.span <- None;
         w.alive <- false
       end)
-    st.workers
+    t.workers;
+  Option.iter (fun b -> ignore (Sys.signal Sys.sigpipe b)) t.sigpipe_prev;
+  t.sigpipe_prev <- None
+
+type core_stats = {
+  c_spawns : int;
+  c_deaths : int;
+  c_respawns : int;
+  c_heartbeat_timeouts : int;
+}
+
+let core_stats t =
+  { c_spawns = t.spawns; c_deaths = t.deaths; c_respawns = t.respawns;
+    c_heartbeat_timeouts = t.hb_timeouts }
+
+(* -- the single-campaign driver ------------------------------------------- *)
+
+(* Driver-side campaign state for [execute]: the queue, quarantine
+   results, strike counts and checkpoint accounting the pool core
+   deliberately knows nothing about. *)
+type exec_state = {
+  q : (Testcase.t, Campaign.case_result) Jobqueue.t;
+  qres : (int, Campaign.case_result) Hashtbl.t;  (* pool-quarantined *)
+  lethal : (int, int) Hashtbl.t;         (* consecutive kills per case *)
+  options : Campaign.options;
+  corpus : Program.t array;
+  total : int;
+  mutable execs : int;
+  mutable since_ckpt : int;              (* completions since last save *)
+  mutable poisoned : int;
+  mutable resumed : int;
+}
+
+(* -- checkpointing -------------------------------------------------------- *)
+
+let checkpoint_kind = "pool-shards"
+
+type pool_checkpoint = {
+  pc_seed : int;
+  pc_corpus_size : int;
+  pc_total : int;
+  pc_completed : (int * Campaign.case_result) list;
+  pc_quarantined : (int * Campaign.case_result) list;
+  pc_executions : int;
+}
+
+let save_checkpoint st path =
+  let quarantined =
+    Hashtbl.fold (fun id r acc -> (id, r) :: acc) st.qres []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Checkpoint.save path ~kind:checkpoint_kind
+    { pc_seed = st.options.Campaign.seed;
+      pc_corpus_size = st.options.Campaign.corpus_size;
+      pc_total = st.total;
+      pc_completed = Jobqueue.results st.q;
+      pc_quarantined = quarantined;
+      pc_executions = st.execs }
+
+let maybe_checkpoint ?(force = false) cfg st =
+  match cfg.checkpoint_path with
+  | None -> ()
+  | Some path ->
+    if force || st.since_ckpt >= max 1 cfg.checkpoint_every then begin
+      st.since_ckpt <- 0;
+      save_checkpoint st path
+    end
+
+let load_resume st path =
+  match (Checkpoint.load path ~kind:checkpoint_kind
+         : (pool_checkpoint, Checkpoint.error) result)
+  with
+  | Error e -> failwith (Checkpoint.error_to_string e)
+  | Ok ck ->
+    if ck.pc_seed <> st.options.Campaign.seed
+       || ck.pc_corpus_size <> st.options.Campaign.corpus_size
+       || ck.pc_total <> st.total
+    then
+      invalid_arg
+        "Pool.execute: checkpoint was taken with different campaign inputs";
+    List.iter (fun (id, r) -> Jobqueue.complete st.q id r) ck.pc_completed;
+    List.iter
+      (fun (id, r) ->
+        Jobqueue.quarantine st.q id;
+        Hashtbl.replace st.qres id r)
+      ck.pc_quarantined;
+    st.execs <- st.execs + ck.pc_executions;
+    st.resumed <- List.length ck.pc_completed + List.length ck.pc_quarantined
 
 let execute ?obs ?(resume = false) cfg options corpus
     (generation : Cluster.result) =
@@ -536,52 +659,105 @@ let execute ?obs ?(resume = false) cfg options corpus
   let q : (Testcase.t, Campaign.case_result) Jobqueue.t = Jobqueue.create () in
   List.iter (fun tc -> ignore (Jobqueue.submit q tc)) generation.Cluster.reps;
   let total = List.length generation.Cluster.reps in
-  let workers =
-    Array.init procs (fun slot ->
-        { slot; pid = -1; tx = Unix.stdin; rx = Unix.stdin; alive = false;
-          job = None; respawns_left = max 0 cfg.max_respawns;
-          backoff_s = Float.max 0.0 cfg.backoff_base_ms /. 1000.0;
-          span = None })
-  in
   let st =
-    { q; qres = Hashtbl.create 16; lethal = Hashtbl.create 16; workers; cfg;
-      options; corpus; obs; total; execs = 0; since_ckpt = 0; spawns = 0;
-      deaths = 0; respawns = 0; hb_timeouts = 0; poisoned = 0; resumed = 0 }
+    { q; qres = Hashtbl.create 16; lethal = Hashtbl.create 16; options;
+      corpus; total; execs = 0; since_ckpt = 0; poisoned = 0; resumed = 0 }
   in
   (match cfg.checkpoint_path with
    | Some path when resume && Sys.file_exists path -> load_resume st path
    | Some _ | None -> ());
   ignore (Jobqueue.assign_round_robin q ~workers:procs : (int * _) list array);
-  (* The parent writes into job pipes of workers that may already be
-     dead; without this a single EPIPE would kill the whole pool. *)
-  let old_sigpipe =
-    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
-    with Invalid_argument _ | Sys_error _ -> None
+  let t = create ~obs { cfg with procs } in
+  let pm name = Metrics.counter ~always:true obs.Obs.metrics ("pool." ^ name) in
+  Metrics.set_counter (pm "resumed") st.resumed;
+  let stats_of () =
+    let c = core_stats t in
+    { spawns = c.c_spawns; deaths = c.c_deaths; respawns = c.c_respawns;
+      resharded = Jobqueue.resharded q;
+      heartbeat_timeouts = c.c_heartbeat_timeouts; poisoned = st.poisoned;
+      resumed = st.resumed; stolen = Jobqueue.stolen q }
+  in
+  let abort () =
+    maybe_checkpoint ~force:true cfg st;
+    raise (Aborted { unfinished = Jobqueue.unfinished q; stats = stats_of () })
+  in
+  let dispatch_idle () =
+    List.iter
+      (fun slot ->
+        let next =
+          match Jobqueue.claim_next q ~worker:slot with
+          | Some j -> Some j
+          | None -> Jobqueue.steal q ~thief:slot
+        in
+        match next with
+        | None -> ()
+        | Some (id, tc) -> dispatch_job t ~slot ~tenant:0 ~id tc)
+      (idle_slots t)
+  in
+  let handle = function
+    | Job_done { ev_id = id; ev_result = r; ev_execs = d; _ } ->
+      Jobqueue.complete q id r;          (* no-op if already quarantined *)
+      Hashtbl.remove st.lethal id;       (* a success resets the strikes *)
+      st.execs <- st.execs + d;
+      st.since_ckpt <- st.since_ckpt + 1;
+      maybe_checkpoint cfg st
+    | Worker_lost { ev_slot = slot; ev_why = why; ev_in_flight; _ } ->
+      (* Two strikes: a case that killed two workers in a row is poison
+         — quarantine it as a first-class crash report instead of
+         feeding it to a third worker. *)
+      (match ev_in_flight with
+       | Some (_, id) when Jobqueue.result q id = None ->
+         let strikes =
+           1 + Option.value ~default:0 (Hashtbl.find_opt st.lethal id)
+         in
+         Hashtbl.replace st.lethal id strikes;
+         if strikes >= 2 then begin
+           let tc = Jobqueue.payload q id in
+           Hashtbl.replace st.qres id
+             (Campaign.lost_case_result ~attempts:strikes corpus
+                ~why:
+                  (Printf.sprintf
+                     "case killed %d workers in a row; last: %s" strikes why)
+                tc);
+           Jobqueue.quarantine q id;
+           st.poisoned <- st.poisoned + 1;
+           Metrics.inc (pm "poisoned")
+         end
+       | Some _ | None -> ());
+      let orphans = Jobqueue.release q ~worker:slot in
+      Metrics.set_counter (pm "resharded") (Jobqueue.resharded q);
+      (match (orphans, alive_slots t) with
+       | [], _ -> ()
+       | _ :: _, [] -> ()                (* the all-dead check below aborts *)
+       | _ :: _, survivors -> Jobqueue.deal q orphans ~to_:survivors)
   in
   Fun.protect
-    ~finally:(fun () ->
-      shutdown st;
-      Option.iter (fun b -> ignore (Sys.signal Sys.sigpipe b)) old_sigpipe)
+    ~finally:(fun () -> shutdown t)
     (fun () ->
-      Tracer.with_span st.obs.Obs.tracer
+      Tracer.with_span obs.Obs.tracer
         ~attrs:[ ("procs", string_of_int procs) ]
         "pool.execute"
         (fun () ->
-          Array.iter (fun w -> spawn st w) workers;
-          Array.iter (dispatch st) workers;
-          drive st;
-          maybe_checkpoint ~force:true st;
+          register t ~tenant:0 ~label:"" options corpus;
+          while not (Jobqueue.is_drained q) do
+            if live_count t = 0 then abort ();
+            dispatch_idle ();
+            let events, _ = poll t ~timeout:0.2 in
+            List.iter handle events
+          done;
+          maybe_checkpoint ~force:true cfg st;
           let results =
             List.init total (fun id ->
                 match Jobqueue.result q id with
                 | Some r -> r
                 | None -> Hashtbl.find st.qres id)
           in
-          Metrics.set_counter (pc "resharded" st) (Jobqueue.resharded q);
-          Metrics.set_counter (pc "stolen" st) (Jobqueue.stolen q);
-          { results; executions = st.execs; stats = stats_of st }))
+          Metrics.set_counter (pm "resharded") (Jobqueue.resharded q);
+          Metrics.set_counter (pm "stolen") (Jobqueue.stolen q);
+          { results; executions = st.execs; stats = stats_of () }))
 
-let executor ?obs ?resume cfg : Campaign.executor =
+let executor ?obs ?resume ?on_stats cfg : Campaign.executor =
  fun options corpus generation ->
   let o = execute ?obs ?resume cfg options corpus generation in
+  Option.iter (fun f -> f o.stats) on_stats;
   (o.results, o.executions)

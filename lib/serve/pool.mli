@@ -1,22 +1,31 @@
 (** The crash-isolated process pool: the paper's server/client mode
     (§5.2) with real Unix processes.
 
-    {!execute} spawns [procs] worker processes — re-executions of the
-    current binary (OCaml 5 forbids [Unix.fork] in any process that has
-    ever spawned a domain), bootstrapped over the job pipe and entered
-    through {!worker_entry} — each booting its own
-    supervised execution environment, and drives them over
-    length-prefixed {!Wire} pipes from a {!Kit_core.Jobqueue} of cluster
-    representatives. The parent detects worker death via [waitpid]
-    (exit code or signal) and pipe EOF, detects hangs via per-job
-    wall-clock heartbeat deadlines (an expired worker is [SIGKILL]ed),
-    respawns crashed workers with bounded retries and exponential
-    backoff, reshards a dead worker's unfinished queue over the
-    survivors, and quarantines a case that kills two workers in a row as
-    a first-class [Worker_lost] crash report instead of looping
-    respawns. Completed shards checkpoint on the validated KITCKPT1
-    container, so a killed parent resumes without re-executing finished
-    work.
+    The pool is split in two layers. The {e core} ({!create} /
+    {!register} / {!dispatch_job} / {!poll} / {!shutdown}) is persistent
+    and tenant-agnostic: it spawns [procs] worker processes —
+    re-executions of the current binary (OCaml 5 forbids [Unix.fork] in
+    any process that has ever spawned a domain), bootstrapped over the
+    job pipe and entered through {!worker_entry} — keeps one supervised
+    execution environment per registered campaign context inside each
+    worker, detects worker death via [waitpid] (exit code or signal) and
+    pipe EOF, detects hangs via per-job wall-clock heartbeat deadlines
+    (an expired worker is [SIGKILL]ed), respawns crashed workers with
+    bounded retries and exponential backoff (re-sending every registered
+    context), and reports everything as {!event}s. Scheduling policy —
+    claim order, strikes, quarantine, resharding, checkpointing — lives
+    in the drivers: {!execute}, the single-campaign driver behind
+    [kit pool] and [kit campaign --procs], and the multi-tenant
+    scheduler ([Kit_serve.Sched] behind [kit serve]), both feeding the
+    pool from {!Kit_core.Jobqueue}s.
+
+    {!execute} preserves the full single-campaign contract: a dead
+    worker's unfinished queue is resharded over the survivors, a case
+    that kills two workers in a row is quarantined as a first-class
+    [Worker_lost] crash report instead of looping respawns, completed
+    shards checkpoint on the validated KITCKPT1 container so a killed
+    parent resumes without re-executing finished work, and {!Aborted}
+    is raised when every worker is gone.
 
     Per-case results are schedule-independent, so the merged
     funnel/report/quarantine fingerprint equals the sequential
@@ -46,7 +55,7 @@ type sabotage = {
       (** [(slot, n)]: as [kill_after], but the worker sleeps forever —
           only the heartbeat can catch it. One-shot per slot. *)
   poison : int list;
-      (** case ids whose receipt SIGKILLs {e any} worker — the
+      (** job ids whose receipt SIGKILLs {e any} worker — the
           twice-lethal quarantine path *)
 }
 
@@ -59,7 +68,7 @@ type config = {
   max_respawns : int;                (** respawn budget per worker slot *)
   backoff_base_ms : float;           (** respawn backoff base, doubling *)
   checkpoint_path : string option;
-      (** checkpoint completed shards here (and on abort) *)
+      (** {!execute} only: checkpoint completed shards here *)
   checkpoint_every : int;            (** completions between checkpoints *)
   sabotage : sabotage;
 }
@@ -67,6 +76,88 @@ type config = {
 val default_config : config
 (** 4 procs, 30 s heartbeat, 3 respawns, 5 ms backoff, no checkpointing,
     no sabotage. *)
+
+(** {2 The persistent pool core} *)
+
+type t
+(** A live pool of worker processes. Single-threaded: all calls from
+    the owning (scheduler) process. *)
+
+(** What the pool observed since the last {!poll}. *)
+type event =
+  | Job_done of {
+      ev_slot : int;
+      ev_tenant : int;
+      ev_id : int;
+      ev_result : Campaign.case_result;
+      ev_execs : int;                (** supervisor executions delta *)
+    }
+  | Worker_lost of {
+      ev_slot : int;
+      ev_why : string;
+      ev_in_flight : (int * int) option;
+          (** [(tenant, id)] that died with the worker — buffered [Done]
+              frames are drained first, so a case the worker finished
+              before dying is never blamed *)
+      ev_respawned : bool;
+          (** the slot was respawned (budget remained) and is idle *)
+    }
+
+val create : ?obs:Kit_obs.Obs.t -> config -> t
+(** Spawn the workers (SIGPIPE is ignored for the pool's lifetime —
+    restored by {!shutdown}). [obs] receives [pool.*] counters and
+    per-worker spans (default: a private bundle). *)
+
+val register :
+  t -> tenant:int -> label:string -> Campaign.options ->
+  Kit_abi.Program.t array -> unit
+(** Install (or replace) a campaign context under [tenant] in every
+    worker: each boots a supervised environment for it. Respawned
+    workers automatically receive every registered context. [label] is
+    stamped as a ["tenant"] trace attr on the worker's executions when
+    non-empty. *)
+
+val retire : t -> tenant:int -> unit
+(** Drop a tenant's context (and its workers' environments). In-flight
+    jobs of the tenant still produce {!event.Job_done}. *)
+
+val idle_slots : t -> int list
+(** Alive workers with no job in flight, in slot order. *)
+
+val alive_slots : t -> int list
+
+val live_count : t -> int
+
+val in_flight : t -> (int * (int * int)) list
+(** [(slot, (tenant, id))] for every job currently on a worker. *)
+
+val dispatch_job : t -> slot:int -> tenant:int -> id:int ->
+  Kit_gen.Testcase.t -> unit
+(** Send one job to an idle worker and start its heartbeat deadline.
+    @raise Invalid_argument if the slot is dead or busy. *)
+
+val poll : ?extra:Unix.file_descr list -> t -> timeout:float ->
+  event list * Unix.file_descr list
+(** One event-loop turn: heartbeat-kill overdue workers, reap exits,
+    select on worker result pipes plus [extra] descriptors (capped at
+    [timeout] seconds, shortened to the earliest heartbeat deadline),
+    and return the events in arrival order plus whichever [extra]
+    descriptors are readable. Buffered events make the select
+    non-blocking. *)
+
+val shutdown : t -> unit
+(** Quit, reap and close every live worker; restore SIGPIPE. *)
+
+type core_stats = {
+  c_spawns : int;
+  c_deaths : int;
+  c_respawns : int;
+  c_heartbeat_timeouts : int;
+}
+
+val core_stats : t -> core_stats
+
+(** {2 The single-campaign driver} *)
 
 type stats = {
   spawns : int;                      (** worker processes ever forked *)
@@ -105,16 +196,19 @@ val execute :
   Kit_abi.Program.t array ->
   Kit_gen.Cluster.result ->
   outcome
-(** Run every cluster representative of [generation] on the pool.
+(** Run every cluster representative of [generation] on a fresh pool.
     [resume] (default [false]) preloads completed shards from
     [config.checkpoint_path] first — ignored when the file is missing;
     a corrupt file aborts with the typed checkpoint error message.
-    [obs] receives the [pool.*] counters and per-worker spans (default:
-    a private bundle).
     @raise Aborted when no worker can absorb the remaining queue. *)
 
 val executor :
-  ?obs:Kit_obs.Obs.t -> ?resume:bool -> config -> Campaign.executor
+  ?obs:Kit_obs.Obs.t -> ?resume:bool -> ?on_stats:(stats -> unit) ->
+  config -> Campaign.executor
 (** Package {!execute} as a campaign execute-phase driver for
     {!Kit_core.Campaign.run_with_executor} — the engine behind
-    [kit campaign --procs N]. *)
+    [kit campaign --procs N]. [on_stats] receives the pool statistics
+    when the execute phase completes, so callers that only see the
+    assembled campaign (the CLI) can still report spawns, deaths,
+    reshards and — critically for resumed runs — the restored-shard
+    count. *)

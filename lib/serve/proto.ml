@@ -1,0 +1,162 @@
+(* The kit-serve client/server protocol. See proto.mli.
+
+   One request per connection over a Unix-domain SOCK_STREAM socket,
+   both directions framed by Wire (8-byte length + Marshal). Requests
+   and replies are closure-free plain data, so the default No_sharing
+   marshalling is enough — and an over-[Wire.max_frame] announcement
+   from a client surfaces as the typed [Wire.Oversized], which the
+   daemon answers with a clean [Rejected] reply instead of hanging up
+   (the connection is one-shot, so no re-synchronisation is needed). *)
+
+module Campaign = Kit_core.Campaign
+module Cluster = Kit_gen.Cluster
+module Tables = Kit_core.Tables
+module Oracle = Kit_core.Oracle
+module Bugs = Kit_kernel.Bugs
+
+(* -- submissions ---------------------------------------------------------- *)
+
+type spec = {
+  sp_name : string;
+  sp_seed : int;
+  sp_corpus_size : int;
+  sp_strategy : Cluster.strategy;
+  sp_weight : int;
+  sp_max_inflight : int;
+  sp_diagnose : bool;
+}
+
+let default_spec =
+  { sp_name = ""; sp_seed = 7; sp_corpus_size = 320; sp_strategy = Cluster.Df_ia;
+    sp_weight = 1; sp_max_inflight = 0; sp_diagnose = true }
+
+let valid_name name =
+  name <> ""
+  && String.length name <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_')
+       name
+
+(* The campaign options a spec denotes — shared by the scheduler and by
+   equivalence tests, so a tenant's run is the same campaign a solo
+   [kit campaign] with the same seed/corpus/strategy would run. *)
+let options_of_spec spec =
+  { Campaign.default_options with
+    Campaign.seed = spec.sp_seed;
+    corpus_size = spec.sp_corpus_size;
+    strategy = spec.sp_strategy;
+    diagnose = spec.sp_diagnose;
+    obs = None }
+
+(* -- requests and replies ------------------------------------------------- *)
+
+type request =
+  | Submit of spec
+  | Extend of { x_name : string; x_add : int }
+  | Status
+  | Results of string
+  | Cancel of string
+  | Shutdown
+
+type tenant_status = {
+  ts_name : string;
+  ts_id : int;
+  ts_state : string;                     (* pending/active/finished/… *)
+  ts_weight : int;
+  ts_done : int;
+  ts_total : int;                        (* 0 until activated *)
+  ts_executions : int;
+  ts_reports : int;                      (* -1 until finished *)
+  ts_resumed : int;
+  ts_dispatched : int;
+  ts_contended : int;
+  ts_steals : int;
+}
+
+type pool_status = {
+  ps_procs : int;
+  ps_live : int;
+  ps_spawns : int;
+  ps_deaths : int;
+  ps_respawns : int;
+}
+
+type reply =
+  | Accepted of { a_name : string; a_id : int }
+  | Rejected of string
+  | Status_is of { st_pool : pool_status; st_tenants : tenant_status list }
+  | Summary of string
+  | Not_ready of string
+  | Acked
+  | Bye
+
+(* -- the deterministic results summary ------------------------------------ *)
+
+(* Byte-identical between a tenant's [kit results] and a solo
+   [kit campaign --summary] on the same inputs: strategy + cluster and
+   report counts, the filtering funnel (Table 5), the new-bug oracle
+   line, the quarantine count and (when diagnosis ran) the aggregated
+   report groups. Deliberately no wall-clock content. *)
+let summary (c : Campaign.t) =
+  let found = Oracle.new_bugs_found c.Campaign.keyed in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Fmt.str "strategy %s: %d clusters, %d reports after filtering\n"
+       (Cluster.strategy_name c.Campaign.generation.Cluster.strategy)
+       c.Campaign.generation.Cluster.clusters
+       (List.length c.Campaign.reports));
+  Buffer.add_string b (Tables.table5 c);
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Fmt.str "new bugs found (%d/9): %a\n" (List.length found)
+       (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
+       found);
+  Buffer.add_string b
+    (Fmt.str "quarantined: %d\n" (List.length c.Campaign.quarantined));
+  if c.Campaign.options.Campaign.diagnose then begin
+    Buffer.add_string b (Kit_report.Render.groups c.Campaign.agg_rs);
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b
+
+(* -- sockets -------------------------------------------------------------- *)
+
+let listen path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 16;
+  fd
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let request socket (req : request) : (reply, string) result =
+  match connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf "cannot reach the daemon at %s: %s" socket
+         (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Wire.send fd req with
+        | exception (Unix.Unix_error _ | Sys_error _) ->
+          Error "the daemon hung up before reading the request"
+        | () -> (
+          match (Wire.recv fd : reply option) with
+          | Some reply -> Ok reply
+          | None -> Error "the daemon hung up without replying"
+          | exception Wire.Oversized { announced; limit } ->
+            Error
+              (Printf.sprintf "oversized reply frame (%d > %d bytes)"
+                 announced limit)))

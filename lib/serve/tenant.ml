@@ -1,0 +1,305 @@
+(* One tenant of the kit-serve scheduler. See tenant.mli.
+
+   The tenant owns everything campaign-shaped about a submission — the
+   prepared corpus, the generated clusters, the per-representative job
+   queue, the result cache keyed by testcase fingerprint — while the
+   scheduler owns everything pool-shaped (slots, deficits, dispatch).
+   The fingerprint cache is what makes both resume and Extend cheap:
+   corpus generation is prefix-stable, so an unchanged cluster's
+   representative hashes to the same key and its cached result is
+   replayed instead of re-executed. *)
+
+module Campaign = Kit_core.Campaign
+module Jobqueue = Kit_core.Jobqueue
+module Checkpoint = Kit_core.Checkpoint
+module Cluster = Kit_gen.Cluster
+module Testcase = Kit_gen.Testcase
+module Program = Kit_abi.Program
+
+type phase =
+  | Pending
+  | Active
+  | Finished
+  | Cancelled
+  | Failed of string
+
+let phase_string = function
+  | Pending -> "pending"
+  | Active -> "active"
+  | Finished -> "finished"
+  | Cancelled -> "cancelled"
+  | Failed why -> "failed: " ^ why
+
+type t = {
+  t_id : int;
+  mutable t_spec : Proto.spec;
+  mutable t_phase : phase;
+  mutable t_prepared : Campaign.prepared option;  (* while Active *)
+  mutable t_generation : Cluster.result option;
+  mutable t_q : (Testcase.t, Campaign.case_result) Jobqueue.t;
+  t_quar : (int, Campaign.case_result) Hashtbl.t;
+      (* twice-lethal representatives, by job id *)
+  t_strikes : (int, int) Hashtbl.t;     (* worker deaths per in-flight id *)
+  t_cache : (string, Campaign.case_result * int) Hashtbl.t;
+      (* testcase fingerprint -> (result, executions) *)
+  mutable t_executions : int;
+  mutable t_resumed : int;              (* cache replays this activation *)
+  mutable t_inflight : int;
+  mutable t_since_ckpt : int;
+  (* scheduling state, owned by Sched *)
+  mutable t_deficit : float;
+  mutable t_dispatched : int;
+  mutable t_contended : int;
+  mutable t_steals : int;
+  (* outcome *)
+  mutable t_result : Campaign.t option;
+  mutable t_summary : string option;
+}
+
+let fingerprint tc = Digest.string (Marshal.to_string tc [Marshal.No_sharing])
+
+let create ~id spec =
+  { t_id = id; t_spec = spec; t_phase = Pending; t_prepared = None;
+    t_generation = None; t_q = Jobqueue.create ();
+    t_quar = Hashtbl.create 7; t_strikes = Hashtbl.create 7;
+    t_cache = Hashtbl.create 64; t_executions = 0; t_resumed = 0;
+    t_inflight = 0; t_since_ckpt = 0; t_deficit = 0.0; t_dispatched = 0;
+    t_contended = 0; t_steals = 0; t_result = None; t_summary = None }
+
+let id t = t.t_id
+let name t = t.t_spec.Proto.sp_name
+let spec t = t.t_spec
+let phase t = t.t_phase
+let weight t = max 1 t.t_spec.Proto.sp_weight
+let summary t = t.t_summary
+let result t = t.t_result
+let inflight t = t.t_inflight
+let resumed t = t.t_resumed
+
+let total t =
+  match t.t_generation with
+  | None -> 0
+  | Some g -> List.length g.Cluster.reps
+
+let completed t =
+  List.length (Jobqueue.results t.t_q) + Hashtbl.length t.t_quar
+
+(* -- activation ----------------------------------------------------------- *)
+
+(* Prepare + generate the tenant's campaign, fill the job queue (one job
+   per cluster representative, id = representative index) and replay
+   every fingerprint-cached result as an immediately-completed job.
+   Returns the context the scheduler registers with the pool. *)
+let activate t ~procs =
+  let options = Proto.options_of_spec t.t_spec in
+  let prepared = Campaign.prepare options in
+  let generation = Campaign.generate_prepared prepared in
+  let q = Jobqueue.create () in
+  t.t_prepared <- Some prepared;
+  t.t_generation <- Some generation;
+  t.t_q <- q;
+  Hashtbl.reset t.t_quar;
+  Hashtbl.reset t.t_strikes;
+  t.t_executions <- 0;
+  t.t_resumed <- 0;
+  t.t_inflight <- 0;
+  List.iteri
+    (fun i tc ->
+      let id = Jobqueue.submit q tc in
+      assert (id = i);
+      match Hashtbl.find_opt t.t_cache (fingerprint tc) with
+      | Some (result, execs) ->
+        Jobqueue.complete q id result;
+        t.t_executions <- t.t_executions + execs;
+        t.t_resumed <- t.t_resumed + 1
+      | None -> ())
+    generation.Cluster.reps;
+  ignore (Jobqueue.assign_round_robin q ~workers:(max 1 procs));
+  t.t_phase <- Active;
+  (options, Campaign.prepared_corpus prepared)
+
+let corpus t =
+  match t.t_prepared with
+  | Some p -> Campaign.prepared_corpus p
+  | None -> [||]
+
+(* -- scheduling hooks ----------------------------------------------------- *)
+
+(* Work a slot could start right now: unfinished jobs beyond the ones
+   already running ([unfinished] counts queued, assigned and running). *)
+let claimable t =
+  t.t_phase = Active
+  && List.length (Jobqueue.unfinished t.t_q) > t.t_inflight
+
+let claim t ~slot =
+  match Jobqueue.claim_next t.t_q ~worker:slot with
+  | Some _ as job -> t.t_inflight <- t.t_inflight + 1; job
+  | None -> (
+    match Jobqueue.steal t.t_q ~thief:slot with
+    | Some _ as job -> t.t_inflight <- t.t_inflight + 1; job
+    | None -> None)
+
+let under_inflight_cap t =
+  t.t_spec.Proto.sp_max_inflight <= 0
+  || t.t_inflight < t.t_spec.Proto.sp_max_inflight
+
+let record_done t ~id result execs =
+  if Jobqueue.mem t.t_q id && Jobqueue.result t.t_q id = None then begin
+    let tc = Jobqueue.payload t.t_q id in
+    Jobqueue.complete t.t_q id result;
+    Hashtbl.replace t.t_cache (fingerprint tc) (result, execs);
+    t.t_executions <- t.t_executions + execs;
+    t.t_inflight <- max 0 (t.t_inflight - 1);
+    t.t_since_ckpt <- t.t_since_ckpt + 1;
+    Hashtbl.remove t.t_strikes id
+  end
+
+(* A worker died holding job [id]. Two deaths in a row quarantine the
+   representative as a first-class Worker_lost crash report. Returns
+   [true] when the job was quarantined (it must not be re-dealt). *)
+let struck t ~id ~why =
+  t.t_inflight <- max 0 (t.t_inflight - 1);
+  let strikes = 1 + Option.value ~default:0 (Hashtbl.find_opt t.t_strikes id) in
+  Hashtbl.replace t.t_strikes id strikes;
+  if strikes >= 2 && Jobqueue.mem t.t_q id && Jobqueue.result t.t_q id = None
+  then begin
+    let tc = Jobqueue.payload t.t_q id in
+    Jobqueue.quarantine t.t_q id;
+    Hashtbl.replace t.t_quar id
+      (Campaign.lost_case_result ~attempts:strikes (corpus t) ~why tc);
+    t.t_since_ckpt <- t.t_since_ckpt + 1;
+    true
+  end
+  else false
+
+let release t ~slot = Jobqueue.release t.t_q ~worker:slot
+
+let deficit t = t.t_deficit
+let set_deficit t d = t.t_deficit <- d
+
+let note_dispatch t ~contended ~stolen =
+  t.t_dispatched <- t.t_dispatched + 1;
+  if contended then t.t_contended <- t.t_contended + 1;
+  if stolen then t.t_steals <- t.t_steals + 1
+
+let redeal t jobs ~to_ = Jobqueue.deal t.t_q jobs ~to_
+
+let is_drained t = t.t_phase = Active && Jobqueue.is_drained t.t_q
+
+let steals t = t.t_steals
+
+(* -- finishing ------------------------------------------------------------ *)
+
+(* Fold the per-representative results (queue results, plus quarantined
+   crash reports) in representative order through Campaign.assemble:
+   diagnosis and aggregation run here, in the daemon, exactly as a solo
+   campaign would run them. *)
+let finish t =
+  match (t.t_prepared, t.t_generation) with
+  | Some prepared, Some generation ->
+    let results =
+      List.mapi
+        (fun i _ ->
+          match Jobqueue.result t.t_q i with
+          | Some r -> r
+          | None -> (
+            match Hashtbl.find_opt t.t_quar i with
+            | Some r -> r
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Tenant.finish: representative %d of %s \
+                                 has no result" i (name t))))
+        generation.Cluster.reps
+    in
+    let c =
+      Campaign.assemble prepared generation results ~executions:t.t_executions
+    in
+    t.t_result <- Some c;
+    t.t_summary <- Some (Proto.summary c);
+    t.t_phase <- Finished;
+    (* the corpus and profiles are only needed while executing *)
+    t.t_prepared <- None;
+    c
+  | _ -> invalid_arg "Tenant.finish: tenant was never activated"
+
+let cancel t =
+  if t.t_phase = Pending || t.t_phase = Active then t.t_phase <- Cancelled
+
+let fail t why = t.t_phase <- Failed why
+
+(* -- extend --------------------------------------------------------------- *)
+
+(* Grow the corpus and go around again. The fingerprint cache carries
+   over: prefix-stable corpus generation means every cluster whose
+   representative is unchanged replays from cache on re-activation. *)
+let extend t ~add =
+  t.t_spec <-
+    { t.t_spec with
+      Proto.sp_corpus_size = t.t_spec.Proto.sp_corpus_size + add };
+  t.t_phase <- Pending;
+  t.t_result <- None;
+  t.t_summary <- None
+
+(* -- status --------------------------------------------------------------- *)
+
+let status t =
+  { Proto.ts_name = name t;
+    ts_id = t.t_id;
+    ts_state = phase_string t.t_phase;
+    ts_weight = weight t;
+    ts_done = completed t;
+    ts_total = total t;
+    ts_executions = t.t_executions;
+    ts_reports =
+      (match t.t_result with
+      | Some c -> List.length c.Campaign.reports
+      | None -> -1);
+    ts_resumed = t.t_resumed;
+    ts_dispatched = t.t_dispatched;
+    ts_contended = t.t_contended;
+    ts_steals = t.t_steals }
+
+(* -- checkpoints ---------------------------------------------------------- *)
+
+let ckpt_kind = "serve-tenant"
+
+type ckpt = {
+  ck_spec : Proto.spec;
+  ck_completed : (string * (Campaign.case_result * int)) list;
+  ck_finished : bool;
+  ck_summary : string option;
+}
+
+let ckpt_path dir t = Filename.concat dir ("tenant-" ^ name t ^ ".ckpt")
+
+let checkpoint_due t ~every = t.t_since_ckpt >= max 1 every
+
+(* Checkpoint = the whole fingerprint cache (plus the summary once
+   finished). A resumed daemon replays the cache at activation, so
+   checkpointed representatives are never re-executed. *)
+let save_checkpoint dir t =
+  let ck =
+    { ck_spec = t.t_spec;
+      ck_completed =
+        Hashtbl.fold (fun fp entry acc -> (fp, entry) :: acc) t.t_cache [];
+      ck_finished = (t.t_phase = Finished);
+      ck_summary = t.t_summary }
+  in
+  Checkpoint.save (ckpt_path dir t) ~kind:ckpt_kind ck;
+  t.t_since_ckpt <- 0
+
+(* Rebuild a tenant from its checkpoint file: a finished tenant comes
+   back Finished with its stored summary; an unfinished one comes back
+   Pending with the cache primed, ready to re-activate. *)
+let of_checkpoint ~id path =
+  match (Checkpoint.load path ~kind:ckpt_kind : (ckpt, _) result) with
+  | Error e -> Error (Checkpoint.error_to_string e)
+  | Ok ck ->
+    let t = create ~id ck.ck_spec in
+    List.iter (fun (fp, entry) -> Hashtbl.replace t.t_cache fp entry)
+      ck.ck_completed;
+    if ck.ck_finished then begin
+      t.t_phase <- Finished;
+      t.t_summary <- ck.ck_summary
+    end;
+    Ok t

@@ -2,6 +2,8 @@
 
 let max_frame = 16 * 1024 * 1024
 
+exception Oversized of { announced : int; limit : int }
+
 let rec write_all fd buf ofs len =
   if len > 0 then begin
     let n = Unix.write fd buf ofs len in
@@ -36,7 +38,11 @@ let recv fd =
   | None -> None
   | Some header -> (
     let len = Int64.to_int (Bytes.get_int64_be header 0) in
-    if len < 0 || len > max_frame then None
+    (* A negative length is stream garbage; a well-formed but huge
+       announcement is a distinct, recoverable condition — the serve
+       protocol rejects it with a clean reply instead of hanging up. *)
+    if len > max_frame then raise (Oversized { announced = len; limit = max_frame })
+    else if len < 0 then None
     else
       match read_exactly fd len with
       | None -> None

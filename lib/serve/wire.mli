@@ -11,8 +11,13 @@
     usual rule: send and receive sites must agree on the frame type. *)
 
 val max_frame : int
-(** Sanity bound on a single frame (16 MiB). A length prefix beyond it
-    means a desynchronised or corrupt stream; {!recv} returns [None]. *)
+(** Sanity bound on a single frame (16 MiB). *)
+
+exception Oversized of { announced : int; limit : int }
+(** A frame header announced a well-formed length beyond {!max_frame}.
+    Distinct from the [None] corruption/EOF path so protocol servers can
+    reject a too-large message with a clean reply; the pool treats it
+    like peer death (the stream cannot be re-synchronised). *)
 
 val send : ?flags:Marshal.extern_flags list -> Unix.file_descr -> 'a -> unit
 (** Write one frame. Loops over partial writes. [flags] defaults to
@@ -24,5 +29,6 @@ val send : ?flags:Marshal.extern_flags list -> Unix.file_descr -> 'a -> unit
     treat it as peer death. *)
 
 val recv : Unix.file_descr -> 'a option
-(** Read one frame. [None] on EOF, truncation mid-frame, an implausible
-    length prefix, or undecodable payload bytes. *)
+(** Read one frame. [None] on EOF, truncation mid-frame, a negative
+    length prefix, or undecodable payload bytes.
+    @raise Oversized on an over-{!max_frame} length announcement. *)

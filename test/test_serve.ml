@@ -13,6 +13,10 @@ module Testcase = Kit_gen.Testcase
 module Filter = Kit_detect.Filter
 module Supervisor = Kit_exec.Supervisor
 module Pool = Kit_serve.Pool
+module Wire = Kit_serve.Wire
+module Proto = Kit_serve.Proto
+module Tenant = Kit_serve.Tenant
+module Sched = Kit_serve.Sched
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -318,6 +322,246 @@ let test_pool_abort_and_resume () =
     (pool_fps o = Lazy.force reference);
   Sys.remove path
 
+(* --- the jobqueue/wire typed errors (serve satellites) ------------------ *)
+
+let test_jobqueue_deal_no_survivors () =
+  let q : (string, int) Jobqueue.t = Jobqueue.create () in
+  ignore (Jobqueue.submit q "a");
+  ignore (Jobqueue.assign_round_robin q ~workers:1);
+  let orphans = Jobqueue.release q ~worker:0 in
+  check_bool "orphans returned" true (orphans <> []);
+  match Jobqueue.deal q orphans ~to_:[] with
+  | () -> Alcotest.fail "deal with no survivors must raise"
+  | exception Jobqueue.No_survivors -> ()
+
+let test_wire_oversized () =
+  let rx, tx = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () -> Unix.close rx; Unix.close tx)
+    (fun () ->
+      (* a well-formed header announcing a frame beyond the limit: the
+         typed condition a server can answer with a clean reply *)
+      let header = Bytes.create 8 in
+      Bytes.set_int64_be header 0 (Int64.of_int (Wire.max_frame + 1));
+      ignore (Unix.write tx header 0 8);
+      (match (Wire.recv rx : int option) with
+      | Some _ | None -> Alcotest.fail "oversized announcement must raise"
+      | exception Wire.Oversized { announced; limit } ->
+        check_int "announced length" (Wire.max_frame + 1) announced;
+        check_int "limit" Wire.max_frame limit);
+      (* a negative length is stream garbage, not a protocol frame *)
+      Bytes.set_int64_be header 0 (-1L);
+      ignore (Unix.write tx header 0 8);
+      check_bool "negative length is None" true
+        ((Wire.recv rx : int option) = None))
+
+(* --- the scheduler ------------------------------------------------------ *)
+
+let campaign_fps (c : Campaign.t) =
+  (multiset c.Campaign.reports, funnel_fp c.Campaign.funnel,
+   multiset c.Campaign.quarantined)
+
+(* Solo references per (seed, corpus_size): what a standalone sequential
+   campaign of the tenant's spec produces. *)
+let solo_cache : (int * int, Campaign.t) Hashtbl.t = Hashtbl.create 7
+
+let solo ~seed ~corpus_size =
+  match Hashtbl.find_opt solo_cache (seed, corpus_size) with
+  | Some c -> c
+  | None ->
+    let c =
+      Campaign.run { small_options with Campaign.seed; corpus_size }
+    in
+    Hashtbl.replace solo_cache (seed, corpus_size) c;
+    c
+
+let sched_cfg ?(procs = 2) ?(sabotage = Pool.no_sabotage) ?state_dir
+    ?(ckpt_every = 1) () =
+  { Sched.sc_pool = { test_config with Pool.procs; sabotage };
+    sc_max_active = 4; sc_max_pending = 16; sc_state_dir = state_dir;
+    sc_checkpoint_every = ckpt_every }
+
+let spec ?(weight = 1) name seed =
+  { Proto.default_spec with
+    Proto.sp_name = name;
+    sp_seed = seed;
+    sp_corpus_size = 24;
+    sp_weight = weight;
+    sp_diagnose = false }
+
+let submit_ok s sp =
+  match Sched.request s (Proto.Submit sp) with
+  | Proto.Accepted _ -> ()
+  | Proto.Rejected why -> Alcotest.failf "submission rejected: %s" why
+  | _ -> Alcotest.fail "unexpected submit reply"
+
+let tenant_of s name =
+  match Sched.find_name s name with
+  | Some tn -> tn
+  | None -> Alcotest.failf "tenant %s disappeared" name
+
+let with_sched cfg f =
+  let s = Sched.create cfg in
+  Fun.protect ~finally:(fun () -> Sched.shutdown s) (fun () -> f s)
+
+let prop_sched_equals_solo =
+  (* The tentpole acceptance invariant: for any tenant count, weight
+     vector and single-kill schedule, every tenant's report merged off
+     the shared pool equals its own solo sequential campaign — funnel,
+     report multiset and quarantine multiset. (Single kills only: a
+     slot's sabotage is one-shot, so no case ever takes two strikes.) *)
+  QCheck.Test.make ~name:"sched: every tenant = its solo campaign" ~count:4
+    QCheck.(
+      triple (int_range 1 3)
+        (pair (int_range 1 4) (int_range 1 4))
+        (pair (int_range 0 1) (int_range 1 3)))
+    (fun (tenants, (w1, w2), (slot, after)) ->
+      let procs = 2 in
+      let cfg =
+        sched_cfg ~procs
+          ~sabotage:
+            { Pool.no_sabotage with Pool.kill_after = [ (slot, after) ] }
+          ()
+      in
+      with_sched cfg (fun s ->
+          let seeds = List.filteri (fun i _ -> i < tenants) [ 11; 7; 5 ] in
+          List.iteri
+            (fun i seed ->
+              let weight = if i = 0 then w1 else w2 in
+              submit_ok s (spec ~weight (Printf.sprintf "t%d" i) seed))
+            seeds;
+          Sched.drain s;
+          List.for_all
+            (fun (i, seed) ->
+              let tn = tenant_of s (Printf.sprintf "t%d" i) in
+              match Tenant.result tn with
+              | None -> false
+              | Some c ->
+                campaign_fps c = campaign_fps (solo ~seed ~corpus_size:24)
+                && Tenant.summary tn
+                   = Some (Proto.summary (solo ~seed ~corpus_size:24)))
+            (List.mapi (fun i seed -> (i, seed)) seeds)))
+
+let test_sched_fairness () =
+  (* 3:1 quotas: among contended dispatches (both tenants had claimable
+     work), the heavy tenant's share must converge to 0.75. *)
+  with_sched (sched_cfg ~procs:2 ()) (fun s ->
+      submit_ok s (spec ~weight:3 "heavy" 11);
+      submit_ok s (spec ~weight:1 "light" 7);
+      Sched.drain s;
+      let h = Tenant.status (tenant_of s "heavy") in
+      let l = Tenant.status (tenant_of s "light") in
+      let hc = float_of_int h.Proto.ts_contended in
+      let lc = float_of_int l.Proto.ts_contended in
+      check_bool "enough contention to measure" true (hc +. lc >= 12.0);
+      let share = hc /. (hc +. lc) in
+      check_bool
+        (Printf.sprintf "heavy contended share %.3f within 0.75±0.1" share)
+        true
+        (Float.abs (share -. 0.75) <= 0.1))
+
+let rm_rf_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let test_sched_resume () =
+  (* Deterministic mid-run kill: step until a few representatives have
+     completed (checkpointing each), abandon the scheduler without
+     finishing — a SIGKILLed daemon — and resume in a fresh one. The
+     checkpointed cases replay from cache and the final report equals
+     the solo run. *)
+  let dir = tmp "kit_test_serve_state" in
+  rm_rf_dir dir;
+  let cfg = sched_cfg ~procs:1 ~state_dir:dir ~ckpt_every:1 () in
+  (let s = Sched.create cfg in
+   submit_ok s (spec "res" 11);
+   let tn = tenant_of s "res" in
+   while Tenant.completed tn < 3 && Tenant.phase tn <> Tenant.Finished do
+     ignore (Sched.step s ~timeout:0.2)
+   done;
+   check_bool "killed mid-run" true (Tenant.phase tn = Tenant.Active);
+   (* no graceful shutdown: only the per-completion checkpoints exist *)
+   Sched.shutdown s);
+  with_sched cfg (fun s2 ->
+      let restored = Sched.resume s2 in
+      check_bool "tenant restored" true (List.mem_assoc "res" restored);
+      check_bool "restored unfinished" true
+        (List.assoc "res" restored = "pending");
+      Sched.drain s2;
+      let tn = tenant_of s2 "res" in
+      check_bool "checkpointed cases replayed, not re-executed" true
+        (Tenant.resumed tn > 0);
+      check_bool "resumed report equals solo campaign" true
+        (Tenant.summary tn = Some (Proto.summary (solo ~seed:11 ~corpus_size:24))));
+  rm_rf_dir dir
+
+let test_sched_extend () =
+  (* Corpus growth without re-paying finished clusters: extend a
+     finished tenant and check the delta run equals a from-scratch
+     campaign of the grown corpus while replaying cached clusters. *)
+  with_sched (sched_cfg ~procs:2 ()) (fun s ->
+      submit_ok s (spec "ext" 11);
+      Sched.drain s;
+      (match Sched.request s (Proto.Extend { x_name = "ext"; x_add = 8 }) with
+      | Proto.Accepted _ -> ()
+      | _ -> Alcotest.fail "extend of a finished tenant must be accepted");
+      Sched.drain s;
+      let tn = tenant_of s "ext" in
+      check_bool "unchanged clusters replayed from cache" true
+        (Tenant.resumed tn > 0);
+      check_bool "extended report equals from-scratch grown campaign" true
+        (Tenant.summary tn
+        = Some (Proto.summary (solo ~seed:11 ~corpus_size:32))))
+
+let test_sched_admission () =
+  let cfg =
+    { (sched_cfg ~procs:1 ()) with Sched.sc_max_pending = 1; sc_max_active = 1 }
+  in
+  with_sched cfg (fun s ->
+      (match Sched.request s (Proto.Submit (spec "bad name!" 3)) with
+      | Proto.Rejected _ -> ()
+      | _ -> Alcotest.fail "invalid name must be rejected");
+      submit_ok s (spec "a" 11);
+      (match Sched.request s (Proto.Submit (spec "a" 7)) with
+      | Proto.Rejected why ->
+        check_bool "duplicate says so" true
+          (String.length why > 0 && String.sub why 0 6 = "tenant")
+      | _ -> Alcotest.fail "duplicate name must be rejected");
+      (match Sched.request s (Proto.Submit (spec "b" 7)) with
+      | Proto.Rejected _ -> ()
+      | _ -> Alcotest.fail "over-bound submission must be rejected");
+      (match Sched.request s (Proto.Results "a") with
+      | Proto.Not_ready state -> Alcotest.(check string) "pending" "pending" state
+      | _ -> Alcotest.fail "unfinished tenant results must be Not_ready");
+      match Sched.request s (Proto.Results "nobody") with
+      | Proto.Rejected _ -> ()
+      | _ -> Alcotest.fail "unknown tenant must be rejected")
+
+(* --- pool resume stats (satellite regression) --------------------------- *)
+
+let test_pool_resume_all_restored () =
+  (* A resume where EVERY shard restores must still report a nonzero
+     resumed count — this is what `kit campaign --procs --resume` prints
+     via Pool.executor's on_stats, and what the CI pool smoke greps. *)
+  let path = tmp "kit_test_pool_full_ckpt" in
+  if Sys.file_exists path then Sys.remove path;
+  let cfg =
+    { test_config with
+      Pool.checkpoint_path = Some path;
+      checkpoint_every = 1 }
+  in
+  let o1 = run_pool ~cfg () in
+  check_int "fresh run restores nothing" 0 o1.Pool.stats.Pool.resumed;
+  let o2 = run_pool ~cfg ~resume:true () in
+  check_int "all shards restored and counted"
+    (List.length o1.Pool.results)
+    o2.Pool.stats.Pool.resumed;
+  check_bool "restored outcome equals the original" true
+    (pool_fps o2 = pool_fps o1);
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "jobqueue merge order is submit order" `Quick
@@ -343,4 +587,19 @@ let suite =
       test_pool_heartbeat_timeout;
     Alcotest.test_case "dead pool aborts with checkpoint; resume skips done"
       `Quick test_pool_abort_and_resume;
+    Alcotest.test_case "deal with no survivors raises the typed error" `Quick
+      test_jobqueue_deal_no_survivors;
+    Alcotest.test_case "oversized wire frame raises the typed error" `Quick
+      test_wire_oversized;
+    QCheck_alcotest.to_alcotest prop_sched_equals_solo;
+    Alcotest.test_case "sched holds 3:1 quotas under contention" `Quick
+      test_sched_fairness;
+    Alcotest.test_case "killed daemon resumes tenants from checkpoints"
+      `Quick test_sched_resume;
+    Alcotest.test_case "extend replays cached clusters" `Quick
+      test_sched_extend;
+    Alcotest.test_case "admission control rejects bad submissions" `Quick
+      test_sched_admission;
+    Alcotest.test_case "fully-restored pool resume reports its count" `Quick
+      test_pool_resume_all_restored;
   ]
