@@ -19,6 +19,9 @@
    KIT_BENCH_SERVE_CORPUS / KIT_BENCH_SERVE_PROCS / KIT_BENCH_ONLY_SERVE
    (multi-tenant scheduler section: per-tenant corpus default 96, procs
    default 4, and its section-only switch),
+   KIT_BENCH_ONLY_REPR (run only the compact-representation
+   micro-section: packed trace compare, bitset flow intersection and
+   FNV fingerprints against their naive baselines),
    KIT_BENCH_JSON=PATH (write the section timings and speedup ratios as
    a single JSON object to PATH). *)
 
@@ -54,6 +57,9 @@ module Pool = Kit_serve.Pool
 module Proto = Kit_serve.Proto
 module Sched = Kit_serve.Sched
 module Tenant = Kit_serve.Tenant
+module Ast = Kit_trace.Ast
+module Bitset = Kit_compact.Bitset
+module Rss = Kit_compact.Rss
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -385,6 +391,9 @@ let print_exec_hotpath () =
   record "distrib_s_domains1" (Jsonl.Float d1_s);
   record "distrib_s_domainsN" (Jsonl.Float dn_s);
   record "distrib_speedup" (Jsonl.Float speedup);
+  let rss = Rss.peak_kb () in
+  Fmt.pr "peak rss:             %d kB (VmHWM)@." rss;
+  record "exec_peak_rss_kb" (Jsonl.Int rss);
   Fmt.pr "@."
 
 (* --- streaming pipeline -------------------------------------------------
@@ -474,6 +483,9 @@ let print_pipeline_bench () =
     (List.length grown.Campaign.reports = List.length scratch.Campaign.reports);
   record "pipeline_delta_executed" (Jsonl.Int delta);
   record "pipeline_scratch_executed" (Jsonl.Int scratch_reps);
+  let rss = Rss.peak_kb () in
+  Fmt.pr "peak rss:             %d kB (VmHWM)@." rss;
+  record "pipeline_peak_rss_kb" (Jsonl.Int rss);
   Fmt.pr "@."
 
 (* --- trace analysis -----------------------------------------------------
@@ -841,6 +853,122 @@ let print_serve_bench () =
   record "serve_fairness_err" (Jsonl.Float fairness_err);
   Fmt.pr "@."
 
+(* --- compact representations -------------------------------------------
+   The packed hot-path representations against the naive baselines they
+   replaced, as ops/sec on the same inputs:
+     1. trace compare — diff_trees with the content-hash short-circuit
+        vs a structural walk without it, on two structurally identical
+        traces (the overwhelmingly common case: run A agrees with run B);
+     2. flow intersection — Bitset address universes vs Set.Make(Int)
+        for writer/reader overlap counting;
+     3. fingerprints — the streaming FNV cache key vs MD5 of the
+        marshalled testcase, on real DF representatives. *)
+
+module IntSet = Set.Make (Int)
+
+(* The pre-packing diff walk: Algorithm 1 with no hash and no physical
+   equality, exactly what diff_trees cost before the short-circuit. *)
+let naive_diff_count ta tb =
+  let rec cmp (ta : Ast.t) (tb : Ast.t) acc =
+    if not (ta.Ast.det && tb.Ast.det) then acc
+    else if
+      (not (String.equal ta.Ast.value tb.Ast.value))
+      || List.length ta.Ast.children <> List.length tb.Ast.children
+    then acc + 1
+    else List.fold_left2 (fun acc ca cb -> cmp ca cb acc) acc
+        ta.Ast.children tb.Ast.children
+  in
+  cmp ta tb 0
+
+let ops_per_sec iters f =
+  ignore (f ());
+  let _, s = timed (fun () -> for _ = 1 to iters do ignore (f ()) done) in
+  if s > 0.0 then float_of_int iters /. s else float_of_int iters
+
+let print_repr_bench () =
+  Fmt.pr "-- Compact representations: compare / intersect / fingerprint --@.";
+  (* 1. trace compare: two separately built, structurally equal traces
+     of a realistic shape (64 calls x 8 result fields, ~580 nodes). *)
+  let mk_trace () =
+    let lines =
+      List.init 64 (fun i ->
+          let args =
+            List.init 8 (fun j ->
+                Ast.leaf (Printf.sprintf "arg%d" j)
+                  (string_of_int ((i * 8) + j)))
+          in
+          Ast.node (Printf.sprintf "call%d:open" i) args)
+    in
+    Ast.node "trace" lines
+  in
+  let ta = mk_trace () and tb = mk_trace () in
+  assert (List.length (Compare.diff_trees ta tb) = naive_diff_count ta tb);
+  let iters = getenv_int "KIT_BENCH_REPR_ITERS" 20_000 in
+  let packed_ops =
+    ops_per_sec iters (fun () -> Compare.diff_trees ta tb)
+  in
+  let naive_ops = ops_per_sec iters (fun () -> naive_diff_count ta tb) in
+  let cmp_speedup = packed_ops /. naive_ops in
+  Fmt.pr
+    "trace compare:        %.0f ops/s packed vs %.0f ops/s naive on %d \
+     nodes (%.1fx)@."
+    packed_ops naive_ops (Ast.size ta) cmp_speedup;
+  record "repr_compare_packed_ops" (Jsonl.Float packed_ops);
+  record "repr_compare_naive_ops" (Jsonl.Float naive_ops);
+  record "repr_compare_speedup" (Jsonl.Float cmp_speedup);
+  (* 2. flow intersection: writer/reader address universes the size a
+     few-hundred-program corpus produces, counted per overlap query. *)
+  let wmembers = List.init 4096 (fun i -> 0x1000 + (3 * i))
+  and rmembers = List.init 4096 (fun i -> 0x1000 + (5 * i)) in
+  let wbits = Bitset.create 0x8000 and rbits = Bitset.create 0x8000 in
+  List.iter (Bitset.add wbits) wmembers;
+  List.iter (Bitset.add rbits) rmembers;
+  let wset = IntSet.of_list wmembers and rset = IntSet.of_list rmembers in
+  assert (Bitset.inter_count wbits rbits
+          = IntSet.cardinal (IntSet.inter wset rset));
+  let bits_ops =
+    ops_per_sec iters (fun () -> Bitset.inter_count wbits rbits)
+  in
+  let set_ops =
+    ops_per_sec iters (fun () -> IntSet.cardinal (IntSet.inter wset rset))
+  in
+  let flow_speedup = bits_ops /. set_ops in
+  Fmt.pr
+    "flow intersection:    %.0f ops/s bitset vs %.0f ops/s int set on \
+     2x%d addresses (%.1fx)@."
+    bits_ops set_ops (List.length wmembers) flow_speedup;
+  record "repr_flow_packed_ops" (Jsonl.Float bits_ops);
+  record "repr_flow_naive_ops" (Jsonl.Float set_ops);
+  record "repr_flow_speedup" (Jsonl.Float flow_speedup);
+  (* 3. fingerprints on the DF representatives of a real corpus. *)
+  let corpus_size = getenv_int "KIT_BENCH_REPR_CORPUS" 96 in
+  let options = { Campaign.default_options with Campaign.corpus_size } in
+  let generation = Campaign.generate_prepared (Campaign.prepare options) in
+  let reps = Array.of_list generation.Cluster.reps in
+  let nreps = Array.length reps in
+  let fp_iters = max 1 (iters / max 1 nreps) in
+  let fnv_ops =
+    ops_per_sec fp_iters (fun () ->
+        Array.iter (fun tc -> ignore (Tenant.fingerprint tc)) reps)
+  in
+  let md5_ops =
+    ops_per_sec fp_iters (fun () ->
+        Array.iter (fun tc -> ignore (Tenant.fingerprint_legacy tc)) reps)
+  in
+  let fp_speedup = fnv_ops /. md5_ops in
+  Fmt.pr
+    "fingerprint:          %.0f sweeps/s fnv vs %.0f sweeps/s md5+marshal \
+     over %d representatives (%.1fx)@."
+    fnv_ops md5_ops nreps fp_speedup;
+  record "repr_fp_reps" (Jsonl.Int nreps);
+  record "repr_fp_fnv_ops" (Jsonl.Float fnv_ops);
+  record "repr_fp_md5_ops" (Jsonl.Float md5_ops);
+  record "repr_fp_speedup" (Jsonl.Float fp_speedup);
+  let rss = Rss.peak_kb () in
+  Fmt.pr "peak rss:             %d kB (VmHWM)@." rss;
+  record "repr_peak_rss_kb" (Jsonl.Int rss);
+  Fmt.pr "@."
+
 (* Pool workers re-execute this binary; the trampoline must run before
    the bench dispatch below. No-op in the parent. *)
 let () = Pool.worker_entry ()
@@ -871,6 +999,11 @@ let () =
     write_bench_json ();
     Fmt.pr "done.@."
   end
+  else if Sys.getenv_opt "KIT_BENCH_ONLY_REPR" <> None then begin
+    print_repr_bench ();
+    write_bench_json ();
+    Fmt.pr "done.@."
+  end
   else begin
     print_tables ();
     print_jump_label_ablation ();
@@ -883,6 +1016,7 @@ let () =
     print_trace_bench ();
     print_pool_bench ();
     print_serve_bench ();
+    print_repr_bench ();
     run_benchmarks ();
     write_bench_json ();
     Fmt.pr "done.@."

@@ -1,0 +1,33 @@
+(* Streaming FNV-1a folded into OCaml's native int. The state is the
+   running hash; bytes, ints and strings mix in without any intermediate
+   buffer, which is what lets fingerprints and trace-node content hashes
+   avoid the Digest-of-Marshal round trip. The constants are the 64-bit
+   FNV prime and a 62-bit truncation of the FNV offset basis (the full
+   basis does not fit a native int literal); multiplication wraps
+   modulo 2^63, which is exactly the behaviour FNV-1a wants. *)
+
+type state = int
+
+let prime = 0x100000001b3
+let init = 0xcbf29ce48422232 (* FNV offset basis, truncated to 60 bits *)
+
+let byte h b = (h lxor (b land 0xff)) * prime
+
+(* Mix a whole int in two 32-bit halves: two multiplies instead of
+   eight, plenty for hash-consing and dedup keys. *)
+let int h x =
+  let h = (h lxor (x land 0xffffffff)) * prime in
+  (h lxor ((x asr 32) land 0xffffffff)) * prime
+
+let string h s =
+  let n = String.length s in
+  let h = ref (int h n) in
+  for i = 0 to n - 1 do
+    h := byte !h (Char.code (String.unsafe_get s i))
+  done;
+  !h
+
+let to_int h = h land max_int
+let to_hex h = Printf.sprintf "%016Lx" (Int64.of_int h)
+
+let hash_string s = to_int (string init s)

@@ -1,0 +1,8 @@
+(** Resident-set gauges from [/proc/self/status], for the bench JSON.
+    Best-effort: both return 0 where procfs is unavailable. *)
+
+val peak_kb : unit -> int
+(** VmHWM — the process's peak resident set, in kB. *)
+
+val current_kb : unit -> int
+(** VmRSS — the current resident set, in kB. *)

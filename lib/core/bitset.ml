@@ -1,0 +1,5 @@
+(* Re-export: the packed bitset lives in kit_compact (below every other
+   library in the dependency DAG, so kit_gen can use it too); Core keeps
+   the [Core.Bitset] name campaign-side code and callers use. *)
+
+include Kit_compact.Bitset

@@ -198,8 +198,13 @@ let checkpoint_reports ck = List.length ck.ck_rev_reports
 
 (* Checkpoints ride the validated KITCKPT1 container: magic, kind tag,
    payload length and digest are all checked before any Marshal byte is
-   decoded, so a truncated or corrupt file is a typed error. *)
-let checkpoint_kind = "campaign-execute"
+   decoded, so a truncated or corrupt file is a typed error. The kind
+   was bumped to -v2 when trace nodes switched to the packed
+   representation (the reports' Marshal layout changed with it); a
+   pre-change file now fails the kind check as a typed error instead of
+   being mis-decoded. Execute checkpoints are cheap to regenerate, so
+   unlike tenant caches they get no migration path. *)
+let checkpoint_kind = "campaign-execute-v2"
 
 let save_checkpoint path ck = Checkpoint.save path ~kind:checkpoint_kind ck
 

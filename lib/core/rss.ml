@@ -1,0 +1,4 @@
+(* Re-export: the RSS gauge lives in kit_compact; Core keeps the
+   [Core.Rss] name bench and telemetry callers use. *)
+
+include Kit_compact.Rss

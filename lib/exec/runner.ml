@@ -190,7 +190,7 @@ let execute t ~sender ~receiver =
     let masked_a = Nondet.apply_mask mask trace_a in
     let masked_b = Nondet.apply_mask mask trace_b in
     let masked_diffs = Compare.diff_trees masked_a masked_b in
-    let interfered = Compare.interfered_indices masked_a masked_b in
+    let interfered = Compare.interfered_of_diffs masked_diffs in
     { trace_a; trace_b; raw_diffs; masked_diffs; interfered }
   end
 

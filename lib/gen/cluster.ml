@@ -25,6 +25,7 @@
 module Accessmap = Kit_profile.Accessmap
 module Stackrec = Kit_profile.Stackrec
 module Kevent = Kit_kernel.Kevent
+module Bitset = Kit_compact.Bitset
 
 type strategy =
   | Df
@@ -95,6 +96,22 @@ let keys_of_strategy = function
   | Df_st k -> Some (st_key k, st_key k)
   | Df | Rand _ -> None
 
+(* The batch pass works on arena handles; the key functions above stay
+   on materialised entries for the online path. The context hash must be
+   [Hashtbl.hash] of the same int list either way, or DF-ST grouping
+   would split/merge differently across the two modes. *)
+type key_kind = K_ia | K_st of int
+
+let key_kind_of_strategy = function
+  | Df_ia -> Some K_ia
+  | Df_st k -> Some (K_st k)
+  | Df | Rand _ -> None
+
+let handle_key map kind h =
+  match kind with
+  | K_ia -> (Accessmap.e_ip map h, 0)
+  | K_st k -> (Accessmap.e_ip map h, Hashtbl.hash (Accessmap.e_context map h ~k))
+
 (* Cluster-size distribution: size -> number of clusters, ascending. *)
 let distribution counts =
   let table = Hashtbl.create 16 in
@@ -106,22 +123,52 @@ let distribution counts =
   Hashtbl.fold (fun n c acc -> (n, c) :: acc) table []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-(* Cluster the data flows of [map] by per-side keys derived from [wkey]
-   and [rkey]; clusters over the same address pair writer groups with
-   reader groups. Returns the raw flow count (the DF universe — every
-   (write entry, read entry) pair on a shared address), the cluster
-   count, the sorted representatives and the size distribution. *)
-let cluster_map map ~wkey ~rkey =
+(* Group a chain's entries by handle key; each group keeps its earliest
+   handle (minimum (prog, sys_index), first-seen winning ties — the same
+   tie-break [group_entries] applies to the newest-first entry lists)
+   and its size. *)
+let group_chain map kind head =
+  let table = Hashtbl.create 16 in
+  Accessmap.iter_chain map head (fun h ->
+      let k = handle_key map kind h in
+      match Hashtbl.find_opt table k with
+      | None -> Hashtbl.replace table k (h, 1)
+      | Some (best, n) ->
+        let c = Int.compare (Accessmap.e_prog map h) (Accessmap.e_prog map best) in
+        let c =
+          if c <> 0 then c
+          else
+            Int.compare (Accessmap.e_sys_index map h)
+              (Accessmap.e_sys_index map best)
+        in
+        let best = if c < 0 then h else best in
+        Hashtbl.replace table k (best, n + 1));
+  table
+
+(* Cluster the data flows of [map] by the per-side key kind; clusters
+   over the same address pair writer groups with reader groups. Works
+   entirely on arena handles, materialising an entry view only per group
+   best (to build candidate test cases), never per access. Returns the
+   raw flow count (the DF universe — every (write entry, read entry)
+   pair on a shared address), the cluster count, the sorted
+   representatives and the size distribution. *)
+let cluster_map map ~key_kind =
   let clusters = Hashtbl.create 256 in
   let flows = ref 0 in
-  Accessmap.iter_overlaps map (fun ~addr ~writers ~readers ->
-      flows := !flows + (List.length writers * List.length readers);
-      let wgroups = group_entries wkey writers in
-      let rgroups = group_entries rkey readers in
-      List.iter
-        (fun (wk, (w, wn)) ->
+  Accessmap.iter_overlap_chains map
+    (fun ~addr ~whead ~wcount ~rhead ~rcount ->
+      flows := !flows + (wcount * rcount);
+      let wgroups = group_chain map key_kind whead in
+      let rgroups = group_chain map key_kind rhead in
+      let rviews =
+        Hashtbl.fold (fun rk (rh, rn) acc -> (rk, Accessmap.view map rh, rn) :: acc)
+          rgroups []
+      in
+      Hashtbl.iter
+        (fun wk (wh, wn) ->
+          let w = Accessmap.view map wh in
           List.iter
-            (fun (rk, (r, rn)) ->
+            (fun (rk, r, rn) ->
               let key = (wk, rk) in
               let tc =
                 { Testcase.sender = w.Accessmap.prog;
@@ -133,7 +180,7 @@ let cluster_map map ~wkey ~rkey =
               | Some (best, n) ->
                 let best = if Testcase.compare tc best < 0 then tc else best in
                 Hashtbl.replace clusters key (best, n + (wn * rn)))
-            rgroups)
+            rviews)
         wgroups);
   let reps =
     Hashtbl.fold (fun _ (tc, _) acc -> tc :: acc) clusters []
@@ -151,26 +198,40 @@ let run_rand ~seed ~budget ~corpus_size =
   let rng = Random.State.make [| seed; 0x52414E44 |] in
   let cap = corpus_size * corpus_size in
   let effective = max 0 (min budget cap) in
-  let seen = Hashtbl.create (max 16 effective) in
+  (* Dedup over the (sender, receiver) pair universe: one bit per pair
+     when the universe is reasonably sized (a 4096-program corpus is
+     2 MiB of bits), with the tupled hashtable kept as the fallback so
+     absurd corpus sizes stay correct rather than allocating the moon. *)
+  let mem, mark =
+    if cap <= 1 lsl 26 then begin
+      let seen = Bitset.create cap in
+      ( (fun s r -> Bitset.mem seen ((s * corpus_size) + r)),
+        fun s r -> Bitset.add seen ((s * corpus_size) + r) )
+    end
+    else begin
+      let seen = Hashtbl.create (max 16 (min effective 65536)) in
+      ( (fun s r -> Hashtbl.mem seen (s, r)),
+        fun s r -> Hashtbl.replace seen (s, r) () )
+    end
+  in
+  let nseen = ref 0 in
   let reps = ref [] in
+  let take s r =
+    mark s r;
+    incr nseen;
+    reps := { Testcase.sender = s; receiver = r; flow = None } :: !reps
+  in
   let attempts = ref 0 in
   let max_attempts = 16 * cap in
-  while Hashtbl.length seen < effective && !attempts < max_attempts do
+  while !nseen < effective && !attempts < max_attempts do
     incr attempts;
     let s = Random.State.int rng corpus_size in
     let r = Random.State.int rng corpus_size in
-    if not (Hashtbl.mem seen (s, r)) then begin
-      Hashtbl.replace seen (s, r) ();
-      reps := { Testcase.sender = s; receiver = r; flow = None } :: !reps
-    end
+    if not (mem s r) then take s r
   done;
   for s = 0 to corpus_size - 1 do
     for r = 0 to corpus_size - 1 do
-      if Hashtbl.length seen < effective && not (Hashtbl.mem seen (s, r))
-      then begin
-        Hashtbl.replace seen (s, r) ();
-        reps := { Testcase.sender = s; receiver = r; flow = None } :: !reps
-      end
+      if !nseen < effective && not (mem s r) then take s r
     done
   done;
   (List.rev !reps, effective)
@@ -189,12 +250,12 @@ let run strategy ?(seed = 0) ~corpus_size map =
       sizes = (if total = 0 then [] else [ (1, total) ]);
       requested = 0; delivered = 0 }
   | Df_ia | Df_st _ ->
-    let wkey, rkey =
-      match keys_of_strategy strategy with
-      | Some ks -> ks
+    let key_kind =
+      match key_kind_of_strategy strategy with
+      | Some k -> k
       | None -> assert false
     in
-    let flows, clusters, reps, sizes = cluster_map map ~wkey ~rkey in
+    let flows, clusters, reps, sizes = cluster_map map ~key_kind in
     { strategy; generated = clusters; clusters; reps; df_total = flows;
       sizes; requested = clusters; delivered = clusters }
   | Rand budget ->

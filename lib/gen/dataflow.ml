@@ -91,6 +91,7 @@ let profile_program t prog =
    shared address. *)
 let total_flows map =
   let total = ref 0 in
-  Accessmap.iter_overlaps map (fun ~addr:_ ~writers ~readers ->
-      total := !total + (List.length writers * List.length readers));
+  Accessmap.iter_overlap_chains map
+    (fun ~addr:_ ~whead:_ ~wcount ~rhead:_ ~rcount ->
+      total := !total + (wcount * rcount));
   !total

@@ -598,7 +598,10 @@ type exec_state = {
 
 (* -- checkpointing -------------------------------------------------------- *)
 
-let checkpoint_kind = "pool-shards"
+(* -v2 since the packed trace representation changed the case results'
+   Marshal layout; pre-change files fail the kind check as a typed
+   error. Pool runs re-execute from the corpus, so no migration path. *)
+let checkpoint_kind = "pool-shards-v2"
 
 type pool_checkpoint = {
   pc_seed : int;

@@ -15,6 +15,12 @@ module Checkpoint = Kit_core.Checkpoint
 module Cluster = Kit_gen.Cluster
 module Testcase = Kit_gen.Testcase
 module Program = Kit_abi.Program
+module Fnv = Kit_compact.Fnv
+module Ast = Kit_trace.Ast
+module Compare = Kit_trace.Compare
+module Report = Kit_detect.Report
+module Filter = Kit_detect.Filter
+module Supervisor = Kit_exec.Supervisor
 
 type phase =
   | Pending
@@ -42,6 +48,8 @@ type t = {
   t_strikes : (int, int) Hashtbl.t;     (* worker deaths per in-flight id *)
   t_cache : (string, Campaign.case_result * int) Hashtbl.t;
       (* testcase fingerprint -> (result, executions) *)
+  t_fps : (int, string) Hashtbl.t;
+      (* job id -> fingerprint, computed once at activation *)
   mutable t_executions : int;
   mutable t_resumed : int;              (* cache replays this activation *)
   mutable t_inflight : int;
@@ -56,13 +64,49 @@ type t = {
   mutable t_summary : string option;
 }
 
-let fingerprint tc = Digest.string (Marshal.to_string tc [Marshal.No_sharing])
+(* The pre-FNV fingerprint: an MD5 of the marshalled testcase. Kept
+   behind the KIT_LEGACY_FINGERPRINT compat flag so an operator can pin
+   the old keying scheme while old and new daemons share a state dir;
+   legacy checkpoints themselves are migrated by re-fingerprinting (the
+   cached results carry their testcases), not by keeping this around. *)
+let fingerprint_legacy tc =
+  Digest.string (Marshal.to_string tc [ Marshal.No_sharing ])
+
+(* Streaming FNV over the testcase fields: no Marshal buffer, no MD5,
+   and process-stable (ints only — no pointers, no hash randomisation).
+   Stacks are length-prefixed so adjacent lists cannot alias. *)
+let fingerprint_fnv (tc : Testcase.t) =
+  let ints h l = List.fold_left Fnv.int (Fnv.int h (List.length l)) l in
+  let h = Fnv.int Fnv.init tc.Testcase.sender in
+  let h = Fnv.int h tc.Testcase.receiver in
+  let h =
+    match tc.Testcase.flow with
+    | None -> Fnv.int h 0
+    | Some f ->
+      let h = Fnv.int h 1 in
+      let h = Fnv.int h f.Testcase.addr in
+      let h = Fnv.int h f.Testcase.w_ip in
+      let h = Fnv.int h f.Testcase.r_ip in
+      let h = Fnv.int h f.Testcase.r_sys_index in
+      let h = ints h f.Testcase.w_stack in
+      ints h f.Testcase.r_stack
+  in
+  Fnv.to_hex h
+
+let legacy_fingerprints =
+  match Sys.getenv_opt "KIT_LEGACY_FINGERPRINT" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let fingerprint tc =
+  if legacy_fingerprints then fingerprint_legacy tc else fingerprint_fnv tc
 
 let create ~id spec =
   { t_id = id; t_spec = spec; t_phase = Pending; t_prepared = None;
     t_generation = None; t_q = Jobqueue.create ();
     t_quar = Hashtbl.create 7; t_strikes = Hashtbl.create 7;
-    t_cache = Hashtbl.create 64; t_executions = 0; t_resumed = 0;
+    t_cache = Hashtbl.create 64; t_fps = Hashtbl.create 64;
+    t_executions = 0; t_resumed = 0;
     t_inflight = 0; t_since_ckpt = 0; t_deficit = 0.0; t_dispatched = 0;
     t_contended = 0; t_steals = 0; t_result = None; t_summary = None }
 
@@ -100,6 +144,7 @@ let activate t ~procs =
   t.t_q <- q;
   Hashtbl.reset t.t_quar;
   Hashtbl.reset t.t_strikes;
+  Hashtbl.reset t.t_fps;
   t.t_executions <- 0;
   t.t_resumed <- 0;
   t.t_inflight <- 0;
@@ -107,7 +152,11 @@ let activate t ~procs =
     (fun i tc ->
       let id = Jobqueue.submit q tc in
       assert (id = i);
-      match Hashtbl.find_opt t.t_cache (fingerprint tc) with
+      (* one fingerprint per representative per activation: the cache
+         lookup here and the store in [record_done] share it *)
+      let fp = fingerprint tc in
+      Hashtbl.replace t.t_fps id fp;
+      match Hashtbl.find_opt t.t_cache fp with
       | Some (result, execs) ->
         Jobqueue.complete q id result;
         t.t_executions <- t.t_executions + execs;
@@ -145,9 +194,13 @@ let under_inflight_cap t =
 
 let record_done t ~id result execs =
   if Jobqueue.mem t.t_q id && Jobqueue.result t.t_q id = None then begin
-    let tc = Jobqueue.payload t.t_q id in
+    let fp =
+      match Hashtbl.find_opt t.t_fps id with
+      | Some fp -> fp
+      | None -> fingerprint (Jobqueue.payload t.t_q id)
+    in
     Jobqueue.complete t.t_q id result;
-    Hashtbl.replace t.t_cache (fingerprint tc) (result, execs);
+    Hashtbl.replace t.t_cache fp (result, execs);
     t.t_executions <- t.t_executions + execs;
     t.t_inflight <- max 0 (t.t_inflight - 1);
     t.t_since_ckpt <- t.t_since_ckpt + 1;
@@ -261,7 +314,13 @@ let status t =
 
 (* -- checkpoints ---------------------------------------------------------- *)
 
-let ckpt_kind = "serve-tenant"
+(* The kind was bumped when trace nodes switched to the packed
+   representation: the Marshal layout of the cached case results changed
+   with it, and the kind tag is what keeps the loader from decoding old
+   bytes into the new types. Old-kind files are still loadable — see
+   [Legacy] below. *)
+let ckpt_kind = "serve-tenant-v2"
+let ckpt_kind_legacy = "serve-tenant"
 
 type ckpt = {
   ck_spec : Proto.spec;
@@ -269,6 +328,60 @@ type ckpt = {
   ck_finished : bool;
   ck_summary : string option;
 }
+
+(* Mirrors of the exact record layouts a pre-packing daemon marshalled
+   under the "serve-tenant" kind — trace nodes as the old four-field
+   record, reports and case results around them. Loading decodes into
+   these, rebuilds packed nodes, and re-keys the cache with the current
+   fingerprint scheme (the cached results carry their testcases, so no
+   legacy digest is ever needed). *)
+module Legacy = struct
+  type diff = {
+    ld_path : string list;
+    ld_left : Ast.Legacy.ast;
+    ld_right : Ast.Legacy.ast;
+  }
+
+  type report = {
+    lr_testcase : Testcase.t;
+    lr_sender : Program.t;
+    lr_receiver : Program.t;
+    lr_interfered : int list;
+    lr_diffs : diff list;
+    lr_trace_a : Ast.Legacy.ast;
+    lr_trace_b : Ast.Legacy.ast;
+  }
+
+  type case_result = {
+    lc_tc : Testcase.t;
+    lc_funnel : Filter.funnel;
+    lc_report : report option;
+    lc_crashes : Supervisor.crash list;
+  }
+
+  type ckpt = {
+    lk_spec : Proto.spec;
+    lk_completed : (string * (case_result * int)) list;
+    lk_finished : bool;
+    lk_summary : string option;
+  }
+
+  let diff_of (d : diff) =
+    { Compare.path = d.ld_path; left = Ast.of_legacy d.ld_left;
+      right = Ast.of_legacy d.ld_right }
+
+  let report_of (r : report) =
+    { Report.testcase = r.lr_testcase; sender = r.lr_sender;
+      receiver = r.lr_receiver; interfered = r.lr_interfered;
+      diffs = List.map diff_of r.lr_diffs;
+      trace_a = Ast.of_legacy r.lr_trace_a;
+      trace_b = Ast.of_legacy r.lr_trace_b }
+
+  let case_result_of (c : case_result) =
+    { Campaign.cr_tc = c.lc_tc; cr_funnel = c.lc_funnel;
+      cr_report = Option.map report_of c.lc_report;
+      cr_crashes = c.lc_crashes }
+end
 
 let ckpt_path dir t = Filename.concat dir ("tenant-" ^ name t ^ ".ckpt")
 
@@ -288,12 +401,28 @@ let save_checkpoint dir t =
   Checkpoint.save (ckpt_path dir t) ~kind:ckpt_kind ck;
   t.t_since_ckpt <- 0
 
+(* A pre-packing checkpoint, migrated: packed trace nodes rebuilt from
+   the legacy layout, cache re-keyed by the current fingerprint of each
+   entry's own testcase (stored keys are stale MD5 digests). *)
+let migrate_legacy ~id (ck : Legacy.ckpt) =
+  let t = create ~id ck.Legacy.lk_spec in
+  List.iter
+    (fun (_old_fp, (lc, execs)) ->
+      let cr = Legacy.case_result_of lc in
+      Hashtbl.replace t.t_cache (fingerprint cr.Campaign.cr_tc) (cr, execs))
+    ck.Legacy.lk_completed;
+  if ck.Legacy.lk_finished then begin
+    t.t_phase <- Finished;
+    t.t_summary <- ck.Legacy.lk_summary
+  end;
+  t
+
 (* Rebuild a tenant from its checkpoint file: a finished tenant comes
    back Finished with its stored summary; an unfinished one comes back
-   Pending with the cache primed, ready to re-activate. *)
+   Pending with the cache primed, ready to re-activate. Old-kind files
+   go through the legacy decode + migration path. *)
 let of_checkpoint ~id path =
   match (Checkpoint.load path ~kind:ckpt_kind : (ckpt, _) result) with
-  | Error e -> Error (Checkpoint.error_to_string e)
   | Ok ck ->
     let t = create ~id ck.ck_spec in
     List.iter (fun (fp, entry) -> Hashtbl.replace t.t_cache fp entry)
@@ -303,3 +432,11 @@ let of_checkpoint ~id path =
       t.t_summary <- ck.ck_summary
     end;
     Ok t
+  | Error (Checkpoint.Checkpoint_corrupt _ as e) -> (
+    (* possibly a pre-packing file: the kind tag tells *)
+    match
+      (Checkpoint.load path ~kind:ckpt_kind_legacy : (Legacy.ckpt, _) result)
+    with
+    | Ok ck -> Ok (migrate_legacy ~id ck)
+    | Error _ -> Error (Checkpoint.error_to_string e))
+  | Error e -> Error (Checkpoint.error_to_string e)

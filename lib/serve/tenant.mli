@@ -10,10 +10,11 @@
     interleaving assembles the same campaign a solo [kit campaign] run
     produces — the cross-check behind the serve CI gate.
 
-    The result cache is keyed by testcase fingerprint
-    ([Digest] of the marshalled representative). Corpus generation is
-    prefix-stable, so both daemon resume and {!extend} replay unchanged
-    representatives from cache instead of re-executing them. *)
+    The result cache is keyed by testcase fingerprint — a streaming FNV
+    hash over the representative's fields, process-stable and computed
+    without any Marshal round trip. Corpus generation is prefix-stable,
+    so both daemon resume and {!extend} replay unchanged representatives
+    from cache instead of re-executing them. *)
 
 type phase =
   | Pending      (** admitted, waiting for an activation slot *)
@@ -119,13 +120,66 @@ val note_dispatch : t -> contended:bool -> stolen:bool -> unit
     claimable work at dispatch time (the fairness denominator),
     [stolen] when the dispatch spent another tenant's slack. *)
 
+(** {2 Fingerprints} *)
+
+val fingerprint : Kit_gen.Testcase.t -> string
+(** The cache key for a representative: a streaming FNV hash of the
+    testcase fields, identical across processes. Setting the
+    [KIT_LEGACY_FINGERPRINT] environment variable to [1]/[true]/[yes]
+    switches back to {!fingerprint_legacy}. *)
+
+val fingerprint_legacy : Kit_gen.Testcase.t -> string
+(** The pre-FNV scheme: MD5 of the marshalled testcase. *)
+
 (** {2 Checkpoints}
 
-    Kind ["serve-tenant"] in the validated KITCKPT1 container: the spec,
-    the whole fingerprint cache, and the summary once finished. A
+    Kind ["serve-tenant-v2"] in the validated KITCKPT1 container: the
+    spec, the whole fingerprint cache, and the summary once finished. A
     resumed daemon rebuilds the tenant from this file; re-activation
     replays the cache, so checkpointed representatives are never
-    re-executed. *)
+    re-executed. Files written under the pre-packing ["serve-tenant"]
+    kind load through {!Legacy} and are migrated in place: packed trace
+    nodes rebuilt, cache re-keyed with {!fingerprint}. *)
+
+val ckpt_kind : string
+val ckpt_kind_legacy : string
+
+(** The exact Marshal layouts a pre-packing daemon checkpointed, and
+    their conversions — exposed so the compat test can fabricate
+    old-format files. *)
+module Legacy : sig
+  type diff = {
+    ld_path : string list;
+    ld_left : Kit_trace.Ast.Legacy.ast;
+    ld_right : Kit_trace.Ast.Legacy.ast;
+  }
+
+  type report = {
+    lr_testcase : Kit_gen.Testcase.t;
+    lr_sender : Kit_abi.Program.t;
+    lr_receiver : Kit_abi.Program.t;
+    lr_interfered : int list;
+    lr_diffs : diff list;
+    lr_trace_a : Kit_trace.Ast.Legacy.ast;
+    lr_trace_b : Kit_trace.Ast.Legacy.ast;
+  }
+
+  type case_result = {
+    lc_tc : Kit_gen.Testcase.t;
+    lc_funnel : Kit_detect.Filter.funnel;
+    lc_report : report option;
+    lc_crashes : Kit_exec.Supervisor.crash list;
+  }
+
+  type ckpt = {
+    lk_spec : Proto.spec;
+    lk_completed : (string * (case_result * int)) list;
+    lk_finished : bool;
+    lk_summary : string option;
+  }
+
+  val case_result_of : case_result -> Kit_core.Campaign.case_result
+end
 
 val ckpt_path : string -> t -> string
 (** [ckpt_path state_dir t] — [state_dir/tenant-<name>.ckpt]. *)

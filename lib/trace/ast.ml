@@ -4,19 +4,71 @@
    otherwise deterministic stat buffer) without discarding whole calls.
    Each node carries a [det] flag, true by default; the non-determinism
    pass clears it on nodes whose value or child count varies across
-   re-executions. *)
+   re-executions.
+
+   The representation is packed for the comparison hot path. Labels and
+   values are hash-consed through [Kit_compact.Intern], so equality
+   between nodes built in the same domain is normally decided by the
+   runtime's pointer check. Every node precomputes:
+
+     [nkids]  child count            — shallow comparison without List.length
+     [size]   subtree node count     — O(1) size for report statistics
+     [ndet]   subtree non-det count  — O(1) count_nondet, plus an
+                                       all-deterministic fast path for masking
+     [hash]   structural content hash over label, value and children
+              (det flags excluded)
+
+   The content hash is computed from string *contents* (via the interner)
+   and child hashes, so it is identical across domains and processes for
+   structurally identical trees. Because it ignores det flags, and a
+   comparison diff can only arise from a value or child-count mismatch,
+   [hash] equality implies "no diffs" — which is what lets Compare and
+   Nondet skip whole subtrees in O(1).
+
+   The record is [private] in the interface: construction goes through
+   the smart constructors so the derived fields can never go stale. *)
 
 type t = {
   label : string;
   value : string;
   det : bool;
+  nkids : int;
+  size : int;
+  ndet : int;
+  hash : int;
   children : t list;
 }
 
-let leaf ?(det = true) label value = { label; value; det; children = [] }
-let node ?(det = true) label children = { label; value = ""; det; children }
+let mk ~det label value children =
+  let label, lhash = Kit_compact.Intern.intern_hashed label in
+  let value, vhash = Kit_compact.Intern.intern_hashed value in
+  let nkids, size, kids_ndet, h =
+    List.fold_left
+      (fun (n, s, nd, h) c ->
+        (n + 1, s + c.size, nd + c.ndet, Kit_compact.Fnv.int h c.hash))
+      (0, 1, 0, Kit_compact.Fnv.init)
+      children
+  in
+  let h = Kit_compact.Fnv.int h lhash in
+  let h = Kit_compact.Fnv.int h vhash in
+  let h = Kit_compact.Fnv.int h nkids in
+  { label; value; det; nkids; size;
+    ndet = (kids_ndet + if det then 0 else 1);
+    hash = Kit_compact.Fnv.to_int h; children }
 
-let with_det t det = { t with det }
+let leaf ?(det = true) label value = mk ~det label value []
+let node ?(det = true) label children = mk ~det label "" children
+
+let with_det t det =
+  if Bool.equal t.det det then t
+  else { t with det; ndet = (t.ndet + if det then -1 else 1) }
+
+(* Rebuild a node around re-flagged copies of its own children (the
+   masking passes): label, value, shape — and therefore [hash], [size]
+   and [nkids] — are unchanged, only det flags move. *)
+let with_flags t ~det children =
+  let kids_ndet = List.fold_left (fun acc c -> acc + c.ndet) 0 children in
+  { t with det; ndet = (kids_ndet + if det then 0 else 1); children }
 
 let rec pp ppf t =
   let flag = if t.det then "" else " [nondet]" in
@@ -29,19 +81,44 @@ let rec pp ppf t =
 let to_string t = Fmt.str "%a" pp t
 
 (* Shallow agreement: same label, value and child count — what
-   Algorithm 1 checks at each node. *)
+   Algorithm 1 checks at each node. The child-count compare is an int
+   compare, and the string compares normally hit the interner's
+   pointer-equality fast path. *)
 let shallow_equal a b =
-  String.equal a.label b.label
-  && String.equal a.value b.value
-  && List.length a.children = List.length b.children
+  a.nkids = b.nkids && String.equal a.value b.value
+  && String.equal a.label b.label
 
 let rec equal a b =
-  shallow_equal a b && Bool.equal a.det b.det
-  && List.equal equal a.children b.children
+  a == b
+  || a.hash = b.hash && Bool.equal a.det b.det && a.ndet = b.ndet
+     (* hash equality covers labels, values and shape; when both
+        subtrees are all-deterministic the det flags cannot differ
+        either, so only mixed-flag trees need the recursive walk *)
+     && ((a.ndet = 0 && b.ndet = 0) || List.equal equal a.children b.children)
 
-(* Number of nodes, for report statistics. *)
-let rec size t = 1 + List.fold_left (fun acc c -> acc + size c) 0 t.children
+let size t = t.size
+let count_nondet t = t.ndet
+let all_det t = t.ndet = 0
 
-let rec count_nondet t =
-  let self = if t.det then 0 else 1 in
-  List.fold_left (fun acc c -> acc + count_nondet c) self t.children
+(* -- the pre-packing representation ---------------------------------------
+
+   Checkpoints written before the packed representation marshalled this
+   exact layout. Loading them decodes into [Legacy.ast] (same field
+   order and types as the old record) and rebuilds packed nodes. *)
+
+module Legacy = struct
+  type ast = {
+    l_label : string;
+    l_value : string;
+    l_det : bool;
+    l_children : ast list;
+  }
+end
+
+let rec of_legacy (l : Legacy.ast) =
+  mk ~det:l.Legacy.l_det l.Legacy.l_label l.Legacy.l_value
+    (List.map of_legacy l.Legacy.l_children)
+
+let rec to_legacy t =
+  { Legacy.l_label = t.label; l_value = t.value; l_det = t.det;
+    l_children = List.map to_legacy t.children }

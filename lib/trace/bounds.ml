@@ -31,17 +31,21 @@ let is_interior ast = ast.Ast.children <> []
 (* Learn a bounds tree from the reference run and alternative runs of
    the same (receiver-only) program. *)
 let rec learn reference alternatives =
-  let same_shape alt =
-    List.length alt.Ast.children = List.length reference.Ast.children
-  in
+  let same_shape alt = alt.Ast.nkids = reference.Ast.nkids in
   if not (List.for_all same_shape alternatives) then
     { label = reference.Ast.label; children = []; kind = Unchecked }
   else if is_interior reference then
+    (* shapes agree at this node, so the parallel walk never runs dry *)
+    let rec walk rkids alts_kids =
+      match rkids with
+      | [] -> []
+      | r :: rrest ->
+        learn r (List.map List.hd alts_kids)
+        :: walk rrest (List.map List.tl alts_kids)
+    in
     let children =
-      List.mapi
-        (fun i child ->
-          learn child (List.map (fun alt -> List.nth alt.Ast.children i) alternatives))
-        reference.Ast.children
+      walk reference.Ast.children
+        (List.map (fun alt -> alt.Ast.children) alternatives)
     in
     { label = reference.Ast.label; children; kind = Interior }
   else
@@ -91,9 +95,9 @@ let check bounds ast =
       | Some _ | None ->
         { path = here (); expected = bounds.kind; actual = ast.Ast.value } :: acc)
     | Interior ->
-      if List.length ast.Ast.children <> List.length bounds.children then
+      if ast.Ast.nkids <> List.length bounds.children then
         { path = here (); expected = bounds.kind;
-          actual = Printf.sprintf "%d children" (List.length ast.Ast.children) }
+          actual = Printf.sprintf "%d children" ast.Ast.nkids }
         :: acc
       else
         List.fold_left2 (fun acc b c -> walk path b c acc) acc bounds.children

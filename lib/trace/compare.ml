@@ -2,7 +2,15 @@
    trace ASTs. Traversal halts at any node whose det flag is false on
    either side; a difference is reported when two deterministic nodes
    disagree on value or child count, otherwise children are compared
-   pairwise. *)
+   pairwise.
+
+   The packed representation adds a sound short-circuit: a diff can only
+   arise from a value or child-count mismatch, and [Ast.hash] equality
+   implies the two subtrees agree on labels, values and shape everywhere
+   (det flags excluded — which cannot create a diff, only suppress
+   descent into an already diff-free subtree). So hash-equal subtrees
+   are skipped wholesale, making the common all-agreeing comparison
+   O(1) instead of O(nodes). *)
 
 type diff = {
   path : string list;          (* labels from the root to the node *)
@@ -14,23 +22,23 @@ let pp_diff ppf d =
   Fmt.pf ppf "%s: %s=%S vs %S (%d vs %d children)"
     (String.concat "/" d.path)
     d.left.Ast.label d.left.Ast.value d.right.Ast.value
-    (List.length d.left.Ast.children)
-    (List.length d.right.Ast.children)
+    d.left.Ast.nkids d.right.Ast.nkids
 
 (* SyscallTraceCmp(Ta, Tb) — returns the differing node pairs. *)
 let diff_trees ta tb =
   let rec cmp path ta tb acc =
-    if not (ta.Ast.det && tb.Ast.det) then acc
+    if ta == tb || ta.Ast.hash = tb.Ast.hash then acc
+    else if not (ta.Ast.det && tb.Ast.det) then acc
+    else if
+      (not (String.equal ta.Ast.value tb.Ast.value))
+      || ta.Ast.nkids <> tb.Ast.nkids
+    then
+      { path = List.rev (ta.Ast.label :: path); left = ta; right = tb }
+      :: acc
     else
-      let la = List.length ta.Ast.children
-      and lb = List.length tb.Ast.children in
-      if (not (String.equal ta.Ast.value tb.Ast.value)) || la <> lb then
-        { path = List.rev (ta.Ast.label :: path); left = ta; right = tb }
-        :: acc
-      else
-        List.fold_left2
-          (fun acc ca cb -> cmp (ta.Ast.label :: path) ca cb acc)
-          acc ta.Ast.children tb.Ast.children
+      List.fold_left2
+        (fun acc ca cb -> cmp (ta.Ast.label :: path) ca cb acc)
+        acc ta.Ast.children tb.Ast.children
   in
   List.rev (cmp [] ta tb [])
 
@@ -47,8 +55,9 @@ let call_index_of_label label =
     | None -> int_of_string_opt rest
   else None
 
-let interfered_indices ta tb =
-  let diffs = diff_trees ta tb in
+(* Indices from already-computed diffs, so callers that need both the
+   diff list and the indices run the tree comparison once. *)
+let interfered_of_diffs diffs =
   let index_of d =
     match d.path with
     | _root :: call_label :: _ -> call_index_of_label call_label
@@ -58,3 +67,5 @@ let interfered_indices ta tb =
   in
   let indices = List.filter_map index_of diffs in
   List.sort_uniq Int.compare indices
+
+let interfered_indices ta tb = interfered_of_diffs (diff_trees ta tb)

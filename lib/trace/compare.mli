@@ -1,7 +1,9 @@
 (** Algorithm 1 of the paper: recursive comparison of two syscall-trace
     ASTs. Traversal halts at any node whose det flag is false on either
     side; a difference is reported when two deterministic nodes disagree
-    on value or child count, otherwise children are compared pairwise. *)
+    on value or child count, otherwise children are compared pairwise.
+    Subtrees with equal {!Ast.t.hash} are skipped wholesale — hash
+    equality implies the comparison yields no diffs. *)
 
 type diff = {
   path : string list;          (** labels from the root to the node *)
@@ -19,6 +21,10 @@ val equal_modulo_nondet : Ast.t -> Ast.t -> bool
 val call_index_of_label : string -> int option
 (** ["call12:read"] -> [Some 12]. *)
 
+val interfered_of_diffs : diff list -> int list
+(** The receiver syscall indices named by an already-computed diff
+    list, sorted and deduplicated — avoids re-running the tree
+    comparison when the diffs are already in hand. *)
+
 val interfered_indices : Ast.t -> Ast.t -> int list
-(** The receiver syscall indices whose subtrees differ, sorted and
-    deduplicated. *)
+(** [interfered_of_diffs (diff_trees ta tb)]. *)

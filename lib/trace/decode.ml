@@ -2,7 +2,12 @@
    decoding plays in the paper's implementation (section 5.2). The
    decoding is deliberately fine-grained: multi-line outputs become one
    child per line, stat buffers one child per field, so divergence is
-   localised to the smallest result component. *)
+   localised to the smallest result component.
+
+   Decoding feeds the packed AST constructors directly: labels and
+   values are hash-consed as the nodes are built, and the recurring
+   positional labels ("lineN", "argN") and small numeric values come
+   from preallocated tables instead of a fresh Printf per node. *)
 
 module Program = Kit_abi.Program
 module Value = Kit_abi.Value
@@ -10,6 +15,21 @@ module Sysno = Kit_abi.Sysno
 module Sysret = Kit_kernel.Sysret
 module Errno = Kit_kernel.Errno
 module Interp = Kit_kernel.Interp
+module Intern = Kit_compact.Intern
+
+(* Positional labels repeat on every call of every trace; table the
+   common indices once. The arrays are immutable after initialisation,
+   so sharing them across domains is safe. *)
+let positional prefix =
+  let table = Array.init 64 (fun i -> Printf.sprintf "%s%d" prefix i) in
+  fun i ->
+    if i >= 0 && i < Array.length table then Array.unsafe_get table i
+    else Printf.sprintf "%s%d" prefix i
+
+let line_label = positional "line"
+let arg_label = positional "arg"
+
+let int_value = Intern.string_of_small_int
 
 let decode_payload = function
   | Sysret.P_none -> []
@@ -18,23 +38,19 @@ let decode_payload = function
     (match lines with
     | [] | [ _ ] -> [ Ast.leaf "out" s ]
     | _ :: _ ->
-      [ Ast.node "out"
-          (List.mapi (fun i l -> Ast.leaf (Printf.sprintf "line%d" i) l) lines)
+      [ Ast.node "out" (List.mapi (fun i l -> Ast.leaf (line_label i) l) lines)
       ])
   | Sysret.P_lines ls ->
-    [ Ast.node "out"
-        (List.mapi (fun i l -> Ast.leaf (Printf.sprintf "line%d" i) l) ls) ]
+    [ Ast.node "out" (List.mapi (fun i l -> Ast.leaf (line_label i) l) ls) ]
   | Sysret.P_stat st ->
     [ Ast.node "stat"
-        [ Ast.leaf "ino" (string_of_int st.Sysret.inode);
-          Ast.leaf "dev_minor" (string_of_int st.Sysret.dev_minor);
-          Ast.leaf "size" (string_of_int st.Sysret.size);
-          Ast.leaf "mtime" (string_of_int st.Sysret.mtime) ] ]
+        [ Ast.leaf "ino" (int_value st.Sysret.inode);
+          Ast.leaf "dev_minor" (int_value st.Sysret.dev_minor);
+          Ast.leaf "size" (int_value st.Sysret.size);
+          Ast.leaf "mtime" (int_value st.Sysret.mtime) ] ]
 
 let decode_args args =
-  List.mapi
-    (fun i a -> Ast.leaf (Printf.sprintf "arg%d" i) (Value.to_string a))
-    args
+  List.mapi (fun i a -> Ast.leaf (arg_label i) (Value.to_string a)) args
 
 (* One call result as an AST node. File descriptor return values are
    per-process and stable, so [ret] is deterministic by construction;
@@ -43,7 +59,7 @@ let decode_result (r : Interp.result) =
   let call = r.Interp.call in
   let ret = r.Interp.ret in
   let base =
-    [ Ast.leaf "ret" (string_of_int ret.Sysret.ret);
+    [ Ast.leaf "ret" (int_value ret.Sysret.ret);
       Ast.leaf "errno"
         (match ret.Sysret.err with
         | None -> "0"

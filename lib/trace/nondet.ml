@@ -2,29 +2,49 @@
    receiver program is re-run several times with different starting
    times; nodes whose value or child count varies across runs get their
    det flag cleared, and the flags are then applied to the traces under
-   comparison so Algorithm 1 skips them. *)
+   comparison so Algorithm 1 skips them.
+
+   Child lists are walked pairwise (one pass over each alternative's
+   children alongside the reference's), never indexed with List.nth —
+   the old per-index lookups made both passes quadratic in the child
+   count. Hash equality gives both passes a whole-subtree fast path:
+   alternatives that hash like the reference cannot disagree anywhere
+   below, and an all-deterministic mask has no flags to transfer. *)
 
 (* Build a det-flag mask from a reference run and alternative runs of the
    same program. When child counts disagree the node itself becomes
    non-deterministic and descent stops — exactly mirroring where
    Algorithm 1 would halt. *)
 let rec mark reference alternatives =
-  let disagrees alt =
-    (not (String.equal alt.Ast.value reference.Ast.value))
-    || List.length alt.Ast.children <> List.length reference.Ast.children
-  in
-  if List.exists disagrees alternatives then Ast.with_det reference false
+  if
+    List.for_all
+      (fun alt -> alt == reference || alt.Ast.hash = reference.Ast.hash)
+      alternatives
+    (* structurally identical runs disagree nowhere: the mask is the
+       reference unchanged *)
+  then reference
   else
-    let children =
-      List.mapi
-        (fun i child ->
-          let alt_children =
-            List.map (fun alt -> List.nth alt.Ast.children i) alternatives
-          in
-          mark child alt_children)
-        reference.Ast.children
+    let disagrees alt =
+      (not (String.equal alt.Ast.value reference.Ast.value))
+      || alt.Ast.nkids <> reference.Ast.nkids
     in
-    { reference with Ast.children }
+    if List.exists disagrees alternatives then Ast.with_det reference false
+    else
+      (* every alternative has the reference's child count here, so the
+         parallel head/tail walk below never runs dry *)
+      let rec walk rkids alts_kids =
+        match rkids with
+        | [] -> []
+        | r :: rrest ->
+          let heads = List.map List.hd alts_kids in
+          let tails = List.map List.tl alts_kids in
+          mark r heads :: walk rrest tails
+      in
+      let children =
+        walk reference.Ast.children
+          (List.map (fun alt -> alt.Ast.children) alternatives)
+      in
+      Ast.with_flags reference ~det:reference.Ast.det children
 
 (* Apply a mask's det flags to [tree] positionally. Children beyond the
    mask's shape keep their own flags: a deterministic extra line added by
@@ -32,16 +52,15 @@ let rec mark reference alternatives =
 let rec apply_mask mask tree =
   let det = tree.Ast.det && mask.Ast.det in
   if not det then Ast.with_det tree false
+  else if Ast.all_det mask then tree
   else
-    let children =
-      List.mapi
-        (fun i child ->
-          match List.nth_opt mask.Ast.children i with
-          | Some mchild -> apply_mask mchild child
-          | None -> child)
-        tree.Ast.children
+    let rec walk mkids tkids =
+      match (mkids, tkids) with
+      | _, [] -> []
+      | [], extra -> extra
+      | m :: ms, c :: cs -> apply_mask m c :: walk ms cs
     in
-    { tree with Ast.det; children }
+    Ast.with_flags tree ~det (walk mask.Ast.children tree.Ast.children)
 
 (* Summary statistics used by the evaluation tables. *)
 let nondet_fraction tree =

@@ -1,8 +1,10 @@
 (* Test runner aggregating all library suites. *)
 
-(* Pool workers are re-executions of this binary; the trampoline must
-   run before alcotest sees argv. No-op in the parent. *)
+(* Pool workers and the fingerprint cross-process check are
+   re-executions of this binary; the trampolines must run before
+   alcotest sees argv. No-ops in the parent. *)
 let () = Kit_serve.Pool.worker_entry ()
+let () = Test_repr.child_entry ()
 
 let () =
   Alcotest.run "kit"
@@ -23,5 +25,6 @@ let () =
       ("fault", Test_fault.suite);
       ("edge", Test_edge.suite);
       ("props", Test_props.suite);
+      ("repr", Test_repr.suite);
       ("serve", Test_serve.suite);
     ]

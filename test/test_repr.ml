@@ -1,0 +1,449 @@
+(* Equivalence gates for the compact hot-path representations: the
+   packed trace comparison against a reference Algorithm 1 on the legacy
+   node layout, the packed bitsets against a Set.Make(Int) model,
+   fingerprint stability across processes, and migration of a
+   pre-packing serve-tenant checkpoint. *)
+
+module Ast = Kit_trace.Ast
+module L = Kit_trace.Ast.Legacy
+module Compare = Kit_trace.Compare
+module Nondet = Kit_trace.Nondet
+module Bitset = Kit_compact.Bitset
+module Testcase = Kit_gen.Testcase
+module Campaign = Kit_core.Campaign
+module Checkpoint = Kit_core.Checkpoint
+module Proto = Kit_serve.Proto
+module Tenant = Kit_serve.Tenant
+module Report = Kit_detect.Report
+module Obs = Kit_obs.Obs
+module Tracer = Kit_obs.Tracer
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- reference implementations on the legacy layout --------------------
+
+   These re-state the pre-packing algorithms verbatim over the legacy
+   record: no content hashes, no physical equality, no precomputed child
+   counts. The properties below check the packed code paths agree with
+   them on random tree pairs. *)
+
+let rec ref_size (t : L.ast) =
+  List.fold_left (fun acc c -> acc + ref_size c) 1 t.L.l_children
+
+let ref_diff_trees (ta : L.ast) (tb : L.ast) =
+  let rec cmp path (ta : L.ast) (tb : L.ast) acc =
+    if not (ta.L.l_det && tb.L.l_det) then acc
+    else if
+      (not (String.equal ta.L.l_value tb.L.l_value))
+      || List.length ta.L.l_children <> List.length tb.L.l_children
+    then (List.rev (ta.L.l_label :: path), ta, tb) :: acc
+    else
+      List.fold_left2
+        (fun acc ca cb -> cmp (ta.L.l_label :: path) ca cb acc)
+        acc ta.L.l_children tb.L.l_children
+  in
+  List.rev (cmp [] ta tb [])
+
+let rec ref_mark (reference : L.ast) alternatives =
+  let disagrees (alt : L.ast) =
+    (not (String.equal alt.L.l_value reference.L.l_value))
+    || List.length alt.L.l_children <> List.length reference.L.l_children
+  in
+  if List.exists disagrees alternatives then
+    { reference with L.l_det = false }
+  else
+    let children =
+      List.mapi
+        (fun i c ->
+          ref_mark c
+            (List.map (fun (a : L.ast) -> List.nth a.L.l_children i)
+               alternatives))
+        reference.L.l_children
+    in
+    { reference with L.l_children = children }
+
+let rec ref_apply_mask (mask : L.ast) (tree : L.ast) =
+  let det = tree.L.l_det && mask.L.l_det in
+  if not det then { tree with L.l_det = false }
+  else
+    let rec walk mkids tkids =
+      match (mkids, tkids) with
+      | _, [] -> []
+      | [], extra -> extra
+      | m :: ms, c :: cs -> ref_apply_mask m c :: walk ms cs
+    in
+    { tree with
+      L.l_det = det;
+      L.l_children = walk mask.L.l_children tree.L.l_children }
+
+(* --- random legacy trees and structure-preserving mutations ------------ *)
+
+let labels =
+  [| "trace"; "call0:open"; "call1:read"; "call2:stat"; "ret"; "errno";
+     "size"; "arg0"; "arg1"; "ino" |]
+
+let values = [| ""; "0"; "1"; "2"; "3"; "-1"; "0x1000"; "ENOENT"; "437" |]
+
+let pick arr st = arr.(Random.State.int st (Array.length arr))
+
+let rec gen_legacy depth st =
+  let l_label = pick labels st in
+  let l_det = Random.State.int st 8 <> 0 in
+  if depth = 0 || Random.State.int st 3 = 0 then
+    { L.l_label; l_value = pick values st; l_det; l_children = [] }
+  else
+    let n = 1 + Random.State.int st 3 in
+    { L.l_label; l_value = ""; l_det;
+      l_children = List.init n (fun _ -> gen_legacy (depth - 1) st) }
+
+(* Mutate a tree into a related one: most nodes survive untouched, some
+   change value or det flag, a few are replaced wholesale (changing the
+   shape), so diffs occur at realistic density. *)
+let rec mutate (t : L.ast) st =
+  if Random.State.int st 8 = 0 then gen_legacy 2 st
+  else
+    let l_value =
+      if Random.State.int st 6 = 0 then pick values st else t.L.l_value
+    in
+    let l_det =
+      if Random.State.int st 8 = 0 then not t.L.l_det else t.L.l_det
+    in
+    let l_children =
+      List.map
+        (fun c -> if Random.State.int st 3 = 0 then mutate c st else c)
+        t.L.l_children
+    in
+    { t with L.l_value; l_det; l_children }
+
+let gen_pair st =
+  let a = gen_legacy 4 st in
+  let b = if Random.State.int st 4 = 0 then a else mutate a st in
+  (a, b)
+
+let rec pp_legacy ppf (t : L.ast) =
+  Fmt.pf ppf "(%s=%S%s %a)" t.L.l_label t.L.l_value
+    (if t.L.l_det then "" else "!")
+    (Fmt.list ~sep:Fmt.sp pp_legacy)
+    t.L.l_children
+
+let arbitrary_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Fmt.str "%a@.%a" pp_legacy a pp_legacy b)
+    gen_pair
+
+let arbitrary_marked =
+  QCheck.make
+    ~print:(fun (r, alts) ->
+      Fmt.str "%a@.%a" pp_legacy r (Fmt.list pp_legacy) alts)
+    (fun st ->
+      let r = gen_legacy 4 st in
+      let n = 1 + Random.State.int st 3 in
+      (r, List.init n (fun _ -> if Random.State.int st 3 = 0 then r
+                                else mutate r st)))
+
+(* --- packed vs reference properties ------------------------------------ *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_legacy/to_legacy roundtrip" ~count:200
+    arbitrary_pair (fun (a, _) -> Ast.to_legacy (Ast.of_legacy a) = a)
+
+let prop_packed_counters =
+  QCheck.Test.make ~name:"packed size/nkids match a direct walk" ~count:200
+    arbitrary_pair (fun (a, _) ->
+      let p = Ast.of_legacy a in
+      Ast.size p = ref_size a
+      && p.Ast.nkids = List.length a.L.l_children)
+
+let prop_diff_equals_reference =
+  QCheck.Test.make ~name:"diff_trees = reference Algorithm 1" ~count:500
+    arbitrary_pair (fun (a, b) ->
+      let packed = Compare.diff_trees (Ast.of_legacy a) (Ast.of_legacy b) in
+      let refd = ref_diff_trees a b in
+      List.length packed = List.length refd
+      && List.for_all2
+           (fun (d : Compare.diff) (path, l, r) ->
+             d.Compare.path = path
+             && Ast.to_legacy d.Compare.left = l
+             && Ast.to_legacy d.Compare.right = r)
+           packed refd)
+
+let prop_interfered_equals_reference =
+  QCheck.Test.make ~name:"interfered_indices = indices of reference diffs"
+    ~count:500 arbitrary_pair (fun (a, b) ->
+      let pa = Ast.of_legacy a and pb = Ast.of_legacy b in
+      Compare.interfered_indices pa pb
+      = Compare.interfered_of_diffs (Compare.diff_trees pa pb))
+
+let prop_mark_equals_reference =
+  QCheck.Test.make ~name:"Nondet.mark = reference mark" ~count:500
+    arbitrary_marked (fun (r, alts) ->
+      let packed =
+        Nondet.mark (Ast.of_legacy r) (List.map Ast.of_legacy alts)
+      in
+      Ast.to_legacy packed = ref_mark r alts)
+
+let prop_apply_mask_equals_reference =
+  QCheck.Test.make ~name:"Nondet.apply_mask = reference apply" ~count:500
+    arbitrary_pair (fun (mask, tree) ->
+      let packed =
+        Nondet.apply_mask (Ast.of_legacy mask) (Ast.of_legacy tree)
+      in
+      Ast.to_legacy packed = ref_apply_mask mask tree)
+
+(* --- bitsets vs a Set.Make(Int) model ----------------------------------- *)
+
+module IntSet = Set.Make (Int)
+
+let gen_ops st =
+  List.init (Random.State.int st 120) (fun _ ->
+      (Random.State.int st 3, Random.State.int st 400))
+
+let apply_ops ops =
+  let bs = Bitset.create 64 and model = ref IntSet.empty in
+  List.iter
+    (fun (op, v) ->
+      match op with
+      | 0 -> Bitset.add bs v; model := IntSet.add v !model
+      | 1 -> Bitset.remove bs v; model := IntSet.remove v !model
+      | _ -> ())
+    ops;
+  (bs, !model)
+
+let arbitrary_ops =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      Fmt.str "%a / %a"
+        Fmt.(list (pair int int))
+        a
+        Fmt.(list (pair int int))
+        b)
+    (fun st -> (gen_ops st, gen_ops st))
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset ops = Set.Make(Int) model" ~count:500
+    arbitrary_ops (fun (ops_a, ops_b) ->
+      let bs_a, m_a = apply_ops ops_a and bs_b, m_b = apply_ops ops_b in
+      Bitset.elements bs_a = IntSet.elements m_a
+      && Bitset.cardinal bs_a = IntSet.cardinal m_a
+      && Bitset.is_empty bs_a = IntSet.is_empty m_a
+      && Bitset.inter_count bs_a bs_b
+         = IntSet.cardinal (IntSet.inter m_a m_b)
+      && Bitset.elements (Bitset.inter bs_a bs_b)
+         = IntSet.elements (IntSet.inter m_a m_b)
+      && Bitset.elements (Bitset.union bs_a bs_b)
+         = IntSet.elements (IntSet.union m_a m_b)
+      && List.for_all (fun v -> Bitset.mem bs_a v = IntSet.mem v m_a)
+           (List.init 400 Fun.id))
+
+(* --- fingerprints -------------------------------------------------------- *)
+
+let sample_testcases =
+  [ { Testcase.sender = 3; receiver = 5; flow = None };
+    { Testcase.sender = 0; receiver = 7;
+      flow =
+        Some
+          { Testcase.addr = 0x1040; w_ip = 12; r_ip = 34;
+            w_stack = [ 1; 2; 3 ]; r_stack = [ 4; 5 ]; r_sys_index = 2 } };
+    { Testcase.sender = 11; receiver = 11;
+      flow =
+        Some
+          { Testcase.addr = 0x2000; w_ip = 9; r_ip = 9; w_stack = [];
+            r_stack = [ 0 ]; r_sys_index = 0 } } ]
+
+let test_fingerprint_shape () =
+  List.iter
+    (fun tc ->
+      let fp = Tenant.fingerprint tc in
+      check_string "recompute is stable" fp (Tenant.fingerprint tc);
+      check_int "16 hex chars" 16 (String.length fp);
+      String.iter
+        (fun c ->
+          check_bool "hex digit" true
+            ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+        fp)
+    sample_testcases;
+  let fps = List.map Tenant.fingerprint sample_testcases in
+  check_int "distinct testcases get distinct fingerprints"
+    (List.length fps)
+    (List.length (List.sort_uniq compare fps))
+
+(* The cache key must not depend on process identity: re-execute the
+   test binary (the same spawn mechanism the worker pool uses — raw
+   [Unix.fork] is unavailable once any domain has been spawned), have
+   the child print the same fingerprints, and compare. The legacy
+   MD5-of-Marshal scheme had this property too; the FNV scheme must
+   keep it for daemon checkpoints to replay across restarts. *)
+let fp_env_var = "KIT_TEST_FP_CHILD"
+
+let fp_view () =
+  String.concat ";"
+    (List.map Tenant.fingerprint sample_testcases
+    @ List.map Tenant.fingerprint_legacy sample_testcases)
+
+(* Trampoline called from test_kit.ml before alcotest sees argv. The
+   view goes to a file, not stdout — other suites print banners at
+   module initialization, before this entry runs. *)
+let child_entry () =
+  match Sys.getenv_opt fp_env_var with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (fp_view ());
+    close_out oc;
+    exit 0
+
+let test_fingerprint_cross_process () =
+  let parent_view = fp_view () in
+  let path = Filename.temp_file "kit-fp-child" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let pid =
+        Unix.create_process_env Sys.executable_name
+          [| Sys.executable_name |]
+          (Array.append (Unix.environment ())
+             [| fp_env_var ^ "=" ^ path |])
+          Unix.stdin Unix.stdout Unix.stderr
+      in
+      let _, status = Unix.waitpid [] pid in
+      check_bool "child exited cleanly" true (status = Unix.WEXITED 0);
+      let ic = open_in_bin path in
+      let child_view =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      check_string "child sees identical fingerprints" parent_view
+        child_view)
+
+(* --- legacy serve-tenant checkpoint migration ---------------------------
+
+   Fabricate a checkpoint byte-for-byte like a pre-packing daemon wrote:
+   legacy Ast nodes inside the reports, cache keyed by MD5-of-Marshal
+   fingerprints, saved under the old KITCKPT1 kind. Loading it must
+   migrate in place — packed nodes rebuilt, cache re-keyed — and
+   re-activation must replay every migrated entry from cache. *)
+
+let compat_spec =
+  { Proto.default_spec with
+    Proto.sp_name = "compat"; sp_seed = 7; sp_corpus_size = 24;
+    sp_diagnose = false }
+
+let legacy_of_diff (d : Compare.diff) =
+  { Tenant.Legacy.ld_path = d.Compare.path;
+    ld_left = Ast.to_legacy d.Compare.left;
+    ld_right = Ast.to_legacy d.Compare.right }
+
+let legacy_of_report (r : Report.t) =
+  { Tenant.Legacy.lr_testcase = r.Report.testcase;
+    lr_sender = r.Report.sender;
+    lr_receiver = r.Report.receiver;
+    lr_interfered = r.Report.interfered;
+    lr_diffs = List.map legacy_of_diff r.Report.diffs;
+    lr_trace_a = Ast.to_legacy r.Report.trace_a;
+    lr_trace_b = Ast.to_legacy r.Report.trace_b }
+
+let legacy_of_case (cr : Campaign.case_result) =
+  { Tenant.Legacy.lc_tc = cr.Campaign.cr_tc;
+    lc_funnel = cr.Campaign.cr_funnel;
+    lc_report = Option.map legacy_of_report cr.Campaign.cr_report;
+    lc_crashes = cr.Campaign.cr_crashes }
+
+let marshal_fp x = Digest.string (Marshal.to_string x [ Marshal.No_sharing ])
+
+let test_legacy_checkpoint_migrates () =
+  (* Real case results for the spec's first two representatives, so the
+     migrated cache keys match what re-activation generates. *)
+  let scratch = Tenant.create ~id:1 compat_spec in
+  let options, corpus = Tenant.activate scratch ~procs:1 in
+  let rec claim_all acc =
+    match Tenant.claim scratch ~slot:0 with
+    | Some job -> claim_all (job :: acc)
+    | None -> List.rev acc
+  in
+  let jobs = claim_all [] in
+  check_bool "spec generates enough representatives" true
+    (List.length jobs >= 2);
+  let obs = Obs.create ~tracer:Tracer.nop () in
+  let sup = Campaign.supervisor ~obs options in
+  let executed =
+    List.map
+      (fun (_, tc) -> Campaign.exec_case options corpus sup tc)
+      (List.filteri (fun i _ -> i < 2) jobs)
+  in
+  (* The legacy round trip itself must be lossless. *)
+  List.iter
+    (fun cr ->
+      check_string "legacy case_result converts back losslessly"
+        (marshal_fp cr)
+        (marshal_fp (Tenant.Legacy.case_result_of (legacy_of_case cr))))
+    executed;
+  let ck =
+    { Tenant.Legacy.lk_spec = compat_spec;
+      lk_completed =
+        List.map
+          (fun cr ->
+            ( Tenant.fingerprint_legacy cr.Campaign.cr_tc,
+              (legacy_of_case cr, 1) ))
+          executed;
+      lk_finished = false;
+      lk_summary = None }
+  in
+  let path = Filename.temp_file "kit-tenant-legacy" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Checkpoint.save path ~kind:Tenant.ckpt_kind_legacy ck;
+      match Tenant.of_checkpoint ~id:2 path with
+      | Error e -> Alcotest.failf "legacy checkpoint rejected: %s" e
+      | Ok t ->
+        check_bool "migrated tenant comes back pending" true
+          (Tenant.phase t = Tenant.Pending);
+        let _ = Tenant.activate t ~procs:1 in
+        check_int "every migrated entry replays from cache" 2
+          (Tenant.resumed t);
+        check_int "replayed entries are completed" 2 (Tenant.completed t);
+        (* A fresh save of the migrated tenant writes the v2 kind and
+           reloads without the legacy probe, cache intact. *)
+        let dir = Filename.temp_file "kit-tenant-v2" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o700;
+        Fun.protect
+          ~finally:(fun () ->
+            Array.iter
+              (fun f -> Sys.remove (Filename.concat dir f))
+              (Sys.readdir dir);
+            Unix.rmdir dir)
+          (fun () ->
+            Tenant.save_checkpoint dir t;
+            match Tenant.of_checkpoint ~id:3 (Tenant.ckpt_path dir t) with
+            | Error e -> Alcotest.failf "v2 checkpoint rejected: %s" e
+            | Ok t2 ->
+              let _ = Tenant.activate t2 ~procs:1 in
+              check_int "v2 reload replays the same cache" 2
+                (Tenant.resumed t2)))
+
+let test_legacy_kind_is_distinct () =
+  check_bool "kind bumped" true
+    (not (String.equal Tenant.ckpt_kind Tenant.ckpt_kind_legacy))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_packed_counters;
+    QCheck_alcotest.to_alcotest prop_diff_equals_reference;
+    QCheck_alcotest.to_alcotest prop_interfered_equals_reference;
+    QCheck_alcotest.to_alcotest prop_mark_equals_reference;
+    QCheck_alcotest.to_alcotest prop_apply_mask_equals_reference;
+    QCheck_alcotest.to_alcotest prop_bitset_model;
+    Alcotest.test_case "fingerprint: stable, hex, collision-free" `Quick
+      test_fingerprint_shape;
+    Alcotest.test_case "fingerprint: identical across processes" `Quick
+      test_fingerprint_cross_process;
+    Alcotest.test_case "checkpoint: legacy serve-tenant file migrates"
+      `Quick test_legacy_checkpoint_migrates;
+    Alcotest.test_case "checkpoint: kind bumped for packed layout" `Quick
+      test_legacy_kind_is_distinct;
+  ]
