@@ -22,6 +22,10 @@
    KIT_BENCH_ONLY_REPR (run only the compact-representation
    micro-section: packed trace compare, bitset flow intersection and
    FNV fingerprints against their naive baselines),
+   KIT_BENCH_SCHED_CORPUS / KIT_BENCH_SCHED_N / KIT_BENCH_SCHED_ITERS /
+   KIT_BENCH_ONLY_SCHED (interleaved schedule-search section: campaign
+   corpus default 96, schedule seeds per case default 128, sequential
+   overhead iterations default 400, and its section-only switch),
    KIT_BENCH_JSON=PATH (write the section timings and speedup ratios as
    a single JSON object to PATH). *)
 
@@ -969,6 +973,108 @@ let print_repr_bench () =
   record "repr_peak_rss_kb" (Jsonl.Int rss);
   Fmt.pr "@."
 
+(* -- interleaved schedule search ------------------------------------------ *)
+
+(* The scheduler section (KIT_BENCH_ONLY_SCHED): what deterministic
+   interleaving costs and what POR saves.
+     1. per-execution overhead — run_interleaved under the Sequential
+        schedule vs run_pair over the same case (effect-handler tax);
+     2. a full campaign on the race-window kernel with --schedules N vs
+        the same campaign sequential-only: POR prune ratio, schedule
+        executions per second, and the race-window bugs witnessed. *)
+let print_sched_bench () =
+  Fmt.pr "-- Interleaved schedule search: overhead / POR / discovery --@.";
+  let corpus_size = getenv_int "KIT_BENCH_SCHED_CORPUS" 96 in
+  let schedules = getenv_int "KIT_BENCH_SCHED_N" 128 in
+  let iters = getenv_int "KIT_BENCH_SCHED_ITERS" 400 in
+  record "sched_corpus" (Jsonl.Int corpus_size);
+  record "sched_n" (Jsonl.Int schedules);
+  (* 1. effect-handler tax on the sequential schedule *)
+  let env = Env.create (Config.v5_13_rw ()) in
+  let runner = Runner.create env in
+  let sender = Syzlang.parse "r0 = socket(1)\nr1 = get_cookie(r0)" in
+  let receiver =
+    Syzlang.parse "r0 = open(\"/proc/net/sockstat\")\nr1 = read(r0)"
+  in
+  let time_loop f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do f () done;
+    Unix.gettimeofday () -. t0
+  in
+  let pair_s =
+    time_loop (fun () ->
+        ignore (Runner.run_pair runner ~base:env.Env.base0 sender receiver))
+  in
+  let inter_s =
+    time_loop (fun () ->
+        ignore
+          (Runner.run_interleaved runner ~schedule:Kit_kernel.Sched.Sequential
+             ~base:env.Env.base0 sender receiver))
+  in
+  let tax = inter_s /. pair_s in
+  Fmt.pr
+    "interleave overhead:  %.1f us/exec plain vs %.1f us/exec scheduled \
+     (%.2fx, %d iters)@."
+    (1e6 *. pair_s /. float_of_int iters)
+    (1e6 *. inter_s /. float_of_int iters)
+    tax iters;
+  record "sched_s_run_pair" (Jsonl.Float pair_s);
+  record "sched_s_interleaved" (Jsonl.Float inter_s);
+  record "sched_overhead_ratio" (Jsonl.Float tax);
+  (* 2. campaign-level search cost and yield *)
+  let options =
+    { Campaign.default_options with
+      Campaign.config = Config.v5_13_rw ();
+      corpus_size;
+      seed = 3;
+      diagnose = false }
+  in
+  let c_seq, seq_s = timed (fun () -> Campaign.run options) in
+  let c_sched, sched_s =
+    timed (fun () -> Campaign.run { options with Campaign.schedules })
+  in
+  let s = c_sched.Campaign.sched in
+  let candidates = s.Campaign.sched_executed + s.Campaign.sched_pruned in
+  let prune_ratio =
+    if candidates = 0 then 0.0
+    else float_of_int s.Campaign.sched_pruned /. float_of_int candidates
+  in
+  let search_s = Float.max 1e-9 (sched_s -. seq_s) in
+  let sched_per_s = float_of_int s.Campaign.sched_executed /. search_s in
+  let found = Oracle.race_bugs_found c_sched.Campaign.concurrent in
+  Fmt.pr
+    "campaign:             %.2fs sequential vs %.2fs with %d seeds/case \
+     (%.1fx)@."
+    seq_s sched_s schedules (sched_s /. seq_s);
+  Fmt.pr
+    "POR:                  %d candidate seeds, %d executed, %d pruned \
+     (%.1f%% pruned)@."
+    candidates s.Campaign.sched_executed s.Campaign.sched_pruned
+    (100.0 *. prune_ratio);
+  Fmt.pr "search throughput:    %.0f schedules/s@." sched_per_s;
+  Fmt.pr "race-window bugs:     %d/%d witnessed (%s)@."
+    (List.length found)
+    (List.length Bugs.race_bugs)
+    (String.concat ", " (List.map Bugs.to_string found));
+  if c_seq.Campaign.concurrent <> [] then
+    failwith "sched bench: sequential campaign produced concurrent reports";
+  record "sched_campaign_s_sequential" (Jsonl.Float seq_s);
+  record "sched_campaign_s_searched" (Jsonl.Float sched_s);
+  record "sched_campaign_overhead" (Jsonl.Float (sched_s /. seq_s));
+  record "sched_candidates" (Jsonl.Int candidates);
+  record "sched_executed" (Jsonl.Int s.Campaign.sched_executed);
+  record "sched_pruned" (Jsonl.Int s.Campaign.sched_pruned);
+  record "sched_prune_ratio" (Jsonl.Float prune_ratio);
+  record "sched_schedules_per_s" (Jsonl.Float sched_per_s);
+  record "sched_concurrent_reports"
+    (Jsonl.Int (List.length c_sched.Campaign.concurrent));
+  record "sched_race_bugs_found" (Jsonl.Int (List.length found));
+  record "sched_race_bugs_total" (Jsonl.Int (List.length Bugs.race_bugs));
+  let rss = Rss.peak_kb () in
+  Fmt.pr "peak rss:             %d kB (VmHWM)@." rss;
+  record "sched_peak_rss_kb" (Jsonl.Int rss);
+  Fmt.pr "@."
+
 (* Pool workers re-execute this binary; the trampoline must run before
    the bench dispatch below. No-op in the parent. *)
 let () = Pool.worker_entry ()
@@ -1004,6 +1110,11 @@ let () =
     write_bench_json ();
     Fmt.pr "done.@."
   end
+  else if Sys.getenv_opt "KIT_BENCH_ONLY_SCHED" <> None then begin
+    print_sched_bench ();
+    write_bench_json ();
+    Fmt.pr "done.@."
+  end
   else begin
     print_tables ();
     print_jump_label_ablation ();
@@ -1017,6 +1128,7 @@ let () =
     print_pool_bench ();
     print_serve_bench ();
     print_repr_bench ();
+    print_sched_bench ();
     run_benchmarks ();
     write_bench_json ();
     Fmt.pr "done.@."

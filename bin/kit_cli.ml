@@ -175,6 +175,27 @@ let domains_arg =
            Reports, funnel and quarantine are identical for any value; \
            only wall-clock time changes.")
 
+let schedules_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "schedules" ]
+        ~doc:
+          "Search N interleaved schedule seeds per completed test case \
+           (POR-pruned; one representative per equivalence class \
+           executes). Sequentially-invisible race-window divergences \
+           become concurrent reports carrying their reproducing seeds. \
+           1 (the default) disables the search; sequential results are \
+           unchanged for any value.")
+
+let race_bugs_arg =
+  Arg.(
+    value & flag
+    & info [ "race-bugs" ]
+        ~doc:
+          "Test the 5.13-rw kernel configuration: 5.13 plus the seeded \
+           race-window bugs, which only interleaved schedules \
+           ($(b,--schedules) > 1) can expose.")
+
 let no_baseline_cache_arg =
   Arg.(
     value & flag
@@ -259,12 +280,17 @@ let export_obs obs ~meta ~metrics_file ~trace_file =
         (Export.lines ~wall:true ~meta ~events ~dropped []);
       Fmt.pr "trace: %s@." path)
 
-let options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
-    ~max_retries ~domains ~baseline_cache ~obs =
+let options ?(schedules = 1) ?(race_bugs = false) ~seed ~corpus_size ~strategy
+    ~faults ~fault_intensity ~fuel ~max_retries ~domains ~baseline_cache ~obs
+    () =
   let faults = faults @ Fault.schedule_of_seed ~seed ~intensity:fault_intensity in
+  let config =
+    if race_bugs then Kit_kernel.Config.v5_13_rw ()
+    else Campaign.default_options.Campaign.config
+  in
   { Campaign.default_options with
-    Campaign.seed; corpus_size; strategy; faults; fuel; max_retries;
-    domains = max 1 domains; baseline_cache; obs }
+    Campaign.config; seed; corpus_size; strategy; faults; fuel; max_retries;
+    domains = max 1 domains; schedules = max 1 schedules; baseline_cache; obs }
 
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Render the AGG-RS groups.")
@@ -353,13 +379,15 @@ let run_campaign opts ~checkpoint_file ~checkpoint_every ~resume =
 
 let cmd_campaign =
   let run seed corpus_size strategy verbose faults fault_intensity fuel
-      max_retries domains procs no_baseline_cache checkpoint_file
-      checkpoint_every resume summary_file metrics_file trace_file =
+      max_retries domains schedules race_bugs procs no_baseline_cache
+      checkpoint_file checkpoint_every resume summary_file metrics_file
+      trace_file =
     guarded (fun () ->
         let obs = obs_of_flags ~metrics_file ~trace_file in
         let opts =
-          options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
-            ~max_retries ~domains ~baseline_cache:(not no_baseline_cache) ~obs
+          options ~schedules ~race_bugs ~seed ~corpus_size ~strategy ~faults
+            ~fault_intensity ~fuel ~max_retries ~domains
+            ~baseline_cache:(not no_baseline_cache) ~obs ()
         in
         let pool_stats = ref None in
         let c =
@@ -394,6 +422,26 @@ let cmd_campaign =
         Fmt.pr "new bugs found (%d/9): %a@." (List.length found)
           (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
           found;
+        if c.Campaign.options.Campaign.schedules > 1 then begin
+          let s = c.Campaign.sched in
+          let race = Oracle.race_bugs_found c.Campaign.concurrent in
+          Fmt.pr
+            "schedule search (%d seeds/case): %d candidates, %d classes, \
+             %d executed, %d pruned, %d skipped@."
+            c.Campaign.options.Campaign.schedules s.Campaign.sched_candidates
+            s.Campaign.sched_classes s.Campaign.sched_executed
+            s.Campaign.sched_pruned s.Campaign.sched_skipped;
+          Fmt.pr "concurrent reports: %d@."
+            (List.length c.Campaign.concurrent);
+          Fmt.pr "race-window bugs found (%d/%d): %a@." (List.length race)
+            (List.length Bugs.race_bugs)
+            (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
+            race;
+          List.iter
+            (fun (r : Kit_detect.Report.t) ->
+              Fmt.pr "%a@." Kit_detect.Report.pp r)
+            c.Campaign.concurrent
+        end;
         Fmt.pr "%s@." (Tables.performance c);
         (* satellite: a resumed --procs run must say so — the pool line
            (including the resumed count) used to be dropped here *)
@@ -407,9 +455,9 @@ let cmd_campaign =
     Term.(
       const run $ seed_arg $ corpus_size_arg $ strategy_arg $ verbose_arg
       $ faults_arg $ fault_intensity_arg $ fuel_arg $ max_retries_arg
-      $ domains_arg $ procs_arg $ no_baseline_cache_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ resume_arg $ summary_arg $ metrics_arg
-      $ trace_arg)
+      $ domains_arg $ schedules_arg $ race_bugs_arg $ procs_arg
+      $ no_baseline_cache_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg $ summary_arg $ metrics_arg $ trace_arg)
 
 let cmd_grow =
   let add_arg =
@@ -419,12 +467,14 @@ let cmd_grow =
           ~doc:"Programs to append to the corpus for the delta campaign.")
   in
   let run seed corpus_size strategy add verbose faults fault_intensity fuel
-      max_retries domains no_baseline_cache metrics_file trace_file =
+      max_retries domains schedules race_bugs no_baseline_cache metrics_file
+      trace_file =
     guarded (fun () ->
         let obs = obs_of_flags ~metrics_file ~trace_file in
         let opts =
-          options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
-            ~max_retries ~domains ~baseline_cache:(not no_baseline_cache) ~obs
+          options ~schedules ~race_bugs ~seed ~corpus_size ~strategy ~faults
+            ~fault_intensity ~fuel ~max_retries ~domains
+            ~baseline_cache:(not no_baseline_cache) ~obs ()
         in
         (* Streaming base campaign: execute-while-generate, so the first
            report lands before the corpus is fully profiled. *)
@@ -465,6 +515,15 @@ let cmd_grow =
         Fmt.pr "new bugs found (%d/9): %a@." (List.length found)
           (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
           found;
+        if c.Campaign.options.Campaign.schedules > 1 then begin
+          let race = Oracle.race_bugs_found c.Campaign.concurrent in
+          Fmt.pr "concurrent reports: %d@."
+            (List.length c.Campaign.concurrent);
+          Fmt.pr "race-window bugs found (%d/%d): %a@." (List.length race)
+            (List.length Bugs.race_bugs)
+            (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
+            race
+        end;
         print_robustness c;
         if verbose then
           Fmt.pr "@.%s@." (Kit_report.Render.groups c.Campaign.agg_rs);
@@ -478,8 +537,8 @@ let cmd_grow =
     Term.(
       const run $ seed_arg $ corpus_size_arg $ strategy_arg $ add_arg
       $ verbose_arg $ faults_arg $ fault_intensity_arg $ fuel_arg
-      $ max_retries_arg $ domains_arg $ no_baseline_cache_arg $ metrics_arg
-      $ trace_arg)
+      $ max_retries_arg $ domains_arg $ schedules_arg $ race_bugs_arg
+      $ no_baseline_cache_arg $ metrics_arg $ trace_arg)
 
 let cmd_distrib =
   let workers_arg =
@@ -516,7 +575,7 @@ let cmd_distrib =
         let opts =
           options ~seed ~corpus_size ~strategy ~faults ~fault_intensity ~fuel
             ~max_retries ~domains:1 ~baseline_cache:(not no_baseline_cache)
-            ~obs
+            ~obs ()
         in
         let single = Campaign.run opts in
         let d =
@@ -652,7 +711,7 @@ let cmd_pool =
           options ~seed ~corpus_size ~strategy ~faults:[] ~fault_intensity:0
             ~fuel:Campaign.default_options.Campaign.fuel
             ~max_retries:Campaign.default_options.Campaign.max_retries
-            ~domains:1 ~baseline_cache:true ~obs
+            ~domains:1 ~baseline_cache:true ~obs ()
         in
         let cfg =
           { Pool.default_config with
@@ -1191,7 +1250,7 @@ let cmd_submit =
       & info [ "no-diagnose" ] ~doc:"Skip diagnosis and aggregation.")
   in
   let run socket name seed corpus_size strategy weight max_inflight
-      no_diagnose wait =
+      no_diagnose schedules wait =
     guarded (fun () ->
         let spec =
           { Proto.sp_name = name;
@@ -1200,7 +1259,8 @@ let cmd_submit =
             sp_strategy = strategy;
             sp_weight = max 1 weight;
             sp_max_inflight = max 0 max_inflight;
-            sp_diagnose = not no_diagnose }
+            sp_diagnose = not no_diagnose;
+            sp_schedules = max 1 schedules }
         in
         client socket (Proto.Submit spec) ~on_reply:(function
           | Proto.Accepted { a_name; a_id } ->
@@ -1218,7 +1278,7 @@ let cmd_submit =
     Term.(
       const run $ socket_arg $ submit_name_arg $ seed_arg $ corpus_size_arg
       $ strategy_arg $ weight_arg $ max_inflight_arg $ no_diagnose_arg
-      $ wait_arg)
+      $ schedules_arg $ wait_arg)
 
 let cmd_status =
   let run socket =

@@ -56,6 +56,8 @@ type options = {
   max_retries : int;                    (* supervisor retry budget *)
   baseline_cache : bool;                (* memoize receiver-solo traces *)
   domains : int;                        (* execute-phase parallelism *)
+  schedules : int;                      (* interleaved schedule seeds per
+                                           case; 1 = sequential only *)
   obs : Obs.t option;                   (* observability bundle; None =
                                            private bundle per campaign *)
 }
@@ -74,8 +76,36 @@ let default_options =
     max_retries = Supervisor.default_config.Supervisor.max_retries;
     baseline_cache = true;
     domains = 1;
+    schedules = 1;
     obs = None;
   }
+
+(* Schedule-search accounting, accumulated across the campaign's cases
+   exactly like the funnel. All zeros when [schedules = 1] — the
+   sequential-only campaign never touches the scheduler. *)
+type sched_stats = {
+  mutable sched_candidates : int;       (* completed cases searched *)
+  mutable sched_classes : int;          (* POR equivalence classes *)
+  mutable sched_executed : int;         (* class representatives run *)
+  mutable sched_pruned : int;           (* seeds never executed *)
+  mutable sched_skipped : int;          (* searches/reps lost to crashes *)
+}
+
+let sched_create () =
+  { sched_candidates = 0; sched_classes = 0; sched_executed = 0;
+    sched_pruned = 0; sched_skipped = 0 }
+
+let copy_sched (s : sched_stats) =
+  { sched_candidates = s.sched_candidates; sched_classes = s.sched_classes;
+    sched_executed = s.sched_executed; sched_pruned = s.sched_pruned;
+    sched_skipped = s.sched_skipped }
+
+let add_sched (into : sched_stats) (s : sched_stats) =
+  into.sched_candidates <- into.sched_candidates + s.sched_candidates;
+  into.sched_classes <- into.sched_classes + s.sched_classes;
+  into.sched_executed <- into.sched_executed + s.sched_executed;
+  into.sched_pruned <- into.sched_pruned + s.sched_pruned;
+  into.sched_skipped <- into.sched_skipped + s.sched_skipped
 
 type timings = {
   profile_s : float;
@@ -91,6 +121,10 @@ type t = {
   df_total : int;                       (* unclustered data-flow count *)
   funnel : Filter.funnel;
   reports : Report.t list;
+  concurrent : Report.t list;           (* schedule-search findings; kept
+                                           out of the sequential funnel
+                                           and Algorithm 2 diagnosis *)
+  sched : sched_stats;                  (* schedule-search totals *)
   quarantined : Supervisor.crash list;  (* crash reports, oldest first *)
   keyed : Aggregate.keyed list;         (* diagnosed reports, if enabled *)
   agg_r : Aggregate.group list;
@@ -181,6 +215,8 @@ type checkpoint = {
   ck_total : int;                       (* cluster reps overall *)
   ck_funnel : Filter.funnel;
   ck_rev_reports : Report.t list;       (* newest first *)
+  ck_rev_concurrent : Report.t list;    (* newest first *)
+  ck_sched : sched_stats;
   ck_quarantined : Supervisor.crash list; (* oldest first *)
   ck_executions : int;
   ck_generate_s : float;
@@ -200,11 +236,13 @@ let checkpoint_reports ck = List.length ck.ck_rev_reports
    payload length and digest are all checked before any Marshal byte is
    decoded, so a truncated or corrupt file is a typed error. The kind
    was bumped to -v2 when trace nodes switched to the packed
-   representation (the reports' Marshal layout changed with it); a
-   pre-change file now fails the kind check as a typed error instead of
-   being mis-decoded. Execute checkpoints are cheap to regenerate, so
-   unlike tenant caches they get no migration path. *)
-let checkpoint_kind = "campaign-execute-v2"
+   representation (the reports' Marshal layout changed with it), and to
+   -v3 when reports gained an origin and checkpoints gained the
+   concurrent report list and schedule-search totals; a pre-change file
+   now fails the kind check as a typed error instead of being
+   mis-decoded. Execute checkpoints are cheap to regenerate, so unlike
+   tenant caches they get no migration path. *)
+let checkpoint_kind = "campaign-execute-v3"
 
 let save_checkpoint path ck = Checkpoint.save path ~kind:checkpoint_kind ck
 
@@ -232,6 +270,8 @@ type case_result = {
   cr_tc : Testcase.t;
   cr_funnel : Filter.funnel;            (* this case's funnel increments *)
   cr_report : Report.t option;
+  cr_concurrent : Report.t list;        (* schedule-search findings *)
+  cr_sched : sched_stats;               (* this case's search accounting *)
   cr_crashes : Supervisor.crash list;   (* quarantined by this case *)
 }
 
@@ -252,22 +292,50 @@ let exec_case ?(attrs = []) options corpus sup (tc : Testcase.t) =
   let sender = corpus.(tc.Testcase.sender) in
   let receiver = corpus.(tc.Testcase.receiver) in
   let funnel = Filter.funnel_create () in
+  let sched = sched_create () in
   let q0 = Supervisor.quarantine_count sup in
-  let report =
+  let report, concurrent =
     match Supervisor.execute ~attrs sup ~sender ~receiver with
-    | Runner.Crashed _ | Runner.Hung -> None
-    | Runner.Completed outcome -> (
-      match
-        Filter.classify options.spec ~testcase:tc ~sender ~receiver outcome
-          funnel
-      with
-      | Filter.Reported r -> Some r
-      | Filter.No_divergence | Filter.Filtered_nondet
-      | Filter.Filtered_resource ->
-        None)
+    | Runner.Crashed _ | Runner.Hung -> (None, [])
+    | Runner.Completed outcome ->
+      let report =
+        match
+          Filter.classify options.spec ~testcase:tc ~sender ~receiver outcome
+            funnel
+        with
+        | Filter.Reported r -> Some r
+        | Filter.No_divergence | Filter.Filtered_nondet
+        | Filter.Filtered_resource ->
+          None
+      in
+      (* Schedule search runs whatever the sequential verdict was: a
+         race-window bug is sequentially invisible (No_divergence), so
+         gating on a sequential report would miss exactly the findings
+         the search exists for. *)
+      let concurrent =
+        if options.schedules <= 1 then []
+        else begin
+          let search =
+            Supervisor.search_schedules ~attrs sup
+              ~schedules:options.schedules ~sender ~receiver outcome
+          in
+          sched.sched_candidates <- sched.sched_candidates + 1;
+          sched.sched_classes <- sched.sched_classes + search.Runner.sr_classes;
+          sched.sched_executed <-
+            sched.sched_executed + search.Runner.sr_executed;
+          sched.sched_pruned <- sched.sched_pruned + search.Runner.sr_pruned;
+          sched.sched_skipped <- sched.sched_skipped + search.Runner.sr_skipped;
+          List.filter_map
+            (Filter.classify_concurrent options.spec ~testcase:tc ~sender
+               ~receiver ~trace_b:outcome.Runner.trace_b)
+            search.Runner.sr_findings
+        end
+      in
+      (report, concurrent)
   in
   let crashes = Supervisor.quarantined_since sup q0 in
-  { cr_tc = tc; cr_funnel = funnel; cr_report = report; cr_crashes = crashes }
+  { cr_tc = tc; cr_funnel = funnel; cr_report = report;
+    cr_concurrent = concurrent; cr_sched = sched; cr_crashes = crashes }
 
 (* A case that never produced an outcome because the execution
    environment itself died under it (permanent boot fault, lost worker
@@ -281,7 +349,7 @@ let lost_case_result ?(attempts = 0) corpus ~why (tc : Testcase.t) =
       c_attempts = attempts }
   in
   { cr_tc = tc; cr_funnel = Filter.funnel_create (); cr_report = None;
-    cr_crashes = [ crash ] }
+    cr_concurrent = []; cr_sched = sched_create (); cr_crashes = [ crash ] }
 
 (* Run a chunk of [(case, attrs, tc)] triples sequentially, absorbing
    [Supervisor.Gave_up] at the chunk boundary: a permanent
@@ -404,6 +472,8 @@ type phase_result =
       generation : Cluster.result;
       funnel : Filter.funnel;
       reports : Report.t list;
+      concurrent : Report.t list;
+      sched : sched_stats;
       quarantined : Supervisor.crash list;
       prior_executions : int;           (* from resumed checkpoints *)
       sup : Supervisor.t;
@@ -435,18 +505,21 @@ let execute_phase ?resume ~budget ~strategy prepared =
   Metrics.set_counter (c_counter obs "clusters") generation.Cluster.clusters;
   let reps = generation.Cluster.reps in
   let total = List.length reps in
-  let done_, funnel, rev_reports, quarantined0, executions0, generate_s,
-      execute_s0 =
+  let done_, funnel, rev_reports, rev_concurrent, sched, quarantined0,
+      executions0, generate_s, execute_s0 =
     match resume with
-    | None -> (0, Filter.funnel_create (), [], [], 0, generate_s_now, 0.0)
+    | None ->
+      (0, Filter.funnel_create (), [], [], sched_create (), [], 0,
+       generate_s_now, 0.0)
     | Some ck ->
       validate_resume options strategy total ck;
       ( ck.ck_done, copy_funnel ck.ck_funnel, ck.ck_rev_reports,
-        ck.ck_quarantined, ck.ck_executions, ck.ck_generate_s,
-        ck.ck_execute_s )
+        ck.ck_rev_concurrent, copy_sched ck.ck_sched, ck.ck_quarantined,
+        ck.ck_executions, ck.ck_generate_s, ck.ck_execute_s )
   in
   Metrics.set_gauge (time_gauge obs "generate_s") generate_s;
   let reports = ref rev_reports in
+  let concurrent = ref rev_concurrent in
   (* At least one representative per chunk: a non-positive budget would
      pause without progress and turn resume-until-done loops into
      livelocks. *)
@@ -475,7 +548,9 @@ let execute_phase ?resume ~budget ~strategy prepared =
   List.iter
     (fun r ->
       add_funnel funnel r.cr_funnel;
-      Option.iter (fun rep -> reports := rep :: !reports) r.cr_report)
+      add_sched sched r.cr_sched;
+      Option.iter (fun rep -> reports := rep :: !reports) r.cr_report;
+      concurrent := List.rev_append r.cr_concurrent !concurrent)
     out;
   let execute_s = execute_s0 +. execute_s_now in
   (* Per-chunk accounting: representative counts are deterministic,
@@ -499,6 +574,8 @@ let execute_phase ?resume ~budget ~strategy prepared =
         ck_total = total;
         ck_funnel = copy_funnel funnel;
         ck_rev_reports = !reports;
+        ck_rev_concurrent = !concurrent;
+        ck_sched = copy_sched sched;
         ck_quarantined = quarantined;
         ck_executions = executions;
         ck_generate_s = generate_s;
@@ -514,7 +591,8 @@ let execute_phase ?resume ~budget ~strategy prepared =
       | None -> (make_supervisor ~obs options, executions)
     in
     Phase_done
-      { generation; funnel; reports = List.rev !reports; quarantined;
+      { generation; funnel; reports = List.rev !reports;
+        concurrent = List.rev !concurrent; sched; quarantined;
         prior_executions; sup; generate_s; execute_s }
 
 (* Mirror final campaign accounting into always-on counters. *)
@@ -529,6 +607,21 @@ let set_result_counters obs ~executions ~funnel ~reports ~quarantined =
   Metrics.set_counter (c_counter obs "reports") (List.length reports);
   Metrics.set_counter (c_counter obs "quarantined") (List.length quarantined)
 
+(* Schedule-search counters exist only when the search actually ran:
+   interning them unconditionally would perturb the golden obs export of
+   sequential-only campaigns. *)
+let set_sched_counters obs ~concurrent (sched : sched_stats) =
+  if sched.sched_candidates > 0 || concurrent <> [] then begin
+    Metrics.set_counter (c_counter obs "sched_candidates")
+      sched.sched_candidates;
+    Metrics.set_counter (c_counter obs "sched_classes") sched.sched_classes;
+    Metrics.set_counter (c_counter obs "sched_executed") sched.sched_executed;
+    Metrics.set_counter (c_counter obs "sched_pruned") sched.sched_pruned;
+    Metrics.set_counter (c_counter obs "sched_skipped") sched.sched_skipped;
+    Metrics.set_counter (c_counter obs "concurrent_reports")
+      (List.length concurrent)
+  end
+
 (* Thin reads: the gauges are the source of truth for wall times. *)
 let read_timings obs =
   { profile_s = Metrics.gauge_value (time_gauge obs "profile_s");
@@ -540,8 +633,8 @@ let finish prepared options phase =
   match phase with
   | Phase_paused _ -> assert false
   | Phase_done
-      { generation; funnel; reports; quarantined; prior_executions; sup;
-        generate_s; execute_s } ->
+      { generation; funnel; reports; concurrent; sched; quarantined;
+        prior_executions; sup; generate_s; execute_s } ->
     let obs = prepared.p_obs in
     let keyed =
       if not options.diagnose then begin
@@ -557,6 +650,7 @@ let finish prepared options phase =
     (* diagnosis re-executed through [sup], so read the counter last *)
     let executions = prior_executions + Supervisor.executions sup in
     set_result_counters obs ~executions ~funnel ~reports ~quarantined;
+    set_sched_counters obs ~concurrent sched;
     {
       options;
       corpus = prepared.p_corpus;
@@ -564,6 +658,8 @@ let finish prepared options phase =
       df_total = generation.Cluster.df_total;
       funnel;
       reports;
+      concurrent;
+      sched;
       quarantined;
       keyed;
       agg_r;
@@ -638,17 +734,23 @@ let assemble ?(execute_s = 0.0) prepared generation out ~executions =
   in
   let obs = prepared.p_obs in
   let funnel = Filter.funnel_create () in
-  let rev_reports = ref [] and rev_quarantined = ref [] in
+  let sched = sched_create () in
+  let rev_reports = ref [] and rev_concurrent = ref []
+  and rev_quarantined = ref [] in
   List.iter
     (fun r ->
       add_funnel funnel r.cr_funnel;
+      add_sched sched r.cr_sched;
       Option.iter (fun rep -> rev_reports := rep :: !rev_reports) r.cr_report;
+      rev_concurrent := List.rev_append r.cr_concurrent !rev_concurrent;
       rev_quarantined := List.rev_append r.cr_crashes !rev_quarantined)
     out;
   finish prepared options
     (Phase_done
        { generation; funnel;
          reports = List.rev !rev_reports;
+         concurrent = List.rev !rev_concurrent;
+         sched;
          quarantined = List.rev !rev_quarantined;
          prior_executions = executions;
          sup = make_supervisor ~obs options;
@@ -871,14 +973,19 @@ let stream_result s =
       ordered
   in
   let funnel = Filter.funnel_create () in
-  let rev_reports = ref [] and rev_quarantined = ref [] in
+  let sched = sched_create () in
+  let rev_reports = ref [] and rev_concurrent = ref []
+  and rev_quarantined = ref [] in
   List.iter
     (fun (_, r) ->
       add_funnel funnel r.cr_funnel;
+      add_sched sched r.cr_sched;
       Option.iter (fun rep -> rev_reports := rep :: !rev_reports) r.cr_report;
+      rev_concurrent := List.rev_append r.cr_concurrent !rev_concurrent;
       rev_quarantined := List.rev_append r.cr_crashes !rev_quarantined)
     cases;
   let reports = List.rev !rev_reports in
+  let concurrent = List.rev !rev_concurrent in
   let quarantined = List.rev !rev_quarantined in
   (* Diagnose newly-reported clusters; unchanged clusters reuse the
      cached keyed report from a previous assembly. *)
@@ -912,6 +1019,7 @@ let stream_result s =
   Metrics.set_gauge (time_gauge obs "diagnose_s") s.s_diagnose_s;
   let executions = Supervisor.executions s.s_sup + s.s_domain_execs in
   set_result_counters obs ~executions ~funnel ~reports ~quarantined;
+  set_sched_counters obs ~concurrent sched;
   {
     options = { options with corpus_size = Array.length s.s_corpus };
     corpus = s.s_corpus;
@@ -919,6 +1027,8 @@ let stream_result s =
     df_total = generation.Cluster.df_total;
     funnel;
     reports;
+    concurrent;
+    sched;
     quarantined;
     keyed;
     agg_r = Aggregate.agg_r keyed;

@@ -41,6 +41,17 @@ type options = {
       {!t.fault_counters} describe only the diagnosis environment — the
       per-domain supervision counters live in the bundle's metrics,
       folded in with {!Kit_obs.Metrics.absorb}. *)
+  schedules : int;
+  (** interleaved schedule seeds searched per completed test case
+      (default 1 = sequential only). With [schedules > 1] each completed
+      case additionally runs {!Kit_exec.Supervisor.search_schedules}:
+      seeds [0..schedules-1] are partitioned into POR equivalence
+      classes over the pair's conflicting accesses and one
+      representative per non-sequential class executes interleaved.
+      Divergences that survive masking and the resource specification
+      become {!t.concurrent} reports, deduplicated by
+      schedule-independent diff fingerprint; the sequential funnel,
+      reports and diagnosis are untouched. *)
   obs : Kit_obs.Obs.t option;
   (** observability bundle shared with the supervisor and runners;
       [None] (the default) gives each campaign a fresh private bundle,
@@ -49,6 +60,22 @@ type options = {
 }
 
 val default_options : options
+
+(** Schedule-search accounting, accumulated across the campaign's cases
+    like the funnel; all zeros when [options.schedules = 1]. *)
+type sched_stats = {
+  mutable sched_candidates : int;  (** completed cases searched *)
+  mutable sched_classes : int;     (** POR equivalence classes *)
+  mutable sched_executed : int;    (** class representatives run *)
+  mutable sched_pruned : int;      (** seeds never executed *)
+  mutable sched_skipped : int;     (** searches/reps lost to crashes *)
+}
+
+val sched_create : unit -> sched_stats
+
+val add_sched : sched_stats -> sched_stats -> unit
+(** [add_sched acc s] folds [s] into [acc] — how per-case and
+    per-worker schedule-search totals aggregate. *)
 
 (** Phase wall-clock timings. Thin reads over the bundle's volatile
     ["time.*"] gauges — the registry is the source of truth. *)
@@ -68,6 +95,14 @@ type t = {
       [generation.Cluster.df_total] (no second map scan) *)
   funnel : Kit_detect.Filter.funnel;
   reports : Kit_detect.Report.t list;
+  concurrent : Kit_detect.Report.t list;
+  (** schedule-search findings ([Report.origin = Concurrent]), in
+      representative order; kept out of the sequential funnel and out of
+      Algorithm 2 diagnosis (which re-tests sequentially — meaningless
+      for a schedule-dependent divergence). Always [[]] when
+      [options.schedules = 1]. *)
+  sched : sched_stats;
+  (** schedule-search totals; all zeros when [options.schedules = 1] *)
   quarantined : Kit_exec.Supervisor.crash list;
   (** test cases that kept killing the kernel, as crash reports *)
   keyed : Kit_report.Aggregate.keyed list;
@@ -154,6 +189,10 @@ type case_result = {
   cr_funnel : Kit_detect.Filter.funnel;
       (** this case's funnel increments *)
   cr_report : Kit_detect.Report.t option;
+  cr_concurrent : Kit_detect.Report.t list;
+      (** this case's schedule-search findings *)
+  cr_sched : sched_stats;
+      (** this case's schedule-search accounting *)
   cr_crashes : Kit_exec.Supervisor.crash list;
       (** quarantined by this case *)
 }

@@ -98,3 +98,83 @@ let new_bugs_found keyed_reports =
       keyed_reports
   in
   List.sort_uniq Bugs.compare found
+
+(* -- concurrent (schedule-search) reports ---------------------------------
+
+   Concurrent reports never go through Algorithm 2 diagnosis (re-testing
+   a schedule-dependent divergence sequentially is meaningless), so
+   there is no culprit signature pair to attribute by. Attribution reads
+   the report directly: the syscall composition of the pair plus the
+   diff content identifies each seeded race-window bug. *)
+
+module Program = Kit_abi.Program
+module Sysno = Kit_abi.Sysno
+module Report = Kit_detect.Report
+module Compare = Kit_trace.Compare
+
+let has_call prog sysno =
+  List.exists
+    (fun (c : Program.call) -> Sysno.equal c.Program.sysno sysno)
+    (Program.calls prog)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  nn = 0
+  || (nn <= nh
+      && Seq.exists
+           (fun i -> String.equal (String.sub hay i nn) needle)
+           (Seq.init (nh - nn + 1) Fun.id))
+
+let diff_mentions (r : Report.t) needle =
+  List.exists
+    (fun (d : Compare.diff) ->
+      contains d.Compare.left.Kit_trace.Ast.value needle
+      || contains d.Compare.right.Kit_trace.Ast.value needle
+      || List.exists (fun p -> contains p needle) d.Compare.path)
+    r.Report.diffs
+
+(* A child-count diff reports only the parent node, so a leaf the
+   interleaved trace *gained* never shows up in the diff values — scan
+   the trace itself for those markers. *)
+let rec trace_mentions (t : Kit_trace.Ast.t) needle =
+  contains t.Kit_trace.Ast.value needle
+  || List.exists (fun c -> trace_mentions c needle) t.Kit_trace.Ast.children
+
+let gained (r : Report.t) needle =
+  trace_mentions r.Report.trace_a needle
+  && not (trace_mentions r.Report.trace_b needle)
+
+let opens_path prog path =
+  List.exists
+    (fun (c : Program.call) ->
+      Sysno.equal c.Program.sysno Sysno.Open
+      && List.exists
+           (function Kit_abi.Value.Str s -> String.equal s path | _ -> false)
+           c.Program.args)
+    (Program.calls prog)
+
+let attribute_concurrent (r : Report.t) =
+  let sender = r.Report.sender and receiver = r.Report.receiver in
+  if gained r "seq_file: truncated" then Bug Bugs.RW3_seqfile_busy
+  else if has_call sender Sysno.Get_cookie && has_call receiver Sysno.Get_cookie
+  then Bug Bugs.RW2_cookie_window
+  else if
+    has_call sender Sysno.Alloc_protomem
+    && opens_path receiver Consts.proc_net_sockstat
+    && diff_mentions r "mem"
+  then Bug Bugs.RW1_protomem_inflight
+  else Under_investigation
+
+(* The set of seeded race-window bugs witnessed by a concurrent report
+   list (the CI e2e gate asserts all of them within a fixed schedule
+   budget). *)
+let race_bugs_found concurrent_reports =
+  let found =
+    List.filter_map
+      (fun r ->
+        match attribute_concurrent r with
+        | Bug b when List.exists (Bugs.equal b) Bugs.race_bugs -> Some b
+        | Bug _ | False_positive _ | Under_investigation -> None)
+      concurrent_reports
+  in
+  List.sort_uniq Bugs.compare found

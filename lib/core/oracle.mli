@@ -22,3 +22,13 @@ val attribute_keyed : Kit_report.Aggregate.keyed -> attribution
 
 val new_bugs_found : Kit_report.Aggregate.keyed list -> Kit_kernel.Bugs.id list
 (** The set of Table 2 bugs witnessed by a report list, sorted. *)
+
+val attribute_concurrent : Kit_detect.Report.t -> attribution
+(** Attribute one concurrent (schedule-search) report. Concurrent
+    reports skip Algorithm 2 diagnosis, so there is no culprit signature
+    pair: attribution reads the pair's syscall composition and the diff
+    content directly. *)
+
+val race_bugs_found : Kit_detect.Report.t list -> Kit_kernel.Bugs.id list
+(** The set of seeded race-window bugs witnessed by a concurrent report
+    list, sorted — what the CI e2e gate asserts completeness of. *)

@@ -50,10 +50,29 @@ let classify spec ~testcase ~sender ~receiver (outcome : Runner.outcome) funnel 
         Reported
           { Report.testcase; sender; receiver; interfered = surviving;
             diffs = outcome.Runner.masked_diffs;
-            trace_a = outcome.Runner.trace_a; trace_b = outcome.Runner.trace_b }
+            trace_a = outcome.Runner.trace_a; trace_b = outcome.Runner.trace_b;
+            origin = Report.Sequential }
       end
     end
   end
+
+(* Classify one concurrent finding from schedule search. Masking already
+   happened inside the search (stage 2 of the funnel), so only the
+   resource-specification stage applies here; the sequential funnel's
+   counters are deliberately left untouched — Table 5 accounts the
+   paper's sequential pipeline, and concurrent totals are reported
+   separately by the campaign. *)
+let classify_concurrent spec ~testcase ~sender ~receiver ~trace_b
+    (c : Runner.concurrent) =
+  let surviving = protected_interfered spec receiver c.Runner.cc_interfered in
+  if surviving = [] then None
+  else
+    Some
+      { Report.testcase; sender; receiver; interfered = surviving;
+        diffs = c.Runner.cc_diffs; trace_a = c.Runner.cc_trace; trace_b;
+        origin =
+          Report.Concurrent
+            { seeds = c.Runner.cc_seeds; fingerprint = c.Runner.cc_fingerprint } }
 
 let pp_funnel ppf f =
   let pct n =

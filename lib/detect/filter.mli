@@ -31,5 +31,18 @@ val classify :
   receiver:Kit_abi.Program.t ->
   Kit_exec.Runner.outcome -> funnel -> verdict
 
+val classify_concurrent :
+  Kit_spec.Spec.t ->
+  testcase:Kit_gen.Testcase.t ->
+  sender:Kit_abi.Program.t ->
+  receiver:Kit_abi.Program.t ->
+  trace_b:Kit_trace.Ast.t ->
+  Kit_exec.Runner.concurrent -> Report.t option
+(** Classify one schedule-search finding: non-determinism masking
+    already happened inside the search, so only the resource stage
+    applies; [None] when no diverging call touches a protected
+    resource. Leaves the sequential funnel untouched (Table 5 accounts
+    the sequential pipeline only). *)
+
 val pp_funnel : Format.formatter -> funnel -> unit
 (** Renders the Table 5 rows. *)

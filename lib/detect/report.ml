@@ -6,6 +6,16 @@ module Program = Kit_abi.Program
 module Compare = Kit_trace.Compare
 module Ast = Kit_trace.Ast
 
+(* How the divergence was exposed. [Sequential] is the paper's
+   sender-then-receiver order; [Concurrent] means no sequential order
+   shows it — only interleaved schedules do, and the report carries
+   every reproducing schedule seed (deduplicated across seeds by the
+   schedule-independent diff fingerprint) so any of them replays the
+   finding deterministically. *)
+type origin =
+  | Sequential
+  | Concurrent of { seeds : int list; fingerprint : int }
+
 type t = {
   testcase : Kit_gen.Testcase.t;
   sender : Program.t;
@@ -14,12 +24,20 @@ type t = {
   diffs : Compare.diff list;
   trace_a : Ast.t;
   trace_b : Ast.t;
+  origin : origin;
 }
 
+let pp_origin ppf = function
+  | Sequential -> ()
+  | Concurrent { seeds; fingerprint } ->
+    Fmt.pf ppf " concurrent fp=%x seeds=[%a]" fingerprint
+      (Fmt.list ~sep:(Fmt.any ",") Fmt.int)
+      seeds
+
 let pp ppf t =
-  Fmt.pf ppf "@[<v 2>report %a interfered=[%a]@,%a@]" Kit_gen.Testcase.pp
+  Fmt.pf ppf "@[<v 2>report %a interfered=[%a]%a@,%a@]" Kit_gen.Testcase.pp
     t.testcase
     (Fmt.list ~sep:(Fmt.any ",") Fmt.int)
-    t.interfered
+    t.interfered pp_origin t.origin
     (Fmt.list ~sep:Fmt.cut Compare.pp_diff)
     t.diffs

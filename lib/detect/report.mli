@@ -2,6 +2,14 @@
     receiver trace diverged, the diverging receiver call indices that
     survived filtering, and the traces for diagnosis. *)
 
+(** How the divergence was exposed: the paper's sequential
+    sender-then-receiver order, or only under interleaved schedules —
+    in which case the report carries every reproducing schedule seed
+    and the schedule-independent fingerprint that deduplicated them. *)
+type origin =
+  | Sequential
+  | Concurrent of { seeds : int list; fingerprint : int }
+
 type t = {
   testcase : Kit_gen.Testcase.t;
   sender : Kit_abi.Program.t;
@@ -10,6 +18,10 @@ type t = {
   diffs : Kit_trace.Compare.diff list;
   trace_a : Kit_trace.Ast.t;
   trace_b : Kit_trace.Ast.t;
+  origin : origin;
 }
+
+val pp_origin : Format.formatter -> origin -> unit
+(** Empty for [Sequential] — sequential rendering is unchanged. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,31 +1,59 @@
-(* Two-phase test case execution and non-determinism identification
-   (paper, sections 4.2 and 4.3.2).
+(* Test case execution and non-determinism identification (paper,
+   sections 4.2 and 4.3.2), in three modes.
 
-   Execution A runs the sender program in the sender container and then
-   the receiver program in the receiver container; execution B reloads
-   the snapshot and runs the receiver alone. Both receiver traces are
-   decoded to ASTs. The receiver is additionally re-run several times
-   with different clock base offsets; result nodes that vary get their
-   det flag cleared, and the flags are applied to both traces before
+   Sequential (the paper's two-phase mode): execution A runs the sender
+   program in the sender container to completion and then the receiver
+   program in the receiver container; execution B reloads the snapshot
+   and runs the receiver alone. Both receiver traces are decoded to
+   ASTs. The receiver is additionally re-run several times with
+   different clock base offsets; result nodes that vary get their det
+   flag cleared, and the flags are applied to both traces before
    comparison.
 
-   Two memo caches cut the execution count, both keyed on the receiver
-   program hash and size-capped with LRU eviction (hits refresh
-   recency — FIFO evicts hot receivers under the cap during large
-   campaigns):
+   Interleaved ([run_interleaved]): execution A instead runs sender and
+   receiver as two cooperatively scheduled tasks under [Kernel.Sched] —
+   every instrumented memory access is a yield point, and the schedule
+   is a pure function of a seed, so the same seed always reproduces the
+   byte-identical trace. The [Sched.Sequential] schedule degenerates to
+   sender-then-receiver and matches [run_pair] byte-for-byte.
 
-   - the non-determinism mask cache, as the paper saves masks to disk
-     between campaigns;
-   - the baseline cache: execution B and the mask's reference run are
-     the receiver solo from the pristine snapshot at the reference
-     clock base — a function of the receiver program only, so test
-     cases sharing a receiver share the trace. Decoded ASTs are
-     immutable, so sharing is safe. The cache is bypassed entirely
-     while the fault plane has armed faults: a poisoned VM must not
-     populate it, and a cached trace must not swallow a fault that a
-     real execution would have consumed. (A receiver whose solo run
-     crashes or hangs never completes its first execution, so it can
-     never be cached.)
+   Schedule search ([search_schedules]): enumerate seeds 0..N-1 for a
+   test case, prune seeds that cannot differ, execute one
+   representative per remaining equivalence class, and report the
+   divergences no sequential order exposes. Pruning is partial-order
+   reduction over the two programs' solo access sequences: two
+   schedules that order every conflicting access pair (both programs
+   touch the address, at least one writes) the same way are equivalent,
+   so only the first seed of each class runs. The abstract replay
+   ([Sched.simulate]) is driven by the same decision function as the
+   real driver, so it is exact whenever interference does not change a
+   program's access count.
+
+   Three memo caches cut the execution count, all size-capped with LRU
+   eviction (lookups refresh recency, so hot entries survive large
+   campaigns — this replaced an earlier FIFO ring that evicted the
+   hottest receivers precisely because they were old):
+
+   - the non-determinism mask cache, keyed on the receiver program
+     hash, as the paper saves masks to disk between campaigns;
+   - the baseline cache, same key: execution B and the mask's
+     reference run are the receiver solo from the pristine snapshot at
+     the reference clock base — a function of the receiver program
+     only, so test cases sharing a receiver share the trace. Decoded
+     ASTs are immutable, so sharing is safe. The cache is bypassed
+     entirely while the fault plane has armed faults: a poisoned VM
+     must not populate it, and a cached trace must not swallow a fault
+     that a real execution would have consumed. (A receiver whose solo
+     run crashes or hangs never completes its first execution, so it
+     can never be cached.)
+   - the solo access-sequence cache, keyed on (container pid, program
+     hash): schedule search needs each program's solo instrumented
+     access sequence, which depends on which container runs it (the
+     namespace ids differ), hence the wider key. Note what is *not*
+     keyed by schedule: solo artifacts (baseline, mask, accesses) are
+     schedule-independent because a solo run has exactly one task, and
+     per-(receiver, schedule) traces are never cached because each
+     schedule class representative executes exactly once per case.
 
    Execution and cache counters live in the observability plane's
    metrics registry ("exec.executions", "exec.mask_hits",
@@ -40,6 +68,10 @@
 module Program = Kit_abi.Program
 module Interp = Kit_kernel.Interp
 module Fault = Kit_kernel.Fault
+module Sched = Kit_kernel.Sched
+module Kevent = Kit_kernel.Kevent
+module Ctx = Kit_kernel.Ctx
+module State = Kit_kernel.State
 module Ast = Kit_trace.Ast
 module Decode = Kit_trace.Decode
 module Compare = Kit_trace.Compare
@@ -55,6 +87,9 @@ type t = {
   mask_cache : (int, Ast.t) Lru.t;       (* receiver program hash -> mask *)
   baseline : bool;                       (* baseline cache enabled? *)
   baseline_cache : (int, Ast.t) Lru.t;   (* receiver hash -> solo trace at base0 *)
+  access_cache : (int * int, (int * bool) array) Lru.t;
+                                         (* (pid, program hash) -> solo
+                                            (addr, is_write) sequence *)
   c_execs : Metrics.counter;             (* single source of truth... *)
   c_hits : Metrics.counter;
   c_misses : Metrics.counter;
@@ -92,6 +127,7 @@ let create ?(reruns = 3) ?(rerun_delta = 7_777) ?(mask_cache_cap = 4096)
         ~on_evict:(fun _ _ -> Metrics.inc c_evictions);
     baseline = baseline_cache;
     baseline_cache = Lru.create (max 1 baseline_cache_cap);
+    access_cache = Lru.create (max 1 baseline_cache_cap);
     c_execs; c_hits; c_misses; c_evictions; c_bhits; c_bmisses;
     execs0 = Metrics.counter_value c_execs;
     hits0 = Metrics.counter_value c_hits;
@@ -116,6 +152,117 @@ let run_pair t ~base sender receiver =
   in
   let results = Interp.run t.env.Env.kernel ~pid:t.env.Env.receiver_pid receiver in
   Decode.decode_trace results
+
+(* Interleaved execution A: sender and receiver run as two schedulable
+   tasks; [Kernel.Sched] transfers control at every instrumented memory
+   access, picking the next task as a pure function of the schedule.
+   [Sched.Sequential] always picks the sender first and reproduces
+   [run_pair] byte-for-byte. A panic or fuel exhaustion in either task
+   unwinds both and re-raises, matching the sequential crash paths. *)
+let run_interleaved t ~schedule ~base sender receiver =
+  Env.reset t.env ~base;
+  Metrics.inc t.c_execs;
+  let k = t.env.Env.kernel in
+  let results = ref [] in
+  let tasks =
+    [ (fun () ->
+        let _ : Interp.result list =
+          Interp.run k ~pid:t.env.Env.sender_pid sender
+        in
+        ());
+      (fun () -> results := Interp.run k ~pid:t.env.Env.receiver_pid receiver)
+    ]
+  in
+  let _decisions : int = Sched.run ~schedule k.State.ctx tasks in
+  Decode.decode_trace !results
+
+(* The solo instrumented access sequence of a program run in container
+   [pid] — the raw material of partial-order reduction. Captured with a
+   profiling sink, whose in_irq/instrumented filters coincide exactly
+   with the scheduler's yield points, so access k of this sequence is
+   what resume segment k+1 of an interleaved task performs. Memoized on
+   (pid, program hash): the same program accesses different namespace
+   ids in different containers. Not cached while faults are armed, for
+   the same reasons as the baseline cache. *)
+let solo_accesses t ~pid prog =
+  let armed = Fault.schedule (Env.fault t.env) <> [] in
+  let key = (pid, Program.hash prog) in
+  match if armed then None else Lru.find t.access_cache key with
+  | Some accesses -> accesses
+  | None ->
+    Env.reset t.env ~base:t.env.Env.base0;
+    Metrics.inc t.c_execs;
+    let k = t.env.Env.kernel in
+    let acc = ref [] in
+    let sink = function
+      | Kevent.Mem { addr; rw; _ } ->
+        acc := (addr, rw = Kevent.Write) :: !acc
+      | _ -> ()
+    in
+    Ctx.with_sink k.State.ctx sink (fun () ->
+        let _ : Interp.result list = Interp.run k ~pid prog in
+        ());
+    let accesses = Array.of_list (List.rev !acc) in
+    if not armed then Lru.add t.access_cache key accesses;
+    accesses
+
+(* Partial-order reduction over candidate seeds 0..schedules-1. A
+   conflict address is one both programs touch with at least one write;
+   a schedule's class key is its simulated merged access order projected
+   onto conflict addresses. Schedules with equal keys order every
+   conflicting pair identically, so their executions coincide (exact up
+   to interference changing a task's access count — measured by the POR
+   soundness property in the test suite). The key is also compared
+   against the all-sender-first order: classes equivalent to it are
+   already covered by the sequential phase and never execute. *)
+type sched_class = {
+  cls_seeds : int list;        (* member seeds, ascending; head = representative *)
+  cls_sequential : bool;       (* equivalent to the sequential order *)
+}
+
+let schedule_classes t ~schedules ~sender ~receiver =
+  let sa = solo_accesses t ~pid:t.env.Env.sender_pid sender in
+  let ra = solo_accesses t ~pid:t.env.Env.receiver_pid receiver in
+  let conflict = Hashtbl.create 16 in
+  let mark tbl (addr, w) =
+    let r, wr = Option.value ~default:(false, false) (Hashtbl.find_opt tbl addr) in
+    Hashtbl.replace tbl addr (r || not w, wr || w)
+  in
+  let sides = Hashtbl.create 16 and rsides = Hashtbl.create 16 in
+  Array.iter (mark sides) sa;
+  Array.iter (mark rsides) ra;
+  Hashtbl.iter
+    (fun addr (sr, sw) ->
+      match Hashtbl.find_opt rsides addr with
+      | Some (rr, rw) when (sw && (rr || rw)) || (rw && (sr || sw)) ->
+        Hashtbl.replace conflict addr ()
+      | _ -> ())
+    sides;
+  let counts = [| Array.length sa; Array.length ra |] in
+  let key_of schedule =
+    List.filter_map
+      (fun (task, i) ->
+        let addr, w = if task = 0 then sa.(i) else ra.(i) in
+        if Hashtbl.mem conflict addr then
+          Some ((addr * 4) + (task * 2) + Bool.to_int w)
+        else None)
+      (Sched.simulate schedule counts)
+  in
+  let seq_key = key_of Sched.Sequential in
+  let classes = Hashtbl.create 16 in
+  let order = ref [] in
+  for s = 0 to schedules - 1 do
+    let k = key_of (Sched.Seeded s) in
+    match Hashtbl.find_opt classes k with
+    | Some seeds -> Hashtbl.replace classes k (s :: seeds)
+    | None ->
+      Hashtbl.replace classes k [ s ];
+      order := k :: !order
+  done;
+  List.rev !order
+  |> List.map (fun k ->
+         { cls_seeds = List.rev (Hashtbl.find classes k);
+           cls_sequential = k = seq_key })
 
 (* The receiver's solo trace from the pristine snapshot at the reference
    clock base — execution B, and the mask's reference run. Memoized per
@@ -193,6 +340,103 @@ let execute t ~sender ~receiver =
     let interfered = Compare.interfered_of_diffs masked_diffs in
     { trace_a; trace_b; raw_diffs; masked_diffs; interfered }
   end
+
+(* A divergence only an interleaved schedule exposes: the masked diffs
+   of one schedule class representative against the receiver's solo
+   trace, fingerprinted schedule-independently so the same root cause
+   found by several classes collapses into one finding carrying every
+   reproducing seed. *)
+type concurrent = {
+  cc_seeds : int list;              (* reproducing schedule seeds, ascending *)
+  cc_fingerprint : int;             (* Compare.fingerprint_diffs of cc_diffs *)
+  cc_diffs : Compare.diff list;     (* masked diffs vs the solo trace *)
+  cc_interfered : int list;         (* receiver call indices, after masking *)
+  cc_trace : Ast.t;                 (* the interleaved receiver trace *)
+}
+
+type search = {
+  sr_schedules : int;               (* candidate seeds examined *)
+  sr_classes : int;                 (* POR equivalence classes among them *)
+  sr_executed : int;                (* class representatives actually run *)
+  sr_pruned : int;                  (* candidates that never executed *)
+  sr_skipped : int;                 (* representatives lost to crash/hang *)
+  sr_findings : concurrent list;
+}
+
+let empty_search =
+  { sr_schedules = 0; sr_classes = 0; sr_executed = 0; sr_pruned = 0;
+    sr_skipped = 0; sr_findings = [] }
+
+(* Schedule search for one test case, given its sequential outcome.
+   Every non-sequential class representative executes once; divergences
+   whose fingerprint equals the sequential outcome's are the same root
+   cause the sequential phase already reported and are dropped, so the
+   findings are precisely the concurrent-only interference. A
+   representative that panics or hangs is counted and skipped — a
+   schedule-dependent crash is interesting but is not a functional
+   interference report, and must not quarantine a test case that runs
+   fine sequentially. *)
+let search_schedules t ~schedules ~sender ~receiver (seq : outcome) =
+  if schedules <= 1 then empty_search
+  else
+    match schedule_classes t ~schedules ~sender ~receiver with
+    | exception (Fault.Kernel_panic _ | Fault.Fuel_exhausted) ->
+      (* solo access capture died under an armed fault plane *)
+      { empty_search with sr_schedules = schedules; sr_skipped = 1 }
+    | classes ->
+      let seq_fp = Compare.fingerprint_diffs seq.masked_diffs in
+      let executed = ref 0 and skipped = ref 0 in
+      let findings = ref [] in      (* (fingerprint, concurrent), first-seen *)
+      List.iter
+        (fun cls ->
+          if not cls.cls_sequential then begin
+            incr executed;
+            match
+              run_interleaved t
+                ~schedule:(Sched.Seeded (List.hd cls.cls_seeds))
+                ~base:t.env.Env.base0 sender receiver
+            with
+            | exception (Fault.Kernel_panic _ | Fault.Fuel_exhausted) ->
+              incr skipped
+            | trace_i ->
+              let raw = Compare.diff_trees trace_i seq.trace_b in
+              if raw <> [] then begin
+                let mask = nondet_mask t receiver in
+                let masked_i = Nondet.apply_mask mask trace_i in
+                let masked_b = Nondet.apply_mask mask seq.trace_b in
+                let diffs = Compare.diff_trees masked_i masked_b in
+                if diffs <> [] then begin
+                  let fp = Compare.fingerprint_diffs diffs in
+                  if fp <> seq_fp then
+                    match List.assoc_opt fp !findings with
+                    | Some c ->
+                      findings :=
+                        (fp, { c with cc_seeds = c.cc_seeds @ cls.cls_seeds })
+                        :: List.remove_assoc fp !findings
+                    | None ->
+                      findings :=
+                        ( fp,
+                          { cc_seeds = cls.cls_seeds; cc_fingerprint = fp;
+                            cc_diffs = diffs;
+                            cc_interfered = Compare.interfered_of_diffs diffs;
+                            cc_trace = trace_i } )
+                        :: !findings
+                end
+              end
+          end)
+        classes;
+      let sr_findings =
+        List.rev_map
+          (fun (_, c) ->
+            { c with cc_seeds = List.sort_uniq Int.compare c.cc_seeds })
+          !findings
+      in
+      { sr_schedules = schedules;
+        sr_classes = List.length classes;
+        sr_executed = !executed;
+        sr_pruned = schedules - !executed;
+        sr_skipped = !skipped;
+        sr_findings }
 
 (* Failure-aware execution: a crashed or hung kernel no longer takes the
    whole campaign down; the caller (normally Exec.Supervisor) decides

@@ -1,19 +1,32 @@
-(** Two-phase test case execution and non-determinism identification
-    (paper, sections 4.2 and 4.3.2).
+(** Test case execution and non-determinism identification (paper,
+    sections 4.2 and 4.3.2), in three modes.
 
-    Execution A runs the sender in the sender container and then the
-    receiver in the receiver container; execution B reloads the snapshot
-    and runs the receiver alone. The receiver is additionally re-run
-    with shifted clock bases; result nodes that vary get their det flag
-    cleared before comparison.
+    Sequential: execution A runs the sender in the sender container and
+    then the receiver in the receiver container; execution B reloads
+    the snapshot and runs the receiver alone. The receiver is
+    additionally re-run with shifted clock bases; result nodes that
+    vary get their det flag cleared before comparison.
 
-    Two size-capped LRU memo caches keyed on the receiver program hash
-    cut the execution count: the non-determinism mask cache (as the
-    paper saves masks to disk between campaigns) and the baseline cache
-    (execution B and the mask's reference run depend only on the
-    receiver, so test cases sharing a receiver share the solo trace).
-    The baseline cache is bypassed while the fault plane has armed
-    faults — a poisoned VM must not populate it, and a cached trace
+    Interleaved ({!run_interleaved}): execution A runs sender and
+    receiver as two cooperatively scheduled tasks under [Kernel.Sched];
+    the schedule is a pure function of a seed, and the sequential
+    schedule matches {!run_pair} byte-for-byte.
+
+    Schedule search ({!search_schedules}): enumerate seeds, prune
+    equivalent ones by partial-order reduction over the programs' solo
+    access sequences, execute one representative per class and report
+    the divergences no sequential order exposes.
+
+    Three size-capped LRU memo caches cut the execution count: the
+    non-determinism mask cache and the baseline cache, keyed on the
+    receiver program hash (execution B and the mask's reference run
+    depend only on the receiver, so test cases sharing a receiver share
+    the solo trace), and the solo access-sequence cache, keyed on
+    (container pid, program hash) since namespace ids differ per
+    container. Solo artifacts are schedule-independent — a solo run has
+    one task — so none of the caches is keyed by schedule. The baseline
+    and access caches are bypassed while the fault plane has armed
+    faults — a poisoned VM must not populate them, and a cached trace
     must not swallow a fault a real execution would have consumed.
 
     Execution and cache counters live in the observability plane
@@ -29,6 +42,8 @@ type t = {
   mask_cache : (int, Kit_trace.Ast.t) Lru.t;
   baseline : bool;                (** baseline cache enabled? *)
   baseline_cache : (int, Kit_trace.Ast.t) Lru.t;
+  access_cache : (int * int, (int * bool) array) Lru.t;
+      (** (pid, program hash) -> solo (addr, is_write) sequence *)
   c_execs : Kit_obs.Metrics.counter;  (** "exec.executions" *)
   c_hits : Kit_obs.Metrics.counter;   (** "exec.mask_hits" *)
   c_misses : Kit_obs.Metrics.counter; (** "exec.mask_misses" *)
@@ -62,6 +77,32 @@ val run_receiver : t -> base:int -> Kit_abi.Program.t -> Kit_trace.Ast.t
 val run_pair :
   t -> base:int -> Kit_abi.Program.t -> Kit_abi.Program.t -> Kit_trace.Ast.t
 
+val run_interleaved :
+  t -> schedule:Kit_kernel.Sched.schedule -> base:int ->
+  Kit_abi.Program.t -> Kit_abi.Program.t -> Kit_trace.Ast.t
+(** Execution A with sender and receiver as two schedulable tasks.
+    Deterministic in the schedule; [Sched.Sequential] reproduces
+    {!run_pair} byte-for-byte. Raises like {!execute} on panic or fuel
+    exhaustion (in either task). *)
+
+val solo_accesses : t -> pid:int -> Kit_abi.Program.t -> (int * bool) array
+(** The program's solo instrumented access sequence ((address,
+    is_write), in order) when run in container [pid] — cached; the raw
+    material of partial-order reduction. *)
+
+type sched_class = {
+  cls_seeds : int list;    (** member seeds, ascending; head = representative *)
+  cls_sequential : bool;   (** equivalent to the all-sender-first order *)
+}
+
+val schedule_classes :
+  t -> schedules:int ->
+  sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> sched_class list
+(** Partition candidate seeds [0..schedules-1] into partial-order
+    equivalence classes: seeds whose simulated merged access order,
+    projected onto conflict addresses (both programs touch, at least
+    one writes), is identical. First-seen order. *)
+
 val baseline_trace : t -> Kit_abi.Program.t -> Kit_trace.Ast.t
 (** The receiver's solo trace from the pristine snapshot at the
     reference clock base — execution B (memoized per receiver program
@@ -92,6 +133,38 @@ val execute :
 (** Raw execution: assumes the kernel survives. Under an armed fault
     plane this can raise [Fault.Kernel_panic] / [Fault.Fuel_exhausted];
     use {!try_execute} (or [Supervisor.execute]) when faults matter. *)
+
+(** A divergence only an interleaved schedule exposes, deduplicated by
+    the schedule-independent fingerprint of its masked diffs. *)
+type concurrent = {
+  cc_seeds : int list;     (** reproducing schedule seeds, ascending *)
+  cc_fingerprint : int;    (** [Compare.fingerprint_diffs] of [cc_diffs] *)
+  cc_diffs : Kit_trace.Compare.diff list;  (** masked diffs vs solo trace *)
+  cc_interfered : int list;  (** receiver call indices, after masking *)
+  cc_trace : Kit_trace.Ast.t;  (** the interleaved receiver trace *)
+}
+
+type search = {
+  sr_schedules : int;      (** candidate seeds examined *)
+  sr_classes : int;        (** POR equivalence classes among them *)
+  sr_executed : int;       (** class representatives actually run *)
+  sr_pruned : int;         (** candidates that never executed *)
+  sr_skipped : int;        (** representatives lost to crash/hang *)
+  sr_findings : concurrent list;
+}
+
+val empty_search : search
+
+val search_schedules :
+  t -> schedules:int ->
+  sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> outcome -> search
+(** Schedule search for one test case given its sequential [outcome]:
+    one interleaved execution per non-sequential class, divergences
+    fingerprinted and deduplicated, findings matching the sequential
+    outcome's fingerprint dropped (same root cause, already reported).
+    Representatives that panic or hang are counted in [sr_skipped], not
+    quarantined. Never raises on panic/fuel; [Fault.Snapshot_corrupt]
+    still escapes (the supervisor's job). *)
 
 (** Failure-aware execution result: executors die in the real system
     (kernel panics, runaway programs killed by the fuel deadline), so an

@@ -234,6 +234,41 @@ let execute ?(attrs = []) t ~sender ~receiver =
       :: t.quarantine);
   status
 
+(* Supervised schedule search. The runner's search already absorbs
+   per-schedule task crashes (they are counted, not quarantined), so the
+   only failures reaching this level are infrastructure faults: handle a
+   corrupted snapshot with one reboot and retry, and give the case up as
+   skipped if the replacement VM is corrupted too — schedule search is
+   opportunistic extra coverage and must not take the campaign down. *)
+let search_schedules ?(attrs = []) t ~schedules ~sender ~receiver outcome =
+  if schedules <= 1 then Runner.empty_search
+  else begin
+    let tracer = t.obs.Obs.tracer in
+    let sp = Tracer.span tracer ~attrs ~time:(vnow t) "sup.sched_search" in
+    let corrupted () =
+      t.stats.corruptions <- t.stats.corruptions + 1;
+      Metrics.inc t.m.mc_corruptions
+    in
+    let run () =
+      Runner.search_schedules t.runner ~schedules ~sender ~receiver outcome
+    in
+    let result =
+      match run () with
+      | r -> r
+      | exception Fault.Snapshot_corrupt -> (
+        corrupted ();
+        reboot t;
+        match run () with
+        | r -> r
+        | exception Fault.Snapshot_corrupt ->
+          corrupted ();
+          { Runner.empty_search with
+            Runner.sr_schedules = schedules; sr_skipped = 1 })
+    in
+    Tracer.finish tracer ~time:(vnow t) sp;
+    result
+  end
+
 let test_interference t ~sender ~receiver =
   let status, _ = supervised t "sup.retest" ~attrs:[] ~sender ~receiver in
   match status with

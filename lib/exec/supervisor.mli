@@ -107,6 +107,19 @@ val execute :
     loop consumed.
     @raise Gave_up on permanent infrastructure faults. *)
 
+val search_schedules :
+  ?attrs:(string * string) list ->
+  t -> schedules:int ->
+  sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t ->
+  Runner.outcome -> Runner.search
+(** Supervised {!Runner.search_schedules}: per-schedule task crashes
+    are already absorbed (counted as skips) by the runner; a corrupted
+    snapshot triggers one VM reboot and retry, and a second corruption
+    abandons the search as skipped — schedule search is opportunistic
+    extra coverage and never fails the case. Emits a
+    ["sup.sched_search"] span. No-op returning {!Runner.empty_search}
+    when [schedules <= 1]. *)
+
 val test_interference :
   t -> sender:Kit_abi.Program.t -> receiver:Kit_abi.Program.t -> int list
 (** Supervised TestFuncI (Algorithm 2 re-testing): like

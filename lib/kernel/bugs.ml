@@ -29,6 +29,17 @@ type id =
                                   global; invisible to plain functional
                                   interference testing, caught by the
                                   bounds-based detector *)
+  | RW1_protomem_inflight      (* race window: in-flight protocol-memory
+                                  charge published globally during
+                                  proto_memory_allocated_add and rolled back
+                                  before return; sockstat readers racing the
+                                  window see the transient charge *)
+  | RW2_cookie_window          (* race window: global allocation-in-progress
+                                  marker around sock_gen_cookie; a concurrent
+                                  allocator skips a collision-avoidance gap *)
+  | RW3_seqfile_busy           (* race window: seq_file renderer publishes a
+                                  global busy marker; a reader racing a
+                                  foreign render emits a truncation notice *)
 
 let new_bugs =
   [ B1_ptype_leak; B2_flowlabel_send; B3_rds_bind; B4_flowlabel_connect;
@@ -41,7 +52,15 @@ let known_bugs =
 
 let extension_bugs = [ XT_timens_offset ]
 
-let all = new_bugs @ known_bugs @ extension_bugs
+(* Race-window bugs: steady state is restored before the buggy syscall
+   returns, so no sequential sender-then-receiver order can observe
+   them — only an interleaved schedule landing inside the window can
+   (ROADMAP: interleaving exploration). They live in their own pseudo
+   release "5.13-rw" so [for_version "5.13"] — and with it every
+   default profile, summary and golden test — is unchanged. *)
+let race_bugs = [ RW1_protomem_inflight; RW2_cookie_window; RW3_seqfile_busy ]
+
+let all = new_bugs @ known_bugs @ extension_bugs @ race_bugs
 
 let to_string = function
   | B1_ptype_leak -> "bug#1-ptype-leak"
@@ -61,6 +80,9 @@ let to_string = function
   | KF_conntrack_dump -> "known-F-conntrack-dump"
   | KG_sockdiag_foreign -> "known-G-sockdiag"
   | XT_timens_offset -> "ext-timens-offset"
+  | RW1_protomem_inflight -> "race#1-protomem-inflight"
+  | RW2_cookie_window -> "race#2-cookie-window"
+  | RW3_seqfile_busy -> "race#3-seqfile-busy"
 
 let compare = Stdlib.compare
 let equal a b = compare a b = 0
@@ -77,6 +99,7 @@ let known_bug_version = function
   | KF_conntrack_dump -> "4.15"
   | KG_sockdiag_foreign -> "4.10"
   | XT_timens_offset -> "5.13"
+  | RW1_protomem_inflight | RW2_cookie_window | RW3_seqfile_busy -> "5.13-rw"
   | B1_ptype_leak | B2_flowlabel_send | B3_rds_bind | B4_flowlabel_connect
   | B5_sockstat_tcp | B6_cookie | B7_sctp_assoc | B8_protomem_sockstat
   | B9_protomem_protocols ->

@@ -30,6 +30,15 @@ type id =
                                    global; invisible to plain functional
                                    interference testing, caught by the
                                    bounds-based detector *)
+  | RW1_protomem_inflight      (** race window: transient global
+                                   protocol-memory charge, rolled back before
+                                   return — visible only mid-window *)
+  | RW2_cookie_window          (** race window: global cookie
+                                   allocation-in-progress marker; concurrent
+                                   allocators take a collision gap *)
+  | RW3_seqfile_busy           (** race window: global seq_file busy marker;
+                                   readers racing a foreign render emit a
+                                   truncation notice *)
 
 val new_bugs : id list
 (** The nine Table 2 bugs, in table order. *)
@@ -39,6 +48,13 @@ val known_bugs : id list
 
 val extension_bugs : id list
 (** Bugs modelled beyond the paper's tables (future-work targets). *)
+
+val race_bugs : id list
+(** Race-window bugs: the buggy syscall restores steady state before
+    returning, so no sequential schedule observes them — only an
+    interleaved schedule landing inside the window can. They live in
+    pseudo release "5.13-rw", keeping the default 5.13 population (and
+    every sequential golden output) unchanged. *)
 
 val all : id list
 

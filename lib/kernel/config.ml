@@ -19,6 +19,16 @@ let make ?(jump_label = false) ?(boot_seed = 42) ?bugs version =
 (* The stable release the paper's campaign targets. *)
 let v5_13 ?jump_label ?boot_seed () = make ?jump_label ?boot_seed "5.13"
 
+(* 5.13 plus the seeded race-window bugs. Their pseudo release
+   "5.13-rw" keeps them out of [v5_13], so sequential campaigns (and
+   their golden outputs) never see the extra window accesses; schedule
+   search targets this configuration. *)
+let v5_13_rw ?jump_label ?boot_seed () =
+  let bugs =
+    List.fold_left Bugs.inject (Bugs.for_version "5.13") Bugs.race_bugs
+  in
+  make ?jump_label ?boot_seed ~bugs "5.13-rw"
+
 (* A fully fixed kernel: same code base, every bug patched. *)
 let fixed ?(version = "5.13") ?boot_seed () =
   make ?boot_seed ~bugs:Bugs.empty version

@@ -17,6 +17,10 @@ val make : ?jump_label:bool -> ?boot_seed:int -> ?bugs:Bugs.set -> string -> t
 val v5_13 : ?jump_label:bool -> ?boot_seed:int -> unit -> t
 (** The stable release the paper's campaign targets. *)
 
+val v5_13_rw : ?jump_label:bool -> ?boot_seed:int -> unit -> t
+(** 5.13 plus the seeded race-window bugs ({!Bugs.race_bugs}) — the
+    target configuration for interleaved schedule search. *)
+
 val fixed : ?version:string -> ?boot_seed:int -> unit -> t
 (** The same code base with every bug patched. *)
 

@@ -10,6 +10,8 @@ let fn_sock_gen_cookie = Kfun.register "sock_gen_cookie"
 type t = {
   next_cookie : int Var.t;                 (* buggy kernel: global *)
   next_cookie_perns : int Int_map.t Var.t; (* fixed kernel: per-ns *)
+  gen_inflight : int Var.t;                (* race bug #2: 0 = idle, else
+                                              allocating netns + 1 *)
   config : Config.t;
 }
 
@@ -18,19 +20,37 @@ let init heap config =
     next_cookie = Var.alloc heap ~name:"sock.cookie_counter" 1;
     next_cookie_perns =
       Var.alloc heap ~name:"sock.cookie_counter_perns" ~width:16 Int_map.empty;
+    gen_inflight = Var.alloc heap ~name:"sock.cookie_gen_inflight" 0;
     config;
   }
 
+(* The collision-avoidance gap a racing allocator takes (race bug #2):
+   large enough to be unmistakable in a diff, small enough not to
+   exhaust the id space. *)
+let race_gap = 64
+
 let generate ctx t ~netns =
   Kfun.call ctx fn_sock_gen_cookie (fun () ->
-      if Config.has t.config Bugs.B6_cookie then begin
-        let c = Var.read ctx t.next_cookie in
-        Var.write ctx t.next_cookie (c + 1);
-        c
-      end
-      else begin
-        let perns = Var.read ctx t.next_cookie_perns in
-        let c = Option.value ~default:1 (Int_map.find_opt netns perns) in
-        Var.write ctx t.next_cookie_perns (Int_map.add netns (c + 1) perns);
-        (netns * 1_000_000) + c
-      end)
+      (* Race bug #2: the buggy kernel publishes an allocation-in-progress
+         marker around the counter update and clears it before returning.
+         Sequentially the marker is always clear on entry; an allocator
+         whose schedule lands inside a foreign window jumps its cookie by
+         [race_gap] to dodge the (presumed) concurrent allocation. *)
+      let race = Config.has t.config Bugs.RW2_cookie_window in
+      let busy = if race then Var.read ctx t.gen_inflight else 0 in
+      if race then Var.write ctx t.gen_inflight (netns + 1);
+      let c =
+        if Config.has t.config Bugs.B6_cookie then begin
+          let c = Var.read ctx t.next_cookie in
+          Var.write ctx t.next_cookie (c + 1);
+          c
+        end
+        else begin
+          let perns = Var.read ctx t.next_cookie_perns in
+          let c = Option.value ~default:1 (Int_map.find_opt netns perns) in
+          Var.write ctx t.next_cookie_perns (Int_map.add netns (c + 1) perns);
+          (netns * 1_000_000) + c
+        end
+      in
+      if race then Var.write ctx t.gen_inflight 0;
+      if busy <> 0 && busy <> netns + 1 then c + race_gap else c)

@@ -8,9 +8,10 @@ type t = {
   mutable sink : (Kevent.t -> unit) option;
   mutable stack : int list;            (* function ids, innermost first *)
   mutable in_irq : bool;
+  mutable yield : (unit -> unit) option;
 }
 
-let create () = { sink = None; stack = []; in_irq = false }
+let create () = { sink = None; stack = []; in_irq = false; yield = None }
 
 let emit t ev =
   match t.sink with
@@ -21,6 +22,16 @@ let with_sink t sink f =
   let saved = t.sink in
   t.sink <- Some sink;
   Fun.protect ~finally:(fun () -> t.sink <- saved) f
+
+let yield t =
+  match t.yield with
+  | None -> ()
+  | Some f -> if not t.in_irq then f ()
+
+let with_yield t hook f =
+  let saved = t.yield in
+  t.yield <- Some hook;
+  Fun.protect ~finally:(fun () -> t.yield <- saved) f
 
 let with_irq t f =
   let saved = t.in_irq in

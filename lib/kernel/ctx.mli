@@ -7,6 +7,9 @@ type t = {
   mutable sink : (Kevent.t -> unit) option;
   mutable stack : int list;            (** function ids, innermost first *)
   mutable in_irq : bool;
+  mutable yield : (unit -> unit) option;
+      (** preemption hook fired before every instrumented shared-memory
+          access (see {!Var}); [None] outside interleaved execution *)
 }
 
 val create : unit -> t
@@ -21,6 +24,17 @@ val with_sink : t -> (Kevent.t -> unit) -> (unit -> 'a) -> 'a
 
 val with_irq : t -> (unit -> 'a) -> 'a
 (** Run a computation in interrupt context. *)
+
+val yield : t -> unit
+(** Fire the preemption hook, unless none is installed or the context is
+    in interrupt context. Yield points coincide exactly with the
+    accesses the profiling sink reports: an access invisible to
+    profiling (uninstrumented or in irq) is also not a scheduling
+    point, so schedule search over solo profiles matches reality. *)
+
+val with_yield : t -> (unit -> unit) -> (unit -> 'a) -> 'a
+(** Run a computation with a preemption hook installed; the previous
+    hook is restored afterwards, exceptions included. *)
 
 val innermost : t -> int
 (** The currently executing kernel function (0 at top level). *)

@@ -81,6 +81,6 @@ let render ctx t ~netns ~now path =
   in
   let emit lines =
     Kfun.call ctx (fn_seq_show_of_path path) (fun () ->
-        Seqfile.render ctx t.seq lines)
+        Seqfile.render ctx t.seq ~netns lines)
   in
   Option.map emit lines

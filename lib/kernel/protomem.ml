@@ -23,6 +23,7 @@ let fn_protocols_show = Kfun.register "protocols_seq_show"
 type t = {
   tcp_inuse : int Int_map.t Var.t;   (* netns -> live TCP sockets *)
   proto_mem : int Int_map.t Var.t;   (* netns -> pages of protocol memory *)
+  mem_inflight : int Var.t;          (* race bug #1: transient global charge *)
   config : Config.t;
 }
 
@@ -30,6 +31,7 @@ let init heap config =
   {
     tcp_inuse = Var.alloc heap ~name:"proto.tcp_inuse" ~width:16 Int_map.empty;
     proto_mem = Var.alloc heap ~name:"proto.memory_allocated" ~width:16 Int_map.empty;
+    mem_inflight = Var.alloc heap ~name:"proto.memory_inflight" 0;
     config;
   }
 
@@ -42,9 +44,20 @@ let inuse_add ctx t ~netns ~delta =
   Kfun.call ctx fn_sock_prot_inuse_add (fun () ->
       bump ctx t.tcp_inuse ~netns ~delta)
 
+(* Race bug #1: the buggy kernel publishes the charge to a global
+   in-flight counter before committing it to the per-ns map, and rolls
+   it back before returning. Sequentially the transient is invisible —
+   the counter is 0 whenever no allocation is mid-flight — but a
+   sockstat reader whose schedule lands between the two writes sees
+   the foreign charge. *)
 let memory_add ctx t ~netns ~pages =
   Kfun.call ctx fn_proto_memory_add (fun () ->
-      bump ctx t.proto_mem ~netns ~delta:pages)
+      if Config.has t.config Bugs.RW1_protomem_inflight then begin
+        Var.write ctx t.mem_inflight pages;
+        bump ctx t.proto_mem ~netns ~delta:pages;
+        Var.write ctx t.mem_inflight 0
+      end
+      else bump ctx t.proto_mem ~netns ~delta:pages)
 
 let read_counter ctx var ~global ~netns =
   let m = Var.read ctx var in
@@ -61,6 +74,11 @@ let sockstat_show ctx t ~cur =
       let mem =
         read_counter ctx t.proto_mem ~netns:cur
           ~global:(Config.has t.config Bugs.B8_protomem_sockstat)
+      in
+      let mem =
+        if Config.has t.config Bugs.RW1_protomem_inflight then
+          mem + Var.read ctx t.mem_inflight
+        else mem
       in
       [ Printf.sprintf "sockets: used %d" inuse;
         Printf.sprintf "TCP: inuse %d orphan 0 tw 0 alloc %d mem %d" inuse

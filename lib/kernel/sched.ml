@@ -1,0 +1,159 @@
+(* Deterministic cooperative scheduler over the kernel's instrumented
+   memory accesses.
+
+   Tasks (a sender program, a receiver program) run as effect-handled
+   coroutines: [Ctx.yield] — fired by [Var.trace] immediately before
+   every instrumented, non-irq access — performs the [Yield] effect,
+   suspending the task and returning control to the driver. A task with
+   K profiled accesses therefore executes as K+1 resume segments:
+   segment 0 runs from the start to just before the first access, and
+   segment r (1 <= r <= K) performs access r and runs to just before
+   access r+1 (or to completion when r = K).
+
+   The driver picks the next task by a pure function of (seed, step):
+   no wall clock, no Random state, so the same seed always produces the
+   byte-identical interleaving. [Sequential] always picks the
+   lowest-indexed runnable task, which for [sender; receiver] runs the
+   sender to completion and then the receiver — reproducing the
+   sequential runner's phase A byte-for-byte (the yields are pure
+   control transfers; no kernel state is touched between suspension and
+   resumption of the same task).
+
+   [simulate] replays the exact decision procedure abstractly over
+   per-task access counts, producing the merged access order a seed
+   induces without executing anything. The runner's partial-order
+   reduction builds on it: two seeds whose simulated orders agree on
+   all conflicting accesses are equivalent, so only one representative
+   runs. Driver and simulator share [choose] and the step discipline,
+   so the abstraction can only diverge from reality if interference
+   itself changes a task's access count (measured, and empirically rare
+   — see the POR soundness property in test/test_sched.ml). *)
+
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+type schedule = Sequential | Seeded of int
+
+exception Aborted
+
+let pp_schedule ppf = function
+  | Sequential -> Fmt.string ppf "sequential"
+  | Seeded s -> Fmt.pf ppf "seed:%d" s
+
+(* splitmix-style integer mix; pure and 63-bit safe. *)
+let mix ~seed ~step =
+  let z = (seed * 0x9E3779B9) + (step * 0x85EBCA6B) + 0x165667B1 in
+  let z = z lxor (z lsr 15) in
+  let z = z * 0xC2B2AE35 in
+  let z = z lxor (z lsr 13) in
+  z land max_int
+
+let choose schedule ~step ~runnable =
+  match runnable with
+  | [] -> invalid_arg "Sched.choose: no runnable task"
+  | [ i ] -> i
+  | first :: _ -> (
+    match schedule with
+    | Sequential -> first
+    | Seeded seed ->
+      let m = List.length runnable in
+      List.nth runnable (mix ~seed ~step mod m))
+
+type task =
+  | Not_started of (unit -> unit)
+  | Ready of (unit, unit) continuation
+  | Done
+
+let run ?(schedule = Sequential) ctx thunks =
+  let tasks = Array.of_list (List.map (fun f -> Not_started f) thunks) in
+  let n = Array.length tasks in
+  let current = ref 0 in
+  let steps = ref 0 in
+  let runnable () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      match tasks.(i) with Done -> () | _ -> acc := i :: !acc
+    done;
+    !acc
+  in
+  let handler =
+    {
+      retc = (fun () -> tasks.(!current) <- Done);
+      exnc =
+        (fun e ->
+          tasks.(!current) <- Done;
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some (fun (k : (a, unit) continuation) -> tasks.(!current) <- Ready k)
+          | _ -> None);
+    }
+  in
+  (* A crash in one task (kernel panic, fuel exhaustion) must unwind the
+     other tasks' stacks too: their [Kfun.call] finalizers restore the
+     shared ctx stack. [discontinue] raises [Aborted] at each suspension
+     point; the per-task handler marks the task [Done] and re-raises,
+     and we swallow the expected [Aborted] here. *)
+  let abort e =
+    Array.iteri
+      (fun i st ->
+        match st with
+        | Ready k -> (
+          current := i;
+          try discontinue k Aborted with Aborted -> ())
+        | Not_started _ -> tasks.(i) <- Done
+        | Done -> ())
+      tasks;
+    raise e
+  in
+  let hook () = perform Yield in
+  let saved = ctx.Ctx.yield in
+  ctx.Ctx.yield <- Some hook;
+  Fun.protect
+    ~finally:(fun () -> ctx.Ctx.yield <- saved)
+    (fun () ->
+      let rec loop () =
+        match runnable () with
+        | [] -> ()
+        | rs ->
+          let i = choose schedule ~step:!steps ~runnable:rs in
+          incr steps;
+          current := i;
+          (match tasks.(i) with
+          | Not_started f -> (
+            try match_with f () handler with e -> abort e)
+          | Ready k -> ( try continue k () with e -> abort e)
+          | Done -> assert false);
+          loop ()
+      in
+      loop ());
+  !steps
+
+let simulate schedule counts =
+  let n = Array.length counts in
+  let picks = Array.make n 0 in
+  let steps = ref 0 in
+  let order = ref [] in
+  let runnable () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if picks.(i) <= counts.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let rec loop () =
+    match runnable () with
+    | [] -> ()
+    | rs ->
+      let i = choose schedule ~step:!steps ~runnable:rs in
+      incr steps;
+      if picks.(i) > 0 then order := (i, picks.(i) - 1) :: !order;
+      picks.(i) <- picks.(i) + 1;
+      loop ()
+  in
+  loop ();
+  List.rev !order

@@ -1,0 +1,47 @@
+(** Deterministic cooperative scheduler over instrumented memory
+    accesses.
+
+    Tasks run as OCaml 5 effect-handled coroutines; [Ctx.yield] — fired
+    by {!Var} immediately before every instrumented, non-irq access —
+    suspends the running task. The driver picks the next task by a pure
+    function of [(seed, step)], so a given seed always reproduces the
+    byte-identical interleaving, across domains and processes alike. *)
+
+type schedule =
+  | Sequential
+      (** always pick the lowest-indexed runnable task: with
+          [[sender; receiver]] this runs the sender to completion and
+          then the receiver, reproducing the sequential runner's phase
+          A byte-for-byte *)
+  | Seeded of int  (** pseudo-random but fully deterministic in the seed *)
+
+exception Aborted
+(** Raised into suspended tasks when a sibling task crashes, so their
+    [Fun.protect] finalizers (ctx stack pops) run. Never escapes
+    {!run}. *)
+
+val pp_schedule : Format.formatter -> schedule -> unit
+
+val mix : seed:int -> step:int -> int
+(** The pure decision hash: non-negative, stable across runs. *)
+
+val choose : schedule -> step:int -> runnable:int list -> int
+(** Pick the next task among [runnable] (sorted ascending, non-empty).
+    Shared by {!run} and {!simulate} so the abstract replay matches the
+    real driver decision-for-decision. *)
+
+val run : ?schedule:schedule -> Ctx.t -> (unit -> unit) list -> int
+(** [run ~schedule ctx thunks] executes the thunks to completion as
+    cooperatively scheduled tasks, installing the yield hook on [ctx]
+    for the duration. Returns the number of scheduling decisions taken.
+    If a task raises (kernel panic, fuel exhaustion), all other tasks
+    are unwound via {!Aborted} and the original exception is re-raised
+    — mirroring the sequential runner's crash behaviour. *)
+
+val simulate : schedule -> int array -> (int * int) list
+(** [simulate schedule counts] replays the driver's decision procedure
+    abstractly: task [i] has [counts.(i)] accesses, hence
+    [counts.(i) + 1] resume segments. Returns the merged access order
+    as [(task, access_index)] pairs. This is exact whenever each task
+    performs the same accesses as in its solo profile; schedule search
+    uses it to prune equivalent seeds before executing anything. *)

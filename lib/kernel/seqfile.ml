@@ -12,9 +12,17 @@ let fn_seq_copy = Kfun.register "seq_copy_to_user"
 
 type t = {
   seq_buf : int Var.t;      (* bytes ever written through the seq interface *)
+  render_inflight : int Var.t;  (* race bug #3: 0 = idle, else rendering
+                                   netns + 1 *)
+  config : Config.t;
 }
 
-let init heap = { seq_buf = Var.alloc heap ~name:"seq.buf_len" ~width:16 0 }
+let init heap config =
+  {
+    seq_buf = Var.alloc heap ~name:"seq.buf_len" ~width:16 0;
+    render_inflight = Var.alloc heap ~name:"seq.render_inflight" 0;
+    config;
+  }
 
 (* Append a line to the seq buffer (renderer side). The buffer access
    sits two helpers deep, so only the call-stack context — not the
@@ -34,7 +42,25 @@ let read_out ctx t lines =
           String.concat "\n" lines))
 
 (* Render a procfs file: emit every line through [puts], then hand the
-   contents to the reader. *)
-let render ctx t lines =
+   contents to the reader.
+
+   Race bug #3: the buggy kernel publishes a global busy marker for the
+   duration of the render and clears it before returning. Sequentially
+   the marker is clear whenever a render starts; a reader whose
+   schedule lands inside a *foreign* render concludes the shared buffer
+   may be clobbered and appends a truncation notice to its own output.
+   [netns] identifies the rendering namespace (readers racing their own
+   nested renders are not perturbed — there are none in this model, but
+   the identity check is what the real pattern would need). *)
+let render ctx t ~netns lines =
+  let race = Config.has t.config Bugs.RW3_seqfile_busy in
+  let busy = if race then Var.read ctx t.render_inflight else 0 in
+  if race then Var.write ctx t.render_inflight (netns + 1);
+  let lines =
+    if busy <> 0 && busy <> netns + 1 then lines @ [ "(seq_file: truncated)" ]
+    else lines
+  in
   List.iter (puts ctx t) lines;
-  read_out ctx t lines
+  let out = read_out ctx t lines in
+  if race then Var.write ctx t.render_inflight 0;
+  out

@@ -44,7 +44,7 @@ let boot ?fault config =
   let clock = Clock.init heap in
   let rng = Krng.init heap in
   Krng.reseed rng ~seed:config.Config.boot_seed ~salt:(Clock.base clock);
-  let seq = Seqfile.init heap in
+  let seq = Seqfile.init heap config in
   let slab = Slab.init heap in
   let devid = Devid.init heap in
   let procs = Proctab.init heap in

@@ -34,12 +34,19 @@ let name t = t.name
 let width t = t.width
 let instrumented t = t.instrumented
 
+(* Instrumented accesses are also the scheduler's preemption points:
+   [Ctx.yield] fires before the event is emitted, so a suspended task
+   resumes exactly at the access it was about to perform. Keeping yield
+   behind the same [instrumented] guard (and [Ctx.yield]'s in_irq guard)
+   means the set of yield points equals the set of profiled accesses. *)
 let trace ctx t rw =
-  if t.instrumented then
+  if t.instrumented then begin
+    Ctx.yield ctx;
     let fn = Ctx.innermost ctx in
     let caller = Ctx.caller ctx in
     let ip = Kevent.ip_of ~fn ~caller ~addr:t.addr ~rw in
     Ctx.emit ctx (Kevent.Mem { addr = t.addr; width = t.width; rw; ip })
+  end
 
 let read ctx t =
   trace ctx t Kevent.Read;

@@ -598,10 +598,11 @@ type exec_state = {
 
 (* -- checkpointing -------------------------------------------------------- *)
 
-(* -v2 since the packed trace representation changed the case results'
-   Marshal layout; pre-change files fail the kind check as a typed
-   error. Pool runs re-execute from the corpus, so no migration path. *)
-let checkpoint_kind = "pool-shards-v2"
+(* -v2 when the packed trace representation changed the case results'
+   Marshal layout, -v3 when case results gained the schedule-search
+   fields; pre-change files fail the kind check as a typed error. Pool
+   runs re-execute from the corpus, so no migration path. *)
+let checkpoint_kind = "pool-shards-v3"
 
 type pool_checkpoint = {
   pc_seed : int;

@@ -24,11 +24,12 @@ type spec = {
   sp_weight : int;
   sp_max_inflight : int;
   sp_diagnose : bool;
+  sp_schedules : int;
 }
 
 let default_spec =
   { sp_name = ""; sp_seed = 7; sp_corpus_size = 320; sp_strategy = Cluster.Df_ia;
-    sp_weight = 1; sp_max_inflight = 0; sp_diagnose = true }
+    sp_weight = 1; sp_max_inflight = 0; sp_diagnose = true; sp_schedules = 1 }
 
 let valid_name name =
   name <> ""
@@ -50,6 +51,7 @@ let options_of_spec spec =
     corpus_size = spec.sp_corpus_size;
     strategy = spec.sp_strategy;
     diagnose = spec.sp_diagnose;
+    schedules = max 1 spec.sp_schedules;
     obs = None }
 
 (* -- requests and replies ------------------------------------------------- *)
@@ -117,6 +119,28 @@ let summary (c : Campaign.t) =
        found);
   Buffer.add_string b
     (Fmt.str "quarantined: %d\n" (List.length c.Campaign.quarantined));
+  (* The concurrent section only exists when schedule search ran:
+     sequential-only summaries stay byte-identical to pre-scheduler
+     output (the CI serve gate diffs them). *)
+  if c.Campaign.options.Campaign.schedules > 1 then begin
+    let s = c.Campaign.sched in
+    let race = Oracle.race_bugs_found c.Campaign.concurrent in
+    Buffer.add_string b
+      (Fmt.str
+         "schedule search (%d seeds/case): %d candidates, %d classes, \
+          %d executed, %d pruned, %d skipped\n"
+         c.Campaign.options.Campaign.schedules s.Campaign.sched_candidates
+         s.Campaign.sched_classes s.Campaign.sched_executed
+         s.Campaign.sched_pruned s.Campaign.sched_skipped);
+    Buffer.add_string b
+      (Fmt.str "concurrent reports: %d\n"
+         (List.length c.Campaign.concurrent));
+    Buffer.add_string b
+      (Fmt.str "race-window bugs found (%d/%d): %a\n" (List.length race)
+         (List.length Bugs.race_bugs)
+         (Fmt.list ~sep:(Fmt.any ", ") Bugs.pp)
+         race)
+  end;
   if c.Campaign.options.Campaign.diagnose then begin
     Buffer.add_string b (Kit_report.Render.groups c.Campaign.agg_rs);
     Buffer.add_char b '\n'

@@ -22,11 +22,14 @@ type spec = {
   sp_weight : int;
   sp_max_inflight : int;
   sp_diagnose : bool;
+  sp_schedules : int;
+      (** interleaved schedule seeds per case; 1 = sequential only *)
 }
 
 val default_spec : spec
 (** Seed 7, corpus 320, DF-IA, weight 1, unbounded in-flight,
-    diagnosis on — and an empty (invalid) name callers must fill in. *)
+    diagnosis on, sequential-only schedules — and an empty (invalid)
+    name callers must fill in. *)
 
 val valid_name : string -> bool
 (** Tenant names become checkpoint file names: 1–64 chars drawn from
@@ -92,10 +95,13 @@ type reply =
 val summary : Kit_core.Campaign.t -> string
 (** The deterministic campaign summary: strategy + cluster/report
     counts, the filtering funnel (Table 5), the new-bug oracle line,
-    the quarantine count, and the aggregated report groups when
-    diagnosis ran. No wall-clock content, so [kit results NAME] and
-    [kit campaign --summary] on the same seed/corpus/strategy are
-    byte-identical — the CI serve gate diffs them. *)
+    the quarantine count, the schedule-search section (only when the
+    campaign ran with [schedules > 1] — sequential summaries are
+    byte-identical to pre-scheduler output), and the aggregated report
+    groups when diagnosis ran. No wall-clock content, so
+    [kit results NAME] and [kit campaign --summary] on the same
+    seed/corpus/strategy are byte-identical — the CI serve gate diffs
+    them. *)
 
 (** {2 Sockets} *)
 

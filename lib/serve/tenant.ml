@@ -314,13 +314,34 @@ let status t =
 
 (* -- checkpoints ---------------------------------------------------------- *)
 
-(* The kind was bumped when trace nodes switched to the packed
-   representation: the Marshal layout of the cached case results changed
-   with it, and the kind tag is what keeps the loader from decoding old
-   bytes into the new types. Old-kind files are still loadable — see
-   [Legacy] below. *)
-let ckpt_kind = "serve-tenant-v2"
+(* The kind was bumped to -v2 when trace nodes switched to the packed
+   representation, and to -v3 when reports gained an origin, case
+   results gained the schedule-search fields and specs gained
+   [sp_schedules]: the Marshal layout of the cached case results changed
+   each time, and the kind tag is what keeps the loader from decoding
+   old bytes into the new types. Old-kind files are still loadable — see
+   [Legacy] (v1) and [V2] below. *)
+let ckpt_kind = "serve-tenant-v3"
+let ckpt_kind_v2 = "serve-tenant-v2"
 let ckpt_kind_legacy = "serve-tenant"
+
+(* The spec layout every pre-v3 checkpoint embeds (before
+   [sp_schedules]); migrated as sequential-only. *)
+type legacy_spec = {
+  lsp_name : string;
+  lsp_seed : int;
+  lsp_corpus_size : int;
+  lsp_strategy : Cluster.strategy;
+  lsp_weight : int;
+  lsp_max_inflight : int;
+  lsp_diagnose : bool;
+}
+
+let spec_of_legacy (s : legacy_spec) =
+  { Proto.sp_name = s.lsp_name; sp_seed = s.lsp_seed;
+    sp_corpus_size = s.lsp_corpus_size; sp_strategy = s.lsp_strategy;
+    sp_weight = s.lsp_weight; sp_max_inflight = s.lsp_max_inflight;
+    sp_diagnose = s.lsp_diagnose; sp_schedules = 1 }
 
 type ckpt = {
   ck_spec : Proto.spec;
@@ -360,7 +381,7 @@ module Legacy = struct
   }
 
   type ckpt = {
-    lk_spec : Proto.spec;
+    lk_spec : legacy_spec;
     lk_completed : (string * (case_result * int)) list;
     lk_finished : bool;
     lk_summary : string option;
@@ -375,12 +396,57 @@ module Legacy = struct
       receiver = r.lr_receiver; interfered = r.lr_interfered;
       diffs = List.map diff_of r.lr_diffs;
       trace_a = Ast.of_legacy r.lr_trace_a;
-      trace_b = Ast.of_legacy r.lr_trace_b }
+      trace_b = Ast.of_legacy r.lr_trace_b;
+      origin = Report.Sequential }
 
   let case_result_of (c : case_result) =
     { Campaign.cr_tc = c.lc_tc; cr_funnel = c.lc_funnel;
       cr_report = Option.map report_of c.lc_report;
+      cr_concurrent = []; cr_sched = Campaign.sched_create ();
       cr_crashes = c.lc_crashes }
+end
+
+(* Mirrors of the v2 layouts: trace nodes already packed, but reports
+   have no origin and case results no schedule-search fields. A v2
+   daemon only ever ran sequentially, so migration fills
+   [Report.Sequential] origins and empty search results; the cache keys
+   are already the current FNV fingerprints, so they carry over. *)
+module V2 = struct
+  type report = {
+    v2r_testcase : Testcase.t;
+    v2r_sender : Program.t;
+    v2r_receiver : Program.t;
+    v2r_interfered : int list;
+    v2r_diffs : Compare.diff list;
+    v2r_trace_a : Ast.t;
+    v2r_trace_b : Ast.t;
+  }
+
+  type case_result = {
+    v2c_tc : Testcase.t;
+    v2c_funnel : Filter.funnel;
+    v2c_report : report option;
+    v2c_crashes : Supervisor.crash list;
+  }
+
+  type ckpt = {
+    v2k_spec : legacy_spec;
+    v2k_completed : (string * (case_result * int)) list;
+    v2k_finished : bool;
+    v2k_summary : string option;
+  }
+
+  let report_of (r : report) =
+    { Report.testcase = r.v2r_testcase; sender = r.v2r_sender;
+      receiver = r.v2r_receiver; interfered = r.v2r_interfered;
+      diffs = r.v2r_diffs; trace_a = r.v2r_trace_a; trace_b = r.v2r_trace_b;
+      origin = Report.Sequential }
+
+  let case_result_of (c : case_result) =
+    { Campaign.cr_tc = c.v2c_tc; cr_funnel = c.v2c_funnel;
+      cr_report = Option.map report_of c.v2c_report;
+      cr_concurrent = []; cr_sched = Campaign.sched_create ();
+      cr_crashes = c.v2c_crashes }
 end
 
 let ckpt_path dir t = Filename.concat dir ("tenant-" ^ name t ^ ".ckpt")
@@ -405,7 +471,7 @@ let save_checkpoint dir t =
    the legacy layout, cache re-keyed by the current fingerprint of each
    entry's own testcase (stored keys are stale MD5 digests). *)
 let migrate_legacy ~id (ck : Legacy.ckpt) =
-  let t = create ~id ck.Legacy.lk_spec in
+  let t = create ~id (spec_of_legacy ck.Legacy.lk_spec) in
   List.iter
     (fun (_old_fp, (lc, execs)) ->
       let cr = Legacy.case_result_of lc in
@@ -414,6 +480,20 @@ let migrate_legacy ~id (ck : Legacy.ckpt) =
   if ck.Legacy.lk_finished then begin
     t.t_phase <- Finished;
     t.t_summary <- ck.Legacy.lk_summary
+  end;
+  t
+
+(* A v2 checkpoint, migrated: origins and schedule-search fields filled
+   with their sequential-only defaults, cache keys reused as stored. *)
+let migrate_v2 ~id (ck : V2.ckpt) =
+  let t = create ~id (spec_of_legacy ck.V2.v2k_spec) in
+  List.iter
+    (fun (fp, (vc, execs)) ->
+      Hashtbl.replace t.t_cache fp (V2.case_result_of vc, execs))
+    ck.V2.v2k_completed;
+  if ck.V2.v2k_finished then begin
+    t.t_phase <- Finished;
+    t.t_summary <- ck.V2.v2k_summary
   end;
   t
 
@@ -433,10 +513,13 @@ let of_checkpoint ~id path =
     end;
     Ok t
   | Error (Checkpoint.Checkpoint_corrupt _ as e) -> (
-    (* possibly a pre-packing file: the kind tag tells *)
-    match
-      (Checkpoint.load path ~kind:ckpt_kind_legacy : (Legacy.ckpt, _) result)
-    with
-    | Ok ck -> Ok (migrate_legacy ~id ck)
-    | Error _ -> Error (Checkpoint.error_to_string e))
+    (* possibly an older-kind file: the kind tag tells *)
+    match (Checkpoint.load path ~kind:ckpt_kind_v2 : (V2.ckpt, _) result) with
+    | Ok ck -> Ok (migrate_v2 ~id ck)
+    | Error _ -> (
+      match
+        (Checkpoint.load path ~kind:ckpt_kind_legacy : (Legacy.ckpt, _) result)
+      with
+      | Ok ck -> Ok (migrate_legacy ~id ck)
+      | Error _ -> Error (Checkpoint.error_to_string e)))
   | Error e -> Error (Checkpoint.error_to_string e)

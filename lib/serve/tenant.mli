@@ -133,16 +133,33 @@ val fingerprint_legacy : Kit_gen.Testcase.t -> string
 
 (** {2 Checkpoints}
 
-    Kind ["serve-tenant-v2"] in the validated KITCKPT1 container: the
+    Kind ["serve-tenant-v3"] in the validated KITCKPT1 container: the
     spec, the whole fingerprint cache, and the summary once finished. A
     resumed daemon rebuilds the tenant from this file; re-activation
     replays the cache, so checkpointed representatives are never
-    re-executed. Files written under the pre-packing ["serve-tenant"]
-    kind load through {!Legacy} and are migrated in place: packed trace
-    nodes rebuilt, cache re-keyed with {!fingerprint}. *)
+    re-executed. Files written under the pre-scheduler
+    ["serve-tenant-v2"] kind load through {!V2} (origins and
+    schedule-search fields filled with sequential-only defaults), and
+    pre-packing ["serve-tenant"] files through {!Legacy} (packed trace
+    nodes rebuilt, cache re-keyed with {!fingerprint}). *)
 
 val ckpt_kind : string
+val ckpt_kind_v2 : string
 val ckpt_kind_legacy : string
+
+(** The spec layout every pre-v3 checkpoint embeds (before
+    [sp_schedules]); migrated as sequential-only. *)
+type legacy_spec = {
+  lsp_name : string;
+  lsp_seed : int;
+  lsp_corpus_size : int;
+  lsp_strategy : Kit_gen.Cluster.strategy;
+  lsp_weight : int;
+  lsp_max_inflight : int;
+  lsp_diagnose : bool;
+}
+
+val spec_of_legacy : legacy_spec -> Proto.spec
 
 (** The exact Marshal layouts a pre-packing daemon checkpointed, and
     their conversions — exposed so the compat test can fabricate
@@ -172,10 +189,41 @@ module Legacy : sig
   }
 
   type ckpt = {
-    lk_spec : Proto.spec;
+    lk_spec : legacy_spec;
     lk_completed : (string * (case_result * int)) list;
     lk_finished : bool;
     lk_summary : string option;
+  }
+
+  val case_result_of : case_result -> Kit_core.Campaign.case_result
+end
+
+(** The exact Marshal layouts a v2 (pre-scheduler) daemon checkpointed,
+    and their conversions — exposed so the compat test can fabricate
+    v2-format files. *)
+module V2 : sig
+  type report = {
+    v2r_testcase : Kit_gen.Testcase.t;
+    v2r_sender : Kit_abi.Program.t;
+    v2r_receiver : Kit_abi.Program.t;
+    v2r_interfered : int list;
+    v2r_diffs : Kit_trace.Compare.diff list;
+    v2r_trace_a : Kit_trace.Ast.t;
+    v2r_trace_b : Kit_trace.Ast.t;
+  }
+
+  type case_result = {
+    v2c_tc : Kit_gen.Testcase.t;
+    v2c_funnel : Kit_detect.Filter.funnel;
+    v2c_report : report option;
+    v2c_crashes : Kit_exec.Supervisor.crash list;
+  }
+
+  type ckpt = {
+    v2k_spec : legacy_spec;
+    v2k_completed : (string * (case_result * int)) list;
+    v2k_finished : bool;
+    v2k_summary : string option;
   }
 
   val case_result_of : case_result -> Kit_core.Campaign.case_result

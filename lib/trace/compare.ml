@@ -44,6 +44,38 @@ let diff_trees ta tb =
 
 let equal_modulo_nondet ta tb = diff_trees ta tb = []
 
+(* A schedule-independent identity for a diff list (FNV-1a). Two
+   executions exposing the same root cause — the same nodes disagreeing
+   in the same way — fingerprint equal regardless of which schedule
+   seed produced them, so concurrent reports found by N seeds collapse
+   to one. Node values and labels are folded in, not physical node
+   identity, so structurally equal diffs from different executions
+   agree. *)
+let fnv_prime = 0x100000001b3
+let fnv_basis = 0x4bf29ce484222325 (* FNV-1a 64-bit basis, truncated to OCaml's 63-bit int *)
+
+let fingerprint_diffs diffs =
+  let fold_byte h b = (h lxor b) * fnv_prime in
+  let fold_string h s =
+    let h = ref h in
+    String.iter (fun c -> h := fold_byte !h (Char.code c)) s;
+    fold_byte !h 0xFF
+  in
+  let fold_int h i =
+    let h = fold_byte h (i land 0xFF) in
+    let h = fold_byte h ((i lsr 8) land 0xFF) in
+    let h = fold_byte h ((i lsr 16) land 0xFF) in
+    fold_byte h ((i lsr 24) land 0xFF)
+  in
+  let fold_diff h d =
+    let h = List.fold_left fold_string h d.path in
+    let h = fold_string h d.left.Ast.value in
+    let h = fold_string h d.right.Ast.value in
+    let h = fold_int h d.left.Ast.nkids in
+    fold_int h d.right.Ast.nkids
+  in
+  List.fold_left fold_diff fnv_basis diffs land max_int
+
 (* The receiver syscall indices whose subtrees differ. Trace roots have
    one "callN:..." child per syscall; a diff at the root itself (call
    count mismatch) maps to index 0. *)

@@ -18,6 +18,12 @@ val diff_trees : Ast.t -> Ast.t -> diff list
 
 val equal_modulo_nondet : Ast.t -> Ast.t -> bool
 
+val fingerprint_diffs : diff list -> int
+(** A schedule-independent identity for a diff list: folds each diff's
+    path, values and child counts through FNV-1a. Structurally equal
+    diff lists — the same root cause exposed by different schedule
+    seeds — fingerprint equal; non-negative. *)
+
 val call_index_of_label : string -> int option
 (** ["call12:read"] -> [Some 12]. *)
 

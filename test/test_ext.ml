@@ -80,7 +80,8 @@ let sample_report () =
   { Report.testcase = { Testcase.sender = 0; receiver = 1; flow = None };
     sender = p "r0 = socket(3)";
     receiver = p "r0 = open(\"/proc/net/ptype\")\nr1 = read(r0)";
-    interfered = [ 1 ]; diffs = []; trace_a = tree; trace_b = tree }
+    interfered = [ 1 ]; diffs = []; trace_a = tree; trace_b = tree;
+    origin = Report.Sequential }
 
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in

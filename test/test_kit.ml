@@ -26,5 +26,6 @@ let () =
       ("edge", Test_edge.suite);
       ("props", Test_props.suite);
       ("repr", Test_repr.suite);
+      ("sched", Test_sched.suite);
       ("serve", Test_serve.suite);
     ]

@@ -156,7 +156,8 @@ let dummy_report sender_text receiver_text interfered =
   let receiver = p receiver_text in
   let tree = Kit_trace.Ast.node "trace" [] in
   { Report.testcase = { Testcase.sender = 0; receiver = 0; flow = None };
-    sender; receiver; interfered; diffs = []; trace_a = tree; trace_b = tree }
+    sender; receiver; interfered; diffs = []; trace_a = tree; trace_b = tree;
+    origin = Report.Sequential }
 
 let keyed sender_text receiver_text (s, r) =
   Aggregate.key_report

@@ -331,6 +331,17 @@ let compat_spec =
     Proto.sp_name = "compat"; sp_seed = 7; sp_corpus_size = 24;
     sp_diagnose = false }
 
+(* Pre-v3 specs have no [sp_schedules]; fabricated old-format files use
+   this layout. *)
+let legacy_spec_of (s : Proto.spec) =
+  { Tenant.lsp_name = s.Proto.sp_name;
+    lsp_seed = s.Proto.sp_seed;
+    lsp_corpus_size = s.Proto.sp_corpus_size;
+    lsp_strategy = s.Proto.sp_strategy;
+    lsp_weight = s.Proto.sp_weight;
+    lsp_max_inflight = s.Proto.sp_max_inflight;
+    lsp_diagnose = s.Proto.sp_diagnose }
+
 let legacy_of_diff (d : Compare.diff) =
   { Tenant.Legacy.ld_path = d.Compare.path;
     ld_left = Ast.to_legacy d.Compare.left;
@@ -381,7 +392,7 @@ let test_legacy_checkpoint_migrates () =
         (marshal_fp (Tenant.Legacy.case_result_of (legacy_of_case cr))))
     executed;
   let ck =
-    { Tenant.Legacy.lk_spec = compat_spec;
+    { Tenant.Legacy.lk_spec = legacy_spec_of compat_spec;
       lk_completed =
         List.map
           (fun cr ->
@@ -405,9 +416,9 @@ let test_legacy_checkpoint_migrates () =
         check_int "every migrated entry replays from cache" 2
           (Tenant.resumed t);
         check_int "replayed entries are completed" 2 (Tenant.completed t);
-        (* A fresh save of the migrated tenant writes the v2 kind and
-           reloads without the legacy probe, cache intact. *)
-        let dir = Filename.temp_file "kit-tenant-v2" "" in
+        (* A fresh save of the migrated tenant writes the current kind
+           and reloads without the legacy probe, cache intact. *)
+        let dir = Filename.temp_file "kit-tenant-v3" "" in
         Sys.remove dir;
         Unix.mkdir dir 0o700;
         Fun.protect
@@ -419,15 +430,85 @@ let test_legacy_checkpoint_migrates () =
           (fun () ->
             Tenant.save_checkpoint dir t;
             match Tenant.of_checkpoint ~id:3 (Tenant.ckpt_path dir t) with
-            | Error e -> Alcotest.failf "v2 checkpoint rejected: %s" e
+            | Error e -> Alcotest.failf "re-saved checkpoint rejected: %s" e
             | Ok t2 ->
               let _ = Tenant.activate t2 ~procs:1 in
-              check_int "v2 reload replays the same cache" 2
+              check_int "re-saved reload replays the same cache" 2
                 (Tenant.resumed t2)))
 
+(* Fabricate a checkpoint exactly as a v2 (pre-scheduler) daemon wrote
+   it: packed trace nodes, but reports without an origin, case results
+   without the schedule-search fields and a spec without [sp_schedules].
+   Loading must migrate it — sequential origins, empty search results,
+   schedules = 1 — with the cache keys carried over unchanged. *)
+let v2_of_report (r : Report.t) =
+  { Tenant.V2.v2r_testcase = r.Report.testcase;
+    v2r_sender = r.Report.sender;
+    v2r_receiver = r.Report.receiver;
+    v2r_interfered = r.Report.interfered;
+    v2r_diffs = r.Report.diffs;
+    v2r_trace_a = r.Report.trace_a;
+    v2r_trace_b = r.Report.trace_b }
+
+let v2_of_case (cr : Campaign.case_result) =
+  { Tenant.V2.v2c_tc = cr.Campaign.cr_tc;
+    v2c_funnel = cr.Campaign.cr_funnel;
+    v2c_report = Option.map v2_of_report cr.Campaign.cr_report;
+    v2c_crashes = cr.Campaign.cr_crashes }
+
+let test_v2_checkpoint_migrates () =
+  let scratch = Tenant.create ~id:1 compat_spec in
+  let options, corpus = Tenant.activate scratch ~procs:1 in
+  let rec claim_all acc =
+    match Tenant.claim scratch ~slot:0 with
+    | Some job -> claim_all (job :: acc)
+    | None -> List.rev acc
+  in
+  let jobs = claim_all [] in
+  let obs = Obs.create ~tracer:Tracer.nop () in
+  let sup = Campaign.supervisor ~obs options in
+  let executed =
+    List.map
+      (fun (_, tc) -> Campaign.exec_case options corpus sup tc)
+      (List.filteri (fun i _ -> i < 2) jobs)
+  in
+  (* The v2 round trip itself must be lossless on sequential results. *)
+  List.iter
+    (fun cr ->
+      check_string "v2 case_result converts back losslessly" (marshal_fp cr)
+        (marshal_fp (Tenant.V2.case_result_of (v2_of_case cr))))
+    executed;
+  let ck =
+    { Tenant.V2.v2k_spec = legacy_spec_of compat_spec;
+      v2k_completed =
+        List.map
+          (fun cr ->
+            (Tenant.fingerprint cr.Campaign.cr_tc, (v2_of_case cr, 1)))
+          executed;
+      v2k_finished = false;
+      v2k_summary = None }
+  in
+  let path = Filename.temp_file "kit-tenant-v2compat" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Checkpoint.save path ~kind:Tenant.ckpt_kind_v2 ck;
+      match Tenant.of_checkpoint ~id:2 path with
+      | Error e -> Alcotest.failf "v2 checkpoint rejected: %s" e
+      | Ok t ->
+        check_bool "migrated tenant comes back pending" true
+          (Tenant.phase t = Tenant.Pending);
+        check_int "migrated spec is sequential-only" 1
+          (Tenant.spec t).Proto.sp_schedules;
+        let _ = Tenant.activate t ~procs:1 in
+        check_int "every migrated v2 entry replays from cache" 2
+          (Tenant.resumed t))
+
 let test_legacy_kind_is_distinct () =
-  check_bool "kind bumped" true
-    (not (String.equal Tenant.ckpt_kind Tenant.ckpt_kind_legacy))
+  check_bool "kind bumped past legacy" true
+    (not (String.equal Tenant.ckpt_kind Tenant.ckpt_kind_legacy));
+  check_bool "kind bumped past v2" true
+    (not (String.equal Tenant.ckpt_kind Tenant.ckpt_kind_v2))
 
 let suite =
   [
@@ -444,6 +525,8 @@ let suite =
       test_fingerprint_cross_process;
     Alcotest.test_case "checkpoint: legacy serve-tenant file migrates"
       `Quick test_legacy_checkpoint_migrates;
-    Alcotest.test_case "checkpoint: kind bumped for packed layout" `Quick
+    Alcotest.test_case "checkpoint: v2 serve-tenant file migrates" `Quick
+      test_v2_checkpoint_migrates;
+    Alcotest.test_case "checkpoint: kind bumped for new layouts" `Quick
       test_legacy_kind_is_distinct;
   ]
