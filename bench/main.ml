@@ -26,6 +26,9 @@
    KIT_BENCH_ONLY_SCHED (interleaved schedule-search section: campaign
    corpus default 96, schedule seeds per case default 128, sequential
    overhead iterations default 400, and its section-only switch),
+   KIT_BENCH_COV_CORPUS / KIT_BENCH_COV_ITERS / KIT_BENCH_ONLY_COV
+   (coverage-ledger section: campaign corpus default 96, isolated
+   marking-pass iterations default 50, and its section-only switch),
    KIT_BENCH_JSON=PATH (write the section timings and speedup ratios as
    a single JSON object to PATH). *)
 
@@ -64,6 +67,9 @@ module Tenant = Kit_serve.Tenant
 module Ast = Kit_trace.Ast
 module Bitset = Kit_compact.Bitset
 module Rss = Kit_compact.Rss
+module Coverage = Kit_obs.Coverage
+module Stackrec = Kit_profile.Stackrec
+module Accessmap = Kit_profile.Accessmap
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -1075,6 +1081,77 @@ let print_sched_bench () =
   record "sched_peak_rss_kb" (Jsonl.Int rss);
   Fmt.pr "@."
 
+(* Coverage ledger: marking overhead on the execution hot path must be
+   noise (the ledger is always on), and the campaign-level summary must
+   land balanced. The marking pass is measured in isolation over the
+   corpus's real access stream — the same stream the campaign feeds the
+   ledger — and compared to the campaign's own wall time. *)
+let print_cov_bench () =
+  Fmt.pr "-- Coverage ledger: marking overhead / gap census --@.";
+  let corpus_size = getenv_int "KIT_BENCH_COV_CORPUS" 96 in
+  let iters = getenv_int "KIT_BENCH_COV_ITERS" 50 in
+  record "cov_corpus" (Jsonl.Int corpus_size);
+  let options =
+    { Campaign.default_options with
+      Campaign.corpus_size; seed = 7; diagnose = false }
+  in
+  let c, campaign_s = timed (fun () -> Campaign.run options) in
+  let s = Coverage.summary c.Campaign.coverage in
+  if not (Campaign.attrition_balanced c.Campaign.attrition) then
+    failwith "cov bench: attrition does not balance";
+  (* Isolated marking pass over the same access stream. *)
+  let spec = options.Campaign.spec in
+  let corpus = Corpus.generate ~seed:options.Campaign.seed ~size:corpus_size in
+  let profiles = Dataflow.profile_corpus options.Campaign.config spec corpus in
+  let map = Dataflow.build_map profiles in
+  let writers = Accessmap.writer_addresses map in
+  let readers = Accessmap.reader_addresses map in
+  let universe =
+    List.filter_map
+      (fun (v : Kit_kernel.Heap.varinfo) ->
+        if v.Kit_kernel.Heap.v_instrumented
+           && Spec.var_protected spec v.Kit_kernel.Heap.v_name
+        then Some (v.Kit_kernel.Heap.v_name, v.Kit_kernel.Heap.v_addr)
+        else None)
+      profiles.Dataflow.vars
+  in
+  let mark_pass () =
+    let cov = Coverage.create universe in
+    Array.iter
+      (List.iter (fun (a : Stackrec.access) ->
+           Coverage.mark_touched cov ~addr:a.Stackrec.addr))
+      profiles.Dataflow.accesses;
+    List.iter (fun addr -> Coverage.mark_written cov ~addr) writers;
+    List.iter (fun addr -> Coverage.mark_read cov ~addr) readers;
+    cov
+  in
+  let _, marks_s = timed (fun () -> for _ = 1 to iters do ignore (mark_pass ()) done) in
+  let mark_s = marks_s /. float_of_int iters in
+  let overhead = mark_s /. campaign_s in
+  Fmt.pr "universe:             %d protected vars, %d paired, %d gaps, \
+          %d attributed@."
+    s.Coverage.sum_vars s.Coverage.sum_paired s.Coverage.sum_gaps
+    s.Coverage.sum_attributed;
+  Fmt.pr "campaign:             %.2fs (corpus %d, ledger always on)@."
+    campaign_s corpus_size;
+  Fmt.pr "marking pass:         %.2f ms (%d iters; %.2f%% of campaign)@."
+    (1e3 *. mark_s) iters (100.0 *. overhead);
+  record "cov_vars" (Jsonl.Int s.Coverage.sum_vars);
+  record "cov_paired" (Jsonl.Int s.Coverage.sum_paired);
+  record "cov_gaps" (Jsonl.Int s.Coverage.sum_gaps);
+  record "cov_attributed" (Jsonl.Int s.Coverage.sum_attributed);
+  record "cov_campaign_s" (Jsonl.Float campaign_s);
+  record "cov_mark_s" (Jsonl.Float mark_s);
+  record "cov_overhead_ratio" (Jsonl.Float overhead);
+  record "cov_funnel_generated"
+    (Jsonl.Int c.Campaign.attrition.Campaign.at_generated);
+  record "cov_funnel_reported"
+    (Jsonl.Int c.Campaign.attrition.Campaign.at_reported);
+  let rss = Rss.peak_kb () in
+  Fmt.pr "peak rss:             %d kB (VmHWM)@." rss;
+  record "cov_peak_rss_kb" (Jsonl.Int rss);
+  Fmt.pr "@."
+
 (* Pool workers re-execute this binary; the trampoline must run before
    the bench dispatch below. No-op in the parent. *)
 let () = Pool.worker_entry ()
@@ -1115,6 +1192,11 @@ let () =
     write_bench_json ();
     Fmt.pr "done.@."
   end
+  else if Sys.getenv_opt "KIT_BENCH_ONLY_COV" <> None then begin
+    print_cov_bench ();
+    write_bench_json ();
+    Fmt.pr "done.@."
+  end
   else begin
     print_tables ();
     print_jump_label_ablation ();
@@ -1129,6 +1211,7 @@ let () =
     print_serve_bench ();
     print_repr_bench ();
     print_sched_bench ();
+    print_cov_bench ();
     run_benchmarks ();
     write_bench_json ();
     Fmt.pr "done.@."

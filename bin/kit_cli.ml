@@ -56,6 +56,7 @@ module Tracer = Kit_obs.Tracer
 module Export = Kit_obs.Export
 module Render = Kit_obs.Render
 module Jsonl = Kit_obs.Jsonl
+module Coverage = Kit_obs.Coverage
 module Spantree = Kit_obs.Spantree
 module Profile = Kit_obs.Profile
 
@@ -540,6 +541,116 @@ let cmd_grow =
       $ max_retries_arg $ domains_arg $ schedules_arg $ race_bugs_arg
       $ no_baseline_cache_arg $ metrics_arg $ trace_arg)
 
+(* kit coverage: the campaign as a measurement instrument. Runs the
+   pipeline (diagnosis off — the ledger needs reports, not culprit
+   pairs) and prints the per-variable coverage ledger and attrition
+   funnel instead of the bug tables. The JSONL output is deterministic
+   for a seed and carries no schedule parameters in its meta line, so
+   exports from --domains 1, --domains 4 and --procs 2 runs are
+   byte-identical — that equality is the CI gate for schedule-invariant
+   accounting. *)
+let cmd_coverage =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the ledger as JSONL (one $(i,covsum) summary line, one \
+             line per variable, one $(i,funnel) attrition line) instead of \
+             the text report. Deterministic and byte-identical across \
+             $(b,--domains)/$(b,--procs) schedules.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Also write the JSONL ledger to $(docv).")
+  in
+  let run seed corpus_size strategy domains procs checkpoint_file
+      checkpoint_every resume json out =
+    guarded (fun () ->
+        let opts =
+          { Campaign.default_options with
+            Campaign.seed; corpus_size; strategy;
+            domains = max 1 domains;
+            diagnose = false }
+        in
+        let c =
+          if procs > 1 then
+            let cfg =
+              { Pool.default_config with
+                Pool.procs;
+                checkpoint_path = checkpoint_file;
+                checkpoint_every = max 1 checkpoint_every }
+            in
+            Campaign.run_with_executor
+              ~executor:(Pool.executor ~resume cfg)
+              opts
+          else run_campaign opts ~checkpoint_file ~checkpoint_every ~resume
+        in
+        let a = c.Campaign.attrition in
+        let funnel_line =
+          Jsonl.to_string
+            (Jsonl.Obj
+               [ ("k", Jsonl.Str "funnel");
+                 ("generated", Jsonl.Int a.Campaign.at_generated);
+                 ("absorbed", Jsonl.Int a.Campaign.at_absorbed);
+                 ("quar_panic", Jsonl.Int a.Campaign.at_quar_panic);
+                 ("quar_hung", Jsonl.Int a.Campaign.at_quar_hung);
+                 ("quar_lost", Jsonl.Int a.Campaign.at_quar_lost);
+                 ("no_divergence", Jsonl.Int a.Campaign.at_no_divergence);
+                 ("filtered_nondet", Jsonl.Int a.Campaign.at_filtered_nondet);
+                 ("filtered_resource",
+                  Jsonl.Int a.Campaign.at_filtered_resource);
+                 ("reported", Jsonl.Int a.Campaign.at_reported);
+                 ("balanced",
+                  Jsonl.Bool (Campaign.attrition_balanced a)) ])
+        in
+        (* No domains/procs in the meta line: the export must byte-diff
+           equal across execution schedules. *)
+        let meta_line =
+          Jsonl.to_string
+            (Jsonl.Obj
+               [ ("k", Jsonl.Str "meta"); ("cmd", Jsonl.Str "coverage");
+                 ("seed", Jsonl.Int seed);
+                 ("corpus_size", Jsonl.Int corpus_size);
+                 ("strategy", Jsonl.Str (Cluster.strategy_name strategy)) ])
+        in
+        let jsonl =
+          (meta_line :: Coverage.jsonl_lines c.Campaign.coverage)
+          @ [ funnel_line ]
+        in
+        (match out with
+        | None -> ()
+        | Some path ->
+          Export.write_file path jsonl;
+          Fmt.pr "coverage: %s@." path);
+        if json then List.iter print_endline jsonl
+        else begin
+          Fmt.pr "%s@." (Coverage.render c.Campaign.coverage);
+          Fmt.pr "%s@."
+            (Render.funnel
+               { Export.p_meta = [];
+                 p_snapshot = Obs.snapshot c.Campaign.obs;
+                 p_events = [];
+                 p_dropped = 0 })
+        end;
+        campaign_exit c)
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:
+         "Run a campaign and report the per-variable coverage ledger — \
+          which namespace-protected shared variables were touched, \
+          written, read, observed with an overlapping write/read pair, or \
+          attributed to a report — plus the funnel attrition accounting \
+          that charges every generated case to one terminal stage.")
+    Term.(
+      const run $ seed_arg $ corpus_size_arg $ strategy_arg $ domains_arg
+      $ procs_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+      $ json_arg $ out_arg)
+
 let cmd_distrib =
   let workers_arg =
     Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker environments.")
@@ -970,24 +1081,59 @@ let cmd_stats =
           ~doc:"Also print the reconstructed span tree (see $(b,kit trace) \
                 for the full analysis).")
   in
-  let run file tree =
+  let funnel_arg =
+    Arg.(
+      value & flag
+      & info [ "funnel" ]
+          ~doc:
+            "Render the attrition funnel from the export's \
+             $(i,campaign.attr_*) counters: every generated data-flow case \
+             charged to exactly one terminal stage, with a balance line, \
+             plus the schedule-search and coverage summaries when \
+             present.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Re-emit the export as canonical JSONL: metrics sorted by \
+             name, wall-clock timestamps stripped — byte-stable, so two \
+             canonicalised exports of the same campaign diff clean.")
+  in
+  let run file tree funnel json =
     guarded (fun () ->
         match Export.read_file file with
         | Error e ->
           Fmt.epr "kit: %s@." e;
           exit_internal
         | Ok parsed ->
-          Fmt.pr "%s@." (Render.stats parsed);
-          if tree then
-            Fmt.pr "%s@."
-              (Spantree.render
-                 (Spantree.build ~dropped:parsed.Export.p_dropped
-                    parsed.Export.p_events));
-          exit_clean)
+          if json then begin
+            let snapshot =
+              List.sort
+                (fun (a, _) (b, _) -> String.compare a b)
+                parsed.Export.p_snapshot
+            in
+            List.iter print_endline
+              (Export.lines ~wall:false ~meta:parsed.Export.p_meta
+                 ~events:parsed.Export.p_events
+                 ~dropped:parsed.Export.p_dropped snapshot);
+            exit_clean
+          end
+          else begin
+            Fmt.pr "%s@." (Render.stats parsed);
+            if funnel then Fmt.pr "%s@." (Render.funnel parsed);
+            if tree then
+              Fmt.pr "%s@."
+                (Spantree.render
+                   (Spantree.build ~dropped:parsed.Export.p_dropped
+                      parsed.Export.p_events));
+            exit_clean
+          end)
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Summarise a telemetry JSONL file")
-    Term.(const run $ file_arg $ tree_arg)
+    Term.(const run $ file_arg $ tree_arg $ funnel_arg $ json_arg)
 
 (* kit trace: the trace-analysis toolchain over a --trace/--metrics
    export. Streams the file (Export.fold_file) so a long campaign's
@@ -1299,9 +1445,16 @@ let cmd_status =
                   ts.Proto.ts_executions ts.Proto.ts_resumed
                   ts.Proto.ts_dispatched ts.Proto.ts_contended
                   ts.Proto.ts_steals
-                  (if ts.Proto.ts_reports >= 0 then
-                     Printf.sprintf ", %d reports" ts.Proto.ts_reports
-                   else ""))
+                  ((if ts.Proto.ts_reports >= 0 then
+                      Printf.sprintf ", %d reports" ts.Proto.ts_reports
+                    else "")
+                  ^
+                  if ts.Proto.ts_cov_vars >= 0 then
+                    Printf.sprintf
+                      ", coverage %d/%d paired (%d gaps, %d attributed)"
+                      ts.Proto.ts_cov_paired ts.Proto.ts_cov_vars
+                      ts.Proto.ts_cov_gaps ts.Proto.ts_cov_attributed
+                  else ""))
               st_tenants;
             exit_clean
           | reply -> unexpected_reply reply))
@@ -1372,8 +1525,8 @@ let main =
   Cmd.group
     (Cmd.info "kit" ~version:"1.0.0"
        ~doc:"Functional interference testing for OS-level virtualization")
-    [ cmd_campaign; cmd_grow; cmd_distrib; cmd_pool; cmd_serve; cmd_submit;
-      cmd_status; cmd_results; cmd_cancel; cmd_extend; cmd_tables;
+    [ cmd_campaign; cmd_grow; cmd_coverage; cmd_distrib; cmd_pool; cmd_serve;
+      cmd_submit; cmd_status; cmd_results; cmd_cancel; cmd_extend; cmd_tables;
       cmd_known_bugs; cmd_run; cmd_profile; cmd_corpus; cmd_stats; cmd_trace ]
 
 (* Pool workers re-execute this binary; the trampoline must run before

@@ -42,6 +42,11 @@ module Aggregate = Kit_report.Aggregate
 module Obs = Kit_obs.Obs
 module Metrics = Kit_obs.Metrics
 module Tracer = Kit_obs.Tracer
+module Coverage = Kit_obs.Coverage
+module Heap = Kit_kernel.Heap
+module Kevent = Kit_kernel.Kevent
+module Stackrec = Kit_profile.Stackrec
+module Accessmap = Kit_profile.Accessmap
 
 type options = {
   config : Config.t;
@@ -107,6 +112,45 @@ let add_sched (into : sched_stats) (s : sched_stats) =
   into.sched_pruned <- into.sched_pruned + s.sched_pruned;
   into.sched_skipped <- into.sched_skipped + s.sched_skipped
 
+(* Funnel attrition accounting: every generated data-flow case is
+   charged to exactly one terminal stage, so the stages below always sum
+   to [at_generated] — a case that disappears anywhere in the pipeline
+   is visible here with its drop reason. Clustering absorption counts
+   cases folded into an executed representative; the quarantine stages
+   count *cases* whose execution died (the campaign quarantine list
+   counts crash reports, which can exceed this when schedule search
+   crashes after a completed sequential run). *)
+type attrition = {
+  mutable at_generated : int;           (* unclustered data-flow cases *)
+  mutable at_absorbed : int;            (* clustered into a representative *)
+  mutable at_quar_panic : int;          (* executed rep panicked the kernel *)
+  mutable at_quar_hung : int;           (* executed rep hung forever *)
+  mutable at_quar_lost : int;           (* execution environment died *)
+  mutable at_no_divergence : int;       (* executed, traces identical *)
+  mutable at_filtered_nondet : int;     (* dropped by the rerun filter *)
+  mutable at_filtered_resource : int;   (* dropped by the resource filter *)
+  mutable at_reported : int;            (* survived the whole funnel *)
+}
+
+let attrition_create () =
+  { at_generated = 0; at_absorbed = 0; at_quar_panic = 0; at_quar_hung = 0;
+    at_quar_lost = 0; at_no_divergence = 0; at_filtered_nondet = 0;
+    at_filtered_resource = 0; at_reported = 0 }
+
+let copy_attrition (a : attrition) =
+  { at_generated = a.at_generated; at_absorbed = a.at_absorbed;
+    at_quar_panic = a.at_quar_panic; at_quar_hung = a.at_quar_hung;
+    at_quar_lost = a.at_quar_lost; at_no_divergence = a.at_no_divergence;
+    at_filtered_nondet = a.at_filtered_nondet;
+    at_filtered_resource = a.at_filtered_resource;
+    at_reported = a.at_reported }
+
+let attrition_balanced (a : attrition) =
+  a.at_generated
+  = a.at_absorbed + a.at_quar_panic + a.at_quar_hung + a.at_quar_lost
+    + a.at_no_divergence + a.at_filtered_nondet + a.at_filtered_resource
+    + a.at_reported
+
 type timings = {
   profile_s : float;
   generate_s : float;
@@ -134,6 +178,8 @@ type t = {
   fault_counters : Fault.counters;
   timings : timings;
   obs : Obs.t;
+  coverage : Coverage.t;                (* per-variable coverage ledger *)
+  attrition : attrition;                (* funnel attrition accounting *)
 }
 
 (* Wall-clock timing: campaign phases include supervisor backoff and
@@ -164,7 +210,44 @@ type prepared = {
   p_profiles : Dataflow.profiles;
   p_map : Kit_profile.Accessmap.t;
   p_obs : Obs.t;                        (* resolved bundle *)
+  p_cov : Coverage.t;                   (* campaign coverage ledger *)
 }
+
+(* The ledger's universe: every instrumented shared variable the spec
+   marks namespace-protected, in kernel boot order (deterministic for a
+   config, so ledger output is byte-stable across schedules). *)
+let coverage_universe spec (vars : Heap.varinfo list) =
+  Coverage.create
+    (List.filter_map
+       (fun (v : Heap.varinfo) ->
+         if v.Heap.v_instrumented && Spec.var_protected spec v.Heap.v_name then
+           Some (v.Heap.v_name, v.Heap.v_addr)
+         else None)
+       vars)
+
+(* Profiling-time rungs. "Touched" counts raw accesses — including
+   reader accesses the spec filter drops, which is exactly the
+   visibility the ledger adds over the access map. "Written"/"read"
+   mirror the access map's writer/reader universes (the filter keeps
+   every write and every protected read, so the batch and streaming
+   paths mark identically). *)
+let mark_touched_accesses cov accs =
+  List.iter
+    (fun (a : Stackrec.access) -> Coverage.mark_touched cov ~addr:a.Stackrec.addr)
+    accs
+
+let mark_map_rungs cov map =
+  List.iter (fun addr -> Coverage.mark_written cov ~addr)
+    (Accessmap.writer_addresses map);
+  List.iter (fun addr -> Coverage.mark_read cov ~addr)
+    (Accessmap.reader_addresses map)
+
+(* Attribution: a report's data flow names the shared address the
+   divergence was pinned to; randomly generated cases carry no flow. *)
+let mark_report_attributed cov (r : Report.t) =
+  match r.Report.testcase.Testcase.flow with
+  | Some f -> Coverage.mark_attributed cov ~addr:f.Testcase.addr
+  | None -> ()
 
 (* -- pipeline stages ------------------------------------------------------
 
@@ -189,8 +272,11 @@ let prepare (options : options) =
   let profiles, map =
     Pipeline.run obs profile_stage (options.config, options.spec, corpus)
   in
+  let cov = coverage_universe options.spec profiles.Dataflow.vars in
+  Array.iter (mark_touched_accesses cov) profiles.Dataflow.accesses;
+  mark_map_rungs cov map;
   { p_options = options; p_corpus = Array.of_list corpus;
-    p_profiles = profiles; p_map = map; p_obs = obs }
+    p_profiles = profiles; p_map = map; p_obs = obs; p_cov = cov }
 
 let prepared_corpus prepared = prepared.p_corpus
 
@@ -221,6 +307,8 @@ type checkpoint = {
   ck_executions : int;
   ck_generate_s : float;
   ck_execute_s : float;
+  ck_attrition : attrition;             (* terminal-stage counts so far *)
+  ck_coverage : Coverage.delta;         (* ledger state at pause time *)
 }
 
 let copy_funnel (f : Filter.funnel) =
@@ -238,11 +326,12 @@ let checkpoint_reports ck = List.length ck.ck_rev_reports
    was bumped to -v2 when trace nodes switched to the packed
    representation (the reports' Marshal layout changed with it), and to
    -v3 when reports gained an origin and checkpoints gained the
-   concurrent report list and schedule-search totals; a pre-change file
-   now fails the kind check as a typed error instead of being
-   mis-decoded. Execute checkpoints are cheap to regenerate, so unlike
-   tenant caches they get no migration path. *)
-let checkpoint_kind = "campaign-execute-v3"
+   concurrent report list and schedule-search totals; and to -v4 when
+   checkpoints gained the coverage-ledger delta and funnel attrition
+   counts. A pre-change file now fails the kind check as a typed error
+   instead of being mis-decoded. Execute checkpoints are cheap to
+   regenerate, so unlike tenant caches they get no migration path. *)
+let checkpoint_kind = "campaign-execute-v4"
 
 let save_checkpoint path ck = Checkpoint.save path ~kind:checkpoint_kind ck
 
@@ -281,6 +370,38 @@ let add_funnel (into : Filter.funnel) (f : Filter.funnel) =
   into.Filter.after_nondet <- into.Filter.after_nondet + f.Filter.after_nondet;
   into.Filter.after_resource <-
     into.Filter.after_resource + f.Filter.after_resource
+
+(* Charge one executed representative to its terminal attrition stage.
+   Classification reads the case's own funnel increments, so the charge
+   is schedule-free and balance holds by construction: every case lands
+   in exactly one branch. A case that completed sequentially is charged
+   by its sequential verdict even if schedule search crashed afterwards
+   (those crashes still reach the quarantine list). *)
+let charge_case (a : attrition) (r : case_result) =
+  let f = r.cr_funnel in
+  if Option.is_some r.cr_report then a.at_reported <- a.at_reported + 1
+  else if f.Filter.executed = 0 then begin
+    match r.cr_crashes with
+    | { Supervisor.c_reason = Supervisor.Panicked _; _ } :: _ ->
+      a.at_quar_panic <- a.at_quar_panic + 1
+    | { Supervisor.c_reason = Supervisor.Hung_forever; _ } :: _ ->
+      a.at_quar_hung <- a.at_quar_hung + 1
+    | { Supervisor.c_reason = Supervisor.Worker_lost _; _ } :: _ | [] ->
+      a.at_quar_lost <- a.at_quar_lost + 1
+  end
+  else if f.Filter.initial = 0 then
+    a.at_no_divergence <- a.at_no_divergence + 1
+  else if f.Filter.after_nondet = 0 then
+    a.at_filtered_nondet <- a.at_filtered_nondet + 1
+  else a.at_filtered_resource <- a.at_filtered_resource + 1
+
+(* Attribution and attrition both fold per-case; keeping them in one
+   helper means every fold site (chunked execute, executor assembly,
+   streaming assembly) stays in lockstep. *)
+let absorb_case ~cov (a : attrition) (r : case_result) =
+  charge_case a r;
+  Option.iter (mark_report_attributed cov) r.cr_report;
+  List.iter (mark_report_attributed cov) r.cr_concurrent
 
 (* Execute one cluster representative under supervision; quarantined
    crashers are captured by quarantine-count delta and produce no
@@ -479,6 +600,8 @@ type phase_result =
       sup : Supervisor.t;
       generate_s : float;
       execute_s : float;
+      attrition : attrition;            (* terminal stages; generated and
+                                           absorbed are set by [finish] *)
     }
   | Phase_paused of checkpoint
 
@@ -506,16 +629,21 @@ let execute_phase ?resume ~budget ~strategy prepared =
   let reps = generation.Cluster.reps in
   let total = List.length reps in
   let done_, funnel, rev_reports, rev_concurrent, sched, quarantined0,
-      executions0, generate_s, execute_s0 =
+      executions0, generate_s, execute_s0, attrition =
     match resume with
     | None ->
       (0, Filter.funnel_create (), [], [], sched_create (), [], 0,
-       generate_s_now, 0.0)
+       generate_s_now, 0.0, attrition_create ())
     | Some ck ->
       validate_resume options strategy total ck;
+      (* Re-preparation re-marked the profiling rungs; absorbing the
+         checkpointed delta restores attribution, so ledger state is
+         monotone across resumes. *)
+      Coverage.absorb prepared.p_cov ck.ck_coverage;
       ( ck.ck_done, copy_funnel ck.ck_funnel, ck.ck_rev_reports,
         ck.ck_rev_concurrent, copy_sched ck.ck_sched, ck.ck_quarantined,
-        ck.ck_executions, ck.ck_generate_s, ck.ck_execute_s )
+        ck.ck_executions, ck.ck_generate_s, ck.ck_execute_s,
+        copy_attrition ck.ck_attrition )
   in
   Metrics.set_gauge (time_gauge obs "generate_s") generate_s;
   let reports = ref rev_reports in
@@ -549,6 +677,7 @@ let execute_phase ?resume ~budget ~strategy prepared =
     (fun r ->
       add_funnel funnel r.cr_funnel;
       add_sched sched r.cr_sched;
+      absorb_case ~cov:prepared.p_cov attrition r;
       Option.iter (fun rep -> reports := rep :: !reports) r.cr_report;
       concurrent := List.rev_append r.cr_concurrent !concurrent)
     out;
@@ -580,6 +709,8 @@ let execute_phase ?resume ~budget ~strategy prepared =
         ck_executions = executions;
         ck_generate_s = generate_s;
         ck_execute_s = execute_s;
+        ck_attrition = copy_attrition attrition;
+        ck_coverage = Coverage.delta prepared.p_cov;
       }
   else
     (* In parallel mode the chunk supervisors died with their domains;
@@ -593,7 +724,7 @@ let execute_phase ?resume ~budget ~strategy prepared =
     Phase_done
       { generation; funnel; reports = List.rev !reports;
         concurrent = List.rev !concurrent; sched; quarantined;
-        prior_executions; sup; generate_s; execute_s }
+        prior_executions; sup; generate_s; execute_s; attrition }
 
 (* Mirror final campaign accounting into always-on counters. *)
 let set_result_counters obs ~executions ~funnel ~reports ~quarantined =
@@ -622,6 +753,29 @@ let set_sched_counters obs ~concurrent (sched : sched_stats) =
       (List.length concurrent)
   end
 
+(* Coverage-ledger and attrition totals mirror into always-on counters,
+   so `kit stats --funnel` can render the funnel from any exported
+   snapshot without the campaign value in hand. *)
+let set_coverage_counters obs cov (a : attrition) =
+  let s = Coverage.summary cov in
+  let set name v = Metrics.set_counter (c_counter obs name) v in
+  set "cov_vars" s.Coverage.sum_vars;
+  set "cov_touched" s.Coverage.sum_touched;
+  set "cov_written" s.Coverage.sum_written;
+  set "cov_read" s.Coverage.sum_read;
+  set "cov_paired" s.Coverage.sum_paired;
+  set "cov_attributed" s.Coverage.sum_attributed;
+  set "cov_gaps" s.Coverage.sum_gaps;
+  set "attr_generated" a.at_generated;
+  set "attr_absorbed" a.at_absorbed;
+  set "attr_quar_panic" a.at_quar_panic;
+  set "attr_quar_hung" a.at_quar_hung;
+  set "attr_quar_lost" a.at_quar_lost;
+  set "attr_no_divergence" a.at_no_divergence;
+  set "attr_filtered_nondet" a.at_filtered_nondet;
+  set "attr_filtered_resource" a.at_filtered_resource;
+  set "attr_reported" a.at_reported
+
 (* Thin reads: the gauges are the source of truth for wall times. *)
 let read_timings obs =
   { profile_s = Metrics.gauge_value (time_gauge obs "profile_s");
@@ -634,7 +788,7 @@ let finish prepared options phase =
   | Phase_paused _ -> assert false
   | Phase_done
       { generation; funnel; reports; concurrent; sched; quarantined;
-        prior_executions; sup; generate_s; execute_s } ->
+        prior_executions; sup; generate_s; execute_s; attrition } ->
     let obs = prepared.p_obs in
     let keyed =
       if not options.diagnose then begin
@@ -649,8 +803,15 @@ let finish prepared options phase =
     let agg_rs = Aggregate.agg_rs keyed in
     (* diagnosis re-executed through [sup], so read the counter last *)
     let executions = prior_executions + Supervisor.executions sup in
+    (* Generation totals close the attrition balance: every generated
+       case either clustered into an executed representative (and was
+       charged per-case above) or was absorbed by clustering. *)
+    attrition.at_generated <- generation.Cluster.generated;
+    attrition.at_absorbed <-
+      generation.Cluster.generated - List.length generation.Cluster.reps;
     set_result_counters obs ~executions ~funnel ~reports ~quarantined;
     set_sched_counters obs ~concurrent sched;
+    set_coverage_counters obs prepared.p_cov attrition;
     {
       options;
       corpus = prepared.p_corpus;
@@ -669,6 +830,8 @@ let finish prepared options phase =
       fault_counters = Fault.counters sup.Supervisor.fault;
       timings = read_timings obs;
       obs;
+      coverage = prepared.p_cov;
+      attrition;
     }
 
 let execute_partial ?strategy ?resume ~budget prepared =
@@ -735,12 +898,14 @@ let assemble ?(execute_s = 0.0) prepared generation out ~executions =
   let obs = prepared.p_obs in
   let funnel = Filter.funnel_create () in
   let sched = sched_create () in
+  let attrition = attrition_create () in
   let rev_reports = ref [] and rev_concurrent = ref []
   and rev_quarantined = ref [] in
   List.iter
     (fun r ->
       add_funnel funnel r.cr_funnel;
       add_sched sched r.cr_sched;
+      absorb_case ~cov:prepared.p_cov attrition r;
       Option.iter (fun rep -> rev_reports := rep :: !rev_reports) r.cr_report;
       rev_concurrent := List.rev_append r.cr_concurrent !rev_concurrent;
       rev_quarantined := List.rev_append r.cr_crashes !rev_quarantined)
@@ -755,7 +920,8 @@ let assemble ?(execute_s = 0.0) prepared generation out ~executions =
          prior_executions = executions;
          sup = make_supervisor ~obs options;
          generate_s = Metrics.gauge_value (time_gauge obs "generate_s");
-         execute_s })
+         execute_s;
+         attrition })
 
 let run_with_executor ~executor options =
   let prepared = prepare options in
@@ -787,6 +953,7 @@ type stream = {
   s_options : options;
   s_obs : Obs.t;
   s_profiler : Dataflow.profiler;
+  s_cov : Coverage.t;                   (* coverage ledger, fed per program *)
   s_cstate : Cluster.state;
   s_sup : Supervisor.t;                 (* sequential executor + diagnosis *)
   mutable s_corpus : Program.t array;
@@ -891,10 +1058,21 @@ let stream_fold_stage =
   Pipeline.v ~consumes:"corpus-suffix" ~produces:"case-results" "stream"
     (fun _obs (s, from, to_size) ->
       for prog = from to to_size - 1 do
-        let accs, dt =
-          timed (fun () -> Dataflow.profile_program s.s_profiler s.s_corpus.(prog))
+        let (raw, accs), dt =
+          timed (fun () ->
+              Dataflow.profile_program_full s.s_profiler s.s_corpus.(prog))
         in
         s.s_profile_s <- s.s_profile_s +. dt;
+        (* The filtered list keeps every write and every protected read,
+           so marking per filtered access reaches exactly the rungs the
+           batch path derives from the finished access map. *)
+        mark_touched_accesses s.s_cov raw;
+        List.iter
+          (fun (a : Stackrec.access) ->
+            match a.Stackrec.rw with
+            | Kevent.Write -> Coverage.mark_written s.s_cov ~addr:a.Stackrec.addr
+            | Kevent.Read -> Coverage.mark_read s.s_cov ~addr:a.Stackrec.addr)
+          accs;
         let events, dt = timed (fun () -> Cluster.feed s.s_cstate ~prog accs) in
         s.s_generate_s <- s.s_generate_s +. dt;
         stream_execute s events
@@ -920,10 +1098,13 @@ let stream_grow s ~to_size =
 let stream (options : options) =
   let obs = match options.obs with Some o -> o | None -> Obs.create () in
   let options = { options with obs = Some obs } in
+  let profiler = Dataflow.profiler options.config options.spec in
   let s =
     { s_options = options;
       s_obs = obs;
-      s_profiler = Dataflow.profiler options.config options.spec;
+      s_profiler = profiler;
+      s_cov =
+        coverage_universe options.spec (Dataflow.profiler_vars profiler);
       s_cstate = Cluster.start ~seed:options.seed options.strategy;
       s_sup = make_supervisor ~obs options;
       s_corpus = [||];
@@ -974,12 +1155,19 @@ let stream_result s =
   in
   let funnel = Filter.funnel_create () in
   let sched = sched_create () in
+  (* Attribution and attrition fold over the *final* per-cluster cache —
+     never over superseded executions of replaced representatives — so
+     the streaming ledger and funnel match the batch path exactly. *)
+  let attrition = attrition_create () in
+  attrition.at_generated <- generation.Cluster.generated;
+  attrition.at_absorbed <- generation.Cluster.generated - List.length cases;
   let rev_reports = ref [] and rev_concurrent = ref []
   and rev_quarantined = ref [] in
   List.iter
     (fun (_, r) ->
       add_funnel funnel r.cr_funnel;
       add_sched sched r.cr_sched;
+      absorb_case ~cov:s.s_cov attrition r;
       Option.iter (fun rep -> rev_reports := rep :: !rev_reports) r.cr_report;
       rev_concurrent := List.rev_append r.cr_concurrent !rev_concurrent;
       rev_quarantined := List.rev_append r.cr_crashes !rev_quarantined)
@@ -1020,6 +1208,7 @@ let stream_result s =
   let executions = Supervisor.executions s.s_sup + s.s_domain_execs in
   set_result_counters obs ~executions ~funnel ~reports ~quarantined;
   set_sched_counters obs ~concurrent sched;
+  set_coverage_counters obs s.s_cov attrition;
   {
     options = { options with corpus_size = Array.length s.s_corpus };
     corpus = s.s_corpus;
@@ -1038,6 +1227,8 @@ let stream_result s =
     fault_counters = Fault.counters s.s_sup.Supervisor.fault;
     timings = read_timings obs;
     obs;
+    coverage = s.s_cov;
+    attrition;
   }
 
 let extend s ~add =

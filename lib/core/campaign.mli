@@ -77,6 +77,31 @@ val add_sched : sched_stats -> sched_stats -> unit
 (** [add_sched acc s] folds [s] into [acc] — how per-case and
     per-worker schedule-search totals aggregate. *)
 
+(** Funnel attrition accounting: every generated data-flow case is
+    charged to exactly one terminal stage (see {!attrition_balanced}),
+    so a case that disappears anywhere in the pipeline is visible here
+    with its drop reason. The quarantine stages count {e cases} whose
+    execution died; the campaign quarantine list counts crash reports,
+    which can exceed this when schedule search crashes after a
+    completed sequential run. *)
+type attrition = {
+  mutable at_generated : int;       (** unclustered data-flow cases *)
+  mutable at_absorbed : int;        (** clustered into a representative *)
+  mutable at_quar_panic : int;      (** executed rep panicked the kernel *)
+  mutable at_quar_hung : int;       (** executed rep hung forever *)
+  mutable at_quar_lost : int;       (** execution environment died *)
+  mutable at_no_divergence : int;   (** executed, traces identical *)
+  mutable at_filtered_nondet : int; (** dropped by the rerun filter *)
+  mutable at_filtered_resource : int;  (** dropped by the resource filter *)
+  mutable at_reported : int;        (** survived the whole funnel *)
+}
+
+val attrition_create : unit -> attrition
+
+val attrition_balanced : attrition -> bool
+(** [at_generated = at_absorbed + Σ terminal stages] — holds for every
+    finished campaign by construction (property-tested). *)
+
 (** Phase wall-clock timings. Thin reads over the bundle's volatile
     ["time.*"] gauges — the registry is the source of truth. *)
 type timings = {
@@ -116,6 +141,17 @@ type t = {
   (** the resolved bundle: ["campaign.*"] funnel/cluster counters,
       ["phase.*"] spans, ["sup.*"] supervision counters and ["exec.*"]
       execution counters, ready for {!Kit_obs.Obs.export_lines} *)
+  coverage : Kit_obs.Coverage.t;
+  (** the campaign coverage ledger: one per-variable state machine for
+      every instrumented, spec-protected shared variable — touched
+      (raw profiling), written/read (access-map universes), paired
+      (overlapping write/read observed) and attributed (pinned by a
+      report's data flow). Deterministic for a given seed: byte-stable
+      across [domains], process pools and checkpoint schedules.
+      Summaries mirror into always-on ["campaign.cov_*"] counters. *)
+  attrition : attrition;
+  (** funnel attrition totals; {!attrition_balanced} always holds.
+      Mirrors into always-on ["campaign.attr_*"] counters. *)
 }
 
 type prepared
@@ -134,9 +170,12 @@ val prepared_corpus : prepared -> Kit_abi.Program.t array
     The execute phase — the long-running part of a campaign — can pause
     after any number of cluster representatives and resume later, even
     in a fresh process: the checkpoint value carries the funnel, the
-    accumulated reports and quarantine, and an options fingerprint that
-    resume validates. Chunked execution is outcome-equivalent to a
-    straight-through run (property-tested). *)
+    accumulated reports and quarantine, the coverage-ledger delta and
+    attrition counts, and an options fingerprint that resume validates.
+    Chunked execution is outcome-equivalent to a straight-through run
+    (property-tested), and ledger state is monotone across resumes:
+    re-preparation re-marks the profiling rungs and the absorbed delta
+    restores attribution. *)
 
 type checkpoint
 

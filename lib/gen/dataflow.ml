@@ -15,6 +15,7 @@ type profiles = {
   programs : Program.t array;
   accesses : Stackrec.access list array;
   protected_calls : bool array array;   (* per program, per syscall index *)
+  vars : Kit_kernel.Heap.varinfo list;  (* the profiled kernel's registry *)
 }
 
 (* Profile the whole corpus in the receiver container's environment.
@@ -37,7 +38,7 @@ let profile_corpus config spec corpus =
             Kit_spec.Spec.call_protected spec prog types i))
       programs
   in
-  { programs; accesses; protected_calls }
+  { programs; accesses; protected_calls; vars = Collect.vars profiler }
 
 (* Writer entries are unrestricted; reader entries are kept only when
    the reading syscall accesses a protected resource — data flows whose
@@ -75,7 +76,13 @@ type profiler = { collect : Collect.t; spec : Kit_spec.Spec.t }
 
 let profiler config spec = { collect = Collect.create config; spec }
 
-let profile_program t prog =
+let profiler_vars t = Collect.vars t.collect
+
+(* Raw and filtered accesses of one program: the filtered list feeds the
+   access map / online clustering; the raw list is what the coverage
+   ledger's "touched" rung counts (it must see reader accesses the spec
+   filter drops — that is exactly the visibility the ledger adds). *)
+let profile_program_full t prog =
   let accesses =
     (Collect.profile t.collect ~role:Collect.Receiver prog).Collect.accesses
   in
@@ -84,7 +91,9 @@ let profile_program t prog =
     Array.init (Program.length prog) (fun i ->
         Kit_spec.Spec.call_protected t.spec prog types i)
   in
-  filter_accesses ~protected_calls accesses
+  (accesses, filter_accesses ~protected_calls accesses)
+
+let profile_program t prog = snd (profile_program_full t prog)
 
 (* The total number of unclustered data-flow test cases — the DF row of
    Table 4: one per (write access site, read access site) pair on a

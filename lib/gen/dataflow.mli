@@ -8,6 +8,9 @@ type profiles = {
   programs : Kit_abi.Program.t array;
   accesses : Kit_profile.Stackrec.access list array;
   protected_calls : bool array array;  (** per program, per syscall index *)
+  vars : Kit_kernel.Heap.varinfo list;
+      (** the profiled kernel's shared-variable registry, boot order —
+          the coverage ledger's raw universe *)
 }
 
 val profile_corpus :
@@ -37,3 +40,13 @@ val profile_program :
   profiler -> Kit_abi.Program.t -> Kit_profile.Stackrec.access list
 (** Profile one program and return its filtered accesses, ready for
     {!Kit_profile.Accessmap.add} or online clustering. *)
+
+val profile_program_full :
+  profiler -> Kit_abi.Program.t ->
+  Kit_profile.Stackrec.access list * Kit_profile.Stackrec.access list
+(** [(raw, filtered)] accesses of one program. The raw list is what the
+    coverage ledger's "touched" rung counts — it includes reader
+    accesses the spec filter drops. *)
+
+val profiler_vars : profiler -> Kit_kernel.Heap.varinfo list
+(** The streaming profiler's kernel variable registry (boot order). *)

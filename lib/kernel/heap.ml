@@ -31,6 +31,17 @@ type cell = {
   capture : unit -> unit -> unit;   (* capture now, apply later *)
 }
 
+(* Per-variable registration metadata, in boot order. Boot is
+   deterministic for a given config, so this doubles as the coverage
+   universe: the ledger (Obs.Coverage) maps each synthetic base address
+   back to the variable it belongs to. *)
+type varinfo = {
+  v_name : string;
+  v_addr : int;                     (* base address *)
+  v_width : int;
+  v_instrumented : bool;
+}
+
 type t = {
   id : int;                         (* process-unique heap identity *)
   mutable next_addr : int;
@@ -38,6 +49,7 @@ type t = {
   mutable n_cells : int;
   mutable dirty : bool array;       (* same indexing as [cells] *)
   mutable dirty_ids : int list;     (* ids with [dirty.(id)] set *)
+  mutable rev_vars : varinfo list;  (* registration order, reversed *)
   mutable last_restored : int;      (* snap id the cells match, or -1 *)
   mutable next_snap : int;          (* per-heap snapshot id source *)
   mutable restored : int;           (* cumulative cells replayed *)
@@ -61,6 +73,7 @@ let create () =
     n_cells = 0;
     dirty = Array.make 64 false;
     dirty_ids = [];
+    rev_vars = [];
     last_restored = -1;
     next_snap = 0;
     restored = 0;
@@ -69,7 +82,7 @@ let create () =
 (* Reserve [width] bytes of synthetic address space and register the
    cell's capture function. Returns the base address and the cell id the
    variable must pass back to [mark_dirty] on writes. *)
-let register t ~width capture =
+let register t ~name ~width ~instrumented capture =
   let addr = t.next_addr in
   t.next_addr <- t.next_addr + max 1 width;
   let id = t.n_cells in
@@ -83,7 +96,13 @@ let register t ~width capture =
   end;
   t.cells.(id) <- { capture };
   t.n_cells <- id + 1;
+  t.rev_vars <-
+    { v_name = name; v_addr = addr; v_width = max 1 width;
+      v_instrumented = instrumented }
+    :: t.rev_vars;
   (addr, id)
+
+let vars t = List.rev t.rev_vars
 
 let mark_dirty t id =
   if not t.dirty.(id) then begin

@@ -13,14 +13,30 @@ type t
 
 type snapshot
 
+(** Per-variable registration metadata, in boot order — the coverage
+    universe the ledger ([Obs.Coverage]) is built from. *)
+type varinfo = {
+  v_name : string;
+  v_addr : int;                     (** base address *)
+  v_width : int;
+  v_instrumented : bool;
+}
+
 val create : unit -> t
 
-val register : t -> width:int -> (unit -> unit -> unit) -> int * int
-(** [register t ~width capture] reserves [width] bytes of synthetic
-    address space for a cell whose [capture] function returns a restore
-    thunk; returns [(base_addr, cell_id)]. The cell id must be passed to
-    {!mark_dirty} whenever the cell's contents change. Used by
-    {!Var.alloc}. *)
+val register :
+  t -> name:string -> width:int -> instrumented:bool ->
+  (unit -> unit -> unit) -> int * int
+(** [register t ~name ~width ~instrumented capture] reserves [width]
+    bytes of synthetic address space for a cell whose [capture] function
+    returns a restore thunk; returns [(base_addr, cell_id)]. The cell id
+    must be passed to {!mark_dirty} whenever the cell's contents change.
+    Used by {!Var.alloc}. *)
+
+val vars : t -> varinfo list
+(** Every registered variable, in registration order. Boot order is
+    deterministic for a given config, so the list is identical across
+    processes and domains running the same kernel. *)
 
 val mark_dirty : t -> int -> unit
 (** Record that a cell was written since the last snapshot/restore, so

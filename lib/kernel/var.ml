@@ -18,7 +18,7 @@ type 'a t = {
 let alloc heap ~name ?(width = 8) ?(instrumented = true) init =
   let cell = ref None in
   let addr, cell_id =
-    Heap.register heap ~width (fun () ->
+    Heap.register heap ~name ~width ~instrumented (fun () ->
         match !cell with
         | None -> fun () -> ()
         | Some var ->

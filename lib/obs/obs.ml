@@ -4,6 +4,10 @@
    through it at the cost of a bool check, and always-on accounting
    counters (see Metrics) still count. *)
 
+(* Re-export: the coverage ledger is part of the observability plane
+   (callers reach it as [Obs.Coverage] next to [Obs.snapshot] etc.). *)
+module Coverage = Coverage
+
 type t = {
   metrics : Metrics.registry;
   tracer : Tracer.t;

@@ -3,6 +3,10 @@
     changes campaign semantics (property-tested): metrics and spans are
     write-only side channels. *)
 
+module Coverage = Coverage
+(** The per-variable coverage ledger, re-exported as part of the
+    observability plane. *)
+
 type t = {
   metrics : Metrics.registry;
   tracer : Tracer.t;

@@ -56,8 +56,21 @@ let hist_mean (h : Metrics.value) =
 
 let section buf title = bprintf buf "-- %s --\n" title
 
+(* The export's own shape, before its contents: how many instruments
+   the registry carried, how many trace events survived the ring and
+   how many it dropped — the numbers that say whether the telemetry
+   itself is trustworthy. *)
+let telemetry_header buf (p : Export.parsed) =
+  section buf "telemetry";
+  bprintf buf "%-36s %12d\n" "metrics registered"
+    (List.length p.Export.p_snapshot);
+  bprintf buf "%-36s %12d\n" "trace events" (List.length p.Export.p_events);
+  bprintf buf "%-36s %12d\n" "trace ring dropped" p.Export.p_dropped;
+  Buffer.add_char buf '\n'
+
 let stats (p : Export.parsed) =
   let buf = Buffer.create 1024 in
+  telemetry_header buf p;
   if p.Export.p_meta <> [] then begin
     section buf "meta";
     List.iter
@@ -119,3 +132,74 @@ let stats (p : Export.parsed) =
 let snapshot_table snapshot =
   stats
     { Export.p_meta = []; p_snapshot = snapshot; p_events = []; p_dropped = 0 }
+
+(* -- funnel attrition ---------------------------------------------------- *)
+
+let counter_value snapshot name =
+  match List.assoc_opt name snapshot with
+  | Some (Metrics.Counter_v n) -> Some n
+  | Some (Metrics.Gauge_v _ | Metrics.Hist_v _) | None -> None
+
+(* The attrition funnel, rendered from the always-on "campaign.attr_*"
+   counters of an exported snapshot: every generated case is charged to
+   exactly one terminal stage, so the stages sum back to the top row.
+   The "campaign.sched_*" stream rides along when the snapshot carries
+   it (schedule search actually ran). *)
+let funnel (p : Export.parsed) =
+  let snapshot = p.Export.p_snapshot in
+  let c name = counter_value snapshot ("campaign." ^ name) in
+  match c "attr_generated" with
+  | None ->
+    "no funnel accounting in this export \
+     (no campaign.attr_* counters; re-export from a finished campaign)\n"
+  | Some generated ->
+    let v name = Option.value (c name) ~default:0 in
+    let buf = Buffer.create 512 in
+    section buf "funnel";
+    let row indent name n =
+      bprintf buf "%-36s %12d\n" (String.make indent ' ' ^ name) n
+    in
+    row 0 "generated data-flow cases" generated;
+    row 2 "absorbed by clustering" (v "attr_absorbed");
+    row 0 "executed representatives"
+      (generated - v "attr_absorbed");
+    row 2 "quarantined: kernel panic" (v "attr_quar_panic");
+    row 2 "quarantined: hung forever" (v "attr_quar_hung");
+    row 2 "quarantined: worker lost" (v "attr_quar_lost");
+    row 2 "no divergence" (v "attr_no_divergence");
+    row 2 "filtered: non-determinism" (v "attr_filtered_nondet");
+    row 2 "filtered: resource spec" (v "attr_filtered_resource");
+    row 0 "reported" (v "attr_reported");
+    let terminal =
+      v "attr_absorbed" + v "attr_quar_panic" + v "attr_quar_hung"
+      + v "attr_quar_lost" + v "attr_no_divergence"
+      + v "attr_filtered_nondet" + v "attr_filtered_resource"
+      + v "attr_reported"
+    in
+    bprintf buf "%-36s %12s\n" "balance"
+      (if terminal = generated then "ok"
+       else Printf.sprintf "off by %d" (generated - terminal));
+    (match c "sched_candidates" with
+    | None -> ()
+    | Some candidates ->
+      Buffer.add_char buf '\n';
+      section buf "schedule search";
+      row 0 "completed cases searched" candidates;
+      row 2 "equivalence classes" (v "sched_classes");
+      row 2 "representatives executed" (v "sched_executed");
+      row 2 "seeds pruned" (v "sched_pruned");
+      row 2 "lost to crashes" (v "sched_skipped");
+      row 0 "concurrent reports" (v "concurrent_reports"));
+    (match c "cov_vars" with
+    | None -> ()
+    | Some vars ->
+      Buffer.add_char buf '\n';
+      section buf "coverage";
+      row 0 "protected shared variables" vars;
+      row 2 "touched" (v "cov_touched");
+      row 2 "written" (v "cov_written");
+      row 2 "read" (v "cov_read");
+      row 2 "write/read pair observed" (v "cov_paired");
+      row 2 "attributed to a report" (v "cov_attributed");
+      row 0 "coverage gaps (no pair)" (v "cov_gaps"));
+    Buffer.contents buf

@@ -3,6 +3,17 @@
     summary built by pairing begin/end events. *)
 
 val stats : Export.parsed -> string
+(** Leads with a telemetry header: registered-instrument cardinality,
+    trace event count and ring-drop count — the numbers that say
+    whether the telemetry itself is trustworthy. *)
 
 val snapshot_table : Metrics.snapshot -> string
 (** {!stats} over a bare metrics snapshot (no meta, no events). *)
+
+val funnel : Export.parsed -> string
+(** The attrition funnel ([kit stats --funnel]), rendered from the
+    always-on ["campaign.attr_*"] counters: every generated data-flow
+    case charged to exactly one terminal stage, with a balance line.
+    Includes the schedule-search stream and the coverage-ledger summary
+    when the export carries them. Degrades to an explanatory line when
+    the export has no funnel accounting. *)

@@ -34,6 +34,10 @@ let pid_of_role t = function
   | Sender -> t.sender_pid
   | Receiver -> t.receiver_pid
 
+(* The profiled kernel's shared-variable registry, in boot order — the
+   coverage ledger's raw universe. *)
+let vars t = Kit_kernel.Heap.vars t.kernel.State.heap
+
 (* Profile one program in [role]'s container, from a fresh snapshot. *)
 let profile t ~role prog =
   State.restore t.kernel t.snapshot;

@@ -20,6 +20,11 @@ val create : Kit_kernel.Config.t -> t
 val profile : t -> role:role -> Kit_abi.Program.t -> profile
 (** Profile one program in [role]'s container, from a fresh snapshot. *)
 
+val vars : t -> Kit_kernel.Heap.varinfo list
+(** The profiled kernel's shared-variable registry, in boot order —
+    deterministic for a given config; the coverage ledger's raw
+    universe. *)
+
 val run_untraced : t -> role:role -> Kit_abi.Program.t ->
   Kit_kernel.Interp.result list
 (** Run without instrumentation (the separate trace-collection run of

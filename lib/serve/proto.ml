@@ -77,6 +77,10 @@ type tenant_status = {
   ts_dispatched : int;
   ts_contended : int;
   ts_steals : int;
+  ts_cov_vars : int;                     (* -1 until finished *)
+  ts_cov_paired : int;
+  ts_cov_attributed : int;
+  ts_cov_gaps : int;
 }
 
 type pool_status = {

@@ -68,6 +68,13 @@ type tenant_status = {
           the denominator of the fairness share *)
   ts_steals : int;
       (** dispatches taken beyond quota from idle tenants' slack *)
+  ts_cov_vars : int;
+      (** coverage-ledger universe size; [-1] until finished (like
+          [ts_reports] — the ledger is assembled with the result) *)
+  ts_cov_paired : int;
+      (** vars with an overlapping write/read pair observed *)
+  ts_cov_attributed : int;             (** vars pinned by a report *)
+  ts_cov_gaps : int;                   (** vars with no overlapping pair *)
 }
 
 type pool_status = {

@@ -21,6 +21,7 @@ module Compare = Kit_trace.Compare
 module Report = Kit_detect.Report
 module Filter = Kit_detect.Filter
 module Supervisor = Kit_exec.Supervisor
+module Coverage = Kit_obs.Coverage
 
 type phase =
   | Pending
@@ -295,6 +296,13 @@ let extend t ~add =
 
 (* -- status --------------------------------------------------------------- *)
 
+(* Coverage summaries ride the assembled result, like [ts_reports]:
+   [-1] until the tenant finishes. *)
+let cov_summary field t =
+  match t.t_result with
+  | Some c -> field (Coverage.summary c.Campaign.coverage)
+  | None -> -1
+
 let status t =
   { Proto.ts_name = name t;
     ts_id = t.t_id;
@@ -310,7 +318,11 @@ let status t =
     ts_resumed = t.t_resumed;
     ts_dispatched = t.t_dispatched;
     ts_contended = t.t_contended;
-    ts_steals = t.t_steals }
+    ts_steals = t.t_steals;
+    ts_cov_vars = cov_summary (fun s -> s.Coverage.sum_vars) t;
+    ts_cov_paired = cov_summary (fun s -> s.Coverage.sum_paired) t;
+    ts_cov_attributed = cov_summary (fun s -> s.Coverage.sum_attributed) t;
+    ts_cov_gaps = cov_summary (fun s -> s.Coverage.sum_gaps) t }
 
 (* -- checkpoints ---------------------------------------------------------- *)
 

@@ -14,10 +14,24 @@ type t = {
   protected_fd_types : Fdtype.t list;
   checkers : Checker.t list;
   seed_selectors : (Program.call -> bool) list;
+  protected_var_prefixes : string list;
 }
 
-let make ?(seed_selectors = []) ~protected_fd_types ~checkers () =
-  { protected_fd_types; checkers; seed_selectors }
+(* The shared-variable side of the specification: kernel variables whose
+   subsystem prefix appears here are the namespace-protected state the
+   coverage ledger tracks. Mirrors the fd-type rules above — the listed
+   subsystems are exactly the ones a protected fd type or checker can
+   reach. Infrastructure state (clock., krng., proc., vfs., slab.) and
+   the deliberately-unprotected token subsystem are excluded. *)
+let default_var_prefixes =
+  [ "nf."; "net."; "sock."; "proto."; "ipv6."; "rds."; "sctp."; "seq.";
+    "crypto."; "devid."; "ipvs."; "uevent."; "sched."; "uts."; "ipc.";
+    "mnt."; "timens." ]
+
+let make ?(seed_selectors = [])
+    ?(protected_var_prefixes = default_var_prefixes) ~protected_fd_types
+    ~checkers () =
+  { protected_fd_types; checkers; seed_selectors; protected_var_prefixes }
 
 let default =
   {
@@ -33,6 +47,7 @@ let default =
       (* Fdtype.Token deliberately unprotected: its ids are unreachable. *);
     checkers = Checker.defaults;
     seed_selectors = [];
+    protected_var_prefixes = default_var_prefixes;
   }
 
 (* A specification refined by dropping Procfs_misc — what a user would do
@@ -48,6 +63,16 @@ let refined =
   }
 
 let fd_type_protected t ty = List.exists (Fdtype.equal ty) t.protected_fd_types
+
+(* Is a kernel shared variable namespace-protected state? Matched by
+   subsystem prefix of the variable's registration name (e.g.
+   "net.somaxconn" under "net."). Drives the coverage ledger universe. *)
+let var_protected t name =
+  List.exists
+    (fun prefix ->
+      String.length name >= String.length prefix
+      && String.sub name 0 (String.length prefix) = prefix)
+    t.protected_var_prefixes
 
 (* Does call [i] of [prog] access a namespace-protected resource? True
    when the call returns or consumes a protected fd type, or when a

@@ -15,10 +15,15 @@ type t = {
   seed_selectors : (Kit_abi.Program.call -> bool) list;
     (** user-highlighted seed calls; every call with an explicit data
         dependency on one is selected (paper, section 5.3) *)
+  protected_var_prefixes : string list;
+    (** subsystem prefixes of kernel shared variables that hold
+        namespace-protected state ("net.", "ipc.", …) — the coverage
+        ledger's universe *)
 }
 
 val make :
   ?seed_selectors:(Kit_abi.Program.call -> bool) list ->
+  ?protected_var_prefixes:string list ->
   protected_fd_types:Kit_abi.Fdtype.t list ->
   checkers:Checker.t list -> unit -> t
 
@@ -26,6 +31,11 @@ val default : t
 val refined : t
 
 val fd_type_protected : t -> Kit_abi.Fdtype.t -> bool
+
+val var_protected : t -> string -> bool
+(** Is a kernel shared variable (by registration name, e.g.
+    ["net.somaxconn"]) namespace-protected state? Prefix match against
+    [protected_var_prefixes]. *)
 
 val call_protected :
   t -> Kit_abi.Program.t -> Kit_abi.Fdtype.t option array -> int -> bool

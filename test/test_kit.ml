@@ -27,5 +27,6 @@ let () =
       ("props", Test_props.suite);
       ("repr", Test_repr.suite);
       ("sched", Test_sched.suite);
+      ("coverage", Test_coverage.suite);
       ("serve", Test_serve.suite);
     ]
